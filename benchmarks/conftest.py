@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's figures (or inline claims)
+and prints a paper-vs-measured table.  ``pytest benchmarks/
+--benchmark-only`` therefore doubles as the reproduction report;
+``bench_output.txt`` in the repo root is its captured output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment with a single timed round.
+
+    The experiments are deterministic end-to-end sweeps (seconds each), so
+    one round measures them faithfully without multiplying the wall time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,55 @@
+"""Figure 6 reproduction: min-SNR change CCDF and min-SNR CCDF.
+
+Paper (§3.2.1): "Around 38% of the configuration changes cause a 10 dB SNR
+change on at least one subcarrier, and less than 9% of the configurations
+show a worst subcarrier channel gain below 20 dB."
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ReportTable, format_table
+from repro.analysis.stats import EmpiricalDistribution
+from repro.experiments import run_fig6
+
+
+def test_bench_fig6_snr_distributions(once):
+    result = once(run_fig6, repetitions=10)
+
+    table = ReportTable(title="Figure 6 — min-SNR distributions (placement e, 10 reps)")
+    frac10 = result.fraction_pairs_10db_change
+    below20 = result.fraction_configs_below_20db
+    table.add(
+        "config changes causing >=10 dB on some subcarrier",
+        "~38%",
+        f"{100 * frac10:.0f}%",
+        0.05 <= frac10 <= 0.6,
+    )
+    table.add(
+        "configs with worst subcarrier below 20 dB",
+        "< 9%",
+        f"{100 * below20:.0f}%",
+        below20 <= 0.25,
+    )
+    print()
+    print(table.render())
+
+    # Left panel: CCDF of |delta min-SNR| between config pairs.
+    dist = EmpiricalDistribution.from_samples(result.min_snr_change_pairs)
+    rows = [("min-SNR change >", "CCDF")]
+    for threshold in (2.0, 5.0, 10.0, 15.0, 20.0):
+        rows.append((f"{threshold:.0f} dB", f"{dist.ccdf_at(threshold):.3f}"))
+    print(format_table(rows, header_rule=True))
+
+    # Right panel: CCDF of per-config min SNR.
+    minima = np.concatenate(result.min_snr_per_trial)
+    dist_min = EmpiricalDistribution.from_samples(minima)
+    rows = [("min SNR >", "CCDF")]
+    for threshold in (8.0, 15.0, 22.0, 29.0, 36.0):
+        rows.append((f"{threshold:.0f} dB", f"{dist_min.ccdf_at(threshold):.3f}"))
+    print(format_table(rows, header_rule=True))
+
+    assert table.all_hold()
+    # The change distribution must have a heavy tail (some pairs barely
+    # differ, some differ by tens of dB), as in the paper's left panel.
+    assert dist.ccdf_at(1.0) > dist.ccdf_at(10.0)
+    assert result.min_snr_change_pairs.max() > 10.0

@@ -1,0 +1,43 @@
+"""Abstract headline numbers, aggregated across the figure experiments.
+
+"Preliminary experiments demonstrate the efficacy of using passive elements
+to change the wireless channel, shifting frequency 'nulls' by nine Wi-Fi
+subcarriers, changing the 2x2 MIMO channel condition number by 1.5 dB, and
+attenuating or enhancing signal strength by up to 26 dB."
+"""
+
+from repro.analysis.reporting import ReportTable
+from repro.experiments import run_fig4, run_fig5, run_fig8
+
+
+def test_bench_abstract_headlines(once):
+    def run_all():
+        fig4 = run_fig4(num_placements=8, repetitions=10)
+        fig5 = run_fig5(repetitions=10)
+        fig8 = run_fig8(measurements_per_config=50)
+        return fig4, fig5, fig8
+
+    fig4, fig5, fig8 = once(run_all)
+
+    table = ReportTable(title="Abstract headlines — paper vs measured")
+    table.add(
+        "null shift",
+        "9 subcarriers",
+        f"{fig5.max_movement} subcarriers",
+        5 <= fig5.max_movement <= 18,
+    )
+    table.add(
+        "2x2 MIMO condition number change",
+        "1.5 dB",
+        f"{fig8.median_gap_db:.2f} dB",
+        0.7 <= fig8.median_gap_db <= 3.0,
+    )
+    table.add(
+        "signal attenuation/enhancement",
+        "up to 26 dB",
+        f"up to {fig4.largest_single_rep_change_db:.1f} dB",
+        15.0 <= fig4.largest_single_rep_change_db <= 55.0,
+    )
+    print()
+    print(table.render())
+    assert table.all_hold()

@@ -1,0 +1,44 @@
+"""Figure 7 carried to the MAC: harmonization as deliverable throughput.
+
+§1 frames harmonization against "many [networks] operating in close
+proximity".  This benchmark prices the three regimes with the slotted
+CSMA/CA simulator: hidden-terminal co-channel contention, a static
+half-band split, and the PRESS-harmonized split.
+"""
+
+from repro.analysis.reporting import ReportTable, format_table
+from repro.experiments import run_mac_harmonization
+
+
+def test_bench_mac_harmonization(once):
+    result = once(run_mac_harmonization, duration_s=2.0)
+
+    rows = [("regime", "sum throughput [Mbps]")]
+    rows.append(("co-channel (hidden terminals)", f"{result.co_channel_mbps:.1f}"))
+    rows.append(("static half-band split", f"{result.static_split_mbps:.1f}"))
+    rows.append(("PRESS-harmonized split", f"{result.harmonized_mbps:.1f}"))
+    print()
+    print("MAC-level harmonization payoff (two saturated networks, 2 s)")
+    print(format_table(rows, header_rule=True))
+
+    table = ReportTable(title="Figure 7 at the MAC layer")
+    table.add(
+        "splitting ends hidden-terminal collisions",
+        "frequency division removes contention (§1)",
+        f"{result.co_channel_mbps:.1f} -> {result.static_split_mbps:.1f} Mbps",
+        result.static_split_mbps > result.co_channel_mbps,
+    )
+    table.add(
+        "PRESS shaping makes the split worth more",
+        "each network gets its favoured half-band",
+        f"{result.static_split_mbps:.1f} -> {result.harmonized_mbps:.1f} Mbps",
+        result.harmonized_mbps > result.static_split_mbps,
+    )
+    table.add(
+        "total harmonization gain",
+        "harmonized vs co-channel",
+        f"{result.harmonization_gain:.2f}x",
+        result.harmonization_gain > 1.2,
+    )
+    print(table.render())
+    assert table.all_hold()

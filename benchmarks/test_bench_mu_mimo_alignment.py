@@ -1,0 +1,95 @@
+"""§1's remaining applications, quantified end to end.
+
+* Multi-user MIMO spatial multiplexing: PRESS re-conditions the correlated
+  user channel of two closely-spaced clients and the ZF sum rate follows.
+* Interference alignment: PRESS aligns two interferers at a two-antenna
+  bystander so a single spatial null removes both.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ReportTable, format_table
+from repro.experiments import run_alignment_study, run_mu_mimo
+
+
+def test_bench_mu_mimo_sum_rate(once):
+    result = once(run_mu_mimo)
+
+    best = result.best_configuration
+    worst = result.worst_configuration
+    rows = [("config", "ZF sum rate [bits/s/Hz]", "median cond [dB]")]
+    for tag, index in (("best", best), ("worst", worst)):
+        rows.append(
+            (
+                f"{result.labels[index]} ({tag})",
+                f"{result.sum_rate_bits[index]:.2f}",
+                f"{result.median_condition_db[index]:.1f}",
+            )
+        )
+    print()
+    print("MU-MIMO downlink — 2-antenna AP, two clients at lambda/2 spacing")
+    print(format_table(rows, header_rule=True))
+
+    table = ReportTable(title="§1: spatial multiplexing via the environment")
+    correlation = result.conditioning_rate_correlation()
+    table.add(
+        "conditioning predicts the ZF sum rate",
+        "condition number is 'critically important to capacity'",
+        f"corr(-cond, rate) = {correlation:.2f}",
+        correlation > 0.7,
+    )
+    table.add(
+        "PRESS moves the sum rate",
+        "restore performance 'without additional AP processing'",
+        f"best/worst = {result.rate_gain:.2f}x "
+        f"({result.sum_rate_bits.min():.1f} -> {result.sum_rate_bits.max():.1f})",
+        result.rate_gain > 1.1,
+    )
+    print(table.render())
+    assert table.all_hold()
+
+
+def test_bench_interference_alignment(once):
+    result = once(run_alignment_study)
+
+    rows = [("config", "alignment cosine", "post-null INR [dB]")]
+    for tag, index in (
+        ("best aligned", result.best_configuration),
+        ("worst aligned", result.worst_configuration),
+    ):
+        rows.append(
+            (
+                f"{result.labels[index]} ({tag})",
+                f"{result.alignment[index]:.3f}",
+                f"{result.residual_inr_db[index]:.1f}",
+            )
+        )
+    print()
+    print("Interference alignment — two APs at a 2-antenna bystander (NLoS)")
+    print(format_table(rows, header_rule=True))
+
+    table = ReportTable(title="§1: aligning interference in one nulling step")
+    table.add(
+        "PRESS controls the alignment",
+        "environment steers the interference subspace",
+        f"cosine spread {result.alignment_spread:.3f}",
+        result.alignment_spread > 0.03,
+    )
+    table.add(
+        "alignment cuts the residual after one null",
+        "one nulling step removes both interferers",
+        f"{result.inr_improvement_db:.1f} dB lower residual INR",
+        result.inr_improvement_db > 3.0,
+    )
+    # Alignment and post-null residual must agree in direction.
+    correlation = float(
+        np.corrcoef(result.alignment, result.residual_inr_db)[0, 1]
+    )
+    table.add(
+        "alignment metric tracks residual INR",
+        "collinear interference leaks nothing",
+        f"corr = {correlation:.2f}",
+        correlation < -0.5,
+    )
+    print(table.render())
+    assert table.all_hold()

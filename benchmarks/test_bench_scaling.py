@@ -1,0 +1,146 @@
+"""Scaling study: search cost vs array size (§4.2's core concern).
+
+"With N PRESS elements, each having M possible reflection coefficients,
+enumerating the M^N possibilities in the search space for the optimal
+configuration becomes impractical."  This benchmark grows the array from 2
+to 5 elements and compares, per method, the over-the-air soundings needed
+and the quality reached:
+
+* exhaustive enumeration (the gold standard, exponential cost);
+* greedy coordinate descent (linear per sweep);
+* cross-entropy search (population-based);
+* model-based prediction (N+1 soundings, then free).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ReportTable, format_table
+from repro.core import (
+    CrossEntropySearch,
+    ExhaustiveSearch,
+    GreedyCoordinateDescent,
+    MinSnrObjective,
+    PressArray,
+    fit_channel_model,
+    identification_configurations,
+    omni_element,
+    predict_and_pick,
+)
+from repro.em.geometry import Point
+from repro.experiments import StudyConfig, build_nlos_setup, used_subcarrier_mask
+from repro.sdr.testbed import Testbed
+
+
+def _grown_setup(num_elements: int):
+    """The study scenario with the array grown to ``num_elements``."""
+    config = StudyConfig()
+    setup = build_nlos_setup(2, config)
+    base = setup.array.elements
+    elements = list(base)
+    anchor = base[0].position
+    rng = np.random.default_rng(99)
+    while len(elements) < num_elements:
+        index = len(elements)
+        elements.append(
+            omni_element(
+                Point(
+                    anchor.x + float(rng.uniform(-1.2, 1.2)),
+                    anchor.y + float(rng.uniform(0.0, 1.2)),
+                ),
+                name=f"x{index}",
+                gain_dbi=config.element_gain_dbi,
+            )
+        )
+    array = PressArray.from_elements(elements[:num_elements])
+    testbed = Testbed(scene=setup.testbed.scene, array=array)
+    return setup, testbed, array
+
+
+def test_bench_search_scaling(once):
+    def run():
+        mask = used_subcarrier_mask()
+        rows = []
+        for num_elements in (2, 3, 4, 5):
+            setup, testbed, array = _grown_setup(num_elements)
+            space = array.configuration_space()
+
+            def min_snr(configuration):
+                observation = testbed.measure_csi(
+                    setup.tx_device, setup.rx_device, configuration
+                )
+                return float(observation.snr_db[mask].min())
+
+            exhaustive = ExhaustiveSearch().search(space, min_snr)
+            greedy = GreedyCoordinateDescent(restarts=2).search(space, min_snr)
+            cem = CrossEntropySearch(population=16, iterations=6, seed=1).search(
+                space, min_snr
+            )
+            schedule = identification_configurations(array)
+            cfrs = [
+                testbed.channel(
+                    setup.tx_device, setup.rx_device, configuration
+                ).cfr()[mask]
+                for configuration in schedule
+            ]
+            model = fit_channel_model(
+                array, schedule, cfrs, testbed.frequency_hz
+            )
+            predicted_best, _ = predict_and_pick(array, model, MinSnrObjective())
+            rows.append(
+                {
+                    "n": num_elements,
+                    "space": space.size,
+                    "exhaustive": (exhaustive.num_evaluations, exhaustive.best_score),
+                    "greedy": (greedy.num_evaluations, greedy.best_score),
+                    "cem": (cem.num_evaluations, cem.best_score),
+                    "model": (len(schedule), min_snr(predicted_best)),
+                }
+            )
+        return rows
+
+    rows = once(run)
+
+    printable = [
+        ("N", "space", "exhaustive", "greedy", "cross-entropy", "model-based")
+    ]
+    for row in rows:
+        printable.append(
+            (
+                str(row["n"]),
+                str(row["space"]),
+                f"{row['exhaustive'][0]} -> {row['exhaustive'][1]:.1f}",
+                f"{row['greedy'][0]} -> {row['greedy'][1]:.1f}",
+                f"{row['cem'][0]} -> {row['cem'][1]:.1f}",
+                f"{row['model'][0]} -> {row['model'][1]:.1f}",
+            )
+        )
+    print()
+    print("Search scaling — soundings -> best min-SNR [dB] per method")
+    print(format_table(printable, header_rule=True))
+
+    table = ReportTable(title="§4.2: navigating the M^N space")
+    largest = rows[-1]
+    optimum = largest["exhaustive"][1]
+    table.add(
+        "exhaustive cost explodes",
+        "M^N becomes impractical",
+        f"{rows[0]['exhaustive'][0]} -> {largest['exhaustive'][0]} soundings (N=2 -> 5)",
+        largest["exhaustive"][0] >= 32 * rows[0]["exhaustive"][0],
+    )
+    table.add(
+        "model-based stays O(N) and near-optimal",
+        "channel is linear in the coefficients",
+        f"{largest['model'][0]} soundings, gap "
+        f"{optimum - largest['model'][1]:.2f} dB at N=5",
+        largest["model"][0] <= 8
+        and largest["model"][1] >= optimum - 1.0,
+    )
+    table.add(
+        "heuristics stay within a few dB",
+        "pruning heuristics (§4.2)",
+        f"greedy gap {optimum - largest['greedy'][1]:.2f} dB, "
+        f"CEM gap {optimum - largest['cem'][1]:.2f} dB",
+        largest["greedy"][1] >= optimum - 4.0,
+    )
+    print(table.render())
+    assert table.all_hold()

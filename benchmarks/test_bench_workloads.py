@@ -1,0 +1,101 @@
+"""§2 dynamic strategies: traffic-driven configuration switching.
+
+"PRESS will very likely reap additional performance benefits from
+switching strategies on packet-level timescales ... as the set of senders
+and receivers changes. ... One can imagine hybrid tradeoffs and dynamic
+strategies that leverage these extreme positions."
+
+Three clients with on/off traffic share one array; the benchmark races
+static-joint vs reactive-joint vs cached (memoised per active set)
+strategies over a 2-minute traffic trace.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ReportTable, format_table
+from repro.core import LinkObjective, MinSnrObjective
+from repro.em.geometry import Point
+from repro.experiments import (
+    build_nlos_setup,
+    evaluate_dynamic_strategies,
+    generate_traffic,
+    used_subcarrier_mask,
+)
+from repro.sdr.device import warp_v3
+
+
+def test_bench_dynamic_traffic_strategies(once):
+    def run():
+        setup = build_nlos_setup(2)
+        mask = used_subcarrier_mask()
+        links = []
+        for index, (dx, dy) in enumerate([(0.0, 0.0), (0.5, 0.4), (-0.3, 0.6)]):
+            rx = warp_v3(
+                f"client-{index}",
+                Point(
+                    setup.rx_device.position.x + dx,
+                    setup.rx_device.position.y + dy,
+                ),
+            )
+
+            def measure(config, rx=rx):
+                return setup.testbed.measure_csi(
+                    setup.tx_device, rx, config
+                ).snr_db[mask]
+
+            links.append(
+                LinkObjective(
+                    name=f"client-{index}",
+                    measure=measure,
+                    objective=MinSnrObjective(),
+                )
+            )
+        rng = np.random.default_rng(7)
+        epochs = generate_traffic([l.name for l in links], 120.0, rng)
+        results = evaluate_dynamic_strategies(
+            links, setup.array.configuration_space(), epochs
+        )
+        return epochs, results
+
+    epochs, results = once(run)
+
+    rows = [("strategy", "time-weighted score [dB]", "searches", "soundings")]
+    for name in ("static-joint", "reactive-joint", "cached"):
+        result = results[name]
+        rows.append(
+            (
+                name,
+                f"{result.time_weighted_score:.2f}",
+                str(result.num_searches),
+                str(result.num_measurements),
+            )
+        )
+    print()
+    print(
+        f"Dynamic traffic strategies — {len(epochs)} epochs, "
+        f"{len({e.active_links for e in epochs})} distinct active sets"
+    )
+    print(format_table(rows, header_rule=True))
+
+    table = ReportTable(title="§2 dynamic switching strategies")
+    table.add(
+        "adapting to the active set helps",
+        "per-traffic-pattern switching pays",
+        f"reactive {results['reactive-joint'].time_weighted_score:.2f} vs "
+        f"static {results['static-joint'].time_weighted_score:.2f} dB",
+        results["reactive-joint"].time_weighted_score
+        >= results["static-joint"].time_weighted_score - 1e-9,
+    )
+    savings = results["reactive-joint"].num_measurements / max(
+        results["cached"].num_measurements, 1
+    )
+    table.add(
+        "caching per active set amortises the search",
+        "optimise over likely link sets once (§2)",
+        f"same score, {savings:.0f}x fewer soundings",
+        results["cached"].time_weighted_score
+        >= results["reactive-joint"].time_weighted_score - 1e-9
+        and savings >= 3,
+    )
+    print(table.render())
+    assert table.all_hold()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The §2 inverse problem, solved end to end.
+
+Forward models predict the channel from path parameters; "PRESS demands the
+inverse direction of this calculation".  This example runs both inverse
+tools on the study scenario:
+
+1. **Element-coefficient synthesis** — ask for the ambient null to be
+   filled (target magnitude clamped to a floor, phases kept), solve the
+   least-squares reflection coefficients, quantise onto the SP4T states,
+   and compare ideal vs quantised spectra against the ambient one.
+2. **Path-parameter recovery** — decompose a wideband (80 MHz) sounding of
+   the ambient channel into discrete {gain, delay} paths by matching
+   pursuit and check them against the ray tracer's ground truth.
+
+Run:  python examples/inverse_problem.py
+"""
+
+import numpy as np
+
+from repro.analysis.viz import render_profiles
+from repro.core import (
+    element_basis,
+    matching_pursuit_paths,
+    solve_element_coefficients,
+    synthesize_configuration,
+)
+from repro.em.channel import subcarrier_frequencies
+from repro.em.paths import paths_to_cfr
+from repro.experiments import build_nlos_setup, used_subcarrier_mask
+
+
+def main():
+    setup = build_nlos_setup(placement_seed=2)
+    mask = used_subcarrier_mask()
+    freqs = subcarrier_frequencies()[mask]
+    tracer = setup.testbed.tracer
+    tx = setup.tx_device.position
+    rx = setup.rx_device.position
+    tx_antenna = setup.tx_device.chains[0].antenna
+    rx_antenna = setup.rx_device.chains[0].antenna
+    environment = tracer.trace(tx, rx, tx_antenna, rx_antenna)
+    env_cfr = paths_to_cfr(environment, freqs)
+
+    # --- 1. synthesise a null-free channel -------------------------------
+    env_mag = np.abs(env_cfr)
+    floor = np.median(env_mag) * 10 ** (-6.0 / 20.0)  # allow dips to -6 dB
+    target = np.maximum(env_mag, floor) * np.exp(1j * np.angle(env_cfr))
+    solution = synthesize_configuration(
+        setup.array,
+        target,
+        environment,
+        tx,
+        rx,
+        tracer,
+        freqs,
+        tx_antenna=tx_antenna,
+        rx_antenna=rx_antenna,
+    )
+    basis = element_basis(
+        setup.array, tx, rx, tracer, freqs, tx_antenna, rx_antenna
+    )
+    coefficients = solve_element_coefficients(target, env_cfr, basis)
+    ideal_cfr = env_cfr + basis @ coefficients
+    env_db = 20 * np.log10(env_mag)
+    ideal_db = 20 * np.log10(np.maximum(np.abs(ideal_cfr), 1e-12))
+    quantised_db = 20 * np.log10(np.maximum(np.abs(solution.achieved_cfr), 1e-12))
+    offset = np.median(env_db)
+    print("Inverse problem 1 — fill the ambient null (target: dips clamped to -6 dB):")
+    print(render_profiles(
+        [
+            ("ambient  ", env_db - offset),
+            ("ideal    ", ideal_db - offset),
+            ("quantised", quantised_db - offset),
+        ],
+        lo=-20.0, hi=10.0,
+    ))
+    print(f"  worst-subcarrier gain vs median: ambient {env_db.min() - offset:.1f} dB"
+          f" -> ideal {ideal_db.min() - offset:.1f} dB"
+          f" -> quantised to {setup.array.describe(solution.configuration)}:"
+          f" {quantised_db.min() - offset:.1f} dB")
+
+    # --- 2. recover the path parameters ---------------------------------
+    # Path recovery needs delay resolution ~1/bandwidth; the 16 MHz used
+    # band cannot separate 21 ns from 35 ns, so sound over 80 MHz (a
+    # wideband probe, as a deployment's occasional calibration sweep).
+    wide_freqs = np.linspace(-40e6, 40e6, 256)
+    wide_cfr = paths_to_cfr(environment, wide_freqs)
+    recovered = matching_pursuit_paths(wide_cfr, wide_freqs, num_paths=6)
+    truth = sorted(environment, key=lambda p: -p.power)[:4]
+    print("\nInverse problem 2 — matching-pursuit path recovery:")
+    print("  ground truth (top ray-traced paths):")
+    for path in truth:
+        print(f"    {1e9 * path.delay_s:7.1f} ns   "
+              f"{10 * np.log10(path.power):6.1f} dB   {path.kind}")
+    print("  recovered from the CFR alone:")
+    for path in recovered[:4]:
+        print(f"    {1e9 * path.delay_s:7.1f} ns   "
+              f"{10 * np.log10(max(path.power, 1e-30)):6.1f} dB")
+    residual = wide_cfr - paths_to_cfr(recovered, wide_freqs)
+    print(f"  residual energy: "
+          f"{100 * np.sum(np.abs(residual) ** 2) / np.sum(np.abs(wide_cfr) ** 2):.1f}%"
+          f" of the input")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Large-MIMO conditioning: re-shaping the 2x2 channel matrix (§3.2.3).
+
+Sweeps the 64 PRESS configurations of the MIMO study, then quantifies what
+the Figure 8 condition-number change is worth in throughput-facing terms:
+equal-power capacity and the zero-forcing power penalty.
+
+Run:  python examples/mimo_conditioning.py
+"""
+
+import numpy as np
+
+from repro.experiments import build_mimo_setup, run_fig8, used_subcarrier_mask
+from repro.mimo import ofdm_capacity_bits, precoding_power_penalty_db
+
+
+def main():
+    print("Sweeping 64 PRESS configurations over the 2x2 MIMO link "
+          "(50 averaged measurements each)...")
+    result = run_fig8(measurements_per_config=50)
+
+    best = result.best_configuration
+    worst = result.worst_configuration
+    print(f"  best conditioned:  {result.labels[best]}  "
+          f"median {result.medians_db[best]:.2f} dB")
+    print(f"  worst conditioned: {result.labels[worst]}  "
+          f"median {result.medians_db[worst]:.2f} dB")
+    print(f"  median gap: {result.median_gap_db:.2f} dB "
+          f"(paper reports 1.5 dB)\n")
+
+    # What the conditioning gap buys: capacity and ZF power penalty at the
+    # two extreme configurations, on the exact (noiseless) channel.
+    setup = build_mimo_setup(0)
+    mask = used_subcarrier_mask()
+    space = setup.array.configuration_space()
+    snr_linear = 10.0 ** (20.0 / 10.0)  # 20 dB reference SNR
+    for tag, index in (("best", best), ("worst", worst)):
+        configuration = space.configuration_at(index)
+        h = setup.testbed.mimo_matrices(setup.tx_device, setup.rx_device, configuration)
+        h = h[mask]
+        h_norm = h / np.sqrt(np.mean(np.abs(h) ** 2))
+        capacity = ofdm_capacity_bits(h_norm, snr_linear)
+        penalty = float(
+            np.mean([precoding_power_penalty_db(matrix) for matrix in h_norm])
+        )
+        print(f"  {tag:5s} config: {capacity:.2f} bits/s/Hz equal-power capacity, "
+              f"{penalty:.2f} dB mean ZF inversion penalty")
+
+    print("\n  A lower condition number means less transmit power burned "
+          "inverting the channel\n  — capacity recovered by the walls, not "
+          "by more AP processing (§1).")
+
+
+if __name__ == "__main__":
+    main()

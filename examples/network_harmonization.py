@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Network harmonization: splitting the band between two networks (§3.2.2).
+
+Reproduces the Figure 7 workflow: find two PRESS configurations with
+opposite frequency selectivity, then show the spectrum-partitioning payoff
+of Figure 2 — each network keeps the half-band its configuration favours,
+and the partitioned sum rate beats both the swapped assignment and the
+unharmonized channel.
+
+Run:  python examples/network_harmonization.py
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig7
+from repro.net.harmonization import (
+    HarmonizationPlan,
+    best_partition,
+    partitioned_sum_rate_bits,
+)
+
+
+def half_band_means(snr_db):
+    half = snr_db.size // 2
+    return float(np.mean(snr_db[:half])), float(np.mean(snr_db[half:]))
+
+
+def main():
+    print("Searching for an opposite-selectivity configuration pair "
+          "(two 4-phase elements, no load)...")
+    result = run_fig7()
+    print(f"  scenario seed {result.placement_seed}, configurations "
+          f"{result.label_a} and {result.label_b}\n")
+
+    for name, snr, contrast in (
+        ("A", result.snr_a, result.contrast_a_db),
+        ("B", result.snr_b, result.contrast_b_db),
+    ):
+        lower, upper = half_band_means(snr)
+        side = "upper" if contrast > 0 else "lower"
+        print(f"  config {name}: lower half {lower:5.1f} dB, upper half "
+              f"{upper:5.1f} dB  -> favours the {side} half")
+
+    # Assign each network the half its configuration favours.
+    lower_cfg = result.snr_a if result.contrast_a_db < 0 else result.snr_b
+    upper_cfg = result.snr_b if result.contrast_a_db < 0 else result.snr_a
+    half = lower_cfg.size // 2
+    plan = HarmonizationPlan(boundary=half)
+    matched = partitioned_sum_rate_bits(lower_cfg, upper_cfg, plan)
+    swapped = partitioned_sum_rate_bits(upper_cfg, lower_cfg, plan)
+    optimal_plan, optimal = best_partition(lower_cfg, upper_cfg)
+
+    print(f"\n  partitioned sum rate (half-band split): {matched:.2f} bits/s/Hz")
+    print(f"  ... with the assignment swapped:         {swapped:.2f} bits/s/Hz")
+    print(f"  ... with the best split (boundary at subcarrier "
+          f"{optimal_plan.boundary}): {optimal:.2f} bits/s/Hz")
+    print(f"\n  harmonization gain over the swapped assignment: "
+          f"{100 * (matched / swapped - 1):.0f}%")
+
+
+if __name__ == "__main__":
+    main()

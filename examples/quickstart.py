@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: optimise one NLoS link with a PRESS array.
+
+Builds the paper's §3 exploratory-study scenario (a blocked 2.5 m link in a
+simulated lab, three SP4T-switched passive elements), runs the controller's
+measure -> search -> actuate loop, and reports the link improvement.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ArrayConfiguration,
+    ExhaustiveSearch,
+    PressController,
+    ThroughputObjective,
+)
+from repro.experiments import StudyConfig, build_nlos_setup, used_subcarrier_mask
+from repro.phy import expected_throughput_mbps, select_mcs
+
+
+def ascii_profile(snr_db, width=52, lo=-5.0, hi=40.0):
+    """One-line ASCII rendering of a per-subcarrier SNR profile."""
+    glyphs = " .:-=+*#%@"
+    span = hi - lo
+    chars = []
+    for value in snr_db:
+        level = int((min(max(value, lo), hi) - lo) / span * (len(glyphs) - 1))
+        chars.append(glyphs[level])
+    return "".join(chars)
+
+
+def main():
+    # Placement 2 starts with a deep ambient null; 5 dBm TX power keeps the
+    # link in the regime where the MCS ladder responds to the improvement.
+    setup = build_nlos_setup(placement_seed=2, config=StudyConfig(tx_power_dbm=5.0))
+    mask = used_subcarrier_mask()
+
+    def measure(configuration):
+        observation = setup.testbed.measure_csi(
+            setup.tx_device, setup.rx_device, configuration
+        )
+        return observation.snr_db[mask]
+
+    # Baseline: all stubs at phase 0.
+    baseline_config = ArrayConfiguration((0, 0, 0))
+    baseline = measure(baseline_config)
+
+    controller = PressController(setup.array, measure, ThroughputObjective())
+    decision = controller.optimize(searcher=ExhaustiveSearch())
+    optimised = measure(decision.configuration)
+
+    print("PRESS quickstart — enhancing a blocked (NLoS) link")
+    print(f"  array: {setup.array.num_elements} passive elements, "
+          f"{setup.array.configuration_space().size} configurations")
+    print(f"  baseline config  {setup.array.describe(baseline_config)}")
+    print(f"  optimised config {setup.array.describe(decision.configuration)} "
+          f"({decision.search.num_evaluations} measurements, "
+          f"{1e3 * decision.elapsed_s:.1f} ms, "
+          f"within coherence: {decision.within_coherence})")
+    print()
+    print(f"  baseline  |{ascii_profile(baseline)}|  min {baseline.min():5.1f} dB")
+    print(f"  optimised |{ascii_profile(optimised)}|  min {optimised.min():5.1f} dB")
+    print()
+    print(f"  worst-subcarrier SNR: {baseline.min():.1f} -> {optimised.min():.1f} dB "
+          f"({optimised.min() - baseline.min():+.1f} dB)")
+    print(f"  selected MCS: {select_mcs(baseline).data_rate_mbps:.0f} -> "
+          f"{select_mcs(optimised).data_rate_mbps:.0f} Mbps")
+    print(f"  predicted goodput: {expected_throughput_mbps(baseline):.1f} -> "
+          f"{expected_throughput_mbps(optimised):.1f} Mbps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""PRESS: Programmable Radio Environments for Smart Spaces.
+
+A full-system reproduction of the HotNets 2017 paper: a programmable-
+reflector (PRESS / reconfigurable-intelligent-surface precursor) control
+stack plus every substrate its evaluation needs, in pure Python:
+
+* :mod:`repro.em` — indoor multipath propagation (image-method ray tracer,
+  antennas, materials, the parametric signal model, fading, noise);
+* :mod:`repro.phy` — the Wi-Fi-like 64-subcarrier OFDM PHY (coding,
+  modulation, framing, channel estimation, rate adaptation);
+* :mod:`repro.mimo` — channel matrices, conditioning, capacity, precoding;
+* :mod:`repro.sdr` — simulated WARP/USRP devices and the testbed harness;
+* :mod:`repro.core` — the PRESS contribution: switched reflector elements,
+  arrays, objectives, search, the inverse problem, controller, scheduler;
+* :mod:`repro.control` — control-plane media, protocol and latency budgets;
+* :mod:`repro.net` — interference and network-harmonization metrics;
+* :mod:`repro.experiments` — drivers regenerating Figures 4-8;
+* :mod:`repro.analysis` — CCDFs, null statistics, report tables.
+
+Quickstart::
+
+    from repro.experiments import build_nlos_setup
+    from repro.core import MinSnrObjective, PressController
+
+    setup = build_nlos_setup(placement_seed=0)
+
+    def measure(configuration):
+        obs = setup.testbed.measure_csi(setup.tx_device, setup.rx_device, configuration)
+        return obs.snr_db
+
+    controller = PressController(setup.array, measure, MinSnrObjective())
+    decision = controller.optimize()
+    print(setup.array.describe(decision.configuration))
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, control, core, em, experiments, mimo, net, phy, sdr
+from .constants import (
+    BANDWIDTH_HZ,
+    CARRIER_FREQUENCY_HZ,
+    NUM_SUBCARRIERS,
+    SPEED_OF_LIGHT,
+    WAVELENGTH_M,
+)
+
+__all__ = [
+    "__version__",
+    "em",
+    "phy",
+    "mimo",
+    "sdr",
+    "core",
+    "control",
+    "net",
+    "experiments",
+    "analysis",
+    "SPEED_OF_LIGHT",
+    "CARRIER_FREQUENCY_HZ",
+    "BANDWIDTH_HZ",
+    "NUM_SUBCARRIERS",
+    "WAVELENGTH_M",
+]

@@ -1,0 +1,42 @@
+"""Analysis: distribution statistics, null detection, figure metrics, reports."""
+
+from .metrics import (
+    ConfigPairGap,
+    fraction_of_pairs_with_change,
+    largest_single_subcarrier_gap,
+    min_snr_changes,
+    min_snrs,
+)
+from .nulls import (
+    NULL_THRESHOLD_DB,
+    has_null,
+    most_significant_null,
+    null_depth_db,
+    null_movements,
+)
+from .reporting import Comparison, ReportTable, format_table
+from .stats import EmpiricalDistribution, ccdf, cdf
+from .viz import render_profile, render_profiles, render_scene, sparkline
+
+__all__ = [
+    "EmpiricalDistribution",
+    "cdf",
+    "ccdf",
+    "NULL_THRESHOLD_DB",
+    "most_significant_null",
+    "null_depth_db",
+    "has_null",
+    "null_movements",
+    "ConfigPairGap",
+    "largest_single_subcarrier_gap",
+    "min_snrs",
+    "min_snr_changes",
+    "fraction_of_pairs_with_change",
+    "Comparison",
+    "ReportTable",
+    "format_table",
+    "render_scene",
+    "render_profile",
+    "render_profiles",
+    "sparkline",
+]

@@ -1,0 +1,90 @@
+"""Per-sweep metrics underlying Figures 4 and 6 and the headline numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "largest_single_subcarrier_gap",
+    "min_snr_changes",
+    "min_snrs",
+    "fraction_of_pairs_with_change",
+    "ConfigPairGap",
+]
+
+
+@dataclass(frozen=True)
+class ConfigPairGap:
+    """The two configurations with the largest single-subcarrier SNR gap.
+
+    Figure 4 plots, for each element placement, "the two configurations
+    that give the largest single-subcarrier SNR difference".
+    """
+
+    config_low: int
+    config_high: int
+    subcarrier: int
+    gap_db: float
+
+
+def largest_single_subcarrier_gap(snr_db_per_config: np.ndarray) -> ConfigPairGap:
+    """Find the configuration pair with the largest per-subcarrier SNR gap.
+
+    Parameters
+    ----------
+    snr_db_per_config:
+        Shape (num_configurations, num_subcarriers).
+    """
+    snr = np.asarray(snr_db_per_config, dtype=float)
+    if snr.ndim != 2:
+        raise ValueError(f"expected (configs, subcarriers), got shape {snr.shape}")
+    high = snr.max(axis=0)
+    low = snr.min(axis=0)
+    subcarrier = int(np.argmax(high - low))
+    gap = float(high[subcarrier] - low[subcarrier])
+    config_high = int(np.argmax(snr[:, subcarrier]))
+    config_low = int(np.argmin(snr[:, subcarrier]))
+    return ConfigPairGap(
+        config_low=config_low,
+        config_high=config_high,
+        subcarrier=subcarrier,
+        gap_db=gap,
+    )
+
+
+def min_snrs(snr_db_per_config: np.ndarray) -> np.ndarray:
+    """Minimum subcarrier SNR of each configuration (Figure 6 right)."""
+    snr = np.asarray(snr_db_per_config, dtype=float)
+    if snr.ndim != 2:
+        raise ValueError(f"expected (configs, subcarriers), got shape {snr.shape}")
+    return snr.min(axis=1)
+
+
+def min_snr_changes(snr_db_per_config: np.ndarray) -> np.ndarray:
+    """|Delta min-SNR| over all ordered configuration pairs (Figure 6 left)."""
+    minima = min_snrs(snr_db_per_config)
+    return np.abs(minima[:, None] - minima[None, :]).ravel()
+
+
+def fraction_of_pairs_with_change(
+    snr_db_per_config: np.ndarray,
+    change_db: float = 10.0,
+) -> float:
+    """Fraction of configuration changes causing >= ``change_db`` on some subcarrier.
+
+    The §3.2.1 claim: "Around 38% of the configuration changes cause a
+    10 dB SNR change on at least one subcarrier."  Evaluated over all
+    ordered pairs of distinct configurations.
+    """
+    snr = np.asarray(snr_db_per_config, dtype=float)
+    if snr.ndim != 2:
+        raise ValueError(f"expected (configs, subcarriers), got shape {snr.shape}")
+    num = snr.shape[0]
+    if num < 2:
+        raise ValueError("need at least two configurations")
+    # Pairwise max-over-subcarriers |SNR_a - SNR_b|.
+    diffs = np.abs(snr[:, None, :] - snr[None, :, :]).max(axis=2)
+    mask = ~np.eye(num, dtype=bool)
+    return float(np.mean(diffs[mask] >= change_db))

@@ -1,0 +1,77 @@
+"""Plain-text result tables for the benchmark harness.
+
+The benchmarks print paper-vs-measured rows through these helpers so every
+figure's reproduction reads the same way in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["Comparison", "ReportTable", "format_table"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured row.
+
+    Attributes
+    ----------
+    metric:
+        What is being compared.
+    paper:
+        The paper's reported value (verbatim description).
+    measured:
+        Our measured value.
+    holds:
+        Whether the qualitative shape holds (who wins / rough factor).
+    """
+
+    metric: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def row(self) -> tuple[str, str, str, str]:
+        return (self.metric, self.paper, self.measured, "yes" if self.holds else "NO")
+
+
+@dataclass
+class ReportTable:
+    """A titled table of paper-vs-measured comparisons."""
+
+    title: str
+    comparisons: list[Comparison] = field(default_factory=list)
+
+    def add(self, metric: str, paper: str, measured: str, holds: bool) -> None:
+        self.comparisons.append(
+            Comparison(metric=metric, paper=paper, measured=measured, holds=holds)
+        )
+
+    def all_hold(self) -> bool:
+        return all(comparison.holds for comparison in self.comparisons)
+
+    def render(self) -> str:
+        header = ("metric", "paper", "measured", "holds")
+        rows = [comparison.row() for comparison in self.comparisons]
+        return self.title + "\n" + format_table([header, *rows], header_rule=True)
+
+
+def format_table(rows: Sequence[Sequence[str]], header_rule: bool = False) -> str:
+    """Align a list of string rows into a monospace table."""
+    if not rows:
+        return ""
+    num_columns = max(len(row) for row in rows)
+    normalised = [tuple(row) + ("",) * (num_columns - len(row)) for row in rows]
+    widths = [
+        max(len(str(row[column])) for row in normalised)
+        for column in range(num_columns)
+    ]
+    lines = []
+    for index, row in enumerate(normalised):
+        line = "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if header_rule and index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Distribution statistics: the CDFs and complementary CDFs of Figures 5, 6, 8."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EmpiricalDistribution", "ccdf", "cdf"]
+
+
+@dataclass(frozen=True)
+class EmpiricalDistribution:
+    """An empirical distribution with CDF/CCDF evaluation.
+
+    Attributes
+    ----------
+    values:
+        Sorted sample values.
+    """
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.size == 0:
+            raise ValueError("need at least one sample")
+
+    @staticmethod
+    def from_samples(samples: np.ndarray) -> "EmpiricalDistribution":
+        samples = np.asarray(samples, dtype=float).ravel()
+        finite = samples[np.isfinite(samples)]
+        if finite.size == 0:
+            raise ValueError("no finite samples")
+        return EmpiricalDistribution(values=np.sort(finite))
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.values.size)
+
+    def cdf_at(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(np.searchsorted(self.values, x, side="right") / self.values.size)
+
+    def ccdf_at(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self.cdf_at(x)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return float(np.quantile(self.values, q))
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, CDF(x)) step-curve points for plotting or tabulation."""
+        n = self.values.size
+        return self.values, np.arange(1, n + 1) / n
+
+    def ccdf_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, CCDF(x)) step-curve points (the axes of Figures 5 and 6)."""
+        x, cdf_values = self.curve()
+        return x, 1.0 - cdf_values + 1.0 / self.values.size
+
+
+def cdf(samples: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Empirical CDF of ``samples`` evaluated at ``points``."""
+    dist = EmpiricalDistribution.from_samples(samples)
+    return np.array([dist.cdf_at(float(p)) for p in np.asarray(points, dtype=float)])
+
+
+def ccdf(samples: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Empirical CCDF of ``samples`` evaluated at ``points``."""
+    dist = EmpiricalDistribution.from_samples(samples)
+    return np.array([dist.ccdf_at(float(p)) for p in np.asarray(points, dtype=float)])

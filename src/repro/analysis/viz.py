@@ -1,0 +1,127 @@
+"""Terminal visualisation: ASCII renderings of scenes and spectra.
+
+No plotting dependency is available offline, so the examples and the CLI
+render floor plans and per-subcarrier profiles as text.  These helpers are
+also handy in test failure output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..em.geometry import Point
+from ..em.scene import Scene
+
+__all__ = ["render_scene", "render_profile", "render_profiles", "sparkline"]
+
+_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """One-line block-character rendering of a numeric series."""
+    blocks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    lo = float(np.min(values)) if lo is None else lo
+    hi = float(np.max(values)) if hi is None else hi
+    span = max(hi - lo, 1e-12)
+    indices = ((values - lo) / span * (len(blocks) - 1)).clip(0, len(blocks) - 1)
+    return "".join(blocks[int(round(i))] for i in indices)
+
+
+def render_profile(
+    values_db: np.ndarray,
+    lo: float = -5.0,
+    hi: float = 45.0,
+    label: str = "",
+) -> str:
+    """A one-line density rendering of a per-subcarrier dB profile."""
+    values = np.asarray(values_db, dtype=float)
+    span = max(hi - lo, 1e-12)
+    chars = []
+    for value in values:
+        level = int((min(max(value, lo), hi) - lo) / span * (len(_GLYPHS) - 1))
+        chars.append(_GLYPHS[level])
+    body = "".join(chars)
+    prefix = f"{label} " if label else ""
+    return f"{prefix}|{body}| min {values.min():5.1f}  max {values.max():5.1f} dB"
+
+
+def render_profiles(
+    profiles: Sequence[tuple[str, np.ndarray]],
+    lo: float = -5.0,
+    hi: float = 45.0,
+) -> str:
+    """Align several labelled profiles under each other."""
+    if not profiles:
+        return ""
+    width = max(len(label) for label, _ in profiles)
+    lines = []
+    for label, values in profiles:
+        lines.append(render_profile(values, lo=lo, hi=hi, label=label.ljust(width)))
+    return "\n".join(lines)
+
+
+def render_scene(
+    scene: Scene,
+    markers: Optional[dict[str, Point]] = None,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """ASCII floor plan: walls '#', obstacles 'X', scatterers 'o', markers.
+
+    Marker names are drawn by their first character (uppercased).
+    """
+    if width < 10 or height < 6:
+        raise ValueError("canvas too small to render")
+    xs: list[float] = []
+    ys: list[float] = []
+    for wall in scene.walls:
+        xs.extend([wall.segment.start.x, wall.segment.end.x])
+        ys.extend([wall.segment.start.y, wall.segment.end.y])
+    for obstacle in scene.obstacles:
+        xs.extend([obstacle.segment.start.x, obstacle.segment.end.x])
+        ys.extend([obstacle.segment.start.y, obstacle.segment.end.y])
+    for scatterer in scene.scatterers:
+        xs.append(scatterer.position.x)
+        ys.append(scatterer.position.y)
+    if markers:
+        for point in markers.values():
+            xs.append(point.x)
+            ys.append(point.y)
+    if not xs:
+        return "(empty scene)"
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    span_x = max(x1 - x0, 1e-9)
+    span_y = max(y1 - y0, 1e-9)
+    canvas = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, glyph: str) -> None:
+        column = int((x - x0) / span_x * (width - 1))
+        row = int((y1 - y) / span_y * (height - 1))  # y up
+        canvas[row][column] = glyph
+
+    def draw_segment(segment, glyph: str) -> None:
+        steps = 2 * max(width, height)
+        for step in range(steps + 1):
+            t = step / steps
+            put(
+                segment.start.x + t * (segment.end.x - segment.start.x),
+                segment.start.y + t * (segment.end.y - segment.start.y),
+                glyph,
+            )
+
+    for wall in scene.walls:
+        draw_segment(wall.segment, "#")
+    for obstacle in scene.obstacles:
+        draw_segment(obstacle.segment, "X")
+    for scatterer in scene.scatterers:
+        put(scatterer.position.x, scatterer.position.y, "o")
+    if markers:
+        for name, point in markers.items():
+            put(point.x, point.y, name[:1].upper() or "?")
+    return "\n".join("".join(row) for row in canvas)

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    The quickstart scenario: optimise one NLoS link and print before/after.
+``scene``
+    ASCII floor plan of the §3 study scene.
+``figures``
+    Regenerate every figure's headline numbers (compact report).
+``timing``
+    Control-plane latency budgets against the §2 coherence times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .analysis.viz import render_profiles
+    from .core import ArrayConfiguration, ExhaustiveSearch, PressController, ThroughputObjective
+    from .experiments import StudyConfig, build_nlos_setup, used_subcarrier_mask
+    from .phy import expected_throughput_mbps
+
+    setup = build_nlos_setup(
+        args.placement, StudyConfig(tx_power_dbm=args.tx_power_dbm)
+    )
+    mask = used_subcarrier_mask()
+
+    def measure(configuration):
+        observation = setup.testbed.measure_csi(
+            setup.tx_device, setup.rx_device, configuration
+        )
+        return observation.snr_db[mask]
+
+    baseline_config = ArrayConfiguration(tuple([0] * setup.array.num_elements))
+    baseline = measure(baseline_config)
+    controller = PressController(setup.array, measure, ThroughputObjective())
+    decision = controller.optimize(searcher=ExhaustiveSearch())
+    optimised = measure(decision.configuration)
+    print(f"placement {args.placement}, TX power {args.tx_power_dbm:.0f} dBm")
+    print(
+        f"optimised {setup.array.describe(decision.configuration)} in "
+        f"{decision.search.num_evaluations} measurements "
+        f"({1e3 * decision.elapsed_s:.1f} ms)"
+    )
+    print(render_profiles([("baseline ", baseline), ("optimised", optimised)]))
+    print(
+        f"goodput {expected_throughput_mbps(baseline):.1f} -> "
+        f"{expected_throughput_mbps(optimised):.1f} Mbps"
+    )
+    return 0
+
+
+def _cmd_scene(args: argparse.Namespace) -> int:
+    from .analysis.viz import render_scene
+    from .experiments import build_nlos_setup
+
+    setup = build_nlos_setup(args.placement)
+    markers = {
+        "T": setup.tx_device.position,
+        "R": setup.rx_device.position,
+    }
+    for index, element in enumerate(setup.array.elements):
+        markers[f"{index}"] = element.position
+    print(render_scene(setup.testbed.scene, markers=markers))
+    print("# walls   X blocker   o scatterers   T tx   R rx   0-2 elements")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .experiments import (
+        run_fig4,
+        run_fig5,
+        run_fig6,
+        run_fig7,
+        run_fig8,
+        run_los_study,
+    )
+
+    rows = [("experiment", "paper", "measured")]
+    fig4 = run_fig4(num_placements=args.placements, repetitions=args.repetitions)
+    rows.append(("Fig 4 mean SNR change", "18.6 dB", f"{fig4.largest_mean_change_db:.1f} dB"))
+    rows.append(
+        ("Fig 4 single-rep change", "26 dB", f"{fig4.largest_single_rep_change_db:.1f} dB")
+    )
+    fig5 = run_fig5(repetitions=args.repetitions)
+    rows.append(("Fig 5 max null shift", "~9 subcarriers", f"{fig5.max_movement} subcarriers"))
+    fig6 = run_fig6(repetitions=args.repetitions)
+    rows.append(
+        ("Fig 6 pairs w/ 10 dB change", "~38%", f"{100 * fig6.fraction_pairs_10db_change:.0f}%")
+    )
+    rows.append(
+        ("Fig 6 configs below 20 dB", "< 9%", f"{100 * fig6.fraction_configs_below_20db:.0f}%")
+    )
+    fig7 = run_fig7()
+    rows.append(
+        (
+            "Fig 7 opposite selectivity",
+            "clear and opposite",
+            f"{fig7.contrast_a_db:+.1f} / {fig7.contrast_b_db:+.1f} dB",
+        )
+    )
+    fig8 = run_fig8(measurements_per_config=args.mimo_measurements)
+    rows.append(("Fig 8 condition-number gap", "1.5 dB", f"{fig8.median_gap_db:.2f} dB"))
+    los = run_los_study(repetitions=max(args.repetitions // 2, 2))
+    rows.append(("LoS effect", "< 2 dB", f"{los.los_swing_db:.2f} dB"))
+    print(format_table(rows, header_rule=True))
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .control import (
+        compare_links,
+        sub_ghz_ism_link,
+        ultrasound_link,
+        wifi_inband_link,
+        wired_bus_link,
+    )
+
+    reports = compare_links(
+        [wired_bus_link(), sub_ghz_ism_link(), wifi_inband_link(), ultrasound_link()],
+        num_elements=args.elements,
+    )
+    rows = [("medium", "actuation", "trials @0.5mph", "trials @6mph", "packet-scale")]
+    for report in reports:
+        rows.append(
+            (
+                report.link_name,
+                f"{report.actuation_s * 1e3:.2f} ms",
+                str(report.budget_stationary),
+                str(report.budget_running),
+                "yes" if report.packet_timescale_capable else "no",
+            )
+        )
+    print(format_table(rows, header_rule=True))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PRESS (HotNets 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="optimise one NLoS link")
+    demo.add_argument("--placement", type=int, default=2)
+    demo.add_argument("--tx-power-dbm", type=float, default=5.0)
+    demo.set_defaults(func=_cmd_demo)
+
+    scene = sub.add_parser("scene", help="ASCII floor plan of the study scene")
+    scene.add_argument("--placement", type=int, default=2)
+    scene.set_defaults(func=_cmd_scene)
+
+    figures = sub.add_parser("figures", help="compact paper-vs-measured report")
+    figures.add_argument("--placements", type=int, default=8)
+    figures.add_argument("--repetitions", type=int, default=10)
+    figures.add_argument("--mimo-measurements", type=int, default=50)
+    figures.set_defaults(func=_cmd_figures)
+
+    timing = sub.add_parser("timing", help="control-plane latency budgets")
+    timing.add_argument("--elements", type=int, default=16)
+    timing.set_defaults(func=_cmd_timing)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

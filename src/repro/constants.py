@@ -1,0 +1,96 @@
+"""Physical constants and radio parameters shared across the PRESS stack.
+
+The paper's exploratory study (§3.1) transmits Wi-Fi-like OFDM signals over
+20 MHz on channel 11 of the 2.4 GHz ISM band (2.462 GHz).  These module-level
+constants pin down that numerology so every subsystem (EM simulator, OFDM
+PHY, PRESS element models) agrees on the carrier, bandwidth and subcarrier
+grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Carrier frequency used throughout the paper's study: Wi-Fi channel 11 [Hz].
+CARRIER_FREQUENCY_HZ = 2.462e9
+
+#: Signal bandwidth [Hz] (20 MHz Wi-Fi-like OFDM).
+BANDWIDTH_HZ = 20e6
+
+#: OFDM FFT size (64 subcarriers over 20 MHz, as in 802.11a/g).
+NUM_SUBCARRIERS = 64
+
+#: Subcarrier spacing [Hz].
+SUBCARRIER_SPACING_HZ = BANDWIDTH_HZ / NUM_SUBCARRIERS
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Standard noise reference temperature [K].
+NOISE_TEMPERATURE_K = 290.0
+
+#: Carrier wavelength [m] at the study's centre frequency.
+WAVELENGTH_M = SPEED_OF_LIGHT / CARRIER_FREQUENCY_HZ
+
+
+def db_to_linear(value_db: float | np.ndarray) -> float | np.ndarray:
+    """Convert a power ratio expressed in dB to linear scale."""
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value: float | np.ndarray, floor: float = 1e-30) -> float | np.ndarray:
+    """Convert a linear power ratio to dB.
+
+    Values at or below ``floor`` are clamped before the logarithm so that
+    exact zeros (e.g. a perfectly absorbed path) map to a large negative
+    number instead of ``-inf``, which keeps downstream statistics finite.
+    """
+    value = np.maximum(np.asarray(value, dtype=float), floor)
+    return 10.0 * np.log10(value)
+
+
+def amplitude_db_to_linear(value_db: float | np.ndarray) -> float | np.ndarray:
+    """Convert an amplitude (voltage) ratio in dB to linear scale."""
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 20.0)
+
+
+def amplitude_linear_to_db(value: float | np.ndarray, floor: float = 1e-30) -> float | np.ndarray:
+    """Convert a linear amplitude (voltage) ratio to dB."""
+    value = np.maximum(np.asarray(value, dtype=float), floor)
+    return 20.0 * np.log10(value)
+
+
+def dbm_to_watts(power_dbm: float | np.ndarray) -> float | np.ndarray:
+    """Convert power in dBm to watts."""
+    return 1e-3 * db_to_linear(power_dbm)
+
+
+def watts_to_dbm(power_w: float | np.ndarray) -> float | np.ndarray:
+    """Convert power in watts to dBm."""
+    return linear_to_db(np.asarray(power_w, dtype=float) / 1e-3)
+
+
+def thermal_noise_power_w(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power kTB over ``bandwidth_hz``, degraded by a noise figure.
+
+    Parameters
+    ----------
+    bandwidth_hz:
+        Noise bandwidth in hertz.
+    noise_figure_db:
+        Receiver noise figure in dB (0 dB = ideal receiver).
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz}")
+    ktb = BOLTZMANN * NOISE_TEMPERATURE_K * bandwidth_hz
+    return float(ktb * db_to_linear(noise_figure_db))
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength [m] at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency_hz must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz

@@ -1,0 +1,51 @@
+"""Control plane: messages, link models, actuation protocol, latency analysis."""
+
+from .energy import (
+    ElementPowerModel,
+    EnergyBudget,
+    Harvester,
+    indoor_light_harvester,
+    rf_harvester,
+)
+from .latency import LatencyReport, analyze_link, compare_links
+from .links import (
+    ControlLink,
+    sub_ghz_ism_link,
+    ultrasound_link,
+    wifi_inband_link,
+    wired_bus_link,
+)
+from .messages import (
+    Ack,
+    Beacon,
+    ConfigureCommand,
+    ControlMessage,
+    CsiReport,
+    decode_message,
+)
+from .protocol import ActuationResult, ControlPlane, ElementAgent
+
+__all__ = [
+    "ControlLink",
+    "sub_ghz_ism_link",
+    "ultrasound_link",
+    "wired_bus_link",
+    "wifi_inband_link",
+    "ControlMessage",
+    "ConfigureCommand",
+    "Ack",
+    "Beacon",
+    "CsiReport",
+    "decode_message",
+    "ControlPlane",
+    "ElementAgent",
+    "ActuationResult",
+    "LatencyReport",
+    "analyze_link",
+    "compare_links",
+    "ElementPowerModel",
+    "Harvester",
+    "EnergyBudget",
+    "indoor_light_harvester",
+    "rf_harvester",
+]

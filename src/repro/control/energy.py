@@ -1,0 +1,148 @@
+"""Energy budgets for PRESS elements (§4.1: "Power issues for the active
+elements could be addressed with energy harvesting devices").
+
+Models the power side of the deployment question §2 raises (how to "deploy,
+power, and maintain the PRESS array"): per-state element power draw,
+harvesting income (indoor light / RF), and a battery that integrates the
+two — answering whether a given switching duty cycle is sustainable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ElementPowerModel", "Harvester", "EnergyBudget", "indoor_light_harvester", "rf_harvester"]
+
+
+@dataclass(frozen=True)
+class ElementPowerModel:
+    """Power draw of one PRESS element.
+
+    Defaults reflect the hardware classes the paper cites: a PE42441-class
+    SP4T switch draws ~tens of microwatts holding state, a micro-controller
+    a few milliwatts while awake, and an active element's amplifier tens to
+    hundreds of milliwatts when transmitting.
+
+    Attributes
+    ----------
+    idle_w:
+        Draw while holding a passive state (switch + sleeping controller).
+    switching_w:
+        Extra draw during a state change.
+    switching_time_s:
+        Duration of a state change (controller wake + switch settle).
+    active_w:
+        Extra draw while an active (amplifying) state is engaged; 0 for
+        purely passive elements.
+    """
+
+    idle_w: float = 50e-6
+    switching_w: float = 5e-3
+    switching_time_s: float = 100e-6
+    active_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("idle_w", "switching_w", "switching_time_s", "active_w"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def average_power_w(
+        self,
+        switches_per_second: float,
+        active_duty_cycle: float = 0.0,
+    ) -> float:
+        """Mean power at a given switching rate and active-state duty cycle."""
+        if switches_per_second < 0:
+            raise ValueError(
+                f"switches_per_second must be non-negative, got {switches_per_second}"
+            )
+        if not 0.0 <= active_duty_cycle <= 1.0:
+            raise ValueError(
+                f"active_duty_cycle must be in [0, 1], got {active_duty_cycle}"
+            )
+        switching = self.switching_w * self.switching_time_s * switches_per_second
+        return self.idle_w + switching + self.active_w * active_duty_cycle
+
+
+@dataclass(frozen=True)
+class Harvester:
+    """An energy-harvesting source attached to an element."""
+
+    name: str
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0:
+            raise ValueError(f"power_w must be non-negative, got {self.power_w}")
+
+
+def indoor_light_harvester(area_cm2: float = 10.0) -> Harvester:
+    """A small indoor photovoltaic cell (~10 uW/cm^2 under office light)."""
+    if area_cm2 <= 0:
+        raise ValueError(f"area_cm2 must be positive, got {area_cm2}")
+    return Harvester(name="indoor-light", power_w=10e-6 * area_cm2)
+
+
+def rf_harvester(incident_dbm: float = -10.0, efficiency: float = 0.3) -> Harvester:
+    """An RF harvester on ambient 2.4 GHz energy."""
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+    return Harvester(
+        name="rf", power_w=efficiency * 1e-3 * 10.0 ** (incident_dbm / 10.0)
+    )
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """A harvester against an element's draw.
+
+    Attributes
+    ----------
+    element:
+        Power model of the element.
+    harvester:
+        Its energy source.
+    battery_j:
+        Storage capacity in joules.
+    """
+
+    element: ElementPowerModel
+    harvester: Harvester
+    battery_j: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.battery_j <= 0:
+            raise ValueError(f"battery_j must be positive, got {self.battery_j}")
+
+    def net_power_w(
+        self, switches_per_second: float, active_duty_cycle: float = 0.0
+    ) -> float:
+        """Harvest income minus draw (positive = sustainable)."""
+        return self.harvester.power_w - self.element.average_power_w(
+            switches_per_second, active_duty_cycle
+        )
+
+    def is_sustainable(
+        self, switches_per_second: float, active_duty_cycle: float = 0.0
+    ) -> bool:
+        return self.net_power_w(switches_per_second, active_duty_cycle) >= 0.0
+
+    def lifetime_s(
+        self, switches_per_second: float, active_duty_cycle: float = 0.0
+    ) -> float:
+        """Runtime on a full battery; infinite when sustainable."""
+        net = self.net_power_w(switches_per_second, active_duty_cycle)
+        if net >= 0:
+            return float("inf")
+        return self.battery_j / (-net)
+
+    def max_sustainable_switch_rate(self, active_duty_cycle: float = 0.0) -> float:
+        """Largest switching rate the harvester can sustain indefinitely."""
+        fixed = self.element.idle_w + self.element.active_w * active_duty_cycle
+        headroom = self.harvester.power_w - fixed
+        per_switch = self.element.switching_w * self.element.switching_time_s
+        if headroom <= 0:
+            return 0.0
+        if per_switch == 0:
+            return float("inf")
+        return headroom / per_switch

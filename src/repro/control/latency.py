@@ -1,0 +1,87 @@
+"""Control-plane latency budget analysis (§2 timing, §4.2 mechanism).
+
+Puts numbers behind the paper's timing argument: for each candidate control
+medium, how long does one actuation take, how many configuration trials fit
+inside the channel coherence time at a given mobility, and can the system
+switch on packet-level timescales (1-2 ms)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.configuration import ArrayConfiguration
+from ..core.scheduler import TimingModel, measurement_budget
+from ..em.channel import coherence_time_s
+from .links import ControlLink
+from .protocol import ControlPlane
+
+__all__ = ["LatencyReport", "analyze_link", "compare_links"]
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency budget of one control medium for one array size.
+
+    Attributes
+    ----------
+    link_name:
+        Control medium.
+    actuation_s:
+        Time to reconfigure the whole array once (lossless case).
+    budget_stationary:
+        Configuration trials per coherence window at 0.5 mph (~89 ms).
+    budget_running:
+        Trials per window at 6 mph (~7 ms).
+    packet_timescale_capable:
+        Whether actuation fits inside a 1.5 ms packet slot's guard time.
+    interferes_with_data_plane:
+        Propagated from the link model.
+    """
+
+    link_name: str
+    actuation_s: float
+    budget_stationary: int
+    budget_running: int
+    packet_timescale_capable: bool
+    interferes_with_data_plane: bool
+
+
+def analyze_link(
+    link: ControlLink,
+    num_elements: int,
+    measurement_time_s: float = 500e-6,
+    slot_guard_s: float = 150e-6,
+) -> LatencyReport:
+    """Latency budget for one medium and array size.
+
+    Actuation time is measured by running the real protocol driver over a
+    lossless instance of the link (so header sizes and ack round trips are
+    accounted for, not hand-waved).
+    """
+    plane = ControlPlane(link=link, num_elements=num_elements)
+    configuration = ArrayConfiguration(tuple([1] * num_elements))
+    result = plane.actuate(configuration, rng=None)
+    timing = TimingModel(
+        actuation_latency_s=result.elapsed_s,
+        measurement_time_s=measurement_time_s,
+    )
+    stationary = measurement_budget(coherence_time_s(0.5), timing)
+    running = measurement_budget(coherence_time_s(6.0), timing)
+    return LatencyReport(
+        link_name=link.name,
+        actuation_s=result.elapsed_s,
+        budget_stationary=stationary,
+        budget_running=running,
+        packet_timescale_capable=result.elapsed_s <= slot_guard_s,
+        interferes_with_data_plane=link.interferes_with_data_plane,
+    )
+
+
+def compare_links(
+    links: Sequence[ControlLink],
+    num_elements: int,
+) -> list[LatencyReport]:
+    """Latency budgets for several candidate media, for a report table."""
+    return [analyze_link(link, num_elements) for link in links]

@@ -1,0 +1,143 @@
+"""Control-plane link models (§4.2 "Mechanism").
+
+"Likely wireless control plane candidates are low-frequency, low-rate bands
+(perhaps ISM or whitespace frequencies) that penetrate walls well and
+travel long distances.  Other candidates include ultrasound in order to
+easily scope the control to a single indoor room, as well as wires between
+some subsets of the array elements."
+
+Each candidate is modelled with the parameters that matter to PRESS:
+data rate (message transfer time), propagation+stack latency, loss
+probability, and whether it interferes with the wireless data plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "ControlLink",
+    "sub_ghz_ism_link",
+    "ultrasound_link",
+    "wired_bus_link",
+    "wifi_inband_link",
+]
+
+
+@dataclass(frozen=True)
+class ControlLink:
+    """A control channel between the controller and array elements.
+
+    Attributes
+    ----------
+    name:
+        Medium label.
+    data_rate_bps:
+        Net payload rate.
+    base_latency_s:
+        Fixed per-message latency (propagation + MAC + stack).
+    loss_probability:
+        Independent per-message loss probability.
+    interferes_with_data_plane:
+        Whether sending control traffic occupies the 2.4 GHz data band —
+        the design issue §2 raises ("a control plane design that does not
+        interfere with communication in the wireless data plane").
+    """
+
+    name: str
+    data_rate_bps: float
+    base_latency_s: float
+    loss_probability: float = 0.0
+    interferes_with_data_plane: bool = False
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps <= 0:
+            raise ValueError(f"data_rate_bps must be positive, got {self.data_rate_bps}")
+        if self.base_latency_s < 0:
+            raise ValueError(f"base_latency_s must be non-negative, got {self.base_latency_s}")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {self.loss_probability}"
+            )
+
+    def transfer_time_s(self, size_bytes: int) -> float:
+        """Latency to deliver one message of ``size_bytes`` (no loss)."""
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        return self.base_latency_s + 8.0 * size_bytes / self.data_rate_bps
+
+    def delivery_attempts(self, rng: np.random.Generator, max_attempts: int = 10) -> int:
+        """Sample how many transmissions a message needs (ARQ with retries).
+
+        Returns ``max_attempts + 1`` sentinel if every attempt is lost.
+        """
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        for attempt in range(1, max_attempts + 1):
+            if rng.random() >= self.loss_probability:
+                return attempt
+        return max_attempts + 1
+
+    def expected_delivery_time_s(self, size_bytes: int) -> float:
+        """Mean delivery latency including geometric retransmissions."""
+        attempts = 1.0 / (1.0 - self.loss_probability)
+        return attempts * self.transfer_time_s(size_bytes)
+
+
+def sub_ghz_ism_link(loss_probability: float = 0.01) -> ControlLink:
+    """A 900 MHz ISM low-rate link (e.g. an FSK radio at 50 kbps).
+
+    Penetrates walls well, covers a building, does not touch 2.4 GHz.
+    """
+    return ControlLink(
+        name="sub-GHz ISM",
+        data_rate_bps=50e3,
+        base_latency_s=2e-3,
+        loss_probability=loss_probability,
+    )
+
+
+def ultrasound_link(range_m: float = 8.0, loss_probability: float = 0.02) -> ControlLink:
+    """An in-room ultrasonic link (~40 kHz carrier, ~1 kbps).
+
+    Naturally room-scoped (walls block it), but slow: dominated by acoustic
+    propagation (~343 m/s) and the tiny bitrate.
+    """
+    if range_m <= 0:
+        raise ValueError(f"range_m must be positive, got {range_m}")
+    propagation = range_m / 343.0
+    return ControlLink(
+        name="ultrasound",
+        data_rate_bps=1e3,
+        base_latency_s=propagation + 5e-3,
+        loss_probability=loss_probability,
+    )
+
+
+def wired_bus_link() -> ControlLink:
+    """A shared wired bus (RS-485 at 10 Mbps) between element groups.
+
+    Per-element acknowledgements serialise on the bus, so actuation latency
+    grows linearly with the number of addressed elements — the scaling cost
+    §4.2 weighs against wireless control media.
+    """
+    return ControlLink(
+        name="wired bus",
+        data_rate_bps=10e6,
+        base_latency_s=10e-6,
+        loss_probability=0.0,
+    )
+
+
+def wifi_inband_link(loss_probability: float = 0.05) -> ControlLink:
+    """In-band 2.4 GHz control (fast, but steals airtime from the data plane)."""
+    return ControlLink(
+        name="Wi-Fi in-band",
+        data_rate_bps=6e6,
+        base_latency_s=500e-6,
+        loss_probability=loss_probability,
+        interferes_with_data_plane=True,
+    )

@@ -1,0 +1,187 @@
+"""Control-plane message formats.
+
+The controller <-> element protocol needs only a handful of message types:
+configuration commands, acknowledgements, element liveness beacons and CSI
+reports from cooperating receivers.  Messages serialise to compact byte
+strings so the link models can account for transfer time on very-low-rate
+control channels (§4.2 suggests low-frequency ISM bands or ultrasound).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
+
+__all__ = [
+    "ControlMessage",
+    "ConfigureCommand",
+    "Ack",
+    "Beacon",
+    "CsiReport",
+    "decode_message",
+]
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Base class for control-plane messages."""
+
+    TYPE_ID: ClassVar[int] = 0
+
+    def encode(self) -> bytes:
+        raise NotImplementedError
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class ConfigureCommand(ControlMessage):
+    """Set switch states on a group of elements.
+
+    Attributes
+    ----------
+    sequence:
+        Command sequence number (for ack matching / duplicate suppression).
+    element_ids:
+        Addressed elements.
+    states:
+        State index per addressed element.
+    """
+
+    sequence: int
+    element_ids: tuple[int, ...]
+    states: tuple[int, ...]
+
+    TYPE_ID: ClassVar[int] = 1
+
+    def __post_init__(self) -> None:
+        if len(self.element_ids) != len(self.states):
+            raise ValueError(
+                f"{len(self.element_ids)} elements but {len(self.states)} states"
+            )
+        if len(self.element_ids) == 0:
+            raise ValueError("command must address at least one element")
+        if not 0 <= self.sequence < 2**16:
+            raise ValueError(f"sequence must fit 16 bits, got {self.sequence}")
+        for value in self.element_ids + self.states:
+            if not 0 <= value < 256:
+                raise ValueError(f"ids/states must fit one byte, got {value}")
+
+    def encode(self) -> bytes:
+        header = struct.pack("!BHB", self.TYPE_ID, self.sequence, len(self.element_ids))
+        body = bytes(self.element_ids) + bytes(self.states)
+        return header + body
+
+
+@dataclass(frozen=True)
+class Ack(ControlMessage):
+    """Element acknowledgement of a configuration command."""
+
+    sequence: int
+    element_id: int
+
+    TYPE_ID: ClassVar[int] = 2
+
+    def encode(self) -> bytes:
+        return struct.pack("!BHB", self.TYPE_ID, self.sequence, self.element_id)
+
+
+@dataclass(frozen=True)
+class Beacon(ControlMessage):
+    """Periodic element liveness/health beacon.
+
+    ``battery_centivolts`` supports the energy-harvesting deployments §4.1
+    anticipates for active elements.
+    """
+
+    element_id: int
+    battery_centivolts: int = 330
+
+    TYPE_ID: ClassVar[int] = 3
+
+    def encode(self) -> bytes:
+        return struct.pack("!BBH", self.TYPE_ID, self.element_id, self.battery_centivolts)
+
+
+@dataclass(frozen=True)
+class CsiReport(ControlMessage):
+    """Quantised per-subcarrier SNR feedback from a cooperating receiver.
+
+    SNR values are quantised to half-dB steps in one signed byte each
+    (plenty for PRESS objectives, and small enough for a low-rate control
+    channel).
+    """
+
+    link_id: int
+    snr_half_db: tuple[int, ...]
+
+    TYPE_ID: ClassVar[int] = 4
+
+    def __post_init__(self) -> None:
+        if len(self.snr_half_db) == 0:
+            raise ValueError("CSI report needs at least one subcarrier")
+        for value in self.snr_half_db:
+            if not -128 <= value < 128:
+                raise ValueError(f"half-dB SNR {value} does not fit a signed byte")
+
+    @staticmethod
+    def from_snr_db(link_id: int, snr_db: Sequence[float]) -> "CsiReport":
+        """Quantise float SNRs (dB) into a report."""
+        quantised = tuple(
+            int(max(-128, min(127, round(2.0 * value)))) for value in snr_db
+        )
+        return CsiReport(link_id=link_id, snr_half_db=quantised)
+
+    def snr_db(self) -> list[float]:
+        """De-quantise back to dB."""
+        return [value / 2.0 for value in self.snr_half_db]
+
+    def encode(self) -> bytes:
+        header = struct.pack("!BBH", self.TYPE_ID, self.link_id, len(self.snr_half_db))
+        body = struct.pack(f"!{len(self.snr_half_db)}b", *self.snr_half_db)
+        return header + body
+
+
+def decode_message(data: bytes) -> ControlMessage:
+    """Parse a message from its wire encoding.
+
+    Raises
+    ------
+    ValueError
+        On truncated or unknown-type input.
+    """
+    if len(data) < 1:
+        raise ValueError("empty message")
+    type_id = data[0]
+    if type_id == ConfigureCommand.TYPE_ID:
+        if len(data) < 4:
+            raise ValueError("truncated ConfigureCommand header")
+        _, sequence, count = struct.unpack("!BHB", data[:4])
+        expected = 4 + 2 * count
+        if len(data) != expected:
+            raise ValueError(f"ConfigureCommand length {len(data)} != {expected}")
+        ids = tuple(data[4 : 4 + count])
+        states = tuple(data[4 + count : 4 + 2 * count])
+        return ConfigureCommand(sequence=sequence, element_ids=ids, states=states)
+    if type_id == Ack.TYPE_ID:
+        if len(data) != 4:
+            raise ValueError(f"Ack must be 4 bytes, got {len(data)}")
+        _, sequence, element_id = struct.unpack("!BHB", data)
+        return Ack(sequence=sequence, element_id=element_id)
+    if type_id == Beacon.TYPE_ID:
+        if len(data) != 4:
+            raise ValueError(f"Beacon must be 4 bytes, got {len(data)}")
+        _, element_id, battery = struct.unpack("!BBH", data)
+        return Beacon(element_id=element_id, battery_centivolts=battery)
+    if type_id == CsiReport.TYPE_ID:
+        if len(data) < 4:
+            raise ValueError("truncated CsiReport header")
+        _, link_id, count = struct.unpack("!BBH", data[:4])
+        if len(data) != 4 + count:
+            raise ValueError(f"CsiReport length {len(data)} != {4 + count}")
+        values = struct.unpack(f"!{count}b", data[4:])
+        return CsiReport(link_id=link_id, snr_half_db=tuple(values))
+    raise ValueError(f"unknown message type id {type_id}")

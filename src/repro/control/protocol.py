@@ -1,0 +1,145 @@
+"""Controller <-> element actuation protocol.
+
+A simple command/ack protocol over a :class:`~repro.control.links.ControlLink`:
+the controller multicasts a :class:`~repro.control.messages.ConfigureCommand`,
+each addressed element switches and acknowledges, lost messages are
+retransmitted.  The simulation tracks wall-clock time so the scheduler can
+check actuation against the coherence-time budget (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.configuration import ArrayConfiguration
+from .links import ControlLink
+from .messages import Ack, ConfigureCommand
+
+__all__ = ["ElementAgent", "ActuationResult", "ControlPlane"]
+
+#: RF switch settling time [s].  The PE42441 SP4T switches in ~1 us; we
+#: budget generously for the micro-controller's GPIO path.
+SWITCH_SETTLE_S = 10e-6
+
+
+@dataclass
+class ElementAgent:
+    """The element-side protocol endpoint: applies commands, tracks state."""
+
+    element_id: int
+    current_state: int = 0
+    commands_applied: int = 0
+
+    def apply(self, command: ConfigureCommand) -> Optional[Ack]:
+        """Apply a command if it addresses this element; return the ack."""
+        if self.element_id not in command.element_ids:
+            return None
+        index = command.element_ids.index(self.element_id)
+        self.current_state = command.states[index]
+        self.commands_applied += 1
+        return Ack(sequence=command.sequence, element_id=self.element_id)
+
+
+@dataclass(frozen=True)
+class ActuationResult:
+    """Outcome of pushing one configuration to the array.
+
+    Attributes
+    ----------
+    success:
+        All elements acknowledged.
+    elapsed_s:
+        Wall-clock time from first transmission to last ack.
+    transmissions:
+        Command transmissions used (1 = no retries needed).
+    """
+
+    success: bool
+    elapsed_s: float
+    transmissions: int
+
+
+class ControlPlane:
+    """The controller-side protocol driver for one PRESS array.
+
+    Parameters
+    ----------
+    link:
+        The control medium.
+    num_elements:
+        Elements in the array (agents are created internally).
+    max_retries:
+        Command retransmissions before declaring failure.
+    """
+
+    def __init__(
+        self,
+        link: ControlLink,
+        num_elements: int,
+        max_retries: int = 5,
+    ) -> None:
+        if num_elements <= 0:
+            raise ValueError(f"num_elements must be positive, got {num_elements}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        self.link = link
+        self.agents = [ElementAgent(element_id=i) for i in range(num_elements)]
+        self.max_retries = max_retries
+        self._sequence = 0
+
+    @property
+    def current_states(self) -> tuple[int, ...]:
+        """Switch state currently applied at each element."""
+        return tuple(agent.current_state for agent in self.agents)
+
+    def actuate(
+        self,
+        configuration: ArrayConfiguration,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ActuationResult:
+        """Push a configuration to all elements, with ack-based retries.
+
+        Without an ``rng`` the link is treated as lossless (deterministic
+        timing analysis); with one, per-message losses are sampled.
+        """
+        if configuration.num_elements != len(self.agents):
+            raise ValueError(
+                f"configuration has {configuration.num_elements} elements, "
+                f"array has {len(self.agents)}"
+            )
+        self._sequence = (self._sequence + 1) % 2**16
+        pending = set(range(len(self.agents)))
+        elapsed = 0.0
+        transmissions = 0
+        for _ in range(self.max_retries + 1):
+            command = ConfigureCommand(
+                sequence=self._sequence,
+                element_ids=tuple(sorted(pending)),
+                states=tuple(configuration.indices[i] for i in sorted(pending)),
+            )
+            transmissions += 1
+            elapsed += self.link.transfer_time_s(command.size_bytes)
+            acked: set[int] = set()
+            for element_id in sorted(pending):
+                lost = rng is not None and rng.random() < self.link.loss_probability
+                if lost:
+                    continue
+                ack = self.agents[element_id].apply(command)
+                if ack is None:
+                    continue
+                ack_lost = (
+                    rng is not None and rng.random() < self.link.loss_probability
+                )
+                elapsed += self.link.transfer_time_s(ack.size_bytes)
+                if not ack_lost:
+                    acked.add(element_id)
+            pending -= acked
+            if not pending:
+                elapsed += SWITCH_SETTLE_S
+                return ActuationResult(
+                    success=True, elapsed_s=elapsed, transmissions=transmissions
+                )
+        return ActuationResult(success=False, elapsed_s=elapsed, transmissions=transmissions)

@@ -1,0 +1,164 @@
+"""PRESS core: the paper's primary contribution.
+
+Element hardware model (SP4T switch + waveguide stubs + absorptive load,
+Figure 3), array/channel composition, configuration spaces, objective
+functions for the three §1 applications, search strategies for §4.2's
+space-navigation challenge, the §2 inverse problem, the coherence-time
+scheduler, and the centralised controller loop.
+"""
+
+from .array import PressArray
+from .configuration import ArrayConfiguration, ConfigurationSpace
+from .controller import ControlDecision, PressController
+from .element import (
+    ElementState,
+    PressElement,
+    absorptive_load_state,
+    active_state,
+    omni_element,
+    open_stub_state,
+    parabolic_element,
+    phase_shifter_states,
+    sp4t_states,
+)
+from .faults import (
+    dead_element,
+    detect_unresponsive_elements,
+    stuck_element,
+    with_faults,
+)
+from .hybrid import (
+    ElementGroup,
+    GroupedConfigurationSpace,
+    hybrid_array,
+    tiered_groups,
+)
+from .inverse import (
+    InverseSolution,
+    element_basis,
+    matching_pursuit_paths,
+    quantize_to_states,
+    solve_element_coefficients,
+    synthesize_configuration,
+)
+from .joint import (
+    JointResult,
+    LinkObjective,
+    compare_strategies,
+    optimize_hybrid,
+    optimize_joint,
+    optimize_per_link,
+)
+from .learning import BanditState, CrossEntropySearch, EpsilonGreedyBandit
+from .objectives import (
+    CapacityObjective,
+    ConditionNumberObjective,
+    EffectiveSnrObjective,
+    FlatnessObjective,
+    InterferenceRatioObjective,
+    MeanSnrObjective,
+    MinSnrObjective,
+    SubbandContrastObjective,
+    TargetCfrObjective,
+    ThroughputObjective,
+    WeightedObjective,
+)
+from .prediction import (
+    LinearChannelModel,
+    coefficient_vector,
+    fit_channel_model,
+    identification_configurations,
+    predict_and_pick,
+)
+from .relaxation import ContinuousSolution, optimize_phases, softmin_power_db
+from .scheduler import (
+    LinkSlot,
+    SwitchingSchedule,
+    TimingModel,
+    coherence_budget_table,
+    measurement_budget,
+    packet_timescale_schedule,
+    pick_searcher,
+)
+from .search import (
+    ExhaustiveSearch,
+    GeneticSearch,
+    GreedyCoordinateDescent,
+    RandomSearch,
+    SearchResult,
+    Searcher,
+    SimulatedAnnealing,
+)
+
+__all__ = [
+    "PressArray",
+    "ArrayConfiguration",
+    "ConfigurationSpace",
+    "PressController",
+    "ControlDecision",
+    "ElementState",
+    "PressElement",
+    "open_stub_state",
+    "absorptive_load_state",
+    "active_state",
+    "sp4t_states",
+    "phase_shifter_states",
+    "parabolic_element",
+    "omni_element",
+    "element_basis",
+    "solve_element_coefficients",
+    "quantize_to_states",
+    "matching_pursuit_paths",
+    "InverseSolution",
+    "synthesize_configuration",
+    "MinSnrObjective",
+    "MeanSnrObjective",
+    "FlatnessObjective",
+    "EffectiveSnrObjective",
+    "ThroughputObjective",
+    "SubbandContrastObjective",
+    "InterferenceRatioObjective",
+    "ConditionNumberObjective",
+    "CapacityObjective",
+    "TargetCfrObjective",
+    "WeightedObjective",
+    "TimingModel",
+    "measurement_budget",
+    "pick_searcher",
+    "LinkSlot",
+    "SwitchingSchedule",
+    "packet_timescale_schedule",
+    "coherence_budget_table",
+    "SearchResult",
+    "Searcher",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "GreedyCoordinateDescent",
+    "SimulatedAnnealing",
+    "GeneticSearch",
+    "hybrid_array",
+    "ElementGroup",
+    "tiered_groups",
+    "GroupedConfigurationSpace",
+    "LinkObjective",
+    "JointResult",
+    "optimize_per_link",
+    "optimize_joint",
+    "optimize_hybrid",
+    "compare_strategies",
+    "CrossEntropySearch",
+    "EpsilonGreedyBandit",
+    "BanditState",
+    "coefficient_vector",
+    "identification_configurations",
+    "LinearChannelModel",
+    "fit_channel_model",
+    "predict_and_pick",
+    "ContinuousSolution",
+    "optimize_phases",
+    "softmin_power_db",
+    "stuck_element",
+    "dead_element",
+    "with_faults",
+    "detect_unresponsive_elements",
+]

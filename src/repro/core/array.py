@@ -1,0 +1,150 @@
+"""The PRESS array: elements + scene -> programmable channel.
+
+Composes the EM substrate with the element hardware model: for a given
+array configuration, each non-terminated element contributes a two-hop
+TX -> element -> RX path whose complex gain carries the element's switched
+reflection coefficient and whose delay includes the waveguide stub.  The
+resulting channel is ``environment paths + element paths`` — the
+superposition §2's inverse problem reasons about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
+from ..em.antennas import Antenna, IsotropicAntenna
+from ..em.channel import Channel
+from ..em.geometry import Point
+from ..em.paths import SignalPath
+from ..em.raytracer import RayTracer
+from .configuration import ArrayConfiguration, ConfigurationSpace
+from .element import ElementState, PressElement
+
+__all__ = ["PressArray"]
+
+
+@dataclass(frozen=True)
+class PressArray:
+    """An installed array of PRESS elements.
+
+    Attributes
+    ----------
+    elements:
+        The elements, in control-plane order.
+    """
+
+    elements: tuple[PressElement, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.elements) == 0:
+            raise ValueError("a PRESS array needs at least one element")
+        names = [element.name for element in self.elements]
+        if len(set(names)) != len(names):
+            raise ValueError(f"element names must be unique, got {names}")
+
+    @staticmethod
+    def from_elements(elements: Iterable[PressElement]) -> "PressArray":
+        return PressArray(tuple(elements))
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.elements)
+
+    def configuration_space(self) -> ConfigurationSpace:
+        """The M_1 x ... x M_N space of this array's switch settings."""
+        return ConfigurationSpace(
+            tuple(element.num_states for element in self.elements)
+        )
+
+    def describe(self, configuration: ArrayConfiguration) -> str:
+        """Label a configuration the way the paper's figures do: "(0.5:, 0, T)"."""
+        self.configuration_space().validate(configuration)
+        labels = [
+            element.state(index).label
+            for element, index in zip(self.elements, configuration.indices)
+        ]
+        return "(" + ", ".join(labels) + ")"
+
+    def aimed_at(self, target: Point) -> "PressArray":
+        """A copy with every directional element boresighted at ``target``."""
+        return PressArray(
+            tuple(element.pointed_at(target) for element in self.elements)
+        )
+
+    # ------------------------------------------------------------------
+    # Channel synthesis
+    # ------------------------------------------------------------------
+    def element_paths(
+        self,
+        configuration: ArrayConfiguration,
+        tx: Point,
+        rx: Point,
+        tracer: RayTracer,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+    ) -> list[SignalPath]:
+        """The TX -> element -> RX paths contributed by a configuration.
+
+        Terminated (absorptive-load) elements contribute nothing; for the
+        rest the reflection coefficient at the carrier becomes the path's
+        complex scaling and the stub's group delay extends the path delay,
+        so the stub phase disperses correctly across subcarriers.
+        """
+        self.configuration_space().validate(configuration)
+        carrier = tracer.frequency_hz
+        paths: list[SignalPath] = []
+        for element, state_index in zip(self.elements, configuration.indices):
+            state = element.state(state_index)
+            if state.is_terminated:
+                continue
+            # Split Gamma(f): magnitude+fixed phase -> reflectivity; the
+            # stub's carrier phase -> extra_phase; its dispersion -> delay.
+            stub_carrier_phase = (
+                -2.0 * math.pi * carrier * state.extra_path_m / SPEED_OF_LIGHT
+            )
+            reflectivity = state.magnitude * complex(
+                math.cos(state.fixed_phase_rad), math.sin(state.fixed_phase_rad)
+            )
+            path = tracer.relay_path(
+                tx,
+                element.position,
+                rx,
+                tx_antenna=tx_antenna,
+                rx_antenna=rx_antenna,
+                relay_antenna_in=element.antenna,
+                relay_antenna_out=element.antenna,
+                reflectivity=reflectivity,
+                extra_delay_s=state.extra_delay_s,
+                extra_phase_rad=stub_carrier_phase,
+                kind="press-element",
+            )
+            if path is not None:
+                paths.append(path)
+        return paths
+
+    def channel(
+        self,
+        configuration: ArrayConfiguration,
+        environment_paths: Sequence[SignalPath],
+        tx: Point,
+        rx: Point,
+        tracer: RayTracer,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+        num_subcarriers: int = 64,
+        bandwidth_hz: float = 20e6,
+    ) -> Channel:
+        """The full programmable channel for one configuration."""
+        extra = self.element_paths(
+            configuration, tx, rx, tracer, tx_antenna, rx_antenna
+        )
+        return Channel(
+            tuple(environment_paths) + tuple(extra),
+            num_subcarriers=num_subcarriers,
+            bandwidth_hz=bandwidth_hz,
+        )

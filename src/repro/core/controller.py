@@ -1,0 +1,139 @@
+"""The PRESS controller: the measure -> search -> actuate loop of §2.
+
+The controller owns the array and drives the three tasks §2 enumerates:
+
+1. gather channel information between the endpoints (via a measurement
+   callback — in this repo, the simulated SDR testbed; in a deployment,
+   CSI feedback from receivers);
+2. navigate the configuration search space under the coherence-time
+   budget;
+3. apply the chosen configuration to the array through the control plane.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..em.channel import coherence_time_s
+from .array import PressArray
+from .configuration import ArrayConfiguration, ConfigurationSpace
+from .scheduler import TimingModel, measurement_budget, pick_searcher
+from .search import SearchResult, Searcher
+
+__all__ = ["ControlDecision", "PressController"]
+
+MeasureFunction = Callable[[ArrayConfiguration], object]
+ObjectiveFunction = Callable[[object], float]
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """Outcome of one optimisation round.
+
+    Attributes
+    ----------
+    search:
+        The search result (best configuration, score, evaluation count).
+    elapsed_s:
+        Estimated wall-clock time the round took, from the timing model.
+    coherence_s:
+        The coherence window the round was budgeted against.
+    within_coherence:
+        Whether the round finished inside the window — if not, the chosen
+        configuration may already be stale (§2's core tension).
+    """
+
+    search: SearchResult
+    elapsed_s: float
+    coherence_s: float
+
+    @property
+    def within_coherence(self) -> bool:
+        return self.elapsed_s <= self.coherence_s
+
+    @property
+    def configuration(self) -> ArrayConfiguration:
+        return self.search.best
+
+
+class PressController:
+    """Centralised controller for one PRESS array (§4.2 "Mechanism").
+
+    Parameters
+    ----------
+    array:
+        The array under control.
+    measure:
+        Callback that actuates a configuration and returns a measurement
+        (per-subcarrier SNR, MIMO matrices, ... — whatever the objective
+        consumes).  Each call models one over-the-air sounding.
+    objective:
+        Higher-is-better score over measurements.
+    timing:
+        Latency model for budget accounting.
+    """
+
+    def __init__(
+        self,
+        array: PressArray,
+        measure: MeasureFunction,
+        objective: ObjectiveFunction,
+        timing: TimingModel = TimingModel(),
+    ) -> None:
+        self.array = array
+        self.space: ConfigurationSpace = array.configuration_space()
+        self._measure = measure
+        self._objective = objective
+        self.timing = timing
+        self.current_configuration = ArrayConfiguration(
+            tuple([0] * array.num_elements)
+        )
+        self.history: list[ControlDecision] = []
+
+    def score(self, configuration: ArrayConfiguration) -> float:
+        """Measure one configuration and score it."""
+        return float(self._objective(self._measure(configuration)))
+
+    def optimize(
+        self,
+        searcher: Optional[Searcher] = None,
+        speed_mph: float = 0.5,
+        carrier_hz: float = 2.4e9,
+    ) -> ControlDecision:
+        """Run one optimisation round and adopt the winning configuration.
+
+        When no searcher is given, one is chosen automatically to fit the
+        measurement budget implied by the coherence time at ``speed_mph``
+        (the §2 trade-off between agility and optimisation quality).
+        """
+        coherence = coherence_time_s(speed_mph, carrier_hz)
+        if searcher is None:
+            budget = max(1, measurement_budget(coherence, self.timing))
+            searcher = pick_searcher(self.space, budget)
+        result = searcher.search(self.space, self.score)
+        elapsed = result.num_evaluations * self.timing.per_measurement_s
+        decision = ControlDecision(
+            search=result, elapsed_s=elapsed, coherence_s=coherence
+        )
+        self.current_configuration = result.best
+        self.history.append(decision)
+        return decision
+
+    def reoptimize_if_degraded(
+        self,
+        threshold: float,
+        searcher: Optional[Searcher] = None,
+        speed_mph: float = 0.5,
+    ) -> Optional[ControlDecision]:
+        """Re-run the search only if the current configuration's score fell
+        below ``threshold`` — the event-driven mode a deployed controller
+        would run in to conserve the measurement budget.
+        """
+        current_score = self.score(self.current_configuration)
+        if current_score >= threshold:
+            return None
+        return self.optimize(searcher=searcher, speed_mph=speed_mph)

@@ -1,0 +1,302 @@
+"""PRESS element hardware model.
+
+Figure 3 of the paper: a PRESS element is an antenna attached (through an
+SP4T RF switch) to one of several RF waveguides — open-ended coax stubs of
+different lengths that reflect the captured energy with a programmable
+phase, or an absorptive load that eliminates the reflection.  §3.2: "Three
+of the four waveguides attached to each antenna are left open and the
+lengths differ by a quarter of a wavelength which changes the phase of the
+reflection from each antenna by pi/2.  The fourth waveguide is terminated
+with an absorptive load."
+
+An element state is therefore a complex reflection coefficient Gamma(f):
+
+* open stub with additional (round-trip) path length L:
+  ``Gamma(f) = (1 - insertion_loss) * e^{-j 2 pi f_abs L / c}`` — the phase
+  is frequency dependent, because the stub is a true delay line (its
+  electrical length in radians grows with frequency).  Over the paper's
+  20 MHz band at 2.462 GHz this dispersion is small (<1% of the carrier
+  phase) but it is physically real and we model it.
+* absorptive load ("T" in Figure 4's legend): ``Gamma ~ 0``.
+
+Active elements (§2, §4.1) re-transmit with gain instead of merely
+reflecting: |Gamma| may exceed 1, powered by the amplifier.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT, WAVELENGTH_M
+from ..em.antennas import Antenna, OmniAntenna, ParabolicAntenna
+from ..em.geometry import Point
+
+__all__ = [
+    "ElementState",
+    "open_stub_state",
+    "absorptive_load_state",
+    "active_state",
+    "PressElement",
+    "sp4t_states",
+    "phase_shifter_states",
+    "parabolic_element",
+    "omni_element",
+]
+
+#: Insertion loss of one pass through the SP4T switch [dB].  The PE42441
+#: used in §3.1 specifies ~0.45 dB at 2.5 GHz; the reflection traverses the
+#: switch twice (in and back out).
+SP4T_INSERTION_LOSS_DB = 0.45
+
+
+@dataclass(frozen=True)
+class ElementState:
+    """One selectable state of a PRESS element.
+
+    Attributes
+    ----------
+    label:
+        Display label; the paper's figures use the stub phase ("0",
+        "0.5:" = pi/2 ... ) or "T" for the terminated/absorptive state.
+    extra_path_m:
+        Additional round-trip path length contributed by the waveguide stub
+        (0, lambda/4, lambda/2 in the prototype).  Converts to a
+        frequency-dependent phase and a tiny extra delay.
+    magnitude:
+        |Gamma| at the reference frequency: ~1 for open stubs (minus switch
+        loss), ~0 for the absorptive load, >1 for active elements.
+    fixed_phase_rad:
+        Frequency-independent phase offset (e.g. from an ideal phase
+        shifter, used by the continuous-phase ablations).
+    """
+
+    label: str
+    extra_path_m: float = 0.0
+    magnitude: float = 1.0
+    fixed_phase_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.extra_path_m < 0:
+            raise ValueError(f"extra_path_m must be non-negative, got {self.extra_path_m}")
+        if self.magnitude < 0:
+            raise ValueError(f"magnitude must be non-negative, got {self.magnitude}")
+
+    @property
+    def is_terminated(self) -> bool:
+        """Whether this is (effectively) the absorptive-load state.
+
+        Reflections below -26 dB (the default load leaks at -30 dB) are
+        treated as absorbed.
+        """
+        return self.magnitude < 0.05
+
+    @property
+    def extra_delay_s(self) -> float:
+        """Group delay added by the stub."""
+        return self.extra_path_m / SPEED_OF_LIGHT
+
+    def reflection_coefficient(self, frequency_hz: float = CARRIER_FREQUENCY_HZ) -> complex:
+        """Complex Gamma at an absolute frequency.
+
+        The stub phase is ``-2 pi f L / c`` — a pure delay — plus any fixed
+        phase-shifter offset.
+        """
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be positive, got {frequency_hz}")
+        phase = -2.0 * math.pi * frequency_hz * self.extra_path_m / SPEED_OF_LIGHT
+        return self.magnitude * cmath.exp(1j * (phase + self.fixed_phase_rad))
+
+    def nominal_phase_rad(self, frequency_hz: float = CARRIER_FREQUENCY_HZ) -> float:
+        """Reflection phase at the reference carrier, wrapped to [0, 2 pi)."""
+        gamma = self.reflection_coefficient(frequency_hz)
+        return math.atan2(gamma.imag, gamma.real) % (2.0 * math.pi)
+
+
+def open_stub_state(
+    extra_path_wavelengths: float,
+    wavelength_m: float = WAVELENGTH_M,
+    insertion_loss_db: float = SP4T_INSERTION_LOSS_DB,
+    label: Optional[str] = None,
+) -> ElementState:
+    """An open-waveguide state adding ``extra_path_wavelengths`` of path.
+
+    The prototype's stubs add 0, 1/4 and 1/2 wavelength of *path* length
+    (Figure 3), i.e. reflection phases of 0, pi/2 and pi.
+    """
+    if extra_path_wavelengths < 0:
+        raise ValueError(
+            f"extra_path_wavelengths must be non-negative, got {extra_path_wavelengths}"
+        )
+    # Two traversals of the switch (in and out).
+    magnitude = 10.0 ** (-2.0 * insertion_loss_db / 20.0)
+    if label is None:
+        phase = (2.0 * math.pi * extra_path_wavelengths) % (2.0 * math.pi)
+        label = _phase_label(phase)
+    return ElementState(
+        label=label,
+        extra_path_m=extra_path_wavelengths * wavelength_m,
+        magnitude=magnitude,
+    )
+
+
+def absorptive_load_state(label: str = "T", leakage_db: float = -30.0) -> ElementState:
+    """The terminated state: reflection suppressed to ``leakage_db``."""
+    return ElementState(label=label, magnitude=10.0 ** (leakage_db / 20.0))
+
+
+def active_state(
+    gain_db: float,
+    phase_rad: float,
+    label: Optional[str] = None,
+) -> ElementState:
+    """An active (amplify-and-retransmit) element state (§4.1).
+
+    Active elements contain an amplifier, so |Gamma| > 1 is allowed; they
+    are the option the paper reserves for line-of-sight links that passive
+    reflections cannot move.
+    """
+    if label is None:
+        label = f"A({gain_db:+.0f}dB,{phase_rad:.2f})"
+    return ElementState(
+        label=label,
+        magnitude=10.0 ** (gain_db / 20.0),
+        fixed_phase_rad=phase_rad,
+    )
+
+
+def _phase_label(phase_rad: float) -> str:
+    """Label a reflection phase the way the paper's figures do (units of pi)."""
+    fraction = (phase_rad / math.pi) % 2.0
+    if abs(fraction) < 1e-9:
+        return "0"
+    if abs(fraction - round(fraction)) < 1e-9:
+        return f"{int(round(fraction))}:" if round(fraction) != 1 else ":"
+    return f"{fraction:g}:"
+
+
+def sp4t_states(
+    wavelength_m: float = WAVELENGTH_M,
+    include_load: bool = True,
+    num_phases: int = 3,
+) -> tuple[ElementState, ...]:
+    """The prototype's SP4T state set.
+
+    §3.2 link-enhancement experiments: three open stubs whose reflection
+    phases step by pi/2 (path steps of lambda/4), plus the absorptive load
+    "T".  §3.2.2 harmonization uses four reflective lengths and no load
+    (``include_load=False, num_phases=4``).
+    """
+    if num_phases <= 0:
+        raise ValueError(f"num_phases must be positive, got {num_phases}")
+    states = [
+        open_stub_state(k * 0.25, wavelength_m=wavelength_m) for k in range(num_phases)
+    ]
+    if include_load:
+        states.append(absorptive_load_state())
+    return tuple(states)
+
+
+def phase_shifter_states(
+    num_phases: int,
+    magnitude: float = 1.0,
+    include_off: bool = True,
+) -> tuple[ElementState, ...]:
+    """Idealised continuously-steppable phase states (§4.1 ablation).
+
+    ``num_phases`` evenly spaced frequency-flat phases, optionally plus an
+    off state — the design point the paper conjectures at ("around eight
+    phase values along with the off state may provide sufficient
+    resolution").
+    """
+    if num_phases <= 0:
+        raise ValueError(f"num_phases must be positive, got {num_phases}")
+    states = [
+        ElementState(
+            label=f"P{k}",
+            magnitude=magnitude,
+            fixed_phase_rad=2.0 * math.pi * k / num_phases,
+        )
+        for k in range(num_phases)
+    ]
+    if include_off:
+        states.append(absorptive_load_state(label="off"))
+    return tuple(states)
+
+
+@dataclass(frozen=True)
+class PressElement:
+    """A physical PRESS element: an antenna plus its switchable state set.
+
+    Attributes
+    ----------
+    position:
+        Where the element sits in the floor plan.
+    antenna:
+        Its radiation pattern (14 dBi parabolic or 2 dBi omni in §3.1).
+    states:
+        The selectable reflection states (SP4T stubs by default).
+    name:
+        Identifier used by the control plane.
+    """
+
+    position: Point
+    antenna: Antenna = field(default_factory=OmniAntenna)
+    states: tuple[ElementState, ...] = field(default_factory=sp4t_states)
+    name: str = "element"
+
+    def __post_init__(self) -> None:
+        if len(self.states) == 0:
+            raise ValueError("a PRESS element needs at least one state")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def state(self, index: int) -> ElementState:
+        """State by index, with range checking."""
+        if not 0 <= index < self.num_states:
+            raise IndexError(
+                f"state index {index} out of range for {self.num_states} states"
+            )
+        return self.states[index]
+
+    def pointed_at(self, target: Point) -> "PressElement":
+        """A copy with the antenna boresight aimed at ``target``.
+
+        Used when deploying directional (parabolic) elements, which §3.1
+        aims at the link; omni elements are unaffected.
+        """
+        direction = (target - self.position).angle()
+        return replace(self, antenna=replace(self.antenna, boresight_rad=direction))
+
+
+def parabolic_element(
+    position: Point,
+    name: str = "element",
+    states: Optional[Sequence[ElementState]] = None,
+) -> PressElement:
+    """The §3.1 prototype element: 14 dBi / 21-degree parabolic + SP4T stubs."""
+    return PressElement(
+        position=position,
+        antenna=ParabolicAntenna(),
+        states=tuple(states) if states is not None else sp4t_states(),
+        name=name,
+    )
+
+
+def omni_element(
+    position: Point,
+    name: str = "element",
+    states: Optional[Sequence[ElementState]] = None,
+    gain_dbi: float = 2.0,
+) -> PressElement:
+    """An omnidirectional PRESS element (used in the §3.2.3 MIMO study)."""
+    return PressElement(
+        position=position,
+        antenna=OmniAntenna(peak_gain_dbi=gain_dbi),
+        states=tuple(states) if states is not None else sp4t_states(),
+        name=name,
+    )

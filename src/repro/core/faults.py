@@ -1,0 +1,140 @@
+"""Element fault models: the "maintain the PRESS array" problem (§2).
+
+A building-scale array of cheap switched elements will accumulate faults:
+switches stuck in one state, elements gone dark (controller dead, no
+actuation — the reflection freezes wherever it was), or elements lost
+entirely.  These helpers inject such faults into an array so controllers
+and searches can be evaluated for graceful degradation, and provide a
+simple fault detector built on the identification measurements of
+:mod:`repro.core.prediction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .array import PressArray
+from .configuration import ArrayConfiguration
+from .element import ElementState, PressElement, absorptive_load_state
+
+__all__ = [
+    "stuck_element",
+    "dead_element",
+    "with_faults",
+    "detect_unresponsive_elements",
+]
+
+
+def stuck_element(element: PressElement, stuck_state: int) -> PressElement:
+    """An element whose switch is stuck: every state maps to one Gamma.
+
+    The control plane can still address it (commands ack fine — the fault
+    is in the RF switch), so the configuration space keeps its size; the
+    channel just stops responding to this element's digit.
+    """
+    frozen = element.state(stuck_state)
+    states = tuple(
+        ElementState(
+            label=f"{state.label}(stuck:{frozen.label})",
+            extra_path_m=frozen.extra_path_m,
+            magnitude=frozen.magnitude,
+            fixed_phase_rad=frozen.fixed_phase_rad,
+        )
+        for state in element.states
+    )
+    return replace(element, states=states)
+
+
+def dead_element(element: PressElement) -> PressElement:
+    """An element that no longer reflects at all (antenna disconnected).
+
+    Every state becomes an absorptive termination.
+    """
+    states = tuple(
+        absorptive_load_state(label=f"{state.label}(dead)")
+        for state in element.states
+    )
+    return replace(element, states=states)
+
+
+def with_faults(
+    array: PressArray,
+    stuck: Optional[dict[int, int]] = None,
+    dead: Sequence[int] = (),
+) -> PressArray:
+    """A copy of ``array`` with faults injected.
+
+    Parameters
+    ----------
+    array:
+        The healthy array.
+    stuck:
+        Element index -> state index it is stuck in.
+    dead:
+        Indices of elements that no longer reflect.
+    """
+    stuck = stuck or {}
+    for index in list(stuck) + list(dead):
+        if not 0 <= index < array.num_elements:
+            raise ValueError(f"element index {index} out of range")
+    overlap = set(stuck) & set(dead)
+    if overlap:
+        raise ValueError(f"elements {sorted(overlap)} marked both stuck and dead")
+    elements = []
+    for index, element in enumerate(array.elements):
+        if index in stuck:
+            elements.append(stuck_element(element, stuck[index]))
+        elif index in dead:
+            elements.append(dead_element(element))
+        else:
+            elements.append(element)
+    return PressArray.from_elements(elements)
+
+
+def detect_unresponsive_elements(
+    array: PressArray,
+    measure_cfr,
+    threshold: float = 0.05,
+) -> list[int]:
+    """Find elements whose switching no longer moves the channel.
+
+    Toggles each element between its first state and its terminated state
+    (or last state) while holding the others terminated/fixed, and flags
+    elements whose toggle changes the CFR by less than ``threshold``
+    (relative RMS).  Uses 2 measurements per element — the maintenance
+    sweep a deployed controller would run periodically.
+
+    Parameters
+    ----------
+    array:
+        The array under test (possibly faulty).
+    measure_cfr:
+        Callback ``configuration -> complex CFR array``.
+    threshold:
+        Relative change below which an element counts as unresponsive.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    baseline_states = []
+    for element in array.elements:
+        off = next(
+            (i for i, s in enumerate(element.states) if s.is_terminated),
+            element.num_states - 1,
+        )
+        baseline_states.append(off)
+    unresponsive = []
+    for index, element in enumerate(array.elements):
+        config_a = ArrayConfiguration(tuple(baseline_states))
+        config_b = config_a.with_element_state(index, 0)
+        if baseline_states[index] == 0:
+            config_b = config_a.with_element_state(index, element.num_states - 1)
+        cfr_a = np.asarray(measure_cfr(config_a), dtype=complex)
+        cfr_b = np.asarray(measure_cfr(config_b), dtype=complex)
+        scale = max(float(np.linalg.norm(cfr_a)), 1e-30)
+        change = float(np.linalg.norm(cfr_b - cfr_a)) / scale
+        if change < threshold:
+            unresponsive.append(index)
+    return unresponsive

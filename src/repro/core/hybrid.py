@@ -1,0 +1,235 @@
+"""Passive-active hybrid and multi-tier array designs (§4.1).
+
+"A small number of active PRESS elements might replace several more
+passive elements.  As noted in §3, these active elements can help effect
+changes on line-of-sight links as well as reducing the overall PRESS array
+size.  Power issues for the active elements could be addressed with energy
+harvesting devices.  Further, we might divide the elements into groups, to
+harness diversity or power gains within each group and multiplex across
+groups, analogous to how Hekaton groups antennas."
+
+This module provides:
+
+* :func:`hybrid_array` — mix a few active elements into a passive array
+  ("the latter significantly outnumbering the former", §2);
+* :class:`ElementGroup` / :func:`tiered_groups` — the Hekaton-style
+  grouping: a coarse tier (which groups participate) over a fine tier
+  (per-element phases within a group), shrinking the search space from
+  M^N to 2^G * M^(N/G) per group decision;
+* :class:`GroupedConfigurationSpace` — search over group-level decisions
+  with a per-group canned phase profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..em.geometry import Point
+from .array import PressArray
+from .configuration import ArrayConfiguration, ConfigurationSpace
+from .element import (
+    ElementState,
+    PressElement,
+    absorptive_load_state,
+    active_state,
+    omni_element,
+)
+
+__all__ = [
+    "hybrid_array",
+    "ElementGroup",
+    "tiered_groups",
+    "GroupedConfigurationSpace",
+]
+
+
+def hybrid_array(
+    passive_positions: Sequence[Point],
+    active_positions: Sequence[Point],
+    passive_states: Optional[Sequence[ElementState]] = None,
+    active_gain_db: float = 20.0,
+    num_active_phases: int = 4,
+    element_gain_dbi: float = 0.0,
+) -> PressArray:
+    """Build a mixed passive/active array.
+
+    Active elements get ``num_active_phases`` amplify-and-retransmit states
+    (|Gamma| > 1) plus an off state; passive elements keep the usual SP4T
+    states.  §2 expects passives to "significantly outnumber" actives —
+    asserted here as a sanity check on the caller's design.
+    """
+    if len(passive_positions) == 0 and len(active_positions) == 0:
+        raise ValueError("need at least one element")
+    if active_positions and len(passive_positions) < len(active_positions):
+        raise ValueError(
+            "hybrid designs should have at least as many passive as active "
+            f"elements (got {len(passive_positions)} passive, "
+            f"{len(active_positions)} active)"
+        )
+    elements: list[PressElement] = []
+    for index, position in enumerate(passive_positions):
+        elements.append(
+            omni_element(
+                position,
+                name=f"p{index}",
+                gain_dbi=element_gain_dbi,
+                states=tuple(passive_states) if passive_states is not None else None,
+            )
+        )
+    active_state_set = tuple(
+        active_state(
+            gain_db=active_gain_db,
+            phase_rad=2.0 * np.pi * k / num_active_phases,
+            label=f"A{k}",
+        )
+        for k in range(num_active_phases)
+    ) + (absorptive_load_state(label="off"),)
+    for index, position in enumerate(active_positions):
+        elements.append(
+            omni_element(
+                position,
+                name=f"a{index}",
+                gain_dbi=element_gain_dbi,
+                states=active_state_set,
+            )
+        )
+    return PressArray.from_elements(elements)
+
+
+@dataclass(frozen=True)
+class ElementGroup:
+    """A contiguous group of element indices sharing a tier decision.
+
+    Attributes
+    ----------
+    name:
+        Group label.
+    element_indices:
+        Indices into the array's element tuple.
+    profiles:
+        Candidate per-element state profiles the group can adopt when
+        active (each a tuple of state indices, one per member).
+    off_profile:
+        State indices used when the group is switched off (typically all
+        terminated).
+    """
+
+    name: str
+    element_indices: tuple[int, ...]
+    profiles: tuple[tuple[int, ...], ...]
+    off_profile: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.element_indices) == 0:
+            raise ValueError("a group needs at least one element")
+        for profile in self.profiles + (self.off_profile,):
+            if len(profile) != len(self.element_indices):
+                raise ValueError(
+                    f"profile length {len(profile)} != group size "
+                    f"{len(self.element_indices)}"
+                )
+        if len(self.profiles) == 0:
+            raise ValueError("a group needs at least one active profile")
+
+
+def tiered_groups(
+    array: PressArray,
+    group_size: int,
+    num_profiles: int = 4,
+) -> list[ElementGroup]:
+    """Partition an array into groups with phase-profile candidates.
+
+    Each group's candidate profiles set all members to the same reflective
+    state (profile k = state k everywhere) — the "diversity or power gains
+    within each group" tier; which groups participate is the multiplexing
+    tier above it.  The off profile uses each element's terminated state
+    when present, else state 0.
+    """
+    if group_size <= 0:
+        raise ValueError(f"group_size must be positive, got {group_size}")
+    groups = []
+    for start in range(0, array.num_elements, group_size):
+        indices = tuple(range(start, min(start + group_size, array.num_elements)))
+        members = [array.elements[i] for i in indices]
+        max_state = min(element.num_states for element in members)
+        profiles = tuple(
+            tuple([state] * len(indices))
+            for state in range(min(num_profiles, max_state))
+            if not all(
+                member.state(state).is_terminated for member in members
+            )
+        )
+        off = []
+        for member in members:
+            terminated = next(
+                (
+                    i
+                    for i, state in enumerate(member.states)
+                    if state.is_terminated
+                ),
+                0,
+            )
+            off.append(terminated)
+        groups.append(
+            ElementGroup(
+                name=f"g{start // group_size}",
+                element_indices=indices,
+                profiles=profiles,
+                off_profile=tuple(off),
+            )
+        )
+    return groups
+
+
+class GroupedConfigurationSpace:
+    """Search over group-tier decisions instead of raw element states.
+
+    A grouped decision assigns each group either "off" or one of its
+    profiles; :meth:`to_configuration` expands a decision into a full
+    element-level :class:`ArrayConfiguration`.  The grouped space has
+    ``prod_g (1 + |profiles_g|)`` points — exponentially smaller than the
+    raw M^N space for large arrays.
+    """
+
+    def __init__(self, array: PressArray, groups: Sequence[ElementGroup]) -> None:
+        covered = sorted(i for group in groups for i in group.element_indices)
+        if covered != list(range(array.num_elements)):
+            raise ValueError("groups must partition the array's elements")
+        self.array = array
+        self.groups = tuple(groups)
+
+    @property
+    def size(self) -> int:
+        product = 1
+        for group in self.groups:
+            product *= 1 + len(group.profiles)
+        return product
+
+    def decision_space(self) -> ConfigurationSpace:
+        """The grouped decisions as a plain configuration space.
+
+        Decision 0 = group off; decision k (k >= 1) = profile k-1.
+        """
+        return ConfigurationSpace(
+            tuple(1 + len(group.profiles) for group in self.groups)
+        )
+
+    def to_configuration(self, decision: ArrayConfiguration) -> ArrayConfiguration:
+        """Expand a group-tier decision to element-level states."""
+        self.decision_space().validate(decision)
+        states = [0] * self.array.num_elements
+        for group, choice in zip(self.groups, decision.indices):
+            profile = (
+                group.off_profile if choice == 0 else group.profiles[choice - 1]
+            )
+            for element_index, state in zip(group.element_indices, profile):
+                states[element_index] = state
+        return ArrayConfiguration(tuple(states))
+
+    def all_configurations(self) -> Iterator[ArrayConfiguration]:
+        """Element-level configurations of every grouped decision."""
+        for decision in self.decision_space().all_configurations():
+            yield self.to_configuration(decision)

@@ -1,0 +1,239 @@
+"""Joint multi-link optimisation: the §2 agility-vs-optimisation trade-off.
+
+"If the current communication patterns involve multiple wireless links
+operating over different time or frequency slots, we would like the system
+to attempt to optimize them jointly and simultaneously, if possible. ...
+a trade-off exists between agility and optimization: one might jointly
+optimize over a large set of likely communication links, obviating the
+need to change the PRESS array for each link's communication, but possibly
+complicating the optimization problem.  On the other end of the design
+space, one might optimize solely over a single communication link ...
+One can imagine hybrid tradeoffs and dynamic strategies."
+
+This module implements all three points on that spectrum:
+
+* **per-link** — each link gets its own optimal configuration and the array
+  switches between them on packet timescales (maximum quality, maximum
+  switching load);
+* **joint** — a single configuration serves all links at once (zero
+  switching, possibly compromised quality);
+* **hybrid** — links are clustered greedily; links whose optima are
+  compatible share a configuration, the rest get their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .configuration import ArrayConfiguration, ConfigurationSpace
+from .scheduler import SwitchingSchedule, TimingModel, packet_timescale_schedule
+from .search import SearchResult, Searcher, ExhaustiveSearch
+
+__all__ = [
+    "LinkObjective",
+    "JointResult",
+    "optimize_per_link",
+    "optimize_joint",
+    "optimize_hybrid",
+    "compare_strategies",
+]
+
+MeasureFunction = Callable[[ArrayConfiguration], np.ndarray]
+
+
+@dataclass(frozen=True)
+class LinkObjective:
+    """One link under joint optimisation.
+
+    Attributes
+    ----------
+    name:
+        Link identifier (used in schedules).
+    measure:
+        Configuration -> per-subcarrier SNR for this link.
+    objective:
+        Per-link score over that SNR (higher is better).
+    weight:
+        Relative weight in joint aggregates.
+    """
+
+    name: str
+    measure: MeasureFunction
+    objective: Callable[[np.ndarray], float]
+    weight: float = 1.0
+
+    def score(self, configuration: ArrayConfiguration) -> float:
+        return float(self.objective(self.measure(configuration)))
+
+
+@dataclass(frozen=True)
+class JointResult:
+    """Outcome of a multi-link optimisation strategy.
+
+    Attributes
+    ----------
+    strategy:
+        "per-link", "joint" or "hybrid".
+    assignments:
+        Configuration used for each link, by name.
+    per_link_scores:
+        Each link's score under its assigned configuration.
+    num_measurements:
+        Over-the-air soundings spent across all searches.
+    num_distinct_configurations:
+        How many configurations the array must switch between (the
+        switching load; 1 = no packet-timescale switching needed).
+    """
+
+    strategy: str
+    assignments: dict[str, ArrayConfiguration]
+    per_link_scores: dict[str, float]
+    num_measurements: int
+    num_distinct_configurations: int
+
+    def aggregate_score(self, links: Sequence[LinkObjective]) -> float:
+        """Weighted mean of per-link scores."""
+        total_weight = sum(link.weight for link in links)
+        return float(
+            sum(link.weight * self.per_link_scores[link.name] for link in links)
+            / total_weight
+        )
+
+    def worst_link_score(self) -> float:
+        return min(self.per_link_scores.values())
+
+    def schedule(
+        self,
+        slot_duration_s: float = 1.5e-3,
+        timing: TimingModel = TimingModel(),
+        space: Optional[ConfigurationSpace] = None,
+    ) -> SwitchingSchedule:
+        """The packet-timescale schedule this strategy implies."""
+        names = sorted(self.assignments)
+        if space is not None:
+            ranks = [space.index_of(self.assignments[name]) for name in names]
+        else:
+            ranks = list(range(len(names)))
+        return packet_timescale_schedule(
+            names, ranks, slot_duration_s=slot_duration_s, timing=timing
+        )
+
+
+def optimize_per_link(
+    links: Sequence[LinkObjective],
+    space: ConfigurationSpace,
+    searcher: Searcher = ExhaustiveSearch(),
+) -> JointResult:
+    """Each link gets its own optimum (the agile extreme)."""
+    if not links:
+        raise ValueError("need at least one link")
+    assignments: dict[str, ArrayConfiguration] = {}
+    scores: dict[str, float] = {}
+    measurements = 0
+    for link in links:
+        result = searcher.search(space, link.score)
+        assignments[link.name] = result.best
+        scores[link.name] = result.best_score
+        measurements += result.num_evaluations
+    distinct = len({assignment.indices for assignment in assignments.values()})
+    return JointResult(
+        strategy="per-link",
+        assignments=assignments,
+        per_link_scores=scores,
+        num_measurements=measurements,
+        num_distinct_configurations=distinct,
+    )
+
+
+def optimize_joint(
+    links: Sequence[LinkObjective],
+    space: ConfigurationSpace,
+    searcher: Searcher = ExhaustiveSearch(),
+) -> JointResult:
+    """One configuration for all links (the static extreme).
+
+    The joint score is the weighted mean of per-link objectives; each
+    search step measures every link, which the measurement count reflects.
+    """
+    if not links:
+        raise ValueError("need at least one link")
+    total_weight = sum(link.weight for link in links)
+
+    def joint_score(configuration: ArrayConfiguration) -> float:
+        return (
+            sum(link.weight * link.score(configuration) for link in links)
+            / total_weight
+        )
+
+    result = searcher.search(space, joint_score)
+    assignments = {link.name: result.best for link in links}
+    scores = {link.name: link.score(result.best) for link in links}
+    return JointResult(
+        strategy="joint",
+        assignments=assignments,
+        per_link_scores=scores,
+        num_measurements=result.num_evaluations * len(links),
+        num_distinct_configurations=1,
+    )
+
+
+def optimize_hybrid(
+    links: Sequence[LinkObjective],
+    space: ConfigurationSpace,
+    searcher: Searcher = ExhaustiveSearch(),
+    tolerance: float = 1.0,
+) -> JointResult:
+    """Greedy clustering between the two extremes.
+
+    Starts from the per-link optima; a link joins an existing cluster's
+    configuration if doing so costs it at most ``tolerance`` of score,
+    otherwise it founds a new cluster.  The result keeps near-per-link
+    quality with (often far) fewer distinct configurations to switch among.
+    """
+    if not links:
+        raise ValueError("need at least one link")
+    per_link = optimize_per_link(links, space, searcher)
+    measurements = per_link.num_measurements
+    cluster_configs: list[ArrayConfiguration] = []
+    assignments: dict[str, ArrayConfiguration] = {}
+    scores: dict[str, float] = {}
+    # Greedy pass in link order.
+    for link in links:
+        own_best = per_link.per_link_scores[link.name]
+        chosen: Optional[ArrayConfiguration] = None
+        chosen_score = -np.inf
+        for config in cluster_configs:
+            score = link.score(config)
+            measurements += 1
+            if score >= own_best - tolerance and score > chosen_score:
+                chosen, chosen_score = config, score
+        if chosen is None:
+            chosen = per_link.assignments[link.name]
+            chosen_score = own_best
+            cluster_configs.append(chosen)
+        assignments[link.name] = chosen
+        scores[link.name] = chosen_score
+    return JointResult(
+        strategy="hybrid",
+        assignments=assignments,
+        per_link_scores=scores,
+        num_measurements=measurements,
+        num_distinct_configurations=len(cluster_configs),
+    )
+
+
+def compare_strategies(
+    links: Sequence[LinkObjective],
+    space: ConfigurationSpace,
+    searcher: Searcher = ExhaustiveSearch(),
+    tolerance: float = 1.0,
+) -> dict[str, JointResult]:
+    """Run all three strategies for a side-by-side comparison."""
+    return {
+        "per-link": optimize_per_link(links, space, searcher),
+        "joint": optimize_joint(links, space, searcher),
+        "hybrid": optimize_hybrid(links, space, searcher, tolerance=tolerance),
+    }

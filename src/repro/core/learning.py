@@ -1,0 +1,184 @@
+"""Learning-based search (§4.2: "machine learning techniques, as Remy has
+used in congestion control").
+
+Two learners over the configuration space:
+
+* :class:`CrossEntropySearch` — a distribution-based optimiser: maintain an
+  independent categorical distribution per element, sample configurations,
+  refit the distribution to the elite fraction.  Scales to arrays far past
+  exhaustive enumeration and parallelises naturally over sounding frames.
+* :class:`EpsilonGreedyBandit` — an online learner for *time-varying*
+  channels: keeps running value estimates per configuration (with
+  exponential forgetting so stale measurements decay), explores with
+  probability epsilon, exploits otherwise.  This is the §2 story of a
+  controller that must keep re-learning as the coherence time expires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .configuration import ArrayConfiguration, ConfigurationSpace
+from .search import Searcher, ScoreFunction
+
+__all__ = ["CrossEntropySearch", "EpsilonGreedyBandit", "BanditState"]
+
+
+@dataclass(frozen=True)
+class CrossEntropySearch(Searcher):
+    """Cross-entropy method over per-element categorical distributions.
+
+    Attributes
+    ----------
+    population:
+        Samples per iteration.
+    iterations:
+        Refinement rounds.
+    elite_fraction:
+        Fraction of samples used to refit the distribution.
+    smoothing:
+        Convex mixing of the new distribution with the old (stabilises
+        small populations).
+    """
+
+    population: int = 16
+    iterations: int = 6
+    elite_fraction: float = 0.25
+    smoothing: float = 0.7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError(f"population must be >= 2, got {self.population}")
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {self.iterations}")
+        if not 0.0 < self.elite_fraction <= 1.0:
+            raise ValueError(
+                f"elite_fraction must be in (0, 1], got {self.elite_fraction}"
+            )
+        if not 0.0 <= self.smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in [0, 1], got {self.smoothing}")
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        rng = np.random.default_rng(self.seed)
+        distributions = [
+            np.full(count, 1.0 / count) for count in space.state_counts
+        ]
+        num_elite = max(1, int(round(self.population * self.elite_fraction)))
+        best: Optional[ArrayConfiguration] = None
+        best_score = -math.inf
+        for _ in range(self.iterations):
+            samples = []
+            for _ in range(self.population):
+                indices = tuple(
+                    int(rng.choice(len(dist), p=dist)) for dist in distributions
+                )
+                samples.append(ArrayConfiguration(indices))
+            scored = [(score(sample), sample) for sample in samples]
+            scored.sort(key=lambda pair: pair[0], reverse=True)
+            if scored[0][0] > best_score:
+                best_score, best = scored[0]
+            elites = [sample for _, sample in scored[:num_elite]]
+            for element in range(space.num_elements):
+                counts = np.zeros(space.state_counts[element])
+                for elite in elites:
+                    counts[elite.indices[element]] += 1.0
+                refit = counts / counts.sum()
+                distributions[element] = (
+                    self.smoothing * refit
+                    + (1.0 - self.smoothing) * distributions[element]
+                )
+        assert best is not None
+        return best, best_score
+
+
+@dataclass
+class BanditState:
+    """Running value estimate for one configuration."""
+
+    value: float = 0.0
+    pulls: int = 0
+
+
+class EpsilonGreedyBandit:
+    """Online configuration selection for time-varying channels.
+
+    Each call to :meth:`step` picks a configuration (explore with
+    probability ``epsilon``, else exploit the best current estimate),
+    observes its reward through the supplied function, and updates an
+    exponentially-forgetting value estimate.  Forgetting matters because
+    the channel decorrelates: a configuration that was optimal two
+    coherence times ago carries little evidence now.
+
+    Parameters
+    ----------
+    space:
+        The configuration space.
+    epsilon:
+        Exploration probability.
+    forgetting:
+        Per-update learning rate in (0, 1]; 1 = keep only the latest
+        observation, small values average over history.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        epsilon: float = 0.1,
+        forgetting: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError(f"forgetting must be in (0, 1], got {forgetting}")
+        self.space = space
+        self.epsilon = epsilon
+        self.forgetting = forgetting
+        self._rng = np.random.default_rng(seed)
+        self._states: dict[tuple[int, ...], BanditState] = {}
+        self.total_pulls = 0
+
+    def _estimate(self, configuration: ArrayConfiguration) -> BanditState:
+        return self._states.setdefault(configuration.indices, BanditState())
+
+    def best_known(self) -> Optional[ArrayConfiguration]:
+        """The configuration with the highest current value estimate."""
+        if not self._states:
+            return None
+        indices = max(self._states, key=lambda key: self._states[key].value)
+        return ArrayConfiguration(indices)
+
+    def select(self) -> ArrayConfiguration:
+        """Pick the next configuration to try (explore or exploit)."""
+        explore = self._rng.random() < self.epsilon or not self._states
+        if explore:
+            return self.space.random_configuration(self._rng)
+        best = self.best_known()
+        assert best is not None
+        return best
+
+    def update(self, configuration: ArrayConfiguration, reward: float) -> None:
+        """Fold one observed reward into the value estimate."""
+        state = self._estimate(configuration)
+        if state.pulls == 0:
+            state.value = float(reward)
+        else:
+            state.value += self.forgetting * (float(reward) - state.value)
+        state.pulls += 1
+        self.total_pulls += 1
+
+    def step(self, reward_fn: Callable[[ArrayConfiguration], float]) -> tuple[
+        ArrayConfiguration, float
+    ]:
+        """One explore/exploit round: select, observe, update."""
+        configuration = self.select()
+        reward = float(reward_fn(configuration))
+        self.update(configuration, reward)
+        return configuration, reward

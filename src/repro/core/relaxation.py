@@ -1,0 +1,200 @@
+"""Continuous-phase relaxation (§4.2: "the application of convex
+optimization").
+
+The discrete M^N switch-state space embeds in a continuous one: let every
+element take any unit-magnitude reflection coefficient Gamma_e = e^{j
+theta_e}.  Over the identified linear channel model (H = H_env + U Gamma,
+see :mod:`repro.core.prediction`) the worst-subcarrier power is a smooth
+function of the phases, so projected gradient ascent on a soft-min
+surrogate finds a continuous optimum; rounding onto the hardware's discrete
+states then gives both a deployable configuration *and* an upper bound that
+quantifies what finer phase hardware (§4.1's "continuously-variable phase
+shifting hardware") would buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .array import PressArray
+from .configuration import ArrayConfiguration
+from .inverse import quantize_to_states
+from .prediction import LinearChannelModel
+
+__all__ = ["ContinuousSolution", "optimize_phases", "softmin_power_db"]
+
+
+def softmin_power_db(cfr: np.ndarray, sharpness: float = 2.0) -> float:
+    """Smooth lower envelope of per-subcarrier power in dB.
+
+    A log-sum-exp soft minimum: as ``sharpness`` grows this approaches the
+    true min; moderate values keep gradients informative across all
+    subcarriers near the null.
+    """
+    if sharpness <= 0:
+        raise ValueError(f"sharpness must be positive, got {sharpness}")
+    power_db = 10.0 * np.log10(np.maximum(np.abs(cfr) ** 2, 1e-30))
+    scaled = -sharpness * (power_db - power_db.min())
+    weights = np.exp(scaled)
+    return float(np.sum(weights * power_db) / np.sum(weights))
+
+
+@dataclass(frozen=True)
+class ContinuousSolution:
+    """Result of the continuous-phase optimisation.
+
+    Attributes
+    ----------
+    phases_rad:
+        Optimised per-element phases.
+    continuous_min_db:
+        Worst-subcarrier power (dB) achieved by the continuous phases — an
+        upper bound on what any discrete state set can reach.
+    configuration:
+        The continuous solution rounded onto the array's hardware states.
+    quantized_min_db:
+        Worst-subcarrier power (dB) predicted for the rounded
+        configuration; the gap to ``continuous_min_db`` is the quantisation
+        loss of the installed hardware.
+    """
+
+    phases_rad: np.ndarray
+    continuous_min_db: float
+    configuration: ArrayConfiguration
+    quantized_min_db: float
+
+    @property
+    def quantization_loss_db(self) -> float:
+        return self.continuous_min_db - self.quantized_min_db
+
+
+def optimize_phases(
+    array: PressArray,
+    model: LinearChannelModel,
+    iterations: int = 200,
+    step_rad: float = 0.2,
+    sharpness: float = 2.0,
+    magnitude: float = 1.0,
+    initial_phases: Optional[np.ndarray] = None,
+    restarts: int = 8,
+    seed: int = 0,
+) -> ContinuousSolution:
+    """Maximise the soft-min subcarrier power over continuous element phases.
+
+    Projected gradient ascent: phases move along the analytic gradient of
+    the soft-min surrogate with a backtracking step; magnitudes stay fixed
+    at ``magnitude`` (a passive element cannot exceed 1).
+
+    The surrogate is non-convex, so the ascent restarts from ``restarts``
+    random phase vectors (plus ``initial_phases`` when given) and keeps the
+    best.
+
+    Parameters
+    ----------
+    array:
+        The installed array (supplies the discrete states for rounding).
+    model:
+        Identified linear channel model (environment + element basis).
+    iterations:
+        Gradient steps per restart.
+    step_rad:
+        Initial step size in radians.
+    sharpness:
+        Soft-min sharpness (see :func:`softmin_power_db`).
+    magnitude:
+        |Gamma| of every element in the relaxation.
+    initial_phases:
+        Extra starting point (zeros used when None).
+    restarts:
+        Number of random restarts.
+    seed:
+        Seed for the restart draws.
+    """
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    if not 0.0 < magnitude <= 1.0:
+        raise ValueError(f"magnitude must be in (0, 1], got {magnitude}")
+    num_elements = array.num_elements
+    if model.basis.shape[1] != num_elements:
+        raise ValueError(
+            f"model has {model.basis.shape[1]} basis columns for "
+            f"{num_elements} elements"
+        )
+    if restarts < 0:
+        raise ValueError(f"restarts must be non-negative, got {restarts}")
+    first = (
+        np.zeros(num_elements)
+        if initial_phases is None
+        else np.asarray(initial_phases, dtype=float).copy()
+    )
+    if first.shape != (num_elements,):
+        raise ValueError(f"initial_phases must have shape ({num_elements},)")
+    rng = np.random.default_rng(seed)
+    starts = [first] + [
+        rng.uniform(0.0, 2.0 * np.pi, num_elements) for _ in range(restarts)
+    ]
+
+    def cfr_for(phases_rad: np.ndarray) -> np.ndarray:
+        gammas = magnitude * np.exp(1j * phases_rad)
+        return model.environment_cfr + model.basis @ gammas
+
+    def objective(phases_rad: np.ndarray) -> float:
+        return softmin_power_db(cfr_for(phases_rad), sharpness)
+
+    def ascend(start: np.ndarray) -> tuple[np.ndarray, float]:
+        phases = start.copy()
+        step = step_rad
+        current = objective(phases)
+        for _ in range(iterations):
+            cfr = cfr_for(phases)
+            power_db = 10.0 * np.log10(np.maximum(np.abs(cfr) ** 2, 1e-30))
+            scaled = -sharpness * (power_db - power_db.min())
+            weights = np.exp(scaled)
+            weights = weights / weights.sum()
+            # d(power_db_k)/d(theta_e) =
+            #     (20/ln10) * Im[conj(H_k) U_ke Gamma_e] / |H_k|^2
+            gammas = magnitude * np.exp(1j * phases)
+            numer = np.imag(np.conj(cfr)[:, None] * model.basis * gammas[None, :])
+            denom = np.maximum(np.abs(cfr) ** 2, 1e-30)[:, None]
+            grad_power = (20.0 / np.log(10.0)) * numer / denom
+            # Soft-min gradient: weighted combination (ignoring the weight
+            # derivative, a standard and stable approximation).
+            gradient = weights @ grad_power
+            norm = np.linalg.norm(gradient)
+            if norm < 1e-12:
+                break
+            # Maximise: move along +gradient (normalised step).
+            candidate = phases + step * gradient / norm
+            value = objective(candidate)
+            if value > current:
+                phases, current = candidate, value
+                step = min(step * 1.2, 0.5)
+            else:
+                step *= 0.5
+                if step < 1e-4:
+                    break
+        return phases, current
+
+    phases, current = ascend(starts[0])
+    for start in starts[1:]:
+        other_phases, other = ascend(start)
+        if other > current:
+            phases, current = other_phases, other
+    continuous_min = float(
+        np.min(10.0 * np.log10(np.maximum(np.abs(cfr_for(phases)) ** 2, 1e-30)))
+    )
+    coefficients = magnitude * np.exp(1j * phases)
+    configuration = quantize_to_states(coefficients, array, model.frequency_hz)
+    quantized_cfr = model.predict_cfr(array, configuration)
+    quantized_min = float(
+        np.min(10.0 * np.log10(np.maximum(np.abs(quantized_cfr) ** 2, 1e-30)))
+    )
+    return ContinuousSolution(
+        phases_rad=phases,
+        continuous_min_db=continuous_min,
+        configuration=configuration,
+        quantized_min_db=quantized_min,
+    )

@@ -1,0 +1,303 @@
+"""Search strategies over the PRESS configuration space.
+
+§4.2 ("Navigating the search space"): "With N PRESS elements, each having M
+possible reflection coefficients, enumerating the M^N possibilities in the
+search space for the optimal configuration becomes impractical."  The
+prototype's 64-configuration space is exhaustively enumerable; deployments
+are not.  This module implements the exhaustive baseline and the pruning
+heuristics the paper gestures at, all against a common interface: a
+``score(configuration) -> float`` callable (higher is better), with every
+call counted — because over-the-air channel measurements are the scarce
+resource under the coherence-time budget (§2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .configuration import ArrayConfiguration, ConfigurationSpace
+
+__all__ = [
+    "SearchResult",
+    "Searcher",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "GreedyCoordinateDescent",
+    "SimulatedAnnealing",
+    "GeneticSearch",
+]
+
+ScoreFunction = Callable[[ArrayConfiguration], float]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a configuration search.
+
+    Attributes
+    ----------
+    best:
+        Best configuration found.
+    best_score:
+        Its objective value.
+    num_evaluations:
+        Number of ``score`` calls — i.e. over-the-air measurements used.
+    trajectory:
+        Best-so-far score after each evaluation (for convergence plots).
+    """
+
+    best: ArrayConfiguration
+    best_score: float
+    num_evaluations: int
+    trajectory: list[float] = field(default_factory=list)
+
+
+class _CountingScore:
+    """Wraps a score function, counting and memoising evaluations.
+
+    Memoisation reflects reality: a controller that has already measured a
+    configuration within the coherence time need not measure it again.
+    """
+
+    def __init__(self, score: ScoreFunction) -> None:
+        self._score = score
+        self._cache: dict[tuple[int, ...], float] = {}
+        self.num_evaluations = 0
+        self.trajectory: list[float] = []
+        self._best = -math.inf
+
+    def __call__(self, configuration: ArrayConfiguration) -> float:
+        key = configuration.indices
+        if key in self._cache:
+            return self._cache[key]
+        value = float(self._score(configuration))
+        self._cache[key] = value
+        self.num_evaluations += 1
+        self._best = max(self._best, value)
+        self.trajectory.append(self._best)
+        return value
+
+
+@dataclass(frozen=True)
+class Searcher:
+    """Base class: concrete searchers implement :meth:`run`."""
+
+    def search(self, space: ConfigurationSpace, score: ScoreFunction) -> SearchResult:
+        """Run the search with evaluation counting and memoisation."""
+        counting = _CountingScore(score)
+        best, best_score = self.run(space, counting)
+        return SearchResult(
+            best=best,
+            best_score=best_score,
+            num_evaluations=counting.num_evaluations,
+            trajectory=counting.trajectory,
+        )
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ExhaustiveSearch(Searcher):
+    """Measure every configuration (the §3.2 sweep; optimal but O(M^N))."""
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        best: Optional[ArrayConfiguration] = None
+        best_score = -math.inf
+        for configuration in space.all_configurations():
+            value = score(configuration)
+            if value > best_score:
+                best, best_score = configuration, value
+        assert best is not None  # space is never empty
+        return best, best_score
+
+
+@dataclass(frozen=True)
+class RandomSearch(Searcher):
+    """Uniformly sample a measurement budget's worth of configurations."""
+
+    budget: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        rng = np.random.default_rng(self.seed)
+        best: Optional[ArrayConfiguration] = None
+        best_score = -math.inf
+        for _ in range(self.budget):
+            configuration = space.random_configuration(rng)
+            value = score(configuration)
+            if value > best_score:
+                best, best_score = configuration, value
+        assert best is not None
+        return best, best_score
+
+
+@dataclass(frozen=True)
+class GreedyCoordinateDescent(Searcher):
+    """Optimise one element at a time, sweeping until a fixed point.
+
+    Uses N*(M-1) measurements per sweep instead of M^N — the natural
+    "focus the search" heuristic for a switch-per-element architecture.
+    Random restarts escape poor local optima.
+    """
+
+    max_sweeps: int = 4
+    restarts: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_sweeps <= 0:
+            raise ValueError(f"max_sweeps must be positive, got {self.max_sweeps}")
+        if self.restarts <= 0:
+            raise ValueError(f"restarts must be positive, got {self.restarts}")
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        rng = np.random.default_rng(self.seed)
+        best: Optional[ArrayConfiguration] = None
+        best_score = -math.inf
+        for restart in range(self.restarts):
+            if restart == 0:
+                current = ArrayConfiguration(tuple([0] * space.num_elements))
+            else:
+                current = space.random_configuration(rng)
+            current_score = score(current)
+            for _ in range(self.max_sweeps):
+                improved = False
+                for element in range(space.num_elements):
+                    for state in range(space.state_counts[element]):
+                        if state == current.indices[element]:
+                            continue
+                        candidate = current.with_element_state(element, state)
+                        value = score(candidate)
+                        if value > current_score:
+                            current, current_score = candidate, value
+                            improved = True
+                if not improved:
+                    break
+            if current_score > best_score:
+                best, best_score = current, current_score
+        assert best is not None
+        return best, best_score
+
+
+@dataclass(frozen=True)
+class SimulatedAnnealing(Searcher):
+    """Metropolis search over single-element moves with a geometric schedule."""
+
+    budget: int = 128
+    initial_temperature: float = 3.0
+    cooling: float = 0.97
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+        if self.initial_temperature <= 0:
+            raise ValueError(
+                f"initial_temperature must be positive, got {self.initial_temperature}"
+            )
+        if not 0.0 < self.cooling < 1.0:
+            raise ValueError(f"cooling must be in (0, 1), got {self.cooling}")
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        rng = np.random.default_rng(self.seed)
+        current = space.random_configuration(rng)
+        current_score = score(current)
+        best, best_score = current, current_score
+        temperature = self.initial_temperature
+        for _ in range(self.budget - 1):
+            element = int(rng.integers(0, space.num_elements))
+            state = int(rng.integers(0, space.state_counts[element]))
+            candidate = current.with_element_state(element, state)
+            value = score(candidate)
+            accept = value >= current_score or rng.random() < math.exp(
+                (value - current_score) / temperature
+            )
+            if accept:
+                current, current_score = candidate, value
+            if value > best_score:
+                best, best_score = candidate, value
+            temperature *= self.cooling
+        return best, best_score
+
+
+@dataclass(frozen=True)
+class GeneticSearch(Searcher):
+    """A small genetic algorithm: tournament selection, uniform crossover,
+    per-element mutation.
+
+    Suits very large arrays where coordinate descent's N*(M-1) sweep already
+    exceeds the measurement budget.
+    """
+
+    population: int = 12
+    generations: int = 8
+    mutation_rate: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError(f"population must be >= 2, got {self.population}")
+        if self.generations <= 0:
+            raise ValueError(f"generations must be positive, got {self.generations}")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError(f"mutation_rate must be in [0, 1], got {self.mutation_rate}")
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        rng = np.random.default_rng(self.seed)
+        population = [space.random_configuration(rng) for _ in range(self.population)]
+        scores = [score(individual) for individual in population]
+        best_index = int(np.argmax(scores))
+        best, best_score = population[best_index], scores[best_index]
+        for _ in range(self.generations):
+            next_population = [best]  # elitism
+            while len(next_population) < self.population:
+                parent_a = self._tournament(population, scores, rng)
+                parent_b = self._tournament(population, scores, rng)
+                child_indices = [
+                    a if rng.random() < 0.5 else b
+                    for a, b in zip(parent_a.indices, parent_b.indices)
+                ]
+                for element in range(space.num_elements):
+                    if rng.random() < self.mutation_rate:
+                        child_indices[element] = int(
+                            rng.integers(0, space.state_counts[element])
+                        )
+                next_population.append(ArrayConfiguration(tuple(child_indices)))
+            population = next_population
+            scores = [score(individual) for individual in population]
+            generation_best = int(np.argmax(scores))
+            if scores[generation_best] > best_score:
+                best, best_score = population[generation_best], scores[generation_best]
+        return best, best_score
+
+    @staticmethod
+    def _tournament(
+        population: list[ArrayConfiguration],
+        scores: list[float],
+        rng: np.random.Generator,
+        size: int = 3,
+    ) -> ArrayConfiguration:
+        picks = rng.integers(0, len(population), size=min(size, len(population)))
+        winner = max(picks, key=lambda index: scores[int(index)])
+        return population[int(winner)]

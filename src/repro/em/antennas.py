@@ -1,0 +1,144 @@
+"""Antenna gain-pattern models.
+
+The paper's prototype uses three antenna types (§3.1, §4.1):
+
+* 2 dBi omni-directional antennas (PulseLarsen W1030) at the endpoints;
+* a 14 dBi, 21° azimuthal-beamwidth parabolic antenna (Laird GD24BP) as a
+  PRESS element;
+* hypothetical log-periodic / custom PCB directional antennas (§4.1) as
+  wall-embeddable alternatives.
+
+Patterns are azimuthal (2-D) power gains.  ``gain_dbi(angle)`` returns the
+gain toward ``angle`` measured relative to the antenna's boresight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import db_to_linear
+
+__all__ = [
+    "Antenna",
+    "IsotropicAntenna",
+    "OmniAntenna",
+    "ParabolicAntenna",
+    "LogPeriodicAntenna",
+    "GAIN_FLOOR_DBI",
+]
+
+#: Back-lobe floor used by directional patterns [dBi].  Real parabolic dishes
+#: have front-to-back ratios of 20-30 dB; we model a conservative floor
+#: rather than a hard null so directional elements never disappear entirely.
+GAIN_FLOOR_DBI = -20.0
+
+
+def _wrap_angle(angle_rad: float) -> float:
+    """Wrap an angle to (-pi, pi]."""
+    wrapped = math.remainder(angle_rad, 2.0 * math.pi)
+    # math.remainder returns in [-pi, pi]; map -pi to +pi for a half-open range.
+    if wrapped <= -math.pi:
+        wrapped += 2.0 * math.pi
+    return wrapped
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """Base antenna: isotropic unless a subclass overrides the pattern.
+
+    Attributes
+    ----------
+    boresight_rad:
+        Direction the antenna points, in scene coordinates (radians from the
+        +x axis).  Omnidirectional patterns ignore it.
+    """
+
+    boresight_rad: float = 0.0
+
+    def gain_dbi(self, angle_rad: float) -> float:
+        """Power gain [dBi] toward absolute scene direction ``angle_rad``."""
+        return self.pattern_dbi(_wrap_angle(angle_rad - self.boresight_rad))
+
+    def gain_linear(self, angle_rad: float) -> float:
+        """Power gain (linear) toward absolute scene direction ``angle_rad``."""
+        return float(db_to_linear(self.gain_dbi(angle_rad)))
+
+    def amplitude_gain(self, angle_rad: float) -> float:
+        """Field (voltage) gain toward ``angle_rad`` — sqrt of the power gain."""
+        return math.sqrt(self.gain_linear(angle_rad))
+
+    def pattern_dbi(self, offset_rad: float) -> float:
+        """Gain [dBi] at ``offset_rad`` from boresight.  Isotropic: 0 dBi."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class IsotropicAntenna(Antenna):
+    """Ideal 0 dBi isotropic radiator (reference antenna for link budgets)."""
+
+
+@dataclass(frozen=True)
+class OmniAntenna(Antenna):
+    """Omnidirectional antenna with flat azimuthal gain.
+
+    Default 2 dBi matches the PulseLarsen W1030 endpoints of §3.1.
+    """
+
+    peak_gain_dbi: float = 2.0
+
+    def pattern_dbi(self, offset_rad: float) -> float:
+        return self.peak_gain_dbi
+
+
+@dataclass(frozen=True)
+class ParabolicAntenna(Antenna):
+    """Parabolic reflector antenna with a Gaussian main lobe.
+
+    Defaults match the Laird GD24BP used as a PRESS element in §3.1:
+    14 dBi peak gain and 21° azimuthal half-power beamwidth.
+
+    The main lobe is the standard Gaussian-beam approximation: gain drops by
+    3 dB at ``beamwidth/2`` off boresight.  Outside the main lobe the gain is
+    clamped to :data:`GAIN_FLOOR_DBI`.
+    """
+
+    peak_gain_dbi: float = 14.0
+    beamwidth_deg: float = 21.0
+
+    def pattern_dbi(self, offset_rad: float) -> float:
+        if self.beamwidth_deg <= 0:
+            raise ValueError(f"beamwidth_deg must be positive, got {self.beamwidth_deg}")
+        half_beamwidth_rad = math.radians(self.beamwidth_deg) / 2.0
+        rolloff_db = 3.0 * (offset_rad / half_beamwidth_rad) ** 2
+        return max(self.peak_gain_dbi - rolloff_db, GAIN_FLOOR_DBI)
+
+
+@dataclass(frozen=True)
+class LogPeriodicAntenna(Antenna):
+    """Wall-embeddable directional antenna (§4.1 alternative to a dish).
+
+    Moderately directional: defaults to 6 dBi with a 60° half-power
+    beamwidth, typical of PCB log-periodic designs at 2.4 GHz.
+    """
+
+    peak_gain_dbi: float = 6.0
+    beamwidth_deg: float = 60.0
+
+    def pattern_dbi(self, offset_rad: float) -> float:
+        if self.beamwidth_deg <= 0:
+            raise ValueError(f"beamwidth_deg must be positive, got {self.beamwidth_deg}")
+        half_beamwidth_rad = math.radians(self.beamwidth_deg) / 2.0
+        rolloff_db = 3.0 * (offset_rad / half_beamwidth_rad) ** 2
+        return max(self.peak_gain_dbi - rolloff_db, GAIN_FLOOR_DBI)
+
+
+def effective_aperture_m2(gain_linear: float, wavelength_m: float) -> float:
+    """Effective aperture A_e = G λ² / 4π of an antenna with linear gain G."""
+    if gain_linear < 0:
+        raise ValueError(f"gain_linear must be non-negative, got {gain_linear}")
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength_m must be positive, got {wavelength_m}")
+    return gain_linear * wavelength_m**2 / (4.0 * math.pi)

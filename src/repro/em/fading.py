@@ -1,0 +1,152 @@
+"""Statistical small-scale fading models.
+
+The geometric ray tracer produces deterministic, scene-specific channels.
+For Monte-Carlo studies that don't need geometry (e.g. MIMO conditioning
+statistics, rate-adaptation sweeps), this module provides the classical
+stochastic models: Rayleigh and Rician tapped-delay-line channels with an
+exponential power-delay profile, and a Jakes-style Doppler evolution for
+time-varying studies.
+
+Channels are returned as :class:`~repro.em.paths.SignalPath` lists so they
+plug into the same CFR machinery as ray-traced channels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .paths import SignalPath
+
+__all__ = ["TapDelayProfile", "rayleigh_paths", "rician_paths", "jakes_doppler_paths"]
+
+
+@dataclass(frozen=True)
+class TapDelayProfile:
+    """An exponential power-delay profile.
+
+    Attributes
+    ----------
+    num_taps:
+        Number of delay taps.
+    tap_spacing_s:
+        Delay between consecutive taps (seconds).
+    rms_delay_spread_s:
+        RMS delay spread of the exponential decay.  Typical indoor values
+        are 20-100 ns.
+    total_power:
+        Sum of tap powers (linear).  Tap powers are normalised to this.
+    """
+
+    num_taps: int = 8
+    tap_spacing_s: float = 50e-9
+    rms_delay_spread_s: float = 50e-9
+    total_power: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_taps <= 0:
+            raise ValueError(f"num_taps must be positive, got {self.num_taps}")
+        if self.tap_spacing_s <= 0:
+            raise ValueError(f"tap_spacing_s must be positive, got {self.tap_spacing_s}")
+        if self.rms_delay_spread_s <= 0:
+            raise ValueError(
+                f"rms_delay_spread_s must be positive, got {self.rms_delay_spread_s}"
+            )
+        if self.total_power <= 0:
+            raise ValueError(f"total_power must be positive, got {self.total_power}")
+
+    def tap_delays_s(self) -> np.ndarray:
+        """Delay of each tap."""
+        return np.arange(self.num_taps) * self.tap_spacing_s
+
+    def tap_powers(self) -> np.ndarray:
+        """Mean power of each tap (linear), normalised to ``total_power``."""
+        delays = self.tap_delays_s()
+        powers = np.exp(-delays / self.rms_delay_spread_s)
+        return powers / powers.sum() * self.total_power
+
+
+def rayleigh_paths(
+    profile: TapDelayProfile,
+    rng: np.random.Generator,
+) -> list[SignalPath]:
+    """One Rayleigh-fading channel realisation as a list of paths.
+
+    Each tap's gain is zero-mean complex Gaussian with the profile's tap
+    power (classical wide-sense-stationary uncorrelated-scattering model).
+    """
+    powers = profile.tap_powers()
+    delays = profile.tap_delays_s()
+    paths = []
+    for power, delay in zip(powers, delays):
+        sigma = math.sqrt(power / 2.0)
+        gain = complex(
+            rng.normal(scale=sigma),
+            rng.normal(scale=sigma),
+        )
+        paths.append(SignalPath(gain=gain, delay_s=float(delay), kind="rayleigh-tap"))
+    return paths
+
+
+def rician_paths(
+    profile: TapDelayProfile,
+    k_factor_db: float,
+    rng: np.random.Generator,
+    los_delay_s: float = 0.0,
+) -> list[SignalPath]:
+    """One Rician channel realisation: a fixed LoS tap plus Rayleigh taps.
+
+    Parameters
+    ----------
+    profile:
+        Delay profile of the diffuse (Rayleigh) component.
+    k_factor_db:
+        Rician K-factor: LoS power over total diffuse power, in dB.
+    rng:
+        Random generator.
+    los_delay_s:
+        Delay of the specular component.
+    """
+    k_linear = 10.0 ** (k_factor_db / 10.0)
+    diffuse_power = profile.total_power
+    los_power = k_linear * diffuse_power
+    phase = rng.uniform(0.0, 2.0 * math.pi)
+    los = SignalPath(
+        gain=math.sqrt(los_power) * complex(math.cos(phase), math.sin(phase)),
+        delay_s=los_delay_s,
+        kind="los",
+    )
+    return [los] + rayleigh_paths(profile, rng)
+
+
+def jakes_doppler_paths(
+    profile: TapDelayProfile,
+    max_doppler_hz: float,
+    rng: np.random.Generator,
+) -> list[SignalPath]:
+    """A Rayleigh realisation whose taps carry Jakes-distributed Doppler.
+
+    Each tap is assigned a Doppler shift ``f_D * cos(alpha)`` with alpha
+    uniform — the classical isotropic-scattering (Jakes) assumption — so
+    that evaluating the CFR at different times in
+    :func:`repro.em.paths.paths_to_cfr` produces a correctly correlated
+    time-varying channel.
+    """
+    if max_doppler_hz < 0:
+        raise ValueError(f"max_doppler_hz must be non-negative, got {max_doppler_hz}")
+    paths = rayleigh_paths(profile, rng)
+    dopplered = []
+    for path in paths:
+        alpha = rng.uniform(0.0, 2.0 * math.pi)
+        dopplered.append(
+            SignalPath(
+                gain=path.gain,
+                delay_s=path.delay_s,
+                doppler_hz=max_doppler_hz * math.cos(alpha),
+                kind="jakes-tap",
+            )
+        )
+    return dopplered

@@ -1,0 +1,327 @@
+"""Planar geometry primitives for the indoor propagation simulator.
+
+The PRESS exploratory study (§3) takes place in a single indoor room with
+the direct transmitter–receiver path deliberately blocked.  We model the
+scene in 2-D (a floor-plan view): walls and obstacles are line segments,
+radios and PRESS elements are points.  2-D image-method ray tracing captures
+the mechanism the paper relies on — multiple specular paths with distinct
+delays superposing at the receiver — while staying cheap enough to sweep the
+full 64-configuration space thousands of times in the benchmarks.
+
+All coordinates are in metres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Point",
+    "Segment",
+    "Wall",
+    "Obstacle",
+    "distance",
+    "mirror_point",
+    "segments_intersect",
+    "segment_intersection",
+]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or free vector) in the 2-D floor plan."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Inner product treating both points as vectors."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 2-D cross product."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length treating the point as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def normalized(self) -> "Point":
+        """Unit vector in the same direction.
+
+        Raises
+        ------
+        ValueError
+            If the vector is (numerically) zero.
+        """
+        n = self.norm()
+        if n < _EPS:
+            raise ValueError("cannot normalize a zero-length vector")
+        return Point(self.x / n, self.y / n)
+
+    def angle(self) -> float:
+        """Angle of the vector from the +x axis, in radians, in (-pi, pi]."""
+        return math.atan2(self.y, self.x)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A finite line segment between two points."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        return distance(self.start, self.end)
+
+    def direction(self) -> Point:
+        """Unit vector from start to end."""
+        return (self.end - self.start).normalized()
+
+    def normal(self) -> Point:
+        """Unit normal (left-hand perpendicular of the direction)."""
+        d = self.direction()
+        return Point(-d.y, d.x)
+
+    def midpoint(self) -> Point:
+        return Point((self.start.x + self.end.x) / 2.0, (self.start.y + self.end.y) / 2.0)
+
+    def point_at(self, t: float) -> Point:
+        """Point at parameter ``t`` in [0, 1] along the segment."""
+        return Point(
+            self.start.x + t * (self.end.x - self.start.x),
+            self.start.y + t * (self.end.y - self.start.y),
+        )
+
+    def contains_point(self, p: Point, tol: float = 1e-6) -> bool:
+        """Whether ``p`` lies on the segment within tolerance ``tol``."""
+        d = self.end - self.start
+        seg_len = d.norm()
+        if seg_len < _EPS:
+            return distance(self.start, p) <= tol
+        # Perpendicular distance from the infinite line.
+        rel = p - self.start
+        perp = abs(d.cross(rel)) / seg_len
+        if perp > tol:
+            return False
+        t = rel.dot(d) / (seg_len * seg_len)
+        return -tol / seg_len <= t <= 1.0 + tol / seg_len
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A reflecting wall: a segment plus a material name.
+
+    The material name is resolved to a complex reflection coefficient by
+    :mod:`repro.em.materials`.
+    """
+
+    segment: Segment
+    material: str = "drywall"
+
+    @property
+    def start(self) -> Point:
+        return self.segment.start
+
+    @property
+    def end(self) -> Point:
+        return self.segment.end
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """An absorbing blocker (e.g. the metal sheet used in §3.2 to block LoS).
+
+    An obstacle blocks any ray crossing its segment; it contributes no
+    specular reflection of its own (the paper's blocker is modelled as
+    perfectly absorbing, which is the conservative choice for reproducing a
+    non-line-of-sight link).
+    """
+
+    segment: Segment
+    name: str = "blocker"
+
+
+def mirror_point(p: Point, seg: Segment) -> Point:
+    """Mirror point ``p`` across the infinite line through ``seg``.
+
+    This is the core operation of image-method ray tracing: the specular
+    reflection of a source off a wall behaves as if radiated by the source's
+    mirror image.
+    """
+    d = seg.end - seg.start
+    seg_len2 = d.dot(d)
+    if seg_len2 < _EPS * _EPS:
+        raise ValueError("cannot mirror across a zero-length segment")
+    rel = p - seg.start
+    t = rel.dot(d) / seg_len2
+    foot = seg.start + t * d
+    return Point(2.0 * foot.x - p.x, 2.0 * foot.y - p.y)
+
+
+def segment_intersection(a: Segment, b: Segment) -> Optional[Point]:
+    """Intersection point of two segments, or ``None`` if they do not cross.
+
+    Endpoints touching count as an intersection.  Collinear overlapping
+    segments return a representative point (the start of the overlap).
+    """
+    p, r = a.start, a.end - a.start
+    q, s = b.start, b.end - b.start
+    rxs = r.cross(s)
+    q_p = q - p
+    if abs(rxs) < _EPS:
+        # Parallel.  Check collinearity + overlap.
+        if abs(q_p.cross(r)) > _EPS:
+            return None
+        r_len2 = r.dot(r)
+        if r_len2 < _EPS * _EPS:
+            # ``a`` is a point.
+            return a.start if b.contains_point(a.start) else None
+        t0 = q_p.dot(r) / r_len2
+        t1 = t0 + s.dot(r) / r_len2
+        lo, hi = min(t0, t1), max(t0, t1)
+        if hi < -_EPS or lo > 1.0 + _EPS:
+            return None
+        t = max(0.0, lo)
+        return a.point_at(min(1.0, t))
+    t = q_p.cross(s) / rxs
+    u = q_p.cross(r) / rxs
+    if -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS:
+        return a.point_at(min(1.0, max(0.0, t)))
+    return None
+
+
+def segments_intersect(a: Segment, b: Segment) -> bool:
+    """Whether two segments intersect (endpoints touching count)."""
+    return segment_intersection(a, b) is not None
+
+
+def path_is_blocked(
+    start: Point,
+    end: Point,
+    obstacles: Iterable[Obstacle],
+    ignore_endpoints: bool = True,
+    endpoint_tol: float = 1e-6,
+) -> bool:
+    """Whether the straight path ``start``→``end`` crosses any obstacle.
+
+    Parameters
+    ----------
+    start, end:
+        Ray endpoints.
+    obstacles:
+        Blocking segments.
+    ignore_endpoints:
+        If true, an intersection that coincides with ``start`` or ``end``
+        (e.g. a reflection point that sits exactly on a wall shared with an
+        obstacle corner) does not count as blockage.
+    """
+    ray = Segment(start, end)
+    for obstacle in obstacles:
+        hit = segment_intersection(ray, obstacle.segment)
+        if hit is None:
+            continue
+        if ignore_endpoints and (
+            distance(hit, start) <= endpoint_tol or distance(hit, end) <= endpoint_tol
+        ):
+            continue
+        return True
+    return False
+
+
+def rectangle_walls(
+    width: float,
+    height: float,
+    material: str = "drywall",
+    origin: Point = Point(0.0, 0.0),
+) -> list[Wall]:
+    """Four walls of an axis-aligned rectangular room.
+
+    Parameters
+    ----------
+    width, height:
+        Interior dimensions in metres; both must be positive.
+    material:
+        Material name applied to all four walls.
+    origin:
+        Bottom-left interior corner.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError(f"room dimensions must be positive, got {width} x {height}")
+    x0, y0 = origin.x, origin.y
+    corners = [
+        Point(x0, y0),
+        Point(x0 + width, y0),
+        Point(x0 + width, y0 + height),
+        Point(x0, y0 + height),
+    ]
+    walls = []
+    for i in range(4):
+        seg = Segment(corners[i], corners[(i + 1) % 4])
+        walls.append(Wall(segment=seg, material=material))
+    return walls
+
+
+def points_on_grid(
+    n: int,
+    x_range: tuple[float, float],
+    y_range: tuple[float, float],
+    rows: int,
+    cols: int,
+    rng,
+) -> list[Point]:
+    """Pick ``n`` distinct cells of a ``rows`` x ``cols`` grid and return their centres.
+
+    Mirrors the §3.2 setup, where PRESS antennas are placed at "randomly
+    generated locations in a grid 1–2 meters from both the transmitting and
+    receiving antennas".
+
+    Parameters
+    ----------
+    n:
+        Number of grid cells to select (without replacement).
+    x_range, y_range:
+        Extent of the grid.
+    rows, cols:
+        Grid granularity; ``rows * cols`` must be at least ``n``.
+    rng:
+        A ``numpy.random.Generator``.
+    """
+    if rows * cols < n:
+        raise ValueError(f"grid has {rows * cols} cells but {n} points requested")
+    chosen = rng.choice(rows * cols, size=n, replace=False)
+    dx = (x_range[1] - x_range[0]) / cols
+    dy = (y_range[1] - y_range[0]) / rows
+    points = []
+    for cell in chosen:
+        row, col = divmod(int(cell), cols)
+        points.append(
+            Point(
+                x_range[0] + (col + 0.5) * dx,
+                y_range[0] + (row + 0.5) * dy,
+            )
+        )
+    return points

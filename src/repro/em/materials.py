@@ -1,0 +1,86 @@
+"""Wall-material reflection models.
+
+Each wall in the scene carries a material name; the ray tracer looks up a
+complex reflection coefficient for each bounce.  The values are amplitude
+reflection coefficients at ~2.4 GHz for typical building materials, drawn
+from the ITU-R P.2040 building-materials tables and the indoor-propagation
+literature.  Exact values are not critical to reproducing the paper — what
+matters is that environment reflections are strong enough (relative to the
+PRESS element reflections) to create frequency-selective fading in NLoS
+scenes, which these are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Material", "get_material", "register_material", "MATERIALS"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """A reflecting building material.
+
+    Attributes
+    ----------
+    name:
+        Lookup key.
+    reflection_amplitude:
+        Magnitude of the field reflection coefficient in [0, 1].
+    reflection_phase_rad:
+        Phase shift applied on reflection.  Conductors reflect with a ~pi
+        phase flip; lossy dielectrics are modelled with the same flip, which
+        is accurate near grazing incidence and immaterial to the statistics
+        we reproduce.
+    """
+
+    name: str
+    reflection_amplitude: float
+    reflection_phase_rad: float = 3.141592653589793
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reflection_amplitude <= 1.0:
+            raise ValueError(
+                f"reflection_amplitude must be in [0, 1], got {self.reflection_amplitude}"
+            )
+
+    @property
+    def reflection_coefficient(self) -> complex:
+        """Complex field reflection coefficient."""
+        import cmath
+
+        return self.reflection_amplitude * cmath.exp(1j * self.reflection_phase_rad)
+
+
+MATERIALS: dict[str, Material] = {}
+
+
+def register_material(material: Material) -> Material:
+    """Add (or replace) a material in the global registry."""
+    MATERIALS[material.name] = material
+    return material
+
+
+def get_material(name: str) -> Material:
+    """Look up a material by name.
+
+    Raises
+    ------
+    KeyError
+        If the material has not been registered, listing known names.
+    """
+    try:
+        return MATERIALS[name]
+    except KeyError:
+        known = ", ".join(sorted(MATERIALS))
+        raise KeyError(f"unknown material {name!r}; known materials: {known}") from None
+
+
+# Default registry: |Gamma| at ~2.4 GHz, moderate incidence.
+register_material(Material("metal", 0.95))
+register_material(Material("concrete", 0.60))
+register_material(Material("brick", 0.50))
+register_material(Material("drywall", 0.35))
+register_material(Material("glass", 0.40))
+register_material(Material("wood", 0.30))
+register_material(Material("absorber", 0.02))

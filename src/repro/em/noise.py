@@ -1,0 +1,55 @@
+"""Receiver noise models.
+
+Complex additive white Gaussian noise (AWGN) generation for the sample-level
+PHY simulations, plus noise-power bookkeeping that matches the frequency-
+domain SNR computations in :mod:`repro.em.channel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import thermal_noise_power_w
+
+__all__ = ["awgn", "noise_power_per_subcarrier_w", "add_noise"]
+
+
+def awgn(
+    shape: tuple[int, ...] | int,
+    noise_power_w: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Complex AWGN samples with total power ``noise_power_w`` per sample."""
+    if noise_power_w < 0:
+        raise ValueError(f"noise_power_w must be non-negative, got {noise_power_w}")
+    sigma = np.sqrt(noise_power_w / 2.0)
+    return sigma * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+
+
+def noise_power_per_subcarrier_w(
+    bandwidth_hz: float,
+    num_subcarriers: int,
+    noise_figure_db: float = 0.0,
+) -> float:
+    """Thermal noise power in one subcarrier's bandwidth."""
+    if num_subcarriers <= 0:
+        raise ValueError(f"num_subcarriers must be positive, got {num_subcarriers}")
+    return thermal_noise_power_w(bandwidth_hz / num_subcarriers, noise_figure_db)
+
+
+def add_noise(
+    samples: np.ndarray,
+    snr_db: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Add complex AWGN scaled to achieve ``snr_db`` against the signal power.
+
+    The signal power is measured from ``samples`` (mean |x|^2), so the
+    function realises the requested SNR exactly in expectation regardless of
+    the input's scaling.
+    """
+    signal_power = float(np.mean(np.abs(samples) ** 2))
+    if signal_power == 0.0:
+        return samples.copy()
+    noise_power = signal_power / 10.0 ** (snr_db / 10.0)
+    return samples + awgn(samples.shape, noise_power, rng)

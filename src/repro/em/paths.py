@@ -1,0 +1,150 @@
+"""The multipath signal model of §2.
+
+The paper adopts the standard parametric signal model (Tse & Viswanath): the
+channel between a sender and receiver is a superposition of paths, each
+characterised by its angle of departure phi_l, propagation delay tau_l,
+Doppler shift gamma_l and angle of arrival theta_l, plus a complex gain.
+:class:`SignalPath` carries exactly those parameters, and
+:func:`paths_to_cfr` synthesises the channel frequency response
+
+    H(f, t) = sum_l  g_l  e^{j 2 pi gamma_l t}  e^{-j 2 pi f tau_l}
+
+on an arbitrary frequency grid.  PRESS's "inverse problem" (§2) — given a
+desired H, find path parameters whose superposition produces it — is solved
+against this same model in :mod:`repro.core.inverse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SignalPath", "paths_to_cfr", "paths_to_cir", "total_path_power"]
+
+
+@dataclass(frozen=True)
+class SignalPath:
+    """One propagation path in the §2 signal model.
+
+    Attributes
+    ----------
+    gain:
+        Complex field gain of the path (includes antenna gains, path loss,
+        reflection losses and the carrier-phase rotation at f=0 of the
+        baseband grid — i.e. the phase accumulated at the carrier).
+    delay_s:
+        Propagation delay tau_l in seconds, measured over the air (and any
+        waveguide stubs inside PRESS elements).
+    aod_rad:
+        Angle of departure phi_l from the transmitter, radians in scene
+        coordinates.
+    aoa_rad:
+        Angle of arrival theta_l at the receiver, radians.
+    doppler_hz:
+        Doppler shift gamma_l in hertz (0 for the static scenes of §3).
+    kind:
+        Free-form tag describing the path's origin: ``"los"``,
+        ``"wall-reflection"``, ``"press-element"``, ``"scatterer"``,
+        ``"active-element"`` ...  Used by analyses that separate the PRESS
+        contribution from the ambient environment.
+    hops:
+        Number of interactions (reflections/retransmissions) along the path.
+    """
+
+    gain: complex
+    delay_s: float
+    aod_rad: float = 0.0
+    aoa_rad: float = 0.0
+    doppler_hz: float = 0.0
+    kind: str = "generic"
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {self.delay_s}")
+        if self.hops < 0:
+            raise ValueError(f"hops must be non-negative, got {self.hops}")
+
+    @property
+    def power(self) -> float:
+        """Path power |g_l|^2."""
+        return float(abs(self.gain) ** 2)
+
+    def scaled(self, factor: complex) -> "SignalPath":
+        """A copy of this path with the gain multiplied by ``factor``."""
+        return replace(self, gain=self.gain * factor)
+
+    def delayed(self, extra_delay_s: float) -> "SignalPath":
+        """A copy with ``extra_delay_s`` added to the propagation delay."""
+        return replace(self, delay_s=self.delay_s + extra_delay_s)
+
+
+def paths_to_cfr(
+    paths: Sequence[SignalPath] | Iterable[SignalPath],
+    frequencies_hz: np.ndarray,
+    time_s: float = 0.0,
+) -> np.ndarray:
+    """Channel frequency response of a path superposition.
+
+    Parameters
+    ----------
+    paths:
+        The multipath components.
+    frequencies_hz:
+        Frequency grid — *baseband* offsets from the carrier (the carrier
+        phase is already folded into each path's complex gain).
+    time_s:
+        Observation time; only matters when paths carry Doppler.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex H of the same shape as ``frequencies_hz``.
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    response = np.zeros(freqs.shape, dtype=complex)
+    for path in paths:
+        phase = -2.0j * np.pi * freqs * path.delay_s
+        doppler = 2.0j * np.pi * path.doppler_hz * time_s
+        response += path.gain * np.exp(phase + doppler)
+    return response
+
+
+def paths_to_cir(
+    paths: Sequence[SignalPath],
+    sample_rate_hz: float,
+    num_taps: int,
+) -> np.ndarray:
+    """Discrete channel impulse response (tapped delay line).
+
+    Each path's energy is placed on the nearest tap of a uniform delay grid
+    with spacing ``1/sample_rate_hz``.  Paths whose delay exceeds the grid
+    are folded onto the last tap so that total power is conserved (and the
+    caller can detect an undersized grid by inspecting the final tap).
+
+    Parameters
+    ----------
+    paths:
+        Multipath components.
+    sample_rate_hz:
+        Tap spacing is one sample at this rate.
+    num_taps:
+        Length of the returned tap vector.
+    """
+    if sample_rate_hz <= 0:
+        raise ValueError(f"sample_rate_hz must be positive, got {sample_rate_hz}")
+    if num_taps <= 0:
+        raise ValueError(f"num_taps must be positive, got {num_taps}")
+    taps = np.zeros(num_taps, dtype=complex)
+    for path in paths:
+        index = int(round(path.delay_s * sample_rate_hz))
+        index = min(index, num_taps - 1)
+        taps[index] += path.gain
+    return taps
+
+
+def total_path_power(paths: Iterable[SignalPath]) -> float:
+    """Sum of |g_l|^2 over all paths (incoherent total received power)."""
+    return float(sum(path.power for path in paths))

@@ -1,0 +1,431 @@
+"""Image-method ray tracer.
+
+Computes the discrete multipath components (:class:`~repro.em.paths.SignalPath`)
+between a transmitter and receiver in a :class:`~repro.em.scene.Scene`:
+
+* the direct (line-of-sight) path, when not blocked;
+* specular wall reflections up to two bounces, found with the classical
+  image method (mirror the source across each wall, then across each ordered
+  wall pair);
+* single-bounce scattering off point scatterers;
+* arbitrary two-hop relays (used by :mod:`repro.core` to model PRESS
+  elements, which are exactly "antennas that re-radiate with a programmable
+  reflection coefficient").
+
+Amplitudes follow the Friis free-space law per hop: a one-hop field gain of
+``lambda / (4 pi d)`` times the endpoint antennas' field gains; reflections
+multiply in the wall material's complex reflection coefficient; two-hop
+relays multiply the two hop gains and the relay's re-radiation pattern
+(the standard backscatter link budget).  Carrier phase ``-2 pi L / lambda``
+is folded into the complex path gain, and the propagation delay ``L / c``
+drives per-subcarrier phase in :func:`repro.em.paths.paths_to_cfr`.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
+from .antennas import Antenna, IsotropicAntenna
+from .geometry import (
+    Point,
+    Segment,
+    Wall,
+    distance,
+    mirror_point,
+    segment_intersection,
+)
+from .materials import get_material
+from .paths import SignalPath
+from .scene import Scatterer, Scene
+
+__all__ = [
+    "RayTracer",
+    "free_space_amplitude",
+    "carrier_phase",
+    "two_hop_gain",
+]
+
+#: Minimum hop distance [m] used in amplitude calculations, preventing the
+#: near-field singularity of the Friis law when geometry degenerates.
+MIN_HOP_DISTANCE_M = 0.05
+
+_ENDPOINT_TOL = 1e-6
+
+
+def free_space_amplitude(distance_m: float, wavelength_m: float) -> float:
+    """One-hop free-space field gain ``lambda / (4 pi d)``.
+
+    Distances below :data:`MIN_HOP_DISTANCE_M` are clamped.
+    """
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength_m must be positive, got {wavelength_m}")
+    d = max(distance_m, MIN_HOP_DISTANCE_M)
+    return wavelength_m / (4.0 * math.pi * d)
+
+
+def carrier_phase(total_length_m: float, wavelength_m: float) -> complex:
+    """Carrier-phase rotation ``e^{-j 2 pi L / lambda}`` over path length L."""
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength_m must be positive, got {wavelength_m}")
+    return cmath.exp(-2.0j * math.pi * total_length_m / wavelength_m)
+
+
+def two_hop_gain(
+    d1_m: float,
+    d2_m: float,
+    wavelength_m: float,
+    tx_field_gain: float = 1.0,
+    rx_field_gain: float = 1.0,
+    relay_field_gain_in: float = 1.0,
+    relay_field_gain_out: float = 1.0,
+    reflectivity: complex = 1.0 + 0.0j,
+) -> complex:
+    """Complex field gain of a TX -> relay -> RX path.
+
+    This is the backscatter link budget: the relay captures the incident
+    field with its receive pattern, scales it by its complex reflectivity
+    (for PRESS: the switched reflection coefficient), and re-radiates with
+    its transmit pattern.  Carrier phase over ``d1 + d2`` is included.
+    """
+    amplitude = (
+        free_space_amplitude(d1_m, wavelength_m)
+        * free_space_amplitude(d2_m, wavelength_m)
+        * tx_field_gain
+        * rx_field_gain
+        * relay_field_gain_in
+        * relay_field_gain_out
+    )
+    return amplitude * reflectivity * carrier_phase(d1_m + d2_m, wavelength_m)
+
+
+@dataclass(frozen=True)
+class RayTracer:
+    """Traces multipath components through a scene.
+
+    Attributes
+    ----------
+    scene:
+        The environment (walls, obstacles, scatterers).
+    frequency_hz:
+        Carrier frequency; sets the wavelength used for amplitudes and
+        carrier phase.
+    max_bounces:
+        Maximum number of specular wall bounces (0, 1 or 2).
+    """
+
+    scene: Scene
+    frequency_hz: float = CARRIER_FREQUENCY_HZ
+    max_bounces: int = 2
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency_hz must be positive, got {self.frequency_hz}")
+        if not 0 <= self.max_bounces <= 2:
+            raise ValueError(f"max_bounces must be 0, 1 or 2, got {self.max_bounces}")
+
+    @property
+    def wavelength_m(self) -> float:
+        return SPEED_OF_LIGHT / self.frequency_hz
+
+    # ------------------------------------------------------------------
+    # Blockage
+    # ------------------------------------------------------------------
+    def leg_is_clear(
+        self,
+        start: Point,
+        end: Point,
+        exclude: Sequence[Segment] = (),
+    ) -> bool:
+        """Whether a straight leg crosses no opaque segment.
+
+        Segments in ``exclude`` (the walls the leg reflects off) are
+        skipped, as are crossings that coincide with the leg's endpoints —
+        a reflection point lies exactly on its wall by construction.
+        """
+        leg = Segment(start, end)
+        for segment in self.scene.blocking_segments():
+            if any(_same_segment(segment, other) for other in exclude):
+                continue
+            hit = segment_intersection(leg, segment)
+            if hit is None:
+                continue
+            if (
+                distance(hit, start) <= _ENDPOINT_TOL
+                or distance(hit, end) <= _ENDPOINT_TOL
+            ):
+                continue
+            return False
+        return True
+
+    def has_line_of_sight(self, tx: Point, rx: Point) -> bool:
+        """Whether the direct TX->RX path is unobstructed."""
+        return self.leg_is_clear(tx, rx)
+
+    # ------------------------------------------------------------------
+    # Path construction
+    # ------------------------------------------------------------------
+    def trace(
+        self,
+        tx: Point,
+        rx: Point,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+        include_los: bool = True,
+        include_scatterers: bool = True,
+    ) -> list[SignalPath]:
+        """All multipath components from ``tx`` to ``rx``.
+
+        Returns LoS (if clear and requested), wall reflections up to
+        ``max_bounces``, and scatterer bounces.  PRESS element paths are not
+        produced here — the PRESS array layer adds them on top (they depend
+        on the array configuration).
+        """
+        paths: list[SignalPath] = []
+        if include_los:
+            los = self.line_of_sight_path(tx, rx, tx_antenna, rx_antenna)
+            if los is not None:
+                paths.append(los)
+        if self.max_bounces >= 1:
+            paths.extend(self.single_bounce_paths(tx, rx, tx_antenna, rx_antenna))
+        if self.max_bounces >= 2:
+            paths.extend(self.double_bounce_paths(tx, rx, tx_antenna, rx_antenna))
+        if include_scatterers:
+            paths.extend(self.scatterer_paths(tx, rx, tx_antenna, rx_antenna))
+        return paths
+
+    def line_of_sight_path(
+        self,
+        tx: Point,
+        rx: Point,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+    ) -> Optional[SignalPath]:
+        """The direct path, or ``None`` if it is blocked."""
+        if not self.has_line_of_sight(tx, rx):
+            return None
+        d = distance(tx, rx)
+        aod = (rx - tx).angle()
+        aoa = (tx - rx).angle()
+        amplitude = (
+            free_space_amplitude(d, self.wavelength_m)
+            * tx_antenna.amplitude_gain(aod)
+            * rx_antenna.amplitude_gain(aoa)
+        )
+        gain = amplitude * carrier_phase(d, self.wavelength_m)
+        return SignalPath(
+            gain=gain,
+            delay_s=d / SPEED_OF_LIGHT,
+            aod_rad=aod,
+            aoa_rad=aoa,
+            kind="los",
+            hops=0,
+        )
+
+    def single_bounce_paths(
+        self,
+        tx: Point,
+        rx: Point,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+    ) -> list[SignalPath]:
+        """Specular one-bounce wall reflections (image method)."""
+        paths: list[SignalPath] = []
+        for wall in self.scene.walls:
+            path = self._wall_path(tx, rx, [wall], tx_antenna, rx_antenna)
+            if path is not None:
+                paths.append(path)
+        return paths
+
+    def double_bounce_paths(
+        self,
+        tx: Point,
+        rx: Point,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+    ) -> list[SignalPath]:
+        """Specular two-bounce wall reflections over ordered wall pairs."""
+        paths: list[SignalPath] = []
+        for first in self.scene.walls:
+            for second in self.scene.walls:
+                if _same_segment(first.segment, second.segment):
+                    continue
+                path = self._wall_path(tx, rx, [first, second], tx_antenna, rx_antenna)
+                if path is not None:
+                    paths.append(path)
+        return paths
+
+    def _wall_path(
+        self,
+        tx: Point,
+        rx: Point,
+        walls: Sequence[Wall],
+        tx_antenna: Antenna,
+        rx_antenna: Antenna,
+    ) -> Optional[SignalPath]:
+        """Specular path bouncing off ``walls`` in order, or ``None``.
+
+        Uses the image method: mirror the source across each wall in
+        sequence, then walk back from the receiver to recover the physical
+        reflection points, validating that each lies on its wall segment and
+        each leg is unobstructed.
+        """
+        # Forward pass: iterated images of the transmitter.
+        images = [tx]
+        for wall in walls:
+            images.append(mirror_point(images[-1], wall.segment))
+        # Backward pass: recover reflection points.
+        vertices = [rx]
+        target = rx
+        valid = True
+        for index in range(len(walls) - 1, -1, -1):
+            wall = walls[index]
+            ray = Segment(images[index + 1], target)
+            hit = segment_intersection(ray, wall.segment)
+            if hit is None or not wall.segment.contains_point(hit, tol=1e-6):
+                valid = False
+                break
+            vertices.append(hit)
+            target = hit
+        if not valid:
+            return None
+        vertices.append(tx)
+        vertices.reverse()  # tx, refl_1, ..., refl_k, rx
+        # Degenerate geometry (reflection point coincides with an endpoint)
+        # produces zero-length legs; treat as no path.
+        legs = list(zip(vertices[:-1], vertices[1:]))
+        if any(distance(a, b) <= _ENDPOINT_TOL for a, b in legs):
+            return None
+        # Blockage: each leg must be clear, ignoring the walls it touches.
+        for leg_index, (start, end) in enumerate(legs):
+            exclude: list[Segment] = []
+            if leg_index > 0:
+                exclude.append(walls[leg_index - 1].segment)
+            if leg_index < len(walls):
+                exclude.append(walls[leg_index].segment)
+            if not self.leg_is_clear(start, end, exclude=exclude):
+                return None
+        total_length = sum(distance(a, b) for a, b in legs)
+        reflection = complex(1.0, 0.0)
+        for wall in walls:
+            reflection *= get_material(wall.material).reflection_coefficient
+        aod = (vertices[1] - tx).angle()
+        aoa = (vertices[-2] - rx).angle()
+        amplitude = (
+            free_space_amplitude(total_length, self.wavelength_m)
+            * tx_antenna.amplitude_gain(aod)
+            * rx_antenna.amplitude_gain(aoa)
+        )
+        gain = amplitude * reflection * carrier_phase(total_length, self.wavelength_m)
+        return SignalPath(
+            gain=gain,
+            delay_s=total_length / SPEED_OF_LIGHT,
+            aod_rad=aod,
+            aoa_rad=aoa,
+            kind="wall-reflection",
+            hops=len(walls),
+        )
+
+    def scatterer_paths(
+        self,
+        tx: Point,
+        rx: Point,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+    ) -> list[SignalPath]:
+        """Single-bounce paths via each visible point scatterer."""
+        paths: list[SignalPath] = []
+        for scatterer in self.scene.scatterers:
+            path = self.relay_path(
+                tx,
+                scatterer.position,
+                rx,
+                tx_antenna=tx_antenna,
+                rx_antenna=rx_antenna,
+                relay_gain_dbi=scatterer.gain_dbi,
+                reflectivity=scatterer.reflectivity,
+                kind="scatterer",
+            )
+            if path is not None:
+                paths.append(path)
+        return paths
+
+    def relay_path(
+        self,
+        tx: Point,
+        via: Point,
+        rx: Point,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+        relay_antenna_in: Optional[Antenna] = None,
+        relay_antenna_out: Optional[Antenna] = None,
+        relay_gain_dbi: float = 0.0,
+        reflectivity: complex = 1.0 + 0.0j,
+        extra_delay_s: float = 0.0,
+        extra_phase_rad: float = 0.0,
+        kind: str = "relay",
+    ) -> Optional[SignalPath]:
+        """A TX -> via -> RX two-hop path, or ``None`` if either leg is blocked.
+
+        This is the primitive PRESS elements are built on: ``reflectivity``
+        carries the element's switched reflection coefficient,
+        ``extra_delay_s``/``extra_phase_rad`` the waveguide-stub delay, and
+        the relay antennas the element's pattern (e.g. the 14 dBi parabolic
+        dish of §3.1).
+
+        Parameters
+        ----------
+        relay_antenna_in, relay_antenna_out:
+            Patterns applied to the incident and re-radiated hop.  When
+            ``None``, an isotropic pattern with ``relay_gain_dbi`` is used.
+        relay_gain_dbi:
+            Flat gain per hop, used only when the corresponding antenna is
+            ``None``.
+        """
+        if not self.leg_is_clear(tx, via) or not self.leg_is_clear(via, rx):
+            return None
+        d1 = distance(tx, via)
+        d2 = distance(via, rx)
+        aod = (via - tx).angle()
+        aoa = (via - rx).angle()
+        incident_angle = (tx - via).angle()
+        departure_angle = (rx - via).angle()
+        if relay_antenna_in is not None:
+            gain_in = relay_antenna_in.amplitude_gain(incident_angle)
+        else:
+            gain_in = 10.0 ** (relay_gain_dbi / 20.0)
+        if relay_antenna_out is not None:
+            gain_out = relay_antenna_out.amplitude_gain(departure_angle)
+        else:
+            gain_out = 10.0 ** (relay_gain_dbi / 20.0)
+        gain = two_hop_gain(
+            d1,
+            d2,
+            self.wavelength_m,
+            tx_field_gain=tx_antenna.amplitude_gain(aod),
+            rx_field_gain=rx_antenna.amplitude_gain(aoa),
+            relay_field_gain_in=gain_in,
+            relay_field_gain_out=gain_out,
+            reflectivity=reflectivity,
+        )
+        gain *= cmath.exp(1j * extra_phase_rad)
+        if abs(gain) == 0.0:
+            return None
+        return SignalPath(
+            gain=gain,
+            delay_s=(d1 + d2) / SPEED_OF_LIGHT + extra_delay_s,
+            aod_rad=aod,
+            aoa_rad=aoa,
+            kind=kind,
+            hops=1,
+        )
+
+
+def _same_segment(a: Segment, b: Segment) -> bool:
+    """Whether two segments have identical endpoints (in either order)."""
+    return (a.start == b.start and a.end == b.end) or (
+        a.start == b.end and a.end == b.start
+    )

@@ -1,0 +1,73 @@
+"""Experiment drivers reproducing the paper's §3 exploratory study."""
+
+from .common import (
+    FIG5_PLACEMENT_SEED,
+    StudyConfig,
+    StudySetup,
+    build_harmonization_setup,
+    build_los_setup,
+    build_mimo_setup,
+    build_nlos_setup,
+    build_study_scene,
+    facing_panel,
+    used_subcarrier_mask,
+)
+from .alignment_study import AlignmentResult, run_alignment_study
+from .coverage import CoverageMap, run_coverage
+from .fig4_link_enhancement import Fig4PlacementResult, Fig4Result, run_fig4
+from .fig5_null_movement import Fig5Result, run_fig5
+from .fig6_snr_ccdf import Fig6Result, run_fig6
+from .fig7_harmonization import Fig7Result, run_fig7
+from .fig8_mimo import Fig8Result, run_fig8
+from .los_study import LosStudyResult, run_los_study
+from .mac_harmonization import MacHarmonizationResult, run_mac_harmonization
+from .mu_mimo import MuMimoResult, mu_mimo_matrices, run_mu_mimo, zf_sum_rate_bits
+from .tracking import TrackingResult, run_tracking
+from .workloads import (
+    DynamicStrategyResult,
+    TrafficEpoch,
+    evaluate_dynamic_strategies,
+    generate_traffic,
+)
+
+__all__ = [
+    "StudyConfig",
+    "StudySetup",
+    "build_study_scene",
+    "build_nlos_setup",
+    "build_los_setup",
+    "build_harmonization_setup",
+    "build_mimo_setup",
+    "facing_panel",
+    "used_subcarrier_mask",
+    "FIG5_PLACEMENT_SEED",
+    "Fig4Result",
+    "Fig4PlacementResult",
+    "run_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "LosStudyResult",
+    "run_los_study",
+    "MacHarmonizationResult",
+    "run_mac_harmonization",
+    "TrackingResult",
+    "run_tracking",
+    "CoverageMap",
+    "run_coverage",
+    "AlignmentResult",
+    "run_alignment_study",
+    "MuMimoResult",
+    "mu_mimo_matrices",
+    "zf_sum_rate_bits",
+    "run_mu_mimo",
+    "TrafficEpoch",
+    "generate_traffic",
+    "DynamicStrategyResult",
+    "evaluate_dynamic_strategies",
+]

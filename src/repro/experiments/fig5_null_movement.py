@@ -1,0 +1,94 @@
+"""Figure 5: CCDF of null movement between configuration pairs.
+
+"we plot the complementary CDF of the difference (measured in number of
+subcarriers) of the location of the most significant null in all of the
+64^2 pairs of PRESS element configurations ... Of these pairs, most show
+either no change in null location or a change of only one subcarrier, but
+a few show changes of over three subcarriers (1 MHz)." (§3.2.1; abstract
+headline: "shifting frequency nulls by nine Wi-Fi subcarriers")
+
+Data comes from placement (e), like the paper's Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.nulls import NULL_THRESHOLD_DB, null_movements
+from ..analysis.stats import EmpiricalDistribution
+from .common import (
+    FIG5_PLACEMENT_SEED,
+    StudyConfig,
+    build_nlos_setup,
+    used_subcarrier_mask,
+)
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Null-movement distributions, one per experimental repetition.
+
+    Attributes
+    ----------
+    movements_per_rep:
+        One array of pairwise null movements (subcarriers) per repetition.
+    """
+
+    movements_per_rep: tuple[np.ndarray, ...]
+
+    @property
+    def pooled(self) -> np.ndarray:
+        """All repetitions' movements pooled."""
+        non_empty = [m for m in self.movements_per_rep if m.size]
+        if not non_empty:
+            return np.zeros(0, dtype=int)
+        return np.concatenate(non_empty)
+
+    @property
+    def max_movement(self) -> int:
+        """The largest observed null shift (paper headline: 9 subcarriers)."""
+        pooled = self.pooled
+        return int(pooled.max()) if pooled.size else 0
+
+    def fraction_moving_more_than(self, subcarriers: int) -> float:
+        """Pooled CCDF value at ``subcarriers``."""
+        pooled = self.pooled
+        if pooled.size == 0:
+            return 0.0
+        return float(np.mean(pooled > subcarriers))
+
+    def ccdf_curves(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """One (x, CCDF) curve per repetition — the Figure 5 axes."""
+        curves = []
+        for movements in self.movements_per_rep:
+            if movements.size == 0:
+                continue
+            curves.append(
+                EmpiricalDistribution.from_samples(movements.astype(float)).ccdf_curve()
+            )
+        return curves
+
+
+def run_fig5(
+    repetitions: int = 10,
+    placement_seed: int = FIG5_PLACEMENT_SEED,
+    config: StudyConfig = StudyConfig(),
+    noise_seed: int = 2000,
+    threshold_db: float = NULL_THRESHOLD_DB,
+) -> Fig5Result:
+    """Run the Figure 5 experiment at one placement."""
+    setup = build_nlos_setup(placement_seed, config)
+    rng = np.random.default_rng(noise_seed)
+    sweep = setup.testbed.sweep(
+        setup.tx_device, setup.rx_device, repetitions=repetitions, rng=rng
+    )
+    mask = used_subcarrier_mask()
+    movements = tuple(
+        null_movements(sweep.snr_db[rep][:, mask], threshold_db)
+        for rep in range(repetitions)
+    )
+    return Fig5Result(movements_per_rep=movements)

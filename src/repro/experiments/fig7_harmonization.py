@@ -1,0 +1,107 @@
+"""Figure 7: two configurations with opposite frequency selectivity.
+
+"Figure 7 shows that two of the PRESS element configurations exhibit clear
+and opposite frequency selectivity; each one favors its own half of the
+band." (§3.2.2)
+
+The paper's procedure is manual: "the elements and the surrounding
+environment were manipulated until a frequency-selective channel was
+found".  We reproduce that deterministically by scanning placement seeds
+and keeping the first whose best configuration pair exceeds a contrast
+criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..net.harmonization import opposite_selectivity_db, subband_contrast_db
+from .common import StudyConfig, build_harmonization_setup, used_subcarrier_mask
+
+__all__ = ["Fig7Result", "run_fig7"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """The selected opposite-selectivity configuration pair.
+
+    Attributes
+    ----------
+    placement_seed:
+        The accepted scenario seed.
+    label_a, label_b:
+        Configuration labels (paper style, e.g. "(:, 1.5:)").
+    snr_a, snr_b:
+        Per-used-subcarrier SNR of the two configurations.
+    contrast_a_db, contrast_b_db:
+        Each configuration's upper-minus-lower half-band contrast; opposite
+        selectivity means the signs differ.
+    """
+
+    placement_seed: int
+    label_a: str
+    label_b: str
+    snr_a: np.ndarray
+    snr_b: np.ndarray
+    contrast_a_db: float
+    contrast_b_db: float
+
+    @property
+    def is_opposite(self) -> bool:
+        """Whether the two configurations favour different half-bands."""
+        return self.contrast_a_db * self.contrast_b_db < 0
+
+    @property
+    def total_contrast_db(self) -> float:
+        """|contrast_a| + |contrast_b| — the strength of the Figure 7 effect."""
+        return abs(self.contrast_a_db) + abs(self.contrast_b_db)
+
+
+def run_fig7(
+    config: StudyConfig = StudyConfig(),
+    max_seeds: int = 24,
+    min_total_contrast_db: float = 6.0,
+    noise_seed: int = 4000,
+) -> Fig7Result:
+    """Scan scenario seeds for a clear opposite-selectivity pair.
+
+    Returns the first scenario whose best configuration pair favours
+    opposite half-bands with total contrast >= ``min_total_contrast_db``;
+    falls back to the best pair seen if none meets the bar.
+    """
+    if max_seeds <= 0:
+        raise ValueError(f"max_seeds must be positive, got {max_seeds}")
+    mask = used_subcarrier_mask()
+    best: Optional[Fig7Result] = None
+    for placement_seed in range(max_seeds):
+        setup = build_harmonization_setup(placement_seed, config)
+        rng = np.random.default_rng(noise_seed + placement_seed)
+        space = setup.array.configuration_space()
+        configurations = list(space.all_configurations())
+        snrs = []
+        for configuration in configurations:
+            observation = setup.testbed.measure_csi(
+                setup.tx_device, setup.rx_device, configuration, rng=rng
+            )
+            snrs.append(observation.snr_db[mask])
+        contrasts = np.array([subband_contrast_db(snr) for snr in snrs])
+        index_a = int(np.argmin(contrasts))  # favours lower half
+        index_b = int(np.argmax(contrasts))  # favours upper half
+        candidate = Fig7Result(
+            placement_seed=placement_seed,
+            label_a=setup.array.describe(configurations[index_a]),
+            label_b=setup.array.describe(configurations[index_b]),
+            snr_a=snrs[index_a],
+            snr_b=snrs[index_b],
+            contrast_a_db=float(contrasts[index_a]),
+            contrast_b_db=float(contrasts[index_b]),
+        )
+        if best is None or candidate.total_contrast_db > best.total_contrast_db:
+            best = candidate
+        if candidate.is_opposite and candidate.total_contrast_db >= min_total_contrast_db:
+            return candidate
+    assert best is not None
+    return best

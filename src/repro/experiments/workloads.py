@@ -1,0 +1,259 @@
+"""Traffic workloads: the set of senders and receivers changes (§2).
+
+"But furthermore, depending on traffic patterns, PRESS will very likely
+reap additional performance benefits from switching strategies on
+packet-level timescales of one to two milliseconds, as the set of senders
+and receivers changes."
+
+This module generates on/off traffic for a set of links (exponential
+holding times, the classic on/off source model) and evaluates dynamic
+PRESS strategies over the resulting epochs:
+
+* **static-joint** — one configuration optimised once for all links,
+  regardless of who is active;
+* **reactive-joint** — re-optimise jointly for the active set whenever it
+  changes (fresh search per epoch);
+* **cached** — like reactive, but memoise the chosen configuration per
+  active set, so recurring traffic patterns pay the search once — §2's
+  "jointly optimize over a large set of likely communication links,
+  obviating the need to change the PRESS array".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.configuration import ArrayConfiguration, ConfigurationSpace
+from ..core.joint import LinkObjective
+from ..core.search import ExhaustiveSearch, Searcher
+
+__all__ = [
+    "TrafficEpoch",
+    "generate_traffic",
+    "DynamicStrategyResult",
+    "evaluate_dynamic_strategies",
+]
+
+
+@dataclass(frozen=True)
+class TrafficEpoch:
+    """A maximal interval with a constant set of active links."""
+
+    start_s: float
+    duration_s: float
+    active_links: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+
+
+def generate_traffic(
+    link_names: Sequence[str],
+    duration_s: float,
+    rng: np.random.Generator,
+    mean_on_s: float = 4.0,
+    mean_off_s: float = 4.0,
+) -> list[TrafficEpoch]:
+    """On/off traffic per link, merged into constant-activity epochs.
+
+    Each link alternates between on and off states with exponential holding
+    times; epochs are the maximal intervals between any link's transitions.
+    Epochs where no link is active are included (the array idles).
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if mean_on_s <= 0 or mean_off_s <= 0:
+        raise ValueError("mean_on_s and mean_off_s must be positive")
+    if not link_names:
+        raise ValueError("need at least one link")
+    # Per-link timelines of (time, is_on) transitions.
+    transition_times: set[float] = {0.0, duration_s}
+    state_changes: dict[str, list[tuple[float, bool]]] = {}
+    for name in link_names:
+        on = bool(rng.random() < mean_on_s / (mean_on_s + mean_off_s))
+        t = 0.0
+        changes = [(0.0, on)]
+        while t < duration_s:
+            hold = float(
+                rng.exponential(mean_on_s if on else mean_off_s)
+            )
+            t += max(hold, 1e-6)
+            if t >= duration_s:
+                break
+            on = not on
+            changes.append((t, on))
+            transition_times.add(t)
+        state_changes[name] = changes
+    boundaries = sorted(transition_times)
+
+    def active_at(time_s: float, name: str) -> bool:
+        state = False
+        for change_time, is_on in state_changes[name]:
+            if change_time <= time_s:
+                state = is_on
+            else:
+                break
+        return state
+
+    epochs = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        if end - start <= 1e-9:
+            continue
+        midpoint = (start + end) / 2.0
+        active = tuple(
+            name for name in link_names if active_at(midpoint, name)
+        )
+        epochs.append(
+            TrafficEpoch(start_s=start, duration_s=end - start, active_links=active)
+        )
+    return epochs
+
+
+@dataclass(frozen=True)
+class DynamicStrategyResult:
+    """Outcome of one dynamic strategy over a workload.
+
+    Attributes
+    ----------
+    strategy:
+        Strategy name.
+    time_weighted_score:
+        Mean per-active-link score, weighted by epoch duration (idle
+        epochs excluded).
+    num_searches:
+        How many searches the strategy ran.
+    num_measurements:
+        Total over-the-air soundings.
+    """
+
+    strategy: str
+    time_weighted_score: float
+    num_searches: int
+    num_measurements: int
+
+
+def _joint_score(
+    links: dict[str, LinkObjective],
+    active: Sequence[str],
+) -> Callable[[ArrayConfiguration], float]:
+    def score(configuration: ArrayConfiguration) -> float:
+        return float(
+            np.mean([links[name].score(configuration) for name in active])
+        )
+
+    return score
+
+
+def evaluate_dynamic_strategies(
+    links: Sequence[LinkObjective],
+    space: ConfigurationSpace,
+    epochs: Sequence[TrafficEpoch],
+    searcher: Searcher = ExhaustiveSearch(),
+) -> dict[str, DynamicStrategyResult]:
+    """Race the three dynamic strategies over one traffic realisation."""
+    if not links:
+        raise ValueError("need at least one link")
+    if not epochs:
+        raise ValueError("need at least one epoch")
+    by_name = {link.name: link for link in links}
+
+    def epoch_quality(
+        epoch: TrafficEpoch, configuration: ArrayConfiguration
+    ) -> Optional[float]:
+        if not epoch.active_links:
+            return None
+        return float(
+            np.mean(
+                [by_name[name].score(configuration) for name in epoch.active_links]
+            )
+        )
+
+    def weighted(results: list[tuple[float, Optional[float]]]) -> float:
+        total_time = sum(duration for duration, quality in results if quality is not None)
+        if total_time == 0:
+            return 0.0
+        return (
+            sum(
+                duration * quality
+                for duration, quality in results
+                if quality is not None
+            )
+            / total_time
+        )
+
+    outcomes: dict[str, DynamicStrategyResult] = {}
+
+    # Static-joint: optimise once for all links.
+    static_search = searcher.search(
+        space, _joint_score(by_name, [link.name for link in links])
+    )
+    static_samples = [
+        (epoch.duration_s, epoch_quality(epoch, static_search.best))
+        for epoch in epochs
+    ]
+    outcomes["static-joint"] = DynamicStrategyResult(
+        strategy="static-joint",
+        time_weighted_score=weighted(static_samples),
+        num_searches=1,
+        num_measurements=static_search.num_evaluations * len(links),
+    )
+
+    # Reactive-joint: fresh search per active-set change.
+    samples = []
+    searches = 0
+    measurements = 0
+    previous_active: Optional[tuple[str, ...]] = None
+    configuration: Optional[ArrayConfiguration] = None
+    for epoch in epochs:
+        if epoch.active_links and epoch.active_links != previous_active:
+            result = searcher.search(
+                space, _joint_score(by_name, epoch.active_links)
+            )
+            configuration = result.best
+            searches += 1
+            measurements += result.num_evaluations * len(epoch.active_links)
+            previous_active = epoch.active_links
+        samples.append(
+            (
+                epoch.duration_s,
+                epoch_quality(epoch, configuration)
+                if configuration is not None
+                else None,
+            )
+        )
+    outcomes["reactive-joint"] = DynamicStrategyResult(
+        strategy="reactive-joint",
+        time_weighted_score=weighted(samples),
+        num_searches=searches,
+        num_measurements=measurements,
+    )
+
+    # Cached: memoise the configuration per active set.
+    cache: dict[tuple[str, ...], ArrayConfiguration] = {}
+    samples = []
+    searches = 0
+    measurements = 0
+    for epoch in epochs:
+        if epoch.active_links:
+            if epoch.active_links not in cache:
+                result = searcher.search(
+                    space, _joint_score(by_name, epoch.active_links)
+                )
+                cache[epoch.active_links] = result.best
+                searches += 1
+                measurements += result.num_evaluations * len(epoch.active_links)
+            configuration = cache[epoch.active_links]
+            samples.append((epoch.duration_s, epoch_quality(epoch, configuration)))
+        else:
+            samples.append((epoch.duration_s, None))
+    outcomes["cached"] = DynamicStrategyResult(
+        strategy="cached",
+        time_weighted_score=weighted(samples),
+        num_searches=searches,
+        num_measurements=measurements,
+    )
+    return outcomes

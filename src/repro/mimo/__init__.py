@@ -1,0 +1,25 @@
+"""MIMO substrate: channel matrices, conditioning, capacity, precoding, detection."""
+
+from .capacity import capacity_bits, ofdm_capacity_bits, waterfilling_capacity_bits
+from .channel_matrix import MimoChannel, condition_number_db, condition_numbers_db
+from .detection import mmse_detect, post_detection_snr_db, zf_detect
+from .precoding import (
+    mmse_precoder,
+    precoding_power_penalty_db,
+    zero_forcing_precoder,
+)
+
+__all__ = [
+    "MimoChannel",
+    "condition_number_db",
+    "condition_numbers_db",
+    "capacity_bits",
+    "waterfilling_capacity_bits",
+    "ofdm_capacity_bits",
+    "zero_forcing_precoder",
+    "mmse_precoder",
+    "precoding_power_penalty_db",
+    "zf_detect",
+    "mmse_detect",
+    "post_detection_snr_db",
+]

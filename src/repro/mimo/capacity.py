@@ -1,0 +1,68 @@
+"""MIMO channel capacity.
+
+Quantifies the paper's claim that the condition number is "critically
+important to the channel capacity" (§3.2.3): Shannon capacity with equal
+power allocation and with waterfilling, per subcarrier and averaged over an
+OFDM channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["capacity_bits", "waterfilling_capacity_bits", "ofdm_capacity_bits"]
+
+
+def capacity_bits(matrix: np.ndarray, snr_linear: float) -> float:
+    """Equal-power MIMO capacity log2 det(I + (SNR/Nt) H H*) in bits/s/Hz.
+
+    ``snr_linear`` is the total transmit SNR; power is split evenly across
+    transmit antennas (no CSI at the transmitter).
+    """
+    if snr_linear < 0:
+        raise ValueError(f"snr_linear must be non-negative, got {snr_linear}")
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    num_tx = matrix.shape[1]
+    gram = matrix @ matrix.conj().T
+    eye = np.eye(matrix.shape[0])
+    sign, logdet = np.linalg.slogdet(eye + (snr_linear / num_tx) * gram)
+    if sign <= 0:
+        raise ArithmeticError("capacity determinant became non-positive")
+    return float(logdet / np.log(2.0))
+
+
+def waterfilling_capacity_bits(matrix: np.ndarray, snr_linear: float) -> float:
+    """Capacity with waterfilling power allocation over the eigenmodes.
+
+    Requires transmitter CSI; always at least the equal-power capacity.
+    """
+    if snr_linear < 0:
+        raise ValueError(f"snr_linear must be non-negative, got {snr_linear}")
+    matrix = np.asarray(matrix, dtype=complex)
+    gains = np.linalg.svd(matrix, compute_uv=False) ** 2
+    gains = gains[gains > 1e-15]
+    if gains.size == 0 or snr_linear == 0:
+        return 0.0
+    # Waterfilling: p_i = max(mu - 1/(snr * g_i), 0), sum p_i = 1.
+    inv = 1.0 / (snr_linear * gains)
+    order = np.argsort(inv)
+    inv_sorted = inv[order]
+    active = gains.size
+    while active > 0:
+        mu = (1.0 + inv_sorted[:active].sum()) / active
+        if mu > inv_sorted[active - 1]:
+            break
+        active -= 1
+    powers = np.maximum(mu - inv_sorted[:active], 0.0)
+    capacity = np.sum(np.log2(1.0 + snr_linear * gains[order][:active] * powers))
+    return float(capacity)
+
+
+def ofdm_capacity_bits(matrices: np.ndarray, snr_linear: float) -> float:
+    """Mean equal-power capacity across a stack of per-subcarrier matrices."""
+    matrices = np.asarray(matrices, dtype=complex)
+    if matrices.ndim != 3:
+        raise ValueError(f"expected (subcarriers, rx, tx), got shape {matrices.shape}")
+    return float(np.mean([capacity_bits(h, snr_linear) for h in matrices]))

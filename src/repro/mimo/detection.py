@@ -1,0 +1,41 @@
+"""Linear MIMO detection (receiver side)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zf_detect", "mmse_detect", "post_detection_snr_db"]
+
+
+def zf_detect(received: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Zero-forcing detection: x_hat = pinv(H) y."""
+    matrix = np.asarray(matrix, dtype=complex)
+    received = np.asarray(received, dtype=complex)
+    return np.linalg.pinv(matrix) @ received
+
+
+def mmse_detect(received: np.ndarray, matrix: np.ndarray, noise_var: float) -> np.ndarray:
+    """MMSE detection: (H*H + n I)^-1 H* y."""
+    if noise_var < 0:
+        raise ValueError(f"noise_var must be non-negative, got {noise_var}")
+    matrix = np.asarray(matrix, dtype=complex)
+    received = np.asarray(received, dtype=complex)
+    gram = matrix.conj().T @ matrix + noise_var * np.eye(matrix.shape[1])
+    return np.linalg.solve(gram, matrix.conj().T @ received)
+
+
+def post_detection_snr_db(matrix: np.ndarray, snr_linear: float) -> np.ndarray:
+    """Per-stream SNR after ZF detection.
+
+    Stream k sees snr / [ (H*H)^-1 ]_kk / Nt — the noise enhancement that a
+    poorly conditioned channel (high Figure-8 condition number) inflicts.
+    """
+    if snr_linear < 0:
+        raise ValueError(f"snr_linear must be non-negative, got {snr_linear}")
+    matrix = np.asarray(matrix, dtype=complex)
+    num_tx = matrix.shape[1]
+    gram = matrix.conj().T @ matrix
+    inv = np.linalg.inv(gram + 1e-15 * np.eye(num_tx))
+    enhancement = np.real(np.diag(inv))
+    per_stream = snr_linear / num_tx / np.maximum(enhancement, 1e-300)
+    return 10.0 * np.log10(np.maximum(per_stream, 1e-30))

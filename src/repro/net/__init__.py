@@ -1,0 +1,40 @@
+"""Network layer: nodes/links, interference (SINR), harmonization metrics."""
+
+from .alignment import (
+    alignment_cosine,
+    isolation_db,
+    mean_alignment_cosine,
+    post_nulling_inr_db,
+)
+from .harmonization import (
+    HarmonizationPlan,
+    best_partition,
+    opposite_selectivity_db,
+    partitioned_sum_rate_bits,
+    subband_contrast_db,
+)
+from .interference import LinkQuality, sinr_db, sum_rate_bits
+from .mac import MacConfig, MacResult, MacStation, simulate_csma
+from .network import NetworkPair, Node, WirelessLink
+
+__all__ = [
+    "Node",
+    "WirelessLink",
+    "NetworkPair",
+    "LinkQuality",
+    "sinr_db",
+    "sum_rate_bits",
+    "subband_contrast_db",
+    "opposite_selectivity_db",
+    "HarmonizationPlan",
+    "partitioned_sum_rate_bits",
+    "best_partition",
+    "alignment_cosine",
+    "mean_alignment_cosine",
+    "post_nulling_inr_db",
+    "isolation_db",
+    "MacConfig",
+    "MacStation",
+    "MacResult",
+    "simulate_csma",
+]

@@ -1,0 +1,107 @@
+"""Interference alignment and spatial partitioning metrics (§1).
+
+"Another instance of network harmonization is interference alignment:
+aligning the interference that two networks cause at a receiver in a third
+network, so that that receiver may remove the interference from both
+interfering networks in a single nulling step.  A third possibility is
+simply to reduce interference between different pairs of wireless
+conversations, spatially partitioning the space."
+
+For a multi-antenna bystander receiving interference vectors h_1(f) and
+h_2(f) from two networks, alignment quality is how close the two vectors
+are to collinear: perfectly aligned interference occupies one spatial
+dimension and a single zero-forcing null removes both.  We measure it with
+the chordal distance / principal angle between the vectors per subcarrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "alignment_cosine",
+    "mean_alignment_cosine",
+    "post_nulling_inr_db",
+    "isolation_db",
+]
+
+
+def alignment_cosine(h1: np.ndarray, h2: np.ndarray) -> float:
+    """|<h1, h2>| / (|h1| |h2|): 1 = perfectly aligned, 0 = orthogonal."""
+    h1 = np.asarray(h1, dtype=complex).ravel()
+    h2 = np.asarray(h2, dtype=complex).ravel()
+    if h1.shape != h2.shape:
+        raise ValueError(f"shape mismatch: {h1.shape} vs {h2.shape}")
+    n1 = np.linalg.norm(h1)
+    n2 = np.linalg.norm(h2)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("cannot measure alignment of a zero vector")
+    return float(abs(np.vdot(h1, h2)) / (n1 * n2))
+
+
+def mean_alignment_cosine(
+    h1_per_subcarrier: np.ndarray, h2_per_subcarrier: np.ndarray
+) -> float:
+    """Mean alignment over subcarriers; arrays shaped (subcarriers, antennas)."""
+    h1 = np.asarray(h1_per_subcarrier, dtype=complex)
+    h2 = np.asarray(h2_per_subcarrier, dtype=complex)
+    if h1.shape != h2.shape or h1.ndim != 2:
+        raise ValueError(
+            f"expected matching (subcarriers, antennas) arrays, got {h1.shape}, {h2.shape}"
+        )
+    return float(
+        np.mean([alignment_cosine(a, b) for a, b in zip(h1, h2)])
+    )
+
+
+def post_nulling_inr_db(
+    h1: np.ndarray,
+    h2: np.ndarray,
+    interferer_power_w: float,
+    noise_power_w: float,
+) -> float:
+    """Residual interference-to-noise ratio after one spatial null.
+
+    The bystander points its single zero-forcing null at the stronger
+    interferer (h1); the residual is h2's component orthogonal to... the
+    projection of h2 *onto the nulled dimension is removed*, so what leaks
+    is h2's part orthogonal to the null — i.e. aligned interference leaks
+    nothing.  Returns 10 log10(residual interference power / noise).
+    """
+    if interferer_power_w <= 0 or noise_power_w <= 0:
+        raise ValueError("powers must be positive")
+    h1 = np.asarray(h1, dtype=complex).ravel()
+    h2 = np.asarray(h2, dtype=complex).ravel()
+    if h1.shape != h2.shape:
+        raise ValueError(f"shape mismatch: {h1.shape} vs {h2.shape}")
+    n1 = np.linalg.norm(h1)
+    if n1 == 0:
+        raise ValueError("cannot null a zero interference vector")
+    # Project h2 off the h1 direction: the nulling combiner annihilates
+    # everything in span(h1).
+    parallel = (np.vdot(h1, h2) / n1**2) * h1
+    residual = h2 - parallel
+    residual_power = interferer_power_w * float(np.linalg.norm(residual) ** 2)
+    return float(10.0 * np.log10(max(residual_power / noise_power_w, 1e-30)))
+
+
+def isolation_db(
+    signal_gains: Sequence[float],
+    interference_gains: Sequence[float],
+) -> float:
+    """Spatial-partitioning quality: mean signal-to-interference gain ratio.
+
+    ``signal_gains`` are each conversation's own |H|^2 (linear) and
+    ``interference_gains`` the cross-conversation leakages; partitioning
+    succeeds when the ratio is large.
+    """
+    signal = np.asarray(list(signal_gains), dtype=float)
+    interference = np.asarray(list(interference_gains), dtype=float)
+    if signal.size == 0 or interference.size == 0:
+        raise ValueError("need at least one signal and one interference gain")
+    if np.any(signal <= 0) or np.any(interference <= 0):
+        raise ValueError("gains must be positive (linear power gains)")
+    return float(10.0 * np.log10(np.mean(signal) / np.mean(interference)))

@@ -1,0 +1,69 @@
+"""Interference accounting: per-subcarrier SINR across co-located networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..constants import dbm_to_watts, linear_to_db, thermal_noise_power_w
+
+__all__ = ["sinr_db", "sum_rate_bits", "LinkQuality"]
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Per-subcarrier signal and interference channel gains for one receiver.
+
+    Attributes
+    ----------
+    signal_gain:
+        |H_signal|^2 per subcarrier (linear).
+    interference_gains:
+        One |H_int|^2 array per concurrent interferer.
+    """
+
+    signal_gain: np.ndarray
+    interference_gains: tuple[np.ndarray, ...] = ()
+
+    def __post_init__(self) -> None:
+        for gains in self.interference_gains:
+            if np.asarray(gains).shape != np.asarray(self.signal_gain).shape:
+                raise ValueError("interference gain shape mismatch")
+
+
+def sinr_db(
+    quality: LinkQuality,
+    tx_power_dbm: float,
+    num_subcarriers: int,
+    bandwidth_hz: float,
+    noise_figure_db: float = 7.0,
+    interferer_power_dbm: float | None = None,
+) -> np.ndarray:
+    """Per-subcarrier SINR when interferers transmit concurrently.
+
+    All transmitters split their power evenly over subcarriers; the noise
+    floor is thermal over one subcarrier bandwidth.
+    """
+    if num_subcarriers <= 0:
+        raise ValueError(f"num_subcarriers must be positive, got {num_subcarriers}")
+    signal_power = dbm_to_watts(tx_power_dbm) / num_subcarriers
+    if interferer_power_dbm is None:
+        interferer_power_dbm = tx_power_dbm
+    interferer_power = dbm_to_watts(interferer_power_dbm) / num_subcarriers
+    noise = thermal_noise_power_w(bandwidth_hz / num_subcarriers, noise_figure_db)
+    signal = signal_power * np.asarray(quality.signal_gain, dtype=float)
+    interference = np.zeros_like(signal)
+    for gains in quality.interference_gains:
+        interference = interference + interferer_power * np.asarray(gains, dtype=float)
+    return np.asarray(linear_to_db(signal / (interference + noise)))
+
+
+def sum_rate_bits(sinrs_db: Sequence[np.ndarray]) -> float:
+    """Aggregate Shannon rate (bits/s/Hz summed over links, mean over band)."""
+    total = 0.0
+    for sinr in sinrs_db:
+        sinr = np.asarray(sinr, dtype=float)
+        total += float(np.mean(np.log2(1.0 + 10.0 ** (sinr / 10.0))))
+    return total

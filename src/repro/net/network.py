@@ -1,0 +1,104 @@
+"""Network-level abstractions: APs, clients and links sharing a space.
+
+Figure 2's scenario: two co-located networks (AP 1 - Client 1 and
+AP 2 - Client 2) whose communication *and* interference channels all pass
+through the same programmable environment.  This module names those pieces
+so the interference and harmonization analyses can talk about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..em.geometry import Point
+from ..sdr.device import SdrDevice
+
+__all__ = ["Node", "WirelessLink", "NetworkPair"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A network endpoint (AP or client) backed by an SDR device."""
+
+    device: SdrDevice
+    role: str = "client"  # "ap" or "client"
+    network_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.role not in ("ap", "client"):
+            raise ValueError(f"role must be 'ap' or 'client', got {self.role}")
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def position(self) -> Point:
+        return self.device.position
+
+
+@dataclass(frozen=True)
+class WirelessLink:
+    """A directed transmitter -> receiver pair.
+
+    ``is_interference`` marks cross-network (bystander) links, the bottom
+    half of Figure 2.
+    """
+
+    tx: Node
+    rx: Node
+
+    @property
+    def name(self) -> str:
+        return f"{self.tx.name}->{self.rx.name}"
+
+    @property
+    def is_interference(self) -> bool:
+        return self.tx.network_id != self.rx.network_id
+
+
+@dataclass(frozen=True)
+class NetworkPair:
+    """Two co-located single-link networks (the Figure 2 topology).
+
+    Attributes
+    ----------
+    ap1, client1:
+        Network 1's endpoints.
+    ap2, client2:
+        Network 2's endpoints.
+    """
+
+    ap1: Node
+    client1: Node
+    ap2: Node
+    client2: Node
+
+    def __post_init__(self) -> None:
+        if self.ap1.network_id != self.client1.network_id:
+            raise ValueError("ap1 and client1 must share a network_id")
+        if self.ap2.network_id != self.client2.network_id:
+            raise ValueError("ap2 and client2 must share a network_id")
+        if self.ap1.network_id == self.ap2.network_id:
+            raise ValueError("the two networks must have distinct network_ids")
+
+    def communication_links(self) -> tuple[WirelessLink, WirelessLink]:
+        """H11 (AP1->C1) and H22 (AP2->C2)."""
+        return (
+            WirelessLink(tx=self.ap1, rx=self.client1),
+            WirelessLink(tx=self.ap2, rx=self.client2),
+        )
+
+    def interference_links(self) -> tuple[WirelessLink, WirelessLink]:
+        """H21 (AP1->C2) and H12 (AP2->C1)."""
+        return (
+            WirelessLink(tx=self.ap1, rx=self.client2),
+            WirelessLink(tx=self.ap2, rx=self.client1),
+        )
+
+    def all_links(self) -> Iterator[WirelessLink]:
+        yield from self.communication_links()
+        yield from self.interference_links()

@@ -1,0 +1,100 @@
+"""Wi-Fi-like OFDM physical layer.
+
+The 64-subcarrier, 20 MHz OFDM PHY the paper's endpoints transmit:
+constellations, convolutional coding, interleaving, framing with training
+sequences, channel estimation, equalization, SNR metrics and the MCS/rate
+ladder — plus an end-to-end link simulator over the EM substrate.
+"""
+
+from .channel_est import ChannelEstimate, estimate_channel
+from .coding import (
+    CODE_RATE_1_2,
+    CODE_RATE_2_3,
+    CODE_RATE_3_4,
+    ConvolutionalCode,
+    get_code,
+)
+from .equalizer import mmse, zero_forcing
+from .frame import FrameFormat, RxResult, TxFrame, build_frame, receive_frame
+from .interleaver import deinterleave, interleave, interleaver_permutation
+from .modulation import (
+    BPSK,
+    MODULATIONS,
+    QAM16,
+    QAM64,
+    QPSK,
+    Modulation,
+    get_modulation,
+)
+from .ofdm import DEFAULT_OFDM, OfdmParams
+from .preamble import NUM_LTF_REPEATS, ltf_spectrum, ltf_time_domain, stf_time_domain
+from .rates import (
+    MCS_TABLE,
+    Mcs,
+    ber_awgn,
+    coded_per,
+    expected_throughput_mbps,
+    select_mcs,
+)
+from .snr import effective_snr_db, evm, evm_to_snr_db, snr_from_ltf_pair
+from .sync import (
+    SyncResult,
+    correct_cfo,
+    detect_packet,
+    estimate_cfo,
+    fine_timing,
+    synchronize,
+)
+from .transceiver import LinkBudget, simulate_link, transmit_over_channel
+
+__all__ = [
+    "ChannelEstimate",
+    "estimate_channel",
+    "ConvolutionalCode",
+    "CODE_RATE_1_2",
+    "CODE_RATE_2_3",
+    "CODE_RATE_3_4",
+    "get_code",
+    "mmse",
+    "zero_forcing",
+    "FrameFormat",
+    "TxFrame",
+    "RxResult",
+    "build_frame",
+    "receive_frame",
+    "interleave",
+    "deinterleave",
+    "interleaver_permutation",
+    "Modulation",
+    "BPSK",
+    "QPSK",
+    "QAM16",
+    "QAM64",
+    "MODULATIONS",
+    "get_modulation",
+    "OfdmParams",
+    "DEFAULT_OFDM",
+    "ltf_spectrum",
+    "ltf_time_domain",
+    "stf_time_domain",
+    "NUM_LTF_REPEATS",
+    "Mcs",
+    "MCS_TABLE",
+    "ber_awgn",
+    "coded_per",
+    "select_mcs",
+    "expected_throughput_mbps",
+    "evm",
+    "evm_to_snr_db",
+    "snr_from_ltf_pair",
+    "effective_snr_db",
+    "LinkBudget",
+    "simulate_link",
+    "transmit_over_channel",
+    "SyncResult",
+    "detect_packet",
+    "fine_timing",
+    "estimate_cfo",
+    "correct_cfo",
+    "synchronize",
+]

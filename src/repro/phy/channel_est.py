@@ -1,0 +1,96 @@
+"""Channel estimation from training symbols.
+
+Least-squares CSI estimation from the LTF repetitions — the operation the
+paper's receiver performs on every frame to measure the per-subcarrier
+channel that PRESS then reshapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .ofdm import OfdmParams
+from .preamble import ltf_spectrum
+
+__all__ = ["ChannelEstimate", "estimate_channel"]
+
+
+@dataclass(frozen=True)
+class ChannelEstimate:
+    """Estimated CSI on the centred subcarrier grid.
+
+    Attributes
+    ----------
+    cfr:
+        Complex channel estimate per subcarrier (NaN-free; unused bins 0).
+    noise_var:
+        Estimated complex-noise variance per subcarrier (scalar), from the
+        difference of LTF repetitions; ``None`` when only one LTF was seen.
+    used_mask:
+        Boolean mask of subcarriers the estimate is valid on.
+    """
+
+    cfr: np.ndarray
+    noise_var: Optional[float]
+    used_mask: np.ndarray
+
+    def snr_db(self, floor_db: float = -30.0) -> np.ndarray:
+        """Per-subcarrier SNR estimate |H|^2 / noise_var on used bins, in dB.
+
+        Requires a noise-variance estimate (two LTF repetitions).
+        Unused bins are reported at ``floor_db``.
+        """
+        if self.noise_var is None:
+            raise ValueError("snr_db requires a noise-variance estimate (>= 2 LTFs)")
+        snr = np.full(self.cfr.shape, floor_db)
+        used = self.used_mask
+        power = np.abs(self.cfr[used]) ** 2
+        noise = max(self.noise_var, 1e-30)
+        snr[used] = 10.0 * np.log10(np.maximum(power / noise, 10.0 ** (floor_db / 10.0)))
+        return snr
+
+
+def estimate_channel(
+    received_ltf_spectra: np.ndarray,
+    params: OfdmParams,
+) -> ChannelEstimate:
+    """Least-squares channel estimate from received LTF spectra.
+
+    Parameters
+    ----------
+    received_ltf_spectra:
+        Array of shape (num_repeats, fft_size): the FFT output for each
+        received LTF symbol on the centred grid.
+    params:
+        OFDM numerology (provides the known transmitted LTF).
+
+    Returns
+    -------
+    ChannelEstimate
+        The averaged LS estimate; when two or more repetitions are present,
+        the noise variance is estimated from their sample variance.
+    """
+    spectra = np.atleast_2d(np.asarray(received_ltf_spectra, dtype=complex))
+    if spectra.shape[1] != params.fft_size:
+        raise ValueError(
+            f"expected spectra with {params.fft_size} bins, got {spectra.shape[1]}"
+        )
+    reference = ltf_spectrum(params)
+    used = params.used_mask()
+    estimates = np.zeros_like(spectra)
+    estimates[:, used] = spectra[:, used] / reference[used]
+    cfr = np.zeros(params.fft_size, dtype=complex)
+    cfr[used] = estimates[:, used].mean(axis=0)
+    noise_var: Optional[float] = None
+    if spectra.shape[0] >= 2:
+        # Sample variance across repetitions, averaged over used bins.
+        # |LTF| = 1 on used bins, so the per-repeat estimate noise equals the
+        # per-bin receiver noise.
+        deviations = estimates[:, used] - cfr[used][None, :]
+        # ddof=1 per bin, then scale: variance of the *single-shot* estimate.
+        per_bin = np.sum(np.abs(deviations) ** 2, axis=0) / (spectra.shape[0] - 1)
+        noise_var = float(np.mean(per_bin))
+    return ChannelEstimate(cfr=cfr, noise_var=noise_var, used_mask=used)

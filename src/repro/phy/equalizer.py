@@ -1,0 +1,43 @@
+"""One-tap frequency-domain equalizers (zero-forcing and MMSE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zero_forcing", "mmse"]
+
+_MIN_GAIN = 1e-12
+
+
+def zero_forcing(symbols: np.ndarray, cfr: np.ndarray) -> np.ndarray:
+    """Zero-forcing equalization: divide out the channel per subcarrier.
+
+    Bins where the channel magnitude is (numerically) zero are passed
+    through unscaled rather than amplified to infinity.
+    """
+    symbols = np.asarray(symbols, dtype=complex)
+    cfr = np.asarray(cfr, dtype=complex)
+    if symbols.shape[-1] != cfr.shape[-1]:
+        raise ValueError(
+            f"symbol/CFR length mismatch: {symbols.shape[-1]} vs {cfr.shape[-1]}"
+        )
+    safe = np.where(np.abs(cfr) < _MIN_GAIN, 1.0, cfr)
+    return symbols / safe
+
+
+def mmse(symbols: np.ndarray, cfr: np.ndarray, noise_var: float) -> np.ndarray:
+    """MMSE equalization: H* / (|H|^2 + noise_var) per subcarrier.
+
+    Less noise enhancement than zero-forcing inside the deep nulls that the
+    PRESS experiments deliberately create and move.
+    """
+    if noise_var < 0:
+        raise ValueError(f"noise_var must be non-negative, got {noise_var}")
+    symbols = np.asarray(symbols, dtype=complex)
+    cfr = np.asarray(cfr, dtype=complex)
+    if symbols.shape[-1] != cfr.shape[-1]:
+        raise ValueError(
+            f"symbol/CFR length mismatch: {symbols.shape[-1]} vs {cfr.shape[-1]}"
+        )
+    weight = np.conj(cfr) / (np.abs(cfr) ** 2 + max(noise_var, _MIN_GAIN))
+    return symbols * weight

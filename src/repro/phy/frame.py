@@ -1,0 +1,192 @@
+"""PPDU framing: the full transmit and receive chains.
+
+A frame is STF | LTF x2 | data symbols, mirroring the frames the paper's
+WARP transmitter sends (§3.2).  The receive chain estimates CSI from the
+LTFs (that estimate is what the PRESS controller consumes), equalizes,
+soft-demaps, deinterleaves and Viterbi-decodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .channel_est import ChannelEstimate, estimate_channel
+from .coding import ConvolutionalCode
+from .equalizer import mmse
+from .interleaver import deinterleave, interleave
+from .modulation import Modulation
+from .ofdm import DEFAULT_OFDM, OfdmParams
+from .preamble import NUM_LTF_REPEATS, ltf_time_domain, stf_time_domain
+
+__all__ = ["FrameFormat", "TxFrame", "RxResult", "build_frame", "receive_frame"]
+
+
+@dataclass(frozen=True)
+class FrameFormat:
+    """Modulation-and-coding format of a frame.
+
+    Attributes
+    ----------
+    modulation:
+        Constellation for the data subcarriers.
+    code:
+        Convolutional code (rate 1/2, 2/3 or 3/4).
+    params:
+        OFDM numerology.
+    """
+
+    modulation: Modulation
+    code: ConvolutionalCode
+    params: OfdmParams = DEFAULT_OFDM
+
+    @property
+    def coded_bits_per_symbol(self) -> int:
+        """N_CBPS: coded bits carried by one OFDM symbol."""
+        return self.params.num_data_subcarriers * self.modulation.bits_per_symbol
+
+    def num_data_symbols(self, num_info_bits: int) -> int:
+        """OFDM data symbols needed for ``num_info_bits`` information bits."""
+        coded = self.code.coded_length(num_info_bits)
+        return -(-coded // self.coded_bits_per_symbol)
+
+
+@dataclass(frozen=True)
+class TxFrame:
+    """A transmitted frame: samples plus the metadata needed to decode it."""
+
+    samples: np.ndarray
+    info_bits: np.ndarray
+    fmt: FrameFormat
+
+    @property
+    def num_info_bits(self) -> int:
+        return int(self.info_bits.size)
+
+
+@dataclass(frozen=True)
+class RxResult:
+    """Output of the receive chain.
+
+    Attributes
+    ----------
+    bits:
+        Decoded information bits.
+    channel:
+        The CSI estimated from the LTFs.
+    bit_errors:
+        Errors against the transmitted bits, when they were provided.
+    """
+
+    bits: np.ndarray
+    channel: ChannelEstimate
+    bit_errors: Optional[int] = None
+
+    @property
+    def frame_ok(self) -> Optional[bool]:
+        """Whether the frame decoded without error (None if unknown)."""
+        if self.bit_errors is None:
+            return None
+        return self.bit_errors == 0
+
+
+def build_frame(
+    info_bits: np.ndarray,
+    fmt: FrameFormat,
+    include_stf: bool = True,
+) -> TxFrame:
+    """Encode and modulate information bits into a time-domain frame.
+
+    The coded bit stream is zero-padded to a whole number of OFDM symbols,
+    interleaved per symbol and mapped onto the data subcarriers; pilots are
+    set to +1.
+    """
+    info_bits = np.asarray(info_bits, dtype=int).ravel()
+    params = fmt.params
+    coded = fmt.code.encode(info_bits)
+    n_cbps = fmt.coded_bits_per_symbol
+    num_symbols = fmt.num_data_symbols(info_bits.size)
+    padded = np.zeros(num_symbols * n_cbps, dtype=int)
+    padded[: coded.size] = coded
+    pieces = [stf_time_domain(params)] if include_stf else []
+    pieces.append(ltf_time_domain(params, NUM_LTF_REPEATS))
+    for s in range(num_symbols):
+        symbol_bits = interleave(
+            padded[s * n_cbps : (s + 1) * n_cbps], fmt.modulation.bits_per_symbol
+        )
+        data = fmt.modulation.modulate(symbol_bits)
+        pieces.append(params.to_time_domain(params.place(data)))
+    return TxFrame(samples=np.concatenate(pieces), info_bits=info_bits, fmt=fmt)
+
+
+def receive_frame(
+    samples: np.ndarray,
+    fmt: FrameFormat,
+    num_info_bits: int,
+    expected_bits: Optional[np.ndarray] = None,
+    has_stf: bool = True,
+) -> RxResult:
+    """Demodulate and decode a received frame.
+
+    Parameters
+    ----------
+    samples:
+        Received time-domain samples, frame-aligned (frame detection and
+        timing recovery are assumed ideal; the paper's testbed time-
+        synchronises the radios externally).
+    fmt:
+        The frame format used by the transmitter.
+    num_info_bits:
+        Number of information bits to recover.
+    expected_bits:
+        When given, ``bit_errors`` is computed against these.
+    has_stf:
+        Whether the frame starts with an STF symbol to skip.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    params = fmt.params
+    sym_len = params.symbol_samples
+    cursor = sym_len if has_stf else 0
+    ltf_spectra = []
+    for _ in range(NUM_LTF_REPEATS):
+        ltf_spectra.append(params.to_frequency_domain(samples[cursor : cursor + sym_len]))
+        cursor += sym_len
+    channel = estimate_channel(np.array(ltf_spectra), params)
+    noise_var = channel.noise_var if channel.noise_var else 1e-9
+    num_symbols = fmt.num_data_symbols(num_info_bits)
+    n_cbps = fmt.coded_bits_per_symbol
+    data_bins = params.data_bins()
+    llrs = np.empty(num_symbols * n_cbps)
+    cfr_data = channel.cfr[data_bins]
+    for s in range(num_symbols):
+        spectrum = params.to_frequency_domain(samples[cursor : cursor + sym_len])
+        cursor += sym_len
+        equalized = mmse(spectrum[data_bins], cfr_data, noise_var)
+        # Post-equalization noise variance per subcarrier for soft demapping:
+        # MMSE scales noise by |w|^2 and signal by |wH|; approximate with the
+        # effective per-bin SNR, folded into a common scale via ZF-equivalent
+        # noise_var / |H|^2.
+        gains = np.abs(cfr_data) ** 2
+        eff_noise = noise_var / np.maximum(gains, 1e-12)
+        bits_per = fmt.modulation.bits_per_symbol
+        # LLRs scale as 1/noise_var: demap once at unit variance, then apply
+        # the per-subcarrier effective noise.
+        soft = fmt.modulation.demodulate_soft(equalized, 1.0)
+        soft = soft.reshape(-1, bits_per) / eff_noise[:, None]
+        soft = soft.ravel()
+        llrs[s * n_cbps : (s + 1) * n_cbps] = deinterleave(
+            soft, fmt.modulation.bits_per_symbol
+        )
+    coded_length = fmt.code.coded_length(num_info_bits)
+    bits = fmt.code.decode(llrs[:coded_length], num_info_bits)
+    errors = None
+    if expected_bits is not None:
+        expected = np.asarray(expected_bits, dtype=int).ravel()
+        if expected.size != bits.size:
+            raise ValueError(
+                f"expected_bits has {expected.size} bits but {bits.size} were decoded"
+            )
+        errors = int(np.sum(bits != expected))
+    return RxResult(bits=bits, channel=channel, bit_errors=errors)

@@ -1,0 +1,58 @@
+"""Per-OFDM-symbol block interleaver (802.11a style).
+
+The interleaver spreads consecutive coded bits across subcarriers so a
+frequency null — exactly what PRESS moves around — does not wipe out a
+contiguous run of bits.  It is the two-permutation 802.11a block
+interleaver, parameterised by the number of coded bits per symbol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["interleave", "deinterleave", "interleaver_permutation"]
+
+_NUM_COLUMNS = 16
+
+
+def interleaver_permutation(coded_bits_per_symbol: int, bits_per_subcarrier: int) -> np.ndarray:
+    """Index permutation ``perm`` with ``out[perm[k]] = in[k]``.
+
+    Parameters
+    ----------
+    coded_bits_per_symbol:
+        N_CBPS — coded bits carried by one OFDM symbol.
+    bits_per_subcarrier:
+        N_BPSC — bits per subcarrier for the active modulation.
+    """
+    n_cbps = coded_bits_per_symbol
+    n_bpsc = bits_per_subcarrier
+    if n_cbps <= 0 or n_cbps % _NUM_COLUMNS != 0:
+        raise ValueError(
+            f"coded_bits_per_symbol must be a positive multiple of {_NUM_COLUMNS}, got {n_cbps}"
+        )
+    if n_bpsc <= 0:
+        raise ValueError(f"bits_per_subcarrier must be positive, got {n_bpsc}")
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    # First permutation: write row-wise, read column-wise.
+    i = (n_cbps // _NUM_COLUMNS) * (k % _NUM_COLUMNS) + k // _NUM_COLUMNS
+    # Second permutation: rotate bits within a subcarrier group.
+    j = s * (i // s) + (i + n_cbps - (_NUM_COLUMNS * i) // n_cbps) % s
+    return j
+
+
+def interleave(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+    """Interleave one OFDM symbol's worth of coded bits."""
+    bits = np.asarray(bits).ravel()
+    perm = interleaver_permutation(bits.size, bits_per_subcarrier)
+    out = np.empty_like(bits)
+    out[perm] = bits
+    return out
+
+
+def deinterleave(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+    """Invert :func:`interleave` (works on bits or soft values)."""
+    bits = np.asarray(bits).ravel()
+    perm = interleaver_permutation(bits.size, bits_per_subcarrier)
+    return bits[perm]

@@ -1,0 +1,149 @@
+"""Constellation mapping for the Wi-Fi-like OFDM PHY.
+
+Gray-mapped BPSK, QPSK, 16-QAM and 64-QAM, normalised to unit average
+symbol energy, following the 802.11a/g constellation definitions (the PHY
+the paper's WARP endpoints transmit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Modulation",
+    "BPSK",
+    "QPSK",
+    "QAM16",
+    "QAM64",
+    "MODULATIONS",
+    "get_modulation",
+]
+
+
+def _gray_levels(bits_per_axis: int) -> np.ndarray:
+    """Gray-coded PAM levels for one I/Q axis, e.g. [-3,-1,1,3] order for 2 bits.
+
+    Returns an array ``levels`` such that the axis value for the Gray-coded
+    integer ``g`` is ``levels[g]``.
+    """
+    count = 1 << bits_per_axis
+    # Natural binary order of amplitudes: -(count-1), ..., (count-1) step 2.
+    amplitudes = np.arange(-(count - 1), count, 2, dtype=float)
+    levels = np.empty(count)
+    for natural, amplitude in enumerate(amplitudes):
+        gray = natural ^ (natural >> 1)
+        levels[gray] = amplitude
+    return levels
+
+
+@dataclass(frozen=True)
+class Modulation:
+    """A Gray-mapped square constellation.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (``"BPSK"``, ``"16-QAM"``, ...).
+    bits_per_symbol:
+        Number of bits carried per constellation point.
+    """
+
+    name: str
+    bits_per_symbol: int
+
+    def __post_init__(self) -> None:
+        if self.bits_per_symbol not in (1, 2, 4, 6):
+            raise ValueError(
+                f"bits_per_symbol must be one of 1, 2, 4, 6; got {self.bits_per_symbol}"
+            )
+
+    @property
+    def constellation(self) -> np.ndarray:
+        """All constellation points indexed by the Gray-coded bit pattern.
+
+        Bit pattern ``b_{k-1} ... b_0`` (MSB first) splits into an I half
+        (first ``k/2`` bits) and Q half, each Gray-decoded to a PAM level.
+        BPSK uses the real axis only.
+        """
+        if self.bits_per_symbol == 1:
+            return np.array([-1.0 + 0j, 1.0 + 0j])
+        half = self.bits_per_symbol // 2
+        levels = _gray_levels(half)
+        count = 1 << self.bits_per_symbol
+        points = np.empty(count, dtype=complex)
+        for pattern in range(count):
+            i_bits = pattern >> half
+            q_bits = pattern & ((1 << half) - 1)
+            points[pattern] = complex(levels[i_bits], levels[q_bits])
+        scale = np.sqrt(np.mean(np.abs(points) ** 2))
+        return points / scale
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map a bit array (values 0/1) to complex symbols.
+
+        The bit count must be a multiple of ``bits_per_symbol``.
+        """
+        bits = np.asarray(bits, dtype=int)
+        if bits.size % self.bits_per_symbol != 0:
+            raise ValueError(
+                f"{bits.size} bits is not a multiple of {self.bits_per_symbol}"
+            )
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ValueError("bits must contain only 0 and 1")
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        indices = groups @ weights
+        return self.constellation[indices]
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demap symbols to bits (minimum-distance decision)."""
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        points = self.constellation
+        distances = np.abs(symbols[:, None] - points[None, :]) ** 2
+        indices = np.argmin(distances, axis=1)
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        bits = (indices[:, None] >> shifts[None, :]) & 1
+        return bits.ravel()
+
+    def demodulate_soft(self, symbols: np.ndarray, noise_var: float) -> np.ndarray:
+        """Per-bit log-likelihood ratios, LLR > 0 meaning bit 0 more likely.
+
+        Uses the exact max-log approximation over the constellation; noise
+        variance is the total complex noise power per symbol.
+        """
+        if noise_var <= 0:
+            raise ValueError(f"noise_var must be positive, got {noise_var}")
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        points = self.constellation
+        count = points.size
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        point_bits = (np.arange(count)[:, None] >> shifts[None, :]) & 1
+        distances = np.abs(symbols[:, None] - points[None, :]) ** 2 / noise_var
+        llrs = np.empty((symbols.size, self.bits_per_symbol))
+        for bit in range(self.bits_per_symbol):
+            zero_mask = point_bits[:, bit] == 0
+            d_zero = distances[:, zero_mask].min(axis=1)
+            d_one = distances[:, ~zero_mask].min(axis=1)
+            llrs[:, bit] = d_one - d_zero
+        return llrs.ravel()
+
+
+BPSK = Modulation("BPSK", 1)
+QPSK = Modulation("QPSK", 2)
+QAM16 = Modulation("16-QAM", 4)
+QAM64 = Modulation("64-QAM", 6)
+
+MODULATIONS: dict[str, Modulation] = {
+    mod.name: mod for mod in (BPSK, QPSK, QAM16, QAM64)
+}
+
+
+def get_modulation(name: str) -> Modulation:
+    """Look up a modulation by name, raising with the known names on miss."""
+    try:
+        return MODULATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODULATIONS))
+        raise KeyError(f"unknown modulation {name!r}; known: {known}") from None

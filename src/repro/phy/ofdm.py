@@ -1,0 +1,167 @@
+"""OFDM numerology and symbol-level (de)modulation.
+
+Implements the 64-subcarrier, 20 MHz Wi-Fi-like OFDM the paper's WARP
+endpoints transmit (§3.1): 48 data + 4 pilot subcarriers out of 64, a
+16-sample cyclic prefix, IFFT/FFT symbol shaping.
+
+Subcarrier indexing convention: arrays of length 64 are indexed by FFT bin
+``k`` re-centred so index 0 is the most negative frequency (bin -32) and
+index 63 is bin +31; the DC bin sits at index 32.  This matches
+:func:`repro.em.channel.subcarrier_frequencies`, and means "subcarrier 0
+through 52" on the x-axes of Figures 4-6 maps to the used (non-guard,
+non-DC) bins in increasing-frequency order via :meth:`OfdmParams.used_bins`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import BANDWIDTH_HZ, NUM_SUBCARRIERS
+
+__all__ = ["OfdmParams", "DEFAULT_OFDM"]
+
+
+@dataclass(frozen=True)
+class OfdmParams:
+    """OFDM numerology.
+
+    Attributes
+    ----------
+    fft_size:
+        Number of subcarriers (64 for the paper's setup).
+    cyclic_prefix:
+        Cyclic prefix length in samples (16 = 800 ns at 20 MHz).
+    bandwidth_hz:
+        Sampling/channel bandwidth.
+    data_offsets, pilot_offsets:
+        Logical subcarrier offsets from DC used for data and pilots
+        (802.11a layout by default).
+    """
+
+    fft_size: int = NUM_SUBCARRIERS
+    cyclic_prefix: int = 16
+    bandwidth_hz: float = BANDWIDTH_HZ
+    data_offsets: tuple[int, ...] = field(
+        default_factory=lambda: tuple(
+            k
+            for k in range(-26, 27)
+            if k != 0 and k not in (-21, -7, 7, 21)
+        )
+    )
+    pilot_offsets: tuple[int, ...] = (-21, -7, 7, 21)
+
+    def __post_init__(self) -> None:
+        if self.fft_size <= 0 or self.fft_size & (self.fft_size - 1):
+            raise ValueError(f"fft_size must be a positive power of two, got {self.fft_size}")
+        if not 0 <= self.cyclic_prefix < self.fft_size:
+            raise ValueError(
+                f"cyclic_prefix must be in [0, fft_size), got {self.cyclic_prefix}"
+            )
+        overlap = set(self.data_offsets) & set(self.pilot_offsets)
+        if overlap:
+            raise ValueError(f"data and pilot subcarriers overlap: {sorted(overlap)}")
+        half = self.fft_size // 2
+        for offset in tuple(self.data_offsets) + tuple(self.pilot_offsets):
+            if not -half <= offset < half:
+                raise ValueError(f"subcarrier offset {offset} outside FFT range")
+
+    # ------------------------------------------------------------------
+    # Index bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def num_data_subcarriers(self) -> int:
+        return len(self.data_offsets)
+
+    @property
+    def num_pilot_subcarriers(self) -> int:
+        return len(self.pilot_offsets)
+
+    @property
+    def symbol_samples(self) -> int:
+        """Time-domain samples per OFDM symbol including the cyclic prefix."""
+        return self.fft_size + self.cyclic_prefix
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """OFDM symbol duration (4 us for the default numerology)."""
+        return self.symbol_samples / self.bandwidth_hz
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        return self.bandwidth_hz / self.fft_size
+
+    def _offset_to_index(self, offsets: np.ndarray) -> np.ndarray:
+        """Map logical offsets (from DC) to centred-grid indices 0..fft-1."""
+        return np.asarray(offsets, dtype=int) + self.fft_size // 2
+
+    def data_bins(self) -> np.ndarray:
+        """Centred-grid indices of data subcarriers, ascending in frequency."""
+        return self._offset_to_index(np.sort(np.asarray(self.data_offsets)))
+
+    def pilot_bins(self) -> np.ndarray:
+        """Centred-grid indices of pilot subcarriers."""
+        return self._offset_to_index(np.sort(np.asarray(self.pilot_offsets)))
+
+    def used_bins(self) -> np.ndarray:
+        """Centred-grid indices of all used (data + pilot) subcarriers."""
+        offsets = np.sort(np.asarray(self.data_offsets + self.pilot_offsets))
+        return self._offset_to_index(offsets)
+
+    def used_mask(self) -> np.ndarray:
+        """Boolean mask over the centred grid marking used subcarriers."""
+        mask = np.zeros(self.fft_size, dtype=bool)
+        mask[self.used_bins()] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    # Symbol shaping
+    # ------------------------------------------------------------------
+    def to_time_domain(self, spectrum: np.ndarray) -> np.ndarray:
+        """One OFDM symbol: centred-grid spectrum -> CP-prefixed samples.
+
+        ``spectrum`` has length ``fft_size`` on the centred grid (index 0 is
+        the most negative frequency).
+        """
+        spectrum = np.asarray(spectrum, dtype=complex)
+        if spectrum.shape != (self.fft_size,):
+            raise ValueError(
+                f"spectrum must have shape ({self.fft_size},), got {spectrum.shape}"
+            )
+        time = np.fft.ifft(np.fft.ifftshift(spectrum)) * np.sqrt(self.fft_size)
+        return np.concatenate([time[-self.cyclic_prefix :] if self.cyclic_prefix else time[:0], time])
+
+    def to_frequency_domain(self, samples: np.ndarray) -> np.ndarray:
+        """One OFDM symbol: CP-prefixed samples -> centred-grid spectrum."""
+        samples = np.asarray(samples, dtype=complex)
+        if samples.shape != (self.symbol_samples,):
+            raise ValueError(
+                f"samples must have shape ({self.symbol_samples},), got {samples.shape}"
+            )
+        body = samples[self.cyclic_prefix :]
+        return np.fft.fftshift(np.fft.fft(body)) / np.sqrt(self.fft_size)
+
+    def place(self, data_symbols: np.ndarray, pilot_value: complex = 1.0 + 0.0j) -> np.ndarray:
+        """Build a centred-grid spectrum from data symbols plus fixed pilots."""
+        data_symbols = np.asarray(data_symbols, dtype=complex)
+        if data_symbols.shape != (self.num_data_subcarriers,):
+            raise ValueError(
+                f"expected {self.num_data_subcarriers} data symbols, got {data_symbols.shape}"
+            )
+        spectrum = np.zeros(self.fft_size, dtype=complex)
+        spectrum[self.data_bins()] = data_symbols
+        spectrum[self.pilot_bins()] = pilot_value
+        return spectrum
+
+    def extract_data(self, spectrum: np.ndarray) -> np.ndarray:
+        """Pull the data subcarriers out of a centred-grid spectrum."""
+        spectrum = np.asarray(spectrum, dtype=complex)
+        if spectrum.shape != (self.fft_size,):
+            raise ValueError(
+                f"spectrum must have shape ({self.fft_size},), got {spectrum.shape}"
+            )
+        return spectrum[self.data_bins()]
+
+
+DEFAULT_OFDM = OfdmParams()

@@ -1,0 +1,83 @@
+"""Training sequences: the long training field (LTF) used for channel estimation.
+
+§3.2: "the transmitter sends one frame comprised of multiple OFDM symbols
+and the receiver estimates the channel state information from the training
+sequences in the frame."  We implement the 802.11a long training symbol
+(known BPSK values on the 52 used subcarriers, sent twice with a double-
+length cyclic prefix) plus a short training field for power normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ofdm import OfdmParams
+
+__all__ = ["ltf_spectrum", "ltf_time_domain", "stf_time_domain", "NUM_LTF_REPEATS"]
+
+#: The LTF is transmitted twice (802.11a), enabling noise-variance estimation.
+NUM_LTF_REPEATS = 2
+
+#: 802.11a L-LTF values on subcarriers -26..-1, 1..26 (53 entries incl. DC=0).
+_LTF_VALUES = np.array(
+    [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+     0,
+     1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1],
+    dtype=float,
+)
+
+#: 802.11a L-STF occupied subcarriers (every 4th) and values (scaled QPSK).
+_STF_OFFSETS = np.array([-24, -20, -16, -12, -8, -4, 4, 8, 12, 16, 20, 24])
+_STF_VALUES = np.sqrt(13.0 / 6.0) * np.array(
+    [1 + 1j, -1 - 1j, 1 + 1j, -1 - 1j, -1 - 1j, 1 + 1j, -1 - 1j, -1 - 1j, 1 + 1j, 1 + 1j, 1 + 1j, 1 + 1j]
+)
+
+
+def ltf_spectrum(params: OfdmParams) -> np.ndarray:
+    """Known LTF values on the centred subcarrier grid.
+
+    For the default 64-point numerology this is the exact 802.11a L-LTF.
+    Other FFT sizes get a deterministic ±1 sequence on the used bins so the
+    PHY stays usable at non-standard numerologies.
+    """
+    spectrum = np.zeros(params.fft_size, dtype=complex)
+    half = params.fft_size // 2
+    if params.fft_size == 64:
+        offsets = np.arange(-26, 27)
+        spectrum[offsets + half] = _LTF_VALUES
+        # Restrict to the bins this numerology actually uses.
+        mask = np.zeros(params.fft_size, dtype=bool)
+        mask[params.used_bins()] = True
+        spectrum[~mask] = 0.0
+        return spectrum
+    # Deterministic fallback: alternate signs over used bins.
+    used = params.used_bins()
+    signs = np.where(np.arange(used.size) % 2 == 0, 1.0, -1.0)
+    spectrum[used] = signs
+    return spectrum
+
+
+def ltf_time_domain(params: OfdmParams, repeats: int = NUM_LTF_REPEATS) -> np.ndarray:
+    """Time-domain LTF: ``repeats`` known symbols, each with a cyclic prefix.
+
+    802.11a sends the two LTF repetitions behind one double-length CP; we
+    prefix each repetition with the standard CP instead, which is equivalent
+    for channel estimation and keeps the frame a whole number of uniform
+    OFDM symbols.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    symbol = params.to_time_domain(ltf_spectrum(params))
+    return np.tile(symbol, repeats)
+
+
+def stf_time_domain(params: OfdmParams) -> np.ndarray:
+    """One short-training-field symbol (used for AGC/power levelling)."""
+    spectrum = np.zeros(params.fft_size, dtype=complex)
+    half = params.fft_size // 2
+    if params.fft_size == 64:
+        spectrum[_STF_OFFSETS + half] = _STF_VALUES
+    else:
+        used = params.used_bins()[::4]
+        spectrum[used] = 1.0 + 1.0j
+    return params.to_time_domain(spectrum)

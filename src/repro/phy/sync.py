@@ -1,0 +1,178 @@
+"""Packet detection, timing and carrier synchronisation.
+
+The receive chain in :mod:`repro.phy.frame` assumes frame-aligned samples —
+valid for the paper's externally time-synchronised testbed (§3.1), but a
+deployed PRESS receiver must find frames itself.  This module implements
+the classical 802.11 synchronisation front end:
+
+* Schmidl-Cox style detection on the repeating STF/LTF structure
+  (autocorrelation plateau), giving packet presence and coarse timing;
+* fine timing by cross-correlating against the known LTF waveform;
+* carrier-frequency-offset estimation from the phase of the repetition
+  autocorrelation (coarse from the short periodicity, fine from the LTF
+  repetition), and its correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .ofdm import DEFAULT_OFDM, OfdmParams
+from .preamble import ltf_time_domain, stf_time_domain
+
+__all__ = [
+    "SyncResult",
+    "detect_packet",
+    "fine_timing",
+    "estimate_cfo",
+    "correct_cfo",
+    "synchronize",
+]
+
+
+def _autocorrelation_metric(samples: np.ndarray, lag: int, window: int) -> np.ndarray:
+    """Normalised sliding autocorrelation |P(d)|^2 / R(d)^2 (Schmidl-Cox)."""
+    samples = np.asarray(samples, dtype=complex)
+    n = samples.size - lag - window
+    if n <= 0:
+        return np.zeros(0)
+    conj_products = samples[lag:] * np.conj(samples[:-lag])
+    energies = np.abs(samples[lag:]) ** 2
+    # Sliding sums via cumulative sums.
+    cp = np.concatenate([[0.0 + 0.0j], np.cumsum(conj_products)])
+    ce = np.concatenate([[0.0], np.cumsum(energies)])
+    p = cp[window:n + window] - cp[:n]
+    r = ce[window:n + window] - ce[:n]
+    r = np.maximum(r, 1e-30)
+    return np.abs(p) ** 2 / r**2
+
+
+def detect_packet(
+    samples: np.ndarray,
+    params: OfdmParams = DEFAULT_OFDM,
+    threshold: float = 0.5,
+) -> Optional[int]:
+    """Coarse packet detection: index where the STF plateau starts, or None.
+
+    Uses the 16-sample periodicity of the short training field.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    lag = params.fft_size // 4  # STF period (16 at the default numerology)
+    metric = _autocorrelation_metric(samples, lag, window=2 * lag)
+    above = np.nonzero(metric > threshold)[0]
+    if above.size == 0:
+        return None
+    return int(above[0])
+
+
+def fine_timing(
+    samples: np.ndarray,
+    coarse_index: int,
+    params: OfdmParams = DEFAULT_OFDM,
+    search_span: int = 160,
+) -> int:
+    """Frame start by cross-correlation against the known LTF waveform.
+
+    Returns the sample index of the *frame* start (the STF symbol's first
+    sample), assuming the standard STF | LTF x2 | ... layout.
+    """
+    if search_span <= 0:
+        raise ValueError(f"search_span must be positive, got {search_span}")
+    samples = np.asarray(samples, dtype=complex)
+    reference = ltf_time_domain(params, repeats=1)
+    start = max(coarse_index - search_span // 2, 0)
+    stop = min(coarse_index + search_span, samples.size - reference.size)
+    if stop <= start:
+        return max(coarse_index, 0)
+    best_index = start
+    best_metric = -1.0
+    ref_energy = float(np.sum(np.abs(reference) ** 2))
+    for index in range(start, stop):
+        window = samples[index : index + reference.size]
+        corr = abs(np.vdot(reference, window))
+        energy = float(np.sum(np.abs(window) ** 2))
+        metric = corr**2 / max(energy * ref_energy, 1e-30)
+        if metric > best_metric:
+            best_metric = metric
+            best_index = index
+    # The LTF correlation peak sits one STF symbol after the frame start.
+    return best_index - params.symbol_samples
+
+
+def estimate_cfo(
+    samples: np.ndarray,
+    frame_start: int,
+    params: OfdmParams = DEFAULT_OFDM,
+) -> float:
+    """CFO estimate [Hz] from the phase of the LTF repetition correlation.
+
+    The two LTF symbols are identical up to the CFO-induced rotation
+    ``2 pi f_off T_sym``; measuring that phase gives f_off unambiguously up
+    to +/- 1/(2 T_sym) (±6.25 kHz at the default numerology) — ample for
+    the residual offsets of §3-class hardware.
+    """
+    samples = np.asarray(samples, dtype=complex)
+    sym = params.symbol_samples
+    first_start = frame_start + sym  # skip the STF
+    second_start = first_start + sym
+    first = samples[first_start : first_start + sym]
+    second = samples[second_start : second_start + sym]
+    if first.size < sym or second.size < sym:
+        raise ValueError("samples too short for CFO estimation at this offset")
+    correlation = np.vdot(first, second)
+    phase = float(np.angle(correlation))
+    duration = sym / params.bandwidth_hz
+    return phase / (2.0 * np.pi * duration)
+
+
+def correct_cfo(
+    samples: np.ndarray,
+    cfo_hz: float,
+    params: OfdmParams = DEFAULT_OFDM,
+) -> np.ndarray:
+    """Remove a carrier frequency offset."""
+    samples = np.asarray(samples, dtype=complex)
+    n = np.arange(samples.size)
+    return samples * np.exp(-2.0j * np.pi * cfo_hz * n / params.bandwidth_hz)
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """Output of the synchronisation front end.
+
+    Attributes
+    ----------
+    frame_start:
+        Sample index of the frame's first sample.
+    cfo_hz:
+        Estimated carrier frequency offset.
+    samples:
+        CFO-corrected samples, trimmed to start at ``frame_start``.
+    """
+
+    frame_start: int
+    cfo_hz: float
+    samples: np.ndarray
+
+
+def synchronize(
+    samples: np.ndarray,
+    params: OfdmParams = DEFAULT_OFDM,
+    threshold: float = 0.5,
+) -> Optional[SyncResult]:
+    """Full front end: detect, time-align and CFO-correct one frame.
+
+    Returns None when no packet is detected.
+    """
+    coarse = detect_packet(samples, params, threshold)
+    if coarse is None:
+        return None
+    start = fine_timing(samples, coarse, params)
+    start = max(start, 0)
+    cfo = estimate_cfo(samples, start, params)
+    corrected = correct_cfo(samples, cfo, params)
+    return SyncResult(frame_start=start, cfo_hz=cfo, samples=corrected[start:])

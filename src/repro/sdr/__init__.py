@@ -1,0 +1,29 @@
+"""Simulated SDR substrate: devices, front-end impairments, time sync, testbed."""
+
+from .device import RadioChain, SdrDevice, usrp_n210, usrp_x310, warp_v3
+from .frontend import (
+    FrontendImpairments,
+    apply_cfo,
+    apply_iq_imbalance,
+    apply_phase_noise,
+)
+from .testbed import SweepResult, Testbed
+from .timesync import Clock, SweepTiming, max_unsynced_interval_s, sync_clocks
+
+__all__ = [
+    "RadioChain",
+    "SdrDevice",
+    "warp_v3",
+    "usrp_n210",
+    "usrp_x310",
+    "FrontendImpairments",
+    "apply_cfo",
+    "apply_phase_noise",
+    "apply_iq_imbalance",
+    "Testbed",
+    "SweepResult",
+    "Clock",
+    "sync_clocks",
+    "max_unsynced_interval_s",
+    "SweepTiming",
+]

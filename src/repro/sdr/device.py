@@ -1,0 +1,150 @@
+"""Simulated software-defined radio devices.
+
+Stand-ins for the paper's testbed hardware (§3.1, §3.2.2, §3.2.3):
+
+* WARP v3 boards transmitting the Wi-Fi-like OFDM frames;
+* USRP N210 radios (single daughterboard) for the harmonization study;
+* USRP X310 with two UBX-160 daughterboards for the 2x2 MIMO study.
+
+The devices carry positions, antennas, TX power and noise figure; the
+testbed harness (:mod:`repro.sdr.testbed`) wires them through the EM
+substrate.  RF impairments live in :mod:`repro.sdr.frontend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ..em.antennas import Antenna, OmniAntenna
+from ..em.geometry import Point
+
+__all__ = ["RadioChain", "SdrDevice", "warp_v3", "usrp_n210", "usrp_x310"]
+
+
+@dataclass(frozen=True)
+class RadioChain:
+    """One RF chain: an antenna at a position.
+
+    Attributes
+    ----------
+    position:
+        Antenna location in the floor plan.
+    antenna:
+        Radiation pattern (2 dBi omni by default, like the PulseLarsen
+        W1030 endpoints in §3.1).
+    """
+
+    position: Point
+    antenna: Antenna = field(default_factory=OmniAntenna)
+
+
+@dataclass(frozen=True)
+class SdrDevice:
+    """A software-defined radio with one or more chains.
+
+    Attributes
+    ----------
+    name:
+        Device identifier.
+    chains:
+        RF chains (antennas); 2 for the X310 MIMO configuration.
+    tx_power_dbm:
+        Per-chain transmit power.
+    noise_figure_db:
+        Receive noise figure.
+    model:
+        Hardware model tag ("WARP v3", "USRP N210", "USRP X310").
+    """
+
+    name: str
+    chains: tuple[RadioChain, ...]
+    tx_power_dbm: float = 15.0
+    noise_figure_db: float = 7.0
+    model: str = "generic"
+
+    def __post_init__(self) -> None:
+        if len(self.chains) == 0:
+            raise ValueError("a device needs at least one radio chain")
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chains)
+
+    @property
+    def position(self) -> Point:
+        """Primary (first-chain) antenna position."""
+        return self.chains[0].position
+
+    def moved_to(self, position: Point) -> "SdrDevice":
+        """A copy translated so the primary chain sits at ``position``.
+
+        Preserves the relative geometry of multi-chain arrays.
+        """
+        offset = position - self.position
+        moved = tuple(
+            replace(chain, position=chain.position + offset) for chain in self.chains
+        )
+        return replace(self, chains=moved)
+
+
+def warp_v3(
+    name: str,
+    position: Point,
+    antenna: Antenna = OmniAntenna(),
+    tx_power_dbm: float = 15.0,
+) -> SdrDevice:
+    """A WARP v3 board (§3.1 default endpoint): single chain, ~7 dB NF."""
+    return SdrDevice(
+        name=name,
+        chains=(RadioChain(position=position, antenna=antenna),),
+        tx_power_dbm=tx_power_dbm,
+        noise_figure_db=7.0,
+        model="WARP v3",
+    )
+
+
+def usrp_n210(
+    name: str,
+    position: Point,
+    antenna: Antenna = OmniAntenna(),
+    tx_power_dbm: float = 12.0,
+) -> SdrDevice:
+    """A USRP N210 (§3.2.2 harmonization endpoints): single chain, ~8 dB NF."""
+    return SdrDevice(
+        name=name,
+        chains=(RadioChain(position=position, antenna=antenna),),
+        tx_power_dbm=tx_power_dbm,
+        noise_figure_db=8.0,
+        model="USRP N210",
+    )
+
+
+def usrp_x310(
+    name: str,
+    position: Point,
+    antenna_spacing_m: float = 0.0609,
+    antenna: Antenna = OmniAntenna(),
+    tx_power_dbm: float = 12.0,
+) -> SdrDevice:
+    """A USRP X310 with two UBX-160 daughterboards (§3.2.3 MIMO endpoint).
+
+    The two chains sit ``antenna_spacing_m`` apart along the x axis
+    (default lambda/2 at 2.462 GHz).
+    """
+    if antenna_spacing_m <= 0:
+        raise ValueError(f"antenna_spacing_m must be positive, got {antenna_spacing_m}")
+    chains = (
+        RadioChain(position=position, antenna=antenna),
+        RadioChain(
+            position=Point(position.x + antenna_spacing_m, position.y),
+            antenna=antenna,
+        ),
+    )
+    return SdrDevice(
+        name=name,
+        chains=chains,
+        tx_power_dbm=tx_power_dbm,
+        noise_figure_db=6.0,
+        model="USRP X310",
+    )

@@ -1,0 +1,287 @@
+"""The simulated testbed: devices + scene + PRESS array, wired together.
+
+Replaces the paper's physical lab: WARP/USRP devices stand at their
+positions in a scene, a PRESS array sits between them, and this harness
+produces the measurements the paper collects — per-subcarrier SNR sweeps
+over all array configurations (Figures 4-6), frequency-selectivity pairs
+(Figure 7), and per-configuration 2x2 MIMO channel matrices (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..constants import BANDWIDTH_HZ, CARRIER_FREQUENCY_HZ, NUM_SUBCARRIERS
+from ..core.array import PressArray
+from ..core.configuration import ArrayConfiguration
+from ..em.channel import Channel, ChannelObservation, subcarrier_frequencies
+from ..em.paths import SignalPath, paths_to_cfr
+from ..em.raytracer import RayTracer
+from ..em.scene import Scene
+from .device import SdrDevice
+
+__all__ = ["Testbed", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full configuration sweep, §3.2-style.
+
+    Attributes
+    ----------
+    snr_db:
+        Array of shape (repetitions, configurations, subcarriers).
+    configurations:
+        The configurations, in sweep order.
+    used_mask:
+        Which subcarriers are used (52 of 64 for the default numerology).
+    """
+
+    snr_db: np.ndarray
+    configurations: tuple[ArrayConfiguration, ...]
+    used_mask: np.ndarray
+
+    @property
+    def num_repetitions(self) -> int:
+        return self.snr_db.shape[0]
+
+    @property
+    def num_configurations(self) -> int:
+        return self.snr_db.shape[1]
+
+    def mean_snr_db(self) -> np.ndarray:
+        """Per-configuration, per-subcarrier SNR averaged over repetitions."""
+        return self.snr_db.mean(axis=0)
+
+    def used_snr_db(self) -> np.ndarray:
+        """SNR restricted to used subcarriers, shape (reps, configs, used)."""
+        return self.snr_db[:, :, self.used_mask]
+
+
+class Testbed:
+    """A complete measurement setup.
+
+    Parameters
+    ----------
+    scene:
+        The propagation environment.
+    array:
+        The PRESS array installed in it.
+    frequency_hz, bandwidth_hz, num_subcarriers:
+        Radio numerology (defaults: the paper's channel 11 / 20 MHz / 64).
+    max_bounces:
+        Ray-tracing depth for the ambient environment.
+    """
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        scene: Scene,
+        array: PressArray,
+        frequency_hz: float = CARRIER_FREQUENCY_HZ,
+        bandwidth_hz: float = BANDWIDTH_HZ,
+        num_subcarriers: int = NUM_SUBCARRIERS,
+        max_bounces: int = 2,
+        drift_phase_rad: float = 0.0,
+        drift_amplitude: float = 0.0,
+    ) -> None:
+        if drift_phase_rad < 0 or drift_amplitude < 0:
+            raise ValueError("drift parameters must be non-negative")
+        self.scene = scene
+        self.array = array
+        self.frequency_hz = frequency_hz
+        self.bandwidth_hz = bandwidth_hz
+        self.num_subcarriers = num_subcarriers
+        #: Per-measurement ambient channel drift.  The §3.2 sweep takes ~5 s
+        #: — far beyond the channel coherence time — so successive
+        #: configuration measurements see slightly different ambient
+        #: channels.  Each measurement perturbs every ambient path's phase
+        #: (sigma = ``drift_phase_rad``) and amplitude (relative sigma =
+        #: ``drift_amplitude``) when an rng is supplied.
+        self.drift_phase_rad = drift_phase_rad
+        self.drift_amplitude = drift_amplitude
+        self.tracer = RayTracer(
+            scene=scene, frequency_hz=frequency_hz, max_bounces=max_bounces
+        )
+        self._environment_cache: dict[tuple, tuple[SignalPath, ...]] = {}
+
+    def _drifted(
+        self,
+        paths: tuple[SignalPath, ...],
+        rng: Optional[np.random.Generator],
+    ) -> tuple[SignalPath, ...]:
+        """One coherence-drifted realisation of the ambient paths."""
+        if rng is None or (self.drift_phase_rad == 0 and self.drift_amplitude == 0):
+            return paths
+        drifted = []
+        for path in paths:
+            phase = rng.normal(scale=self.drift_phase_rad)
+            scale = max(1.0 + rng.normal(scale=self.drift_amplitude), 0.0)
+            drifted.append(path.scaled(scale * complex(np.cos(phase), np.sin(phase))))
+        return tuple(drifted)
+
+    # ------------------------------------------------------------------
+    # Environment paths (configuration independent, cached)
+    # ------------------------------------------------------------------
+    def environment_paths(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        tx_chain: int = 0,
+        rx_chain: int = 0,
+    ) -> tuple[SignalPath, ...]:
+        """Ambient multipath between two device chains (no PRESS paths)."""
+        tx = tx_device.chains[tx_chain]
+        rx = rx_device.chains[rx_chain]
+        key = (
+            tx.position.as_tuple(),
+            rx.position.as_tuple(),
+            tx.antenna,
+            rx.antenna,
+        )
+        if key not in self._environment_cache:
+            self._environment_cache[key] = tuple(
+                self.tracer.trace(tx.position, rx.position, tx.antenna, rx.antenna)
+            )
+        return self._environment_cache[key]
+
+    # ------------------------------------------------------------------
+    # SISO measurements
+    # ------------------------------------------------------------------
+    def channel(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        configuration: ArrayConfiguration,
+        tx_chain: int = 0,
+        rx_chain: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Channel:
+        """The composed channel (environment + configured PRESS paths).
+
+        With an ``rng`` and non-zero drift, the ambient part is a fresh
+        coherence-drifted realisation (see ``drift_phase_rad``).
+        """
+        tx = tx_device.chains[tx_chain]
+        rx = rx_device.chains[rx_chain]
+        environment = self._drifted(
+            self.environment_paths(tx_device, rx_device, tx_chain, rx_chain), rng
+        )
+        return self.array.channel(
+            configuration,
+            environment,
+            tx.position,
+            rx.position,
+            self.tracer,
+            tx.antenna,
+            rx.antenna,
+            num_subcarriers=self.num_subcarriers,
+            bandwidth_hz=self.bandwidth_hz,
+        )
+
+    def measure_csi(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        configuration: ArrayConfiguration,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ChannelObservation:
+        """One CSI measurement, as the paper's receiver would estimate it.
+
+        With an ``rng``, the observation carries single-frame channel-
+        estimation noise; without, it is the exact channel.
+        """
+        channel = self.channel(tx_device, rx_device, configuration, rng=rng)
+        return channel.observe(
+            tx_power_dbm=tx_device.tx_power_dbm,
+            noise_figure_db=rx_device.noise_figure_db,
+            rng=rng,
+        )
+
+    def sweep(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        repetitions: int = 10,
+        rng: Optional[np.random.Generator] = None,
+        used_only_mask: Optional[np.ndarray] = None,
+    ) -> SweepResult:
+        """Iterate all configurations ``repetitions`` times (the §3.2 loop).
+
+        "we iterate through the 64 combinations 10 times and calculate
+        statistics on the SNR for each PRESS antenna configuration."
+        """
+        if repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {repetitions}")
+        space = self.array.configuration_space()
+        configurations = tuple(space.all_configurations())
+        snr = np.empty((repetitions, len(configurations), self.num_subcarriers))
+        for rep in range(repetitions):
+            for index, configuration in enumerate(configurations):
+                observation = self.measure_csi(
+                    tx_device, rx_device, configuration, rng=rng
+                )
+                snr[rep, index] = observation.snr_db
+        if used_only_mask is None:
+            from ..phy.ofdm import OfdmParams
+
+            if self.num_subcarriers == 64:
+                used_only_mask = OfdmParams().used_mask()
+            else:
+                used_only_mask = np.ones(self.num_subcarriers, dtype=bool)
+        return SweepResult(
+            snr_db=snr, configurations=configurations, used_mask=used_only_mask
+        )
+
+    # ------------------------------------------------------------------
+    # MIMO measurements
+    # ------------------------------------------------------------------
+    def mimo_matrices(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        configuration: ArrayConfiguration,
+        rng: Optional[np.random.Generator] = None,
+        estimation_error_std: float = 0.0,
+    ) -> np.ndarray:
+        """Per-subcarrier MIMO channel matrices for one configuration.
+
+        Returns shape (num_subcarriers, num_rx_chains, num_tx_chains).
+        ``estimation_error_std`` adds relative complex-Gaussian estimation
+        error per entry, standing in for the finite-SNR CSI estimates of
+        §3.2.3 (which averages 50 measurements per configuration).
+        """
+        freqs = subcarrier_frequencies(self.num_subcarriers, self.bandwidth_hz)
+        num_rx = rx_device.num_chains
+        num_tx = tx_device.num_chains
+        h = np.zeros((self.num_subcarriers, num_rx, num_tx), dtype=complex)
+        for i in range(num_rx):
+            for j in range(num_tx):
+                tx = tx_device.chains[j]
+                rx = rx_device.chains[i]
+                env = self._drifted(
+                    self.environment_paths(tx_device, rx_device, j, i), rng
+                )
+                press = self.array.element_paths(
+                    configuration,
+                    tx.position,
+                    rx.position,
+                    self.tracer,
+                    tx.antenna,
+                    rx.antenna,
+                )
+                h[:, i, j] = paths_to_cfr(list(env) + press, freqs)
+        if estimation_error_std > 0:
+            if rng is None:
+                raise ValueError("estimation_error_std > 0 requires an rng")
+            scale = estimation_error_std * np.sqrt(np.mean(np.abs(h) ** 2))
+            noise = scale / np.sqrt(2.0) * (
+                rng.standard_normal(h.shape) + 1j * rng.standard_normal(h.shape)
+            )
+            h = h + noise
+        return h

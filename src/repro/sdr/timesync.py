@@ -1,0 +1,109 @@
+"""Time synchronisation between the radios and the switch micro-controller.
+
+§3.1: "We control the RF switch through a micro-controller time
+synchronized with the WARP radios' transmissions."  §3.2: because of setup
+latency, sweeping all 64 configurations took ~5 seconds — far beyond the
+channel coherence time, which the paper compensates for by averaging 10
+sweeps.  This module models exactly that bookkeeping: clocks with offset
+and drift, a synchronisation protocol that bounds their disagreement, and
+sweep-duration accounting used by the control-plane benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Clock", "sync_clocks", "SweepTiming"]
+
+
+@dataclass
+class Clock:
+    """A free-running clock with offset and drift relative to true time.
+
+    Attributes
+    ----------
+    offset_s:
+        Current offset from the reference timebase.
+    drift_ppm:
+        Rate error in parts per million (crystal oscillators: 1-20 ppm).
+    """
+
+    offset_s: float = 0.0
+    drift_ppm: float = 0.0
+
+    def read(self, true_time_s: float) -> float:
+        """The time this clock shows at true time ``true_time_s``."""
+        return true_time_s * (1.0 + self.drift_ppm * 1e-6) + self.offset_s
+
+    def error_at(self, true_time_s: float) -> float:
+        """Absolute error versus true time."""
+        return abs(self.read(true_time_s) - true_time_s)
+
+
+def sync_clocks(clock: Clock, true_time_s: float, residual_s: float = 1e-6) -> Clock:
+    """Synchronise ``clock`` to the reference at ``true_time_s``.
+
+    Models a sync pulse (e.g. a GPIO trigger from the WARP to the
+    micro-controller): the offset collapses to ``residual_s`` worth of
+    trigger jitter, drift is untouched (it re-accumulates until the next
+    sync).
+    """
+    if residual_s < 0:
+        raise ValueError(f"residual_s must be non-negative, got {residual_s}")
+    drift_component = true_time_s * clock.drift_ppm * 1e-6
+    return Clock(offset_s=residual_s - drift_component, drift_ppm=clock.drift_ppm)
+
+
+def max_unsynced_interval_s(drift_ppm: float, tolerance_s: float) -> float:
+    """How long a clock can free-run before exceeding a timing tolerance.
+
+    Used to decide how often the controller must re-sync the switch
+    micro-controllers to keep configuration changes aligned with frame
+    boundaries (a packet-timescale switching requirement from §2).
+    """
+    if tolerance_s <= 0:
+        raise ValueError(f"tolerance_s must be positive, got {tolerance_s}")
+    if drift_ppm <= 0:
+        return float("inf")
+    return tolerance_s / (drift_ppm * 1e-6)
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    """Timing of a full configuration sweep (the §3.2 measurement loop).
+
+    Attributes
+    ----------
+    num_configurations:
+        Configurations per sweep (64 in the prototype).
+    per_configuration_s:
+        Time per configuration: actuation + frame + logging.
+    """
+
+    num_configurations: int = 64
+    per_configuration_s: float = 5.0 / 64.0
+
+    def __post_init__(self) -> None:
+        if self.num_configurations <= 0:
+            raise ValueError(
+                f"num_configurations must be positive, got {self.num_configurations}"
+            )
+        if self.per_configuration_s <= 0:
+            raise ValueError(
+                f"per_configuration_s must be positive, got {self.per_configuration_s}"
+            )
+
+    @property
+    def sweep_duration_s(self) -> float:
+        """Duration of one full sweep (~5 s for the paper's prototype)."""
+        return self.num_configurations * self.per_configuration_s
+
+    def exceeds_coherence(self, coherence_s: float) -> bool:
+        """Whether a sweep outlives the channel coherence time.
+
+        True for the prototype (5 s >> 80 ms), which is why §3.2 averages
+        over 10 repeated sweeps instead of comparing within one.
+        """
+        if coherence_s <= 0:
+            raise ValueError(f"coherence_s must be positive, got {coherence_s}")
+        return self.sweep_duration_s > coherence_s

@@ -1,0 +1,57 @@
+"""Shared fixtures for the PRESS reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PressArray, omni_element
+from repro.em import (
+    Channel,
+    OmniAntenna,
+    Point,
+    RayTracer,
+    SignalPath,
+    blocker_between,
+    shoebox_scene,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def simple_scene():
+    """An empty 8 x 6 m drywall room."""
+    return shoebox_scene(8.0, 6.0)
+
+
+@pytest.fixture
+def nlos_scene(rng):
+    """A room with scatterers and a blocked 4 m link (tx at (2,3), rx at (6,3))."""
+    scene = shoebox_scene(8.0, 6.0, num_scatterers=4, rng=rng)
+    return scene.with_obstacles(blocker_between(Point(2, 3), Point(6, 3)))
+
+
+@pytest.fixture
+def two_path_channel() -> Channel:
+    """A two-path channel with a null inside the band."""
+    paths = [
+        SignalPath(gain=1e-3 + 0j, delay_s=20e-9),
+        SignalPath(gain=0.9e-3 * np.exp(1j * 2.4), delay_s=120e-9),
+    ]
+    return Channel(paths)
+
+
+@pytest.fixture
+def small_array():
+    """A 2-element PRESS array (SP4T states) near the origin."""
+    return PressArray.from_elements(
+        [
+            omni_element(Point(3.0, 4.5), name="e0"),
+            omni_element(Point(5.0, 4.5), name="e1"),
+        ]
+    )

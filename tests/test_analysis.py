@@ -1,0 +1,163 @@
+"""Tests for repro.analysis (stats, nulls, metrics, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    fraction_of_pairs_with_change,
+    largest_single_subcarrier_gap,
+    min_snr_changes,
+    min_snrs,
+)
+from repro.analysis.nulls import (
+    NULL_THRESHOLD_DB,
+    has_null,
+    most_significant_null,
+    null_depth_db,
+    null_movements,
+)
+from repro.analysis.reporting import Comparison, ReportTable, format_table
+from repro.analysis.stats import EmpiricalDistribution, ccdf, cdf
+
+
+class TestEmpiricalDistribution:
+    def test_cdf_values(self):
+        dist = EmpiricalDistribution.from_samples(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert dist.cdf_at(0.5) == 0.0
+        assert dist.cdf_at(2.0) == 0.5
+        assert dist.cdf_at(10.0) == 1.0
+
+    def test_ccdf_complements_cdf(self):
+        dist = EmpiricalDistribution.from_samples(np.arange(10.0))
+        for x in (-1.0, 3.0, 9.5):
+            assert dist.cdf_at(x) + dist.ccdf_at(x) == pytest.approx(1.0)
+
+    def test_quantiles(self):
+        dist = EmpiricalDistribution.from_samples(np.arange(101.0))
+        assert dist.median() == pytest.approx(50.0)
+        assert dist.quantile(0.9) == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_curve_monotone(self):
+        dist = EmpiricalDistribution.from_samples(np.random.default_rng(0).normal(size=50))
+        x, y = dist.curve()
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) > 0)
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_non_finite_filtered(self):
+        dist = EmpiricalDistribution.from_samples(np.array([1.0, np.inf, np.nan, 2.0]))
+        assert dist.num_samples == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_samples(np.array([np.nan]))
+
+    def test_helper_functions(self):
+        samples = np.arange(4.0)
+        assert np.allclose(cdf(samples, np.array([1.0])), [0.5])
+        assert np.allclose(ccdf(samples, np.array([1.0])), [0.5])
+
+
+class TestNulls:
+    def test_most_significant_null_is_argmin(self):
+        snr = np.array([30.0, 10.0, 25.0])
+        assert most_significant_null(snr) == 1
+
+    def test_null_depth(self):
+        snr = np.array([30.0, 30.0, 30.0, 18.0])
+        assert null_depth_db(snr) == pytest.approx(12.0)
+
+    def test_has_null_threshold(self):
+        flat = np.full(52, 30.0)
+        assert not has_null(flat)
+        dipped = flat.copy()
+        dipped[10] = 30.0 - NULL_THRESHOLD_DB - 0.1
+        assert has_null(dipped)
+
+    def test_null_movements_pairs(self):
+        # Three configs with nulls at 5, 5 and 14; one config without.
+        base = np.full(52, 30.0)
+        profiles = []
+        for loc in (5, 5, 14):
+            p = base.copy()
+            p[loc] = 10.0
+            profiles.append(p)
+        profiles.append(base)  # no null
+        movements = null_movements(np.array(profiles))
+        assert movements.size == 9  # 3 eligible configs -> 3x3 ordered pairs
+        assert movements.max() == 9
+        assert np.sum(movements == 0) == 5  # diagonal + the (5,5) pair both ways
+
+    def test_no_nulls_empty(self):
+        movements = null_movements(np.full((4, 52), 30.0))
+        assert movements.size == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            null_movements(np.zeros(52))
+
+
+class TestMetrics:
+    def test_largest_gap_identifies_pair(self):
+        snr = np.full((3, 10), 30.0)
+        snr[1, 4] = 5.0  # config 1 has a null at subcarrier 4
+        snr[2, 4] = 35.0
+        gap = largest_single_subcarrier_gap(snr)
+        assert gap.subcarrier == 4
+        assert gap.config_low == 1
+        assert gap.config_high == 2
+        assert gap.gap_db == pytest.approx(30.0)
+
+    def test_min_snrs(self):
+        snr = np.array([[10.0, 20.0], [5.0, 30.0]])
+        assert np.allclose(min_snrs(snr), [10.0, 5.0])
+
+    def test_min_snr_changes_pairs(self):
+        snr = np.array([[10.0, 20.0], [5.0, 30.0]])
+        changes = min_snr_changes(snr)
+        assert changes.size == 4
+        assert changes.max() == pytest.approx(5.0)
+
+    def test_fraction_of_pairs(self):
+        a = np.full(10, 30.0)
+        b = a.copy()
+        b[3] = 15.0  # 15 dB change on one subcarrier
+        frac = fraction_of_pairs_with_change(np.array([a, b]), change_db=10.0)
+        assert frac == 1.0
+        frac_small = fraction_of_pairs_with_change(np.array([a, a]), change_db=10.0)
+        assert frac_small == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_snrs(np.zeros(5))
+        with pytest.raises(ValueError):
+            fraction_of_pairs_with_change(np.zeros((1, 5)))
+
+
+class TestReporting:
+    def test_table_rendering(self):
+        table = ReportTable(title="Fig X")
+        table.add("metric-a", "26 dB", "24.1 dB", True)
+        table.add("metric-b", "9 sc", "11 sc", True)
+        rendered = table.render()
+        assert "Fig X" in rendered
+        assert "metric-a" in rendered
+        assert "yes" in rendered
+
+    def test_all_hold(self):
+        table = ReportTable(title="t")
+        table.add("a", "1", "1", True)
+        assert table.all_hold()
+        table.add("b", "1", "9", False)
+        assert not table.all_hold()
+
+    def test_format_table_alignment(self):
+        rows = [("col", "x"), ("longer-cell", "y")]
+        text = format_table(rows)
+        lines = text.split("\n")
+        assert lines[0].index("x") == lines[1].index("y")
+
+    def test_format_empty(self):
+        assert format_table([]) == ""

@@ -1,0 +1,59 @@
+"""Tests for repro.constants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import constants
+
+
+def test_wavelength_at_carrier():
+    assert constants.WAVELENGTH_M == pytest.approx(0.12177, rel=1e-3)
+
+
+def test_subcarrier_spacing_matches_80211():
+    assert constants.SUBCARRIER_SPACING_HZ == pytest.approx(312.5e3)
+
+
+def test_db_roundtrip():
+    for value in (0.001, 1.0, 42.0, 1e6):
+        assert constants.db_to_linear(constants.linear_to_db(value)) == pytest.approx(value)
+
+
+def test_linear_to_db_clamps_zero():
+    assert np.isfinite(constants.linear_to_db(0.0))
+
+
+def test_amplitude_db_conversions():
+    assert constants.amplitude_db_to_linear(20.0) == pytest.approx(10.0)
+    assert constants.amplitude_linear_to_db(10.0) == pytest.approx(20.0)
+
+
+def test_dbm_watts_roundtrip():
+    assert constants.dbm_to_watts(30.0) == pytest.approx(1.0)
+    assert constants.watts_to_dbm(1e-3) == pytest.approx(0.0)
+    assert constants.watts_to_dbm(constants.dbm_to_watts(17.3)) == pytest.approx(17.3)
+
+
+def test_thermal_noise_power_20mhz():
+    # kTB over 20 MHz is about -101 dBm.
+    noise = constants.thermal_noise_power_w(20e6)
+    assert constants.watts_to_dbm(noise) == pytest.approx(-100.97, abs=0.2)
+
+
+def test_thermal_noise_with_noise_figure():
+    clean = constants.thermal_noise_power_w(1e6)
+    noisy = constants.thermal_noise_power_w(1e6, noise_figure_db=7.0)
+    assert noisy / clean == pytest.approx(constants.db_to_linear(7.0))
+
+
+def test_thermal_noise_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        constants.thermal_noise_power_w(0.0)
+
+
+def test_wavelength_function():
+    assert constants.wavelength(constants.SPEED_OF_LIGHT) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        constants.wavelength(-1.0)

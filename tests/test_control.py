@@ -1,0 +1,182 @@
+"""Tests for repro.control (messages, links, protocol, latency)."""
+
+import numpy as np
+import pytest
+
+from repro.control.latency import analyze_link, compare_links
+from repro.control.links import (
+    ControlLink,
+    sub_ghz_ism_link,
+    ultrasound_link,
+    wifi_inband_link,
+    wired_bus_link,
+)
+from repro.control.messages import (
+    Ack,
+    Beacon,
+    ConfigureCommand,
+    CsiReport,
+    decode_message,
+)
+from repro.control.protocol import ControlPlane
+from repro.core.configuration import ArrayConfiguration
+
+
+class TestMessages:
+    def test_configure_roundtrip(self):
+        cmd = ConfigureCommand(sequence=7, element_ids=(0, 1, 2), states=(3, 0, 1))
+        decoded = decode_message(cmd.encode())
+        assert decoded == cmd
+
+    def test_ack_roundtrip(self):
+        ack = Ack(sequence=300, element_id=5)
+        assert decode_message(ack.encode()) == ack
+
+    def test_beacon_roundtrip(self):
+        beacon = Beacon(element_id=9, battery_centivolts=287)
+        assert decode_message(beacon.encode()) == beacon
+
+    def test_csi_report_roundtrip(self):
+        report = CsiReport.from_snr_db(link_id=2, snr_db=[12.3, -4.7, 31.0])
+        decoded = decode_message(report.encode())
+        assert decoded == report
+        recovered = decoded.snr_db()
+        assert recovered[0] == pytest.approx(12.5)  # half-dB quantisation
+        assert recovered[1] == pytest.approx(-4.5)
+
+    def test_csi_quantisation_saturates(self):
+        report = CsiReport.from_snr_db(link_id=0, snr_db=[100.0, -100.0])
+        assert report.snr_half_db == (127, -128)
+
+    def test_configure_validation(self):
+        with pytest.raises(ValueError):
+            ConfigureCommand(sequence=0, element_ids=(0, 1), states=(0,))
+        with pytest.raises(ValueError):
+            ConfigureCommand(sequence=0, element_ids=(), states=())
+        with pytest.raises(ValueError):
+            ConfigureCommand(sequence=70000, element_ids=(0,), states=(0,))
+
+    def test_decode_garbage(self):
+        with pytest.raises(ValueError):
+            decode_message(b"")
+        with pytest.raises(ValueError):
+            decode_message(bytes([99, 0, 0]))
+        # Truncated configure command.
+        cmd = ConfigureCommand(sequence=1, element_ids=(0, 1), states=(2, 3))
+        with pytest.raises(ValueError):
+            decode_message(cmd.encode()[:-1])
+
+    def test_message_sizes_are_small(self):
+        # Control messages must fit low-rate links: a 3-element command is
+        # a handful of bytes.
+        cmd = ConfigureCommand(sequence=1, element_ids=(0, 1, 2), states=(1, 2, 3))
+        assert cmd.size_bytes <= 12
+
+
+class TestLinks:
+    def test_transfer_time_components(self):
+        link = ControlLink(name="test", data_rate_bps=1000.0, base_latency_s=0.01)
+        assert link.transfer_time_s(125) == pytest.approx(0.01 + 1.0)
+
+    def test_presets_ordering(self):
+        # Wired is fastest, ultrasound slowest for a small message.
+        size = 10
+        wired = wired_bus_link().transfer_time_s(size)
+        ism = sub_ghz_ism_link().transfer_time_s(size)
+        ultra = ultrasound_link().transfer_time_s(size)
+        assert wired < ism < ultra
+
+    def test_only_wifi_interferes(self):
+        assert wifi_inband_link().interferes_with_data_plane
+        assert not sub_ghz_ism_link().interferes_with_data_plane
+        assert not wired_bus_link().interferes_with_data_plane
+
+    def test_expected_delivery_includes_retries(self):
+        link = ControlLink("lossy", 1e6, 0.0, loss_probability=0.5)
+        assert link.expected_delivery_time_s(100) == pytest.approx(
+            2.0 * link.transfer_time_s(100)
+        )
+
+    def test_delivery_attempts_distribution(self, rng):
+        link = ControlLink("lossy", 1e6, 0.0, loss_probability=0.3)
+        attempts = [link.delivery_attempts(rng) for _ in range(2000)]
+        assert np.mean(attempts) == pytest.approx(1.0 / 0.7, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControlLink("bad", 0.0, 0.0)
+        with pytest.raises(ValueError):
+            ControlLink("bad", 1.0, -1.0)
+        with pytest.raises(ValueError):
+            ControlLink("bad", 1.0, 0.0, loss_probability=1.0)
+
+
+class TestProtocol:
+    def test_lossless_actuation(self):
+        plane = ControlPlane(link=wired_bus_link(), num_elements=3)
+        result = plane.actuate(ArrayConfiguration((1, 2, 3)))
+        assert result.success
+        assert result.transmissions == 1
+        assert plane.current_states == (1, 2, 3)
+
+    def test_actuation_time_positive_and_ordered(self):
+        wired = ControlPlane(link=wired_bus_link(), num_elements=3)
+        ultra = ControlPlane(link=ultrasound_link(), num_elements=3)
+        config = ArrayConfiguration((0, 0, 0))
+        assert 0 < wired.actuate(config).elapsed_s < ultra.actuate(config).elapsed_s
+
+    def test_lossy_link_retries(self, rng):
+        link = ControlLink("lossy", 50e3, 1e-3, loss_probability=0.4)
+        plane = ControlPlane(link=link, num_elements=4, max_retries=20)
+        result = plane.actuate(ArrayConfiguration((1, 1, 1, 1)), rng=rng)
+        assert result.success
+        assert result.transmissions >= 1
+        assert plane.current_states == (1, 1, 1, 1)
+
+    def test_hopeless_link_fails(self):
+        link = ControlLink("dead", 50e3, 1e-3, loss_probability=0.999)
+        plane = ControlPlane(link=link, num_elements=2, max_retries=2)
+        rng = np.random.default_rng(0)
+        result = plane.actuate(ArrayConfiguration((1, 1)), rng=rng)
+        assert not result.success
+
+    def test_wrong_configuration_size(self):
+        plane = ControlPlane(link=wired_bus_link(), num_elements=2)
+        with pytest.raises(ValueError):
+            plane.actuate(ArrayConfiguration((0,)))
+
+    def test_sequence_wraps(self):
+        plane = ControlPlane(link=wired_bus_link(), num_elements=1)
+        plane._sequence = 2**16 - 1
+        result = plane.actuate(ArrayConfiguration((0,)))
+        assert result.success
+
+
+class TestLatencyAnalysis:
+    def test_wired_supports_packet_timescale_for_small_arrays(self):
+        report = analyze_link(wired_bus_link(), num_elements=8)
+        assert report.packet_timescale_capable
+        assert report.budget_stationary > report.budget_running
+
+    def test_wired_ack_serialisation_limits_large_arrays(self):
+        # Per-element acks serialise on the bus: at 64 elements even the
+        # wired medium misses the packet-timescale guard.
+        report = analyze_link(wired_bus_link(), num_elements=64)
+        assert not report.packet_timescale_capable
+
+    def test_ultrasound_too_slow_for_packets(self):
+        report = analyze_link(ultrasound_link(), num_elements=16)
+        assert not report.packet_timescale_capable
+
+    def test_compare_links_table(self):
+        reports = compare_links(
+            [wired_bus_link(), sub_ghz_ism_link(), ultrasound_link()], num_elements=8
+        )
+        assert len(reports) == 3
+        names = [r.link_name for r in reports]
+        assert names == ["wired bus", "sub-GHz ISM", "ultrasound"]
+
+    def test_budgets_scale_with_actuation(self):
+        fast = analyze_link(wired_bus_link(), num_elements=4)
+        slow = analyze_link(ultrasound_link(), num_elements=4)
+        assert fast.budget_stationary > slow.budget_stationary

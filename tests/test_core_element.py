@@ -1,0 +1,183 @@
+"""Tests for repro.core.element and repro.core.configuration."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import CARRIER_FREQUENCY_HZ, WAVELENGTH_M
+from repro.core.configuration import ArrayConfiguration, ConfigurationSpace
+from repro.core.element import (
+    ElementState,
+    PressElement,
+    absorptive_load_state,
+    active_state,
+    omni_element,
+    open_stub_state,
+    parabolic_element,
+    phase_shifter_states,
+    sp4t_states,
+)
+from repro.em.geometry import Point
+
+
+class TestElementState:
+    def test_open_stub_phase_steps(self):
+        # Path steps of lambda/4 -> reflection phase steps of pi/2.
+        states = [open_stub_state(k * 0.25) for k in range(3)]
+        phases = [s.nominal_phase_rad() for s in states]
+        step1 = (phases[0] - phases[1]) % (2 * math.pi)
+        step2 = (phases[1] - phases[2]) % (2 * math.pi)
+        assert step1 == pytest.approx(math.pi / 2, abs=1e-6)
+        assert step2 == pytest.approx(math.pi / 2, abs=1e-6)
+
+    def test_open_stub_magnitude_includes_switch_loss(self):
+        state = open_stub_state(0.0)
+        # Two passes through a 0.45 dB switch -> ~0.9 dB total.
+        assert 20 * math.log10(state.magnitude) == pytest.approx(-0.9, abs=0.01)
+
+    def test_stub_phase_is_frequency_dependent(self):
+        state = open_stub_state(0.5)
+        g1 = state.reflection_coefficient(2.412e9)
+        g2 = state.reflection_coefficient(2.484e9)
+        assert abs(cmath.phase(g1) - cmath.phase(g2)) > 1e-3
+
+    def test_absorptive_load_terminated(self):
+        load = absorptive_load_state()
+        assert load.is_terminated
+        assert abs(load.reflection_coefficient()) < 0.05
+        assert load.label == "T"
+
+    def test_active_state_exceeds_unity(self):
+        state = active_state(gain_db=10.0, phase_rad=0.3)
+        assert state.magnitude == pytest.approx(10 ** 0.5)
+        assert not state.is_terminated
+
+    def test_fixed_phase_applied(self):
+        state = ElementState(label="x", magnitude=1.0, fixed_phase_rad=math.pi / 3)
+        assert cmath.phase(state.reflection_coefficient()) == pytest.approx(math.pi / 3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ElementState(label="bad", extra_path_m=-1.0)
+        with pytest.raises(ValueError):
+            ElementState(label="bad", magnitude=-0.1)
+        with pytest.raises(ValueError):
+            open_stub_state(-0.25)
+
+
+class TestStateSets:
+    def test_sp4t_default_is_paper_prototype(self):
+        states = sp4t_states()
+        assert len(states) == 4
+        assert states[-1].is_terminated
+        labels = [s.label for s in states]
+        assert labels[-1] == "T"
+
+    def test_sp4t_harmonization_variant(self):
+        states = sp4t_states(include_load=False, num_phases=4)
+        assert len(states) == 4
+        assert not any(s.is_terminated for s in states)
+
+    def test_phase_shifter_states_evenly_spaced(self):
+        states = phase_shifter_states(8, include_off=False)
+        phases = sorted(s.nominal_phase_rad() for s in states)
+        diffs = np.diff(phases)
+        assert np.allclose(diffs, math.pi / 4, atol=1e-9)
+
+    def test_phase_shifter_off_state(self):
+        states = phase_shifter_states(4, include_off=True)
+        assert len(states) == 5
+        assert states[-1].is_terminated
+
+
+class TestPressElement:
+    def test_element_requires_states(self):
+        with pytest.raises(ValueError):
+            PressElement(position=Point(0, 0), states=())
+
+    def test_state_indexing(self):
+        element = omni_element(Point(1, 1))
+        assert element.num_states == 4
+        with pytest.raises(IndexError):
+            element.state(4)
+
+    def test_pointed_at(self):
+        element = parabolic_element(Point(0, 0))
+        aimed = element.pointed_at(Point(1, 1))
+        assert aimed.antenna.boresight_rad == pytest.approx(math.pi / 4)
+
+    def test_factories(self):
+        par = parabolic_element(Point(0, 0), name="dish")
+        omn = omni_element(Point(0, 0), name="stick", gain_dbi=5.0)
+        assert par.name == "dish"
+        assert omn.antenna.peak_gain_dbi == 5.0
+
+
+class TestConfiguration:
+    def test_with_element_state(self):
+        config = ArrayConfiguration((0, 1, 2))
+        updated = config.with_element_state(1, 3)
+        assert updated.indices == (0, 3, 2)
+        assert config.indices == (0, 1, 2)  # immutable
+
+    def test_sequence_protocol(self):
+        config = ArrayConfiguration((1, 2))
+        assert len(config) == 2
+        assert config[1] == 2
+        assert list(config) == [1, 2]
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayConfiguration((-1,))
+
+
+class TestConfigurationSpace:
+    def test_size(self):
+        space = ConfigurationSpace((4, 4, 4))
+        assert space.size == 64
+
+    def test_enumeration_complete_and_unique(self):
+        space = ConfigurationSpace((2, 3))
+        configs = list(space.all_configurations())
+        assert len(configs) == 6
+        assert len({c.indices for c in configs}) == 6
+
+    def test_rank_roundtrip(self):
+        space = ConfigurationSpace((4, 3, 2))
+        for rank in range(space.size):
+            config = space.configuration_at(rank)
+            assert space.index_of(config) == rank
+
+    def test_neighbors_count(self):
+        space = ConfigurationSpace((4, 4, 4))
+        config = ArrayConfiguration((0, 0, 0))
+        neighbors = list(space.neighbors(config))
+        assert len(neighbors) == 9  # 3 elements x 3 alternative states
+        assert all(
+            sum(a != b for a, b in zip(n.indices, config.indices)) == 1
+            for n in neighbors
+        )
+
+    def test_validation(self):
+        space = ConfigurationSpace((2, 2))
+        with pytest.raises(ValueError):
+            space.validate(ArrayConfiguration((0,)))
+        with pytest.raises(ValueError):
+            space.validate(ArrayConfiguration((0, 2)))
+
+    def test_random_configuration_in_space(self, rng):
+        space = ConfigurationSpace((3, 5, 2))
+        for _ in range(20):
+            space.validate(space.random_configuration(rng))
+
+    def test_rank_out_of_range(self):
+        space = ConfigurationSpace((2, 2))
+        with pytest.raises(IndexError):
+            space.configuration_at(4)
+
+    def test_paper_prototype_space(self):
+        # 3 elements x 4 states = 64 configurations (§3.2).
+        space = ConfigurationSpace((4, 4, 4))
+        assert space.size == 64

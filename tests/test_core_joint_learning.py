@@ -1,0 +1,269 @@
+"""Tests for repro.core.joint, repro.core.learning and repro.core.hybrid."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArrayConfiguration,
+    ConfigurationSpace,
+    CrossEntropySearch,
+    ElementGroup,
+    EpsilonGreedyBandit,
+    ExhaustiveSearch,
+    GroupedConfigurationSpace,
+    LinkObjective,
+    MinSnrObjective,
+    PressArray,
+    compare_strategies,
+    hybrid_array,
+    omni_element,
+    optimize_hybrid,
+    optimize_joint,
+    optimize_per_link,
+    tiered_groups,
+)
+from repro.em.geometry import Point
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace((4, 4, 4))
+
+
+def _table_links(space, seeds=(0, 1)):
+    """Synthetic links whose per-config scores come from random tables."""
+    links = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        table = rng.standard_normal((space.size, 8)) + 20.0
+
+        def measure(config, table=table):
+            return table[space.index_of(config)]
+
+        links.append(
+            LinkObjective(name=f"L{seed}", measure=measure, objective=MinSnrObjective())
+        )
+    return links
+
+
+class TestJointStrategies:
+    def test_per_link_is_individually_optimal(self, space):
+        links = _table_links(space)
+        result = optimize_per_link(links, space)
+        for link in links:
+            own = ExhaustiveSearch().search(space, link.score)
+            assert result.per_link_scores[link.name] == pytest.approx(own.best_score)
+
+    def test_joint_uses_one_configuration(self, space):
+        links = _table_links(space)
+        result = optimize_joint(links, space)
+        assert result.num_distinct_configurations == 1
+        configs = {c.indices for c in result.assignments.values()}
+        assert len(configs) == 1
+
+    def test_per_link_at_least_joint_per_link(self, space):
+        links = _table_links(space)
+        per_link = optimize_per_link(links, space)
+        joint = optimize_joint(links, space)
+        for link in links:
+            assert (
+                per_link.per_link_scores[link.name]
+                >= joint.per_link_scores[link.name] - 1e-9
+            )
+
+    def test_joint_aggregate_is_best_single_config(self, space):
+        links = _table_links(space)
+        joint = optimize_joint(links, space)
+        # No single configuration can beat the joint optimum's aggregate.
+        best = max(
+            np.mean([link.score(c) for link in links])
+            for c in space.all_configurations()
+        )
+        assert joint.aggregate_score(links) == pytest.approx(best)
+
+    def test_hybrid_between_extremes(self, space):
+        links = _table_links(space, seeds=(0, 1, 2))
+        results = compare_strategies(links, space, tolerance=0.5)
+        hybrid = results["hybrid"]
+        assert (
+            results["joint"].num_distinct_configurations
+            <= hybrid.num_distinct_configurations
+            <= results["per-link"].num_distinct_configurations
+        )
+        assert (
+            hybrid.aggregate_score(links)
+            >= results["joint"].aggregate_score(links) - 1e-9
+        )
+
+    def test_hybrid_tolerance_zero_reduces_to_per_link_quality(self, space):
+        links = _table_links(space)
+        hybrid = optimize_hybrid(links, space, tolerance=0.0)
+        per_link = optimize_per_link(links, space)
+        for link in links:
+            assert (
+                hybrid.per_link_scores[link.name]
+                >= per_link.per_link_scores[link.name] - 1e-9
+            )
+
+    def test_hybrid_large_tolerance_merges(self, space):
+        links = _table_links(space, seeds=(0, 1, 2))
+        merged = optimize_hybrid(links, space, tolerance=1e9)
+        assert merged.num_distinct_configurations == 1
+
+    def test_schedule_generated(self, space):
+        links = _table_links(space)
+        result = optimize_per_link(links, space)
+        schedule = result.schedule(space=space)
+        assert len(schedule.slots) == 2
+
+    def test_empty_links_rejected(self, space):
+        with pytest.raises(ValueError):
+            optimize_per_link([], space)
+        with pytest.raises(ValueError):
+            optimize_joint([], space)
+
+
+class TestCrossEntropy:
+    def test_finds_near_optimum(self, space):
+        rng = np.random.default_rng(3)
+        table = rng.standard_normal(space.size)
+
+        def score(config):
+            return float(table[space.index_of(config)])
+
+        result = CrossEntropySearch(population=16, iterations=8, seed=0).search(
+            space, score
+        )
+        # On an unstructured (pure-noise) landscape a distribution-based
+        # optimiser is only expected to land in the top tail.
+        assert result.best_score >= np.quantile(table, 0.95)
+        # ... while spending far fewer measurements than enumeration.
+        assert result.num_evaluations < space.size
+
+    def test_solves_separable_exactly(self):
+        space = ConfigurationSpace((4, 4, 4, 4))
+        weights = np.random.default_rng(0).standard_normal((4, 4))
+
+        def score(config):
+            return float(sum(weights[e, s] for e, s in enumerate(config.indices)))
+
+        result = CrossEntropySearch(population=24, iterations=10, seed=1).search(
+            space, score
+        )
+        assert result.best_score == pytest.approx(weights.max(axis=1).sum(), abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrossEntropySearch(population=1)
+        with pytest.raises(ValueError):
+            CrossEntropySearch(elite_fraction=0.0)
+        with pytest.raises(ValueError):
+            CrossEntropySearch(smoothing=1.5)
+
+
+class TestBandit:
+    def test_converges_on_static_channel(self, space):
+        rng = np.random.default_rng(5)
+        table = rng.standard_normal(space.size)
+
+        def reward(config):
+            return float(table[space.index_of(config)])
+
+        bandit = EpsilonGreedyBandit(space, epsilon=0.4, forgetting=1.0, seed=0)
+        for _ in range(600):
+            bandit.step(reward)
+        best = bandit.best_known()
+        assert reward(best) >= table.max() - 0.4
+
+    def test_tracks_changing_channel(self, space):
+        # The optimum flips between two configurations; with forgetting the
+        # bandit should follow.
+        good_a = space.configuration_at(5)
+        good_b = space.configuration_at(50)
+        phase = {"current": good_a}
+
+        def reward(config):
+            return 10.0 if config.indices == phase["current"].indices else 0.0
+
+        bandit = EpsilonGreedyBandit(space, epsilon=0.3, forgetting=0.8, seed=1)
+        for _ in range(400):
+            bandit.step(reward)
+        assert bandit.best_known().indices == good_a.indices
+        phase["current"] = good_b
+        for _ in range(800):
+            bandit.step(reward)
+        assert bandit.best_known().indices == good_b.indices
+
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            EpsilonGreedyBandit(space, epsilon=1.5)
+        with pytest.raises(ValueError):
+            EpsilonGreedyBandit(space, forgetting=0.0)
+
+    def test_empty_best_known(self, space):
+        bandit = EpsilonGreedyBandit(space)
+        assert bandit.best_known() is None
+
+
+class TestHybridArray:
+    def test_mix_counts(self):
+        array = hybrid_array(
+            passive_positions=[Point(0, 0), Point(1, 0), Point(2, 0)],
+            active_positions=[Point(3, 0)],
+        )
+        assert array.num_elements == 4
+        active = array.elements[-1]
+        assert any(s.magnitude > 1.0 for s in active.states)
+        assert any(s.is_terminated for s in active.states)
+
+    def test_active_cannot_outnumber_passive(self):
+        with pytest.raises(ValueError):
+            hybrid_array(
+                passive_positions=[Point(0, 0)],
+                active_positions=[Point(1, 0), Point(2, 0)],
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hybrid_array(passive_positions=[], active_positions=[])
+
+
+class TestTieredGroups:
+    @pytest.fixture
+    def big_array(self):
+        return PressArray.from_elements(
+            [omni_element(Point(float(i), 0.0), name=f"e{i}") for i in range(6)]
+        )
+
+    def test_partition(self, big_array):
+        groups = tiered_groups(big_array, group_size=2)
+        assert len(groups) == 3
+        covered = sorted(i for g in groups for i in g.element_indices)
+        assert covered == list(range(6))
+
+    def test_grouped_space_smaller(self, big_array):
+        groups = tiered_groups(big_array, group_size=2, num_profiles=3)
+        grouped = GroupedConfigurationSpace(big_array, groups)
+        raw = big_array.configuration_space().size
+        assert grouped.size < raw
+        assert grouped.size == 4**3  # (1 off + 3 profiles) per group
+
+    def test_expansion_valid(self, big_array):
+        groups = tiered_groups(big_array, group_size=3)
+        grouped = GroupedConfigurationSpace(big_array, groups)
+        space = big_array.configuration_space()
+        for config in grouped.all_configurations():
+            space.validate(config)
+
+    def test_off_decision_terminates_group(self, big_array):
+        groups = tiered_groups(big_array, group_size=2)
+        grouped = GroupedConfigurationSpace(big_array, groups)
+        decision = ArrayConfiguration((0, 0, 0))  # all groups off
+        config = grouped.to_configuration(decision)
+        for element, state_index in zip(big_array.elements, config.indices):
+            assert element.state(state_index).is_terminated
+
+    def test_incomplete_partition_rejected(self, big_array):
+        groups = tiered_groups(big_array, group_size=2)[:2]
+        with pytest.raises(ValueError):
+            GroupedConfigurationSpace(big_array, groups)

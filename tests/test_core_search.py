@@ -1,0 +1,205 @@
+"""Tests for repro.core.search and repro.core.scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import ArrayConfiguration, ConfigurationSpace
+from repro.core.scheduler import (
+    TimingModel,
+    coherence_budget_table,
+    measurement_budget,
+    packet_timescale_schedule,
+    pick_searcher,
+)
+from repro.core.search import (
+    ExhaustiveSearch,
+    GeneticSearch,
+    GreedyCoordinateDescent,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace((4, 4, 4))
+
+
+def make_score(space, seed=0):
+    """A deterministic pseudo-random score over the space."""
+    rng = np.random.default_rng(seed)
+    table = rng.standard_normal(space.size)
+
+    def score(config):
+        return float(table[space.index_of(config)])
+
+    return score, float(table.max())
+
+
+class TestExhaustive:
+    def test_finds_global_optimum(self, space):
+        score, best = make_score(space)
+        result = ExhaustiveSearch().search(space, score)
+        assert result.best_score == pytest.approx(best)
+        assert result.num_evaluations == space.size
+
+    def test_trajectory_monotone(self, space):
+        score, _ = make_score(space)
+        result = ExhaustiveSearch().search(space, score)
+        assert all(a <= b for a, b in zip(result.trajectory, result.trajectory[1:]))
+
+
+class TestRandomSearch:
+    def test_respects_budget(self, space):
+        score, _ = make_score(space)
+        result = RandomSearch(budget=10, seed=1).search(space, score)
+        assert result.num_evaluations <= 10
+
+    def test_larger_budget_not_worse(self, space):
+        score, _ = make_score(space)
+        small = RandomSearch(budget=5, seed=2).search(space, score)
+        large = RandomSearch(budget=60, seed=2).search(space, score)
+        assert large.best_score >= small.best_score
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            RandomSearch(budget=0)
+
+
+class TestGreedy:
+    def test_uses_fewer_evaluations_than_exhaustive(self, space):
+        score, _ = make_score(space)
+        result = GreedyCoordinateDescent().search(space, score)
+        assert result.num_evaluations < space.size
+
+    def test_result_is_local_optimum(self, space):
+        score, _ = make_score(space)
+        result = GreedyCoordinateDescent(max_sweeps=10).search(space, score)
+        for neighbor in space.neighbors(result.best):
+            assert score(neighbor) <= result.best_score + 1e-12
+
+    def test_separable_objective_solved_exactly(self):
+        # When the objective decomposes per element, coordinate descent is optimal.
+        space = ConfigurationSpace((4, 4, 4))
+        weights = np.array([[0.0, 1, 2, 3], [3, 0, 1, 2], [1, 3, 0, 2]], dtype=float)
+
+        def score(config):
+            return float(sum(weights[e, s] for e, s in enumerate(config.indices)))
+
+        result = GreedyCoordinateDescent().search(space, score)
+        assert result.best_score == pytest.approx(9.0)  # 3 + 3 + 3
+
+    def test_restarts_improve_or_match(self, space):
+        score, _ = make_score(space, seed=5)
+        one = GreedyCoordinateDescent(restarts=1, seed=3).search(space, score)
+        many = GreedyCoordinateDescent(restarts=4, seed=3).search(space, score)
+        assert many.best_score >= one.best_score
+
+
+class TestAnnealingAndGenetic:
+    def test_annealing_obeys_budget(self, space):
+        score, _ = make_score(space)
+        result = SimulatedAnnealing(budget=30, seed=0).search(space, score)
+        assert result.num_evaluations <= 30
+
+    def test_annealing_finds_good_solution(self, space):
+        score, best = make_score(space)
+        result = SimulatedAnnealing(budget=200, seed=0).search(space, score)
+        assert result.best_score >= best - 1.0
+
+    def test_genetic_valid_result(self, space):
+        score, _ = make_score(space)
+        result = GeneticSearch(population=8, generations=5, seed=0).search(space, score)
+        space.validate(result.best)
+        assert result.best_score == pytest.approx(score(result.best))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(budget=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=1.5)
+        with pytest.raises(ValueError):
+            GeneticSearch(population=1)
+        with pytest.raises(ValueError):
+            GeneticSearch(mutation_rate=2.0)
+
+
+class TestMemoisation:
+    def test_repeat_configs_not_recounted(self, space):
+        calls = []
+
+        def score(config):
+            calls.append(config.indices)
+            return 0.0
+
+        searcher = SimulatedAnnealing(budget=200, seed=0)
+        result = searcher.search(space, score)
+        # Memoised: unique evaluations never exceed the space size.
+        assert result.num_evaluations <= space.size
+        assert len(calls) == result.num_evaluations
+
+
+class TestTimingModel:
+    def test_per_measurement(self):
+        timing = TimingModel(100e-6, 500e-6, 10e-6)
+        assert timing.per_measurement_s == pytest.approx(610e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(actuation_latency_s=-1.0)
+
+    def test_budget_scales_with_coherence(self):
+        timing = TimingModel()
+        stationary = measurement_budget(0.089, timing)
+        running = measurement_budget(0.0074, timing)
+        assert stationary > running > 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            measurement_budget(0.0, TimingModel())
+        with pytest.raises(ValueError):
+            measurement_budget(1.0, TimingModel(), safety_fraction=0.0)
+
+
+class TestPickSearcher:
+    def test_full_budget_picks_exhaustive(self, space):
+        assert isinstance(pick_searcher(space, space.size), ExhaustiveSearch)
+
+    def test_medium_budget_picks_greedy(self, space):
+        assert isinstance(pick_searcher(space, 20), GreedyCoordinateDescent)
+
+    def test_tiny_budget_picks_random(self, space):
+        searcher = pick_searcher(space, 4)
+        assert isinstance(searcher, RandomSearch)
+        assert searcher.budget == 4
+
+    def test_invalid_budget(self, space):
+        with pytest.raises(ValueError):
+            pick_searcher(space, 0)
+
+
+class TestPacketSchedule:
+    def test_round_robin_slots(self):
+        schedule = packet_timescale_schedule(["a", "b", "c"], [1, 2, 3])
+        assert schedule.period_s == pytest.approx(3 * 1.5e-3)
+        assert [slot.link_name for slot in schedule.slots] == ["a", "b", "c"]
+        assert schedule.slots[1].start_s == pytest.approx(1.5e-3)
+
+    def test_feasibility_depends_on_actuation(self):
+        fast = TimingModel(actuation_latency_s=50e-6)
+        slow = TimingModel(actuation_latency_s=5e-3)
+        assert packet_timescale_schedule(["a"], [0], timing=fast).feasible
+        assert not packet_timescale_schedule(["a"], [0], timing=slow).feasible
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packet_timescale_schedule(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            packet_timescale_schedule([], [])
+
+
+def test_coherence_budget_table():
+    rows = coherence_budget_table(TimingModel())
+    assert len(rows) == 5
+    budgets = [row["budget"] for row in rows]
+    assert all(a >= b for a, b in zip(budgets, budgets[1:]))

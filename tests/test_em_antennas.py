@@ -1,0 +1,85 @@
+"""Tests for repro.em.antennas."""
+
+import math
+
+import pytest
+
+from repro.em.antennas import (
+    GAIN_FLOOR_DBI,
+    Antenna,
+    IsotropicAntenna,
+    LogPeriodicAntenna,
+    OmniAntenna,
+    ParabolicAntenna,
+    effective_aperture_m2,
+)
+
+
+def test_isotropic_gain_everywhere_zero():
+    ant = IsotropicAntenna()
+    for angle in (-3.0, 0.0, 1.0, 3.14):
+        assert ant.gain_dbi(angle) == 0.0
+
+
+def test_omni_flat_gain():
+    ant = OmniAntenna(peak_gain_dbi=2.0)
+    assert ant.gain_dbi(0.0) == 2.0
+    assert ant.gain_dbi(2.5) == 2.0
+
+
+def test_parabolic_boresight_peak():
+    ant = ParabolicAntenna()
+    assert ant.gain_dbi(0.0) == pytest.approx(14.0)
+
+
+def test_parabolic_half_power_at_half_beamwidth():
+    ant = ParabolicAntenna(peak_gain_dbi=14.0, beamwidth_deg=21.0)
+    half = math.radians(21.0) / 2.0
+    assert ant.gain_dbi(half) == pytest.approx(11.0)
+    assert ant.gain_dbi(-half) == pytest.approx(11.0)
+
+
+def test_parabolic_floor_far_off_axis():
+    ant = ParabolicAntenna()
+    assert ant.gain_dbi(math.pi) == GAIN_FLOOR_DBI
+
+
+def test_boresight_rotates_pattern():
+    ant = ParabolicAntenna(boresight_rad=math.pi / 2)
+    assert ant.gain_dbi(math.pi / 2) == pytest.approx(14.0)
+    assert ant.gain_dbi(0.0) < 0.0
+
+
+def test_gain_wraps_angle():
+    ant = ParabolicAntenna()
+    assert ant.gain_dbi(2 * math.pi) == pytest.approx(ant.gain_dbi(0.0))
+    assert ant.gain_dbi(-2 * math.pi + 0.1) == pytest.approx(ant.gain_dbi(0.1))
+
+
+def test_amplitude_gain_is_sqrt_of_linear():
+    ant = OmniAntenna(peak_gain_dbi=6.0)
+    assert ant.amplitude_gain(0.0) ** 2 == pytest.approx(ant.gain_linear(0.0))
+
+
+def test_log_periodic_wider_than_dish():
+    dish = ParabolicAntenna()
+    lp = LogPeriodicAntenna()
+    angle = math.radians(40.0)
+    # The wider-beam antenna loses less off axis relative to its peak.
+    assert (lp.pattern_dbi(0) - lp.pattern_dbi(angle)) < (
+        dish.pattern_dbi(0) - dish.pattern_dbi(angle)
+    )
+
+
+def test_invalid_beamwidth_raises():
+    with pytest.raises(ValueError):
+        ParabolicAntenna(beamwidth_deg=0.0).pattern_dbi(0.1)
+
+
+def test_effective_aperture():
+    # Isotropic antenna: A_e = lambda^2 / 4 pi.
+    assert effective_aperture_m2(1.0, 1.0) == pytest.approx(1.0 / (4 * math.pi))
+    with pytest.raises(ValueError):
+        effective_aperture_m2(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        effective_aperture_m2(1.0, 0.0)

@@ -1,0 +1,197 @@
+"""Tests for repro.em.channel, fading, noise and scene."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import NUM_SUBCARRIERS, dbm_to_watts, thermal_noise_power_w
+from repro.em.channel import (
+    Channel,
+    coherence_time_s,
+    subcarrier_frequencies,
+)
+from repro.em.fading import (
+    TapDelayProfile,
+    jakes_doppler_paths,
+    rayleigh_paths,
+    rician_paths,
+)
+from repro.em.noise import add_noise, awgn, noise_power_per_subcarrier_w
+from repro.em.paths import SignalPath
+from repro.em.scene import Scatterer, Scene, blocker_between, shoebox_scene
+from repro.em.geometry import Point
+
+
+class TestSubcarrierFrequencies:
+    def test_centred_grid(self):
+        freqs = subcarrier_frequencies(64, 20e6)
+        assert freqs.size == 64
+        assert freqs[32] == 0.0  # DC in the middle
+        assert freqs[0] == pytest.approx(-10e6)
+
+    def test_spacing(self):
+        freqs = subcarrier_frequencies(64, 20e6)
+        assert np.allclose(np.diff(freqs), 312.5e3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            subcarrier_frequencies(0, 20e6)
+        with pytest.raises(ValueError):
+            subcarrier_frequencies(64, 0.0)
+
+
+class TestChannel:
+    def test_cfr_shape(self, two_path_channel):
+        assert two_path_channel.cfr().shape == (NUM_SUBCARRIERS,)
+
+    def test_two_path_channel_has_null(self, two_path_channel):
+        gains = np.abs(two_path_channel.cfr())
+        assert gains.min() < 0.2 * gains.max()
+
+    def test_combined_superposes(self, two_path_channel):
+        extra = SignalPath(gain=1e-4, delay_s=40e-9)
+        combined = two_path_channel.combined([extra])
+        assert len(combined.paths) == len(two_path_channel.paths) + 1
+        delta = combined.cfr() - two_path_channel.cfr()
+        assert np.allclose(np.abs(delta), 1e-4)
+
+    def test_observe_snr_consistent_with_budget(self):
+        # Flat channel with known gain: SNR = P_sc |H|^2 / N_sc.
+        channel = Channel([SignalPath(gain=1e-3, delay_s=0.0)])
+        obs = channel.observe(tx_power_dbm=15.0, noise_figure_db=7.0)
+        p_sc = dbm_to_watts(15.0) / 64
+        n_sc = thermal_noise_power_w(20e6 / 64, 7.0)
+        expected = 10 * math.log10(p_sc * 1e-6 / n_sc)
+        assert obs.snr_db[0] == pytest.approx(expected, abs=1e-6)
+
+    def test_observe_noiseless_is_exact(self, two_path_channel):
+        a = two_path_channel.observe()
+        b = two_path_channel.observe()
+        assert np.array_equal(a.cfr, b.cfr)
+
+    def test_observe_noise_perturbs(self, two_path_channel, rng):
+        exact = two_path_channel.observe()
+        noisy = two_path_channel.observe(rng=rng)
+        assert not np.array_equal(exact.cfr, noisy.cfr)
+        # Noise is small at high SNR.
+        rel = np.abs(noisy.cfr - exact.cfr) / np.abs(exact.cfr).max()
+        assert np.median(rel) < 0.1
+
+    def test_observation_min_mean(self, two_path_channel):
+        obs = two_path_channel.observe()
+        assert obs.min_snr_db() <= obs.mean_snr_db()
+        mask = np.zeros(64, dtype=bool)
+        mask[10] = True
+        assert obs.min_snr_db(mask) == pytest.approx(obs.snr_db[10])
+
+
+class TestCoherenceTime:
+    def test_paper_anchor_points(self):
+        # §2: ~80 ms almost stationary (0.5 mph), ~6 ms at 6 mph.
+        assert coherence_time_s(0.5) == pytest.approx(0.089, rel=0.05)
+        assert coherence_time_s(6.0) == pytest.approx(0.0074, rel=0.05)
+
+    def test_inverse_in_speed(self):
+        assert coherence_time_s(1.0) == pytest.approx(2 * coherence_time_s(2.0))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            coherence_time_s(0.0)
+
+
+class TestFading:
+    def test_profile_powers_normalised(self):
+        profile = TapDelayProfile(num_taps=8, total_power=2.0)
+        assert profile.tap_powers().sum() == pytest.approx(2.0)
+
+    def test_profile_exponential_decay(self):
+        powers = TapDelayProfile().tap_powers()
+        assert np.all(np.diff(powers) < 0)
+
+    def test_rayleigh_realisation_statistics(self, rng):
+        profile = TapDelayProfile(num_taps=4)
+        powers = np.zeros(4)
+        n = 400
+        for _ in range(n):
+            paths = rayleigh_paths(profile, rng)
+            powers += np.array([p.power for p in paths])
+        powers /= n
+        assert np.allclose(powers, profile.tap_powers(), rtol=0.25)
+
+    def test_rician_k_factor(self, rng):
+        profile = TapDelayProfile(total_power=1.0)
+        paths = rician_paths(profile, k_factor_db=10.0, rng=rng)
+        los = paths[0]
+        assert los.kind == "los"
+        assert los.power == pytest.approx(10.0, rel=1e-6)
+
+    def test_jakes_doppler_bounded(self, rng):
+        paths = jakes_doppler_paths(TapDelayProfile(), 50.0, rng)
+        assert all(abs(p.doppler_hz) <= 50.0 for p in paths)
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            TapDelayProfile(num_taps=0)
+        with pytest.raises(ValueError):
+            TapDelayProfile(rms_delay_spread_s=-1.0)
+
+
+class TestNoise:
+    def test_awgn_power(self, rng):
+        samples = awgn(100_000, 2.0, rng)
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(2.0, rel=0.05)
+
+    def test_awgn_zero_power(self, rng):
+        assert np.allclose(awgn(10, 0.0, rng), 0.0)
+
+    def test_add_noise_achieves_snr(self, rng):
+        signal = np.ones(100_000, dtype=complex)
+        noisy = add_noise(signal, 10.0, rng)
+        noise = noisy - signal
+        snr = 1.0 / np.mean(np.abs(noise) ** 2)
+        assert 10 * np.log10(snr) == pytest.approx(10.0, abs=0.3)
+
+    def test_noise_power_per_subcarrier(self):
+        per_sc = noise_power_per_subcarrier_w(20e6, 64)
+        assert per_sc == pytest.approx(thermal_noise_power_w(20e6) / 64)
+
+
+class TestScene:
+    def test_shoebox_walls(self):
+        scene = shoebox_scene(8.0, 6.0)
+        assert len(scene.walls) == 4
+
+    def test_scatterer_requires_rng(self):
+        with pytest.raises(ValueError):
+            shoebox_scene(8.0, 6.0, num_scatterers=3)
+
+    def test_scatterer_reflectivity_bounds(self, rng):
+        scene = shoebox_scene(8.0, 6.0, num_scatterers=10, rng=rng)
+        for s in scene.scatterers:
+            assert abs(s.reflectivity) <= 1.0
+
+    def test_scatterer_invalid_reflectivity(self):
+        with pytest.raises(ValueError):
+            Scatterer(Point(1, 1), reflectivity=1.5 + 0j)
+
+    def test_blocker_perpendicular_and_centred(self):
+        tx, rx = Point(0, 0), Point(4, 0)
+        blocker = blocker_between(tx, rx, half_width=0.5)
+        mid = blocker.segment.midpoint()
+        assert mid.x == pytest.approx(2.0)
+        assert mid.y == pytest.approx(0.0)
+        assert blocker.segment.length() == pytest.approx(1.0)
+
+    def test_blocker_offset(self):
+        blocker = blocker_between(Point(0, 0), Point(4, 0), offset=0.25)
+        assert blocker.segment.midpoint().x == pytest.approx(3.0)
+
+    def test_blocker_same_points_raises(self):
+        with pytest.raises(ValueError):
+            blocker_between(Point(1, 1), Point(1, 1))
+
+    def test_with_methods_immutable(self, simple_scene):
+        extended = simple_scene.with_scatterers(Scatterer(Point(1, 1)))
+        assert len(simple_scene.scatterers) == 0
+        assert len(extended.scatterers) == 1

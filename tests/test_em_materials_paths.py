@@ -1,0 +1,136 @@
+"""Tests for repro.em.materials and repro.em.paths."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.em.materials import MATERIALS, Material, get_material, register_material
+from repro.em.paths import SignalPath, paths_to_cfr, paths_to_cir, total_path_power
+
+
+class TestMaterials:
+    def test_default_registry_has_common_materials(self):
+        for name in ("metal", "concrete", "drywall", "glass", "wood", "absorber"):
+            assert name in MATERIALS
+
+    def test_metal_reflects_more_than_drywall(self):
+        assert (
+            get_material("metal").reflection_amplitude
+            > get_material("drywall").reflection_amplitude
+        )
+
+    def test_reflection_coefficient_magnitude(self):
+        material = get_material("concrete")
+        assert abs(material.reflection_coefficient) == pytest.approx(
+            material.reflection_amplitude
+        )
+
+    def test_reflection_phase_flip(self):
+        gamma = get_material("metal").reflection_coefficient
+        assert gamma.real < 0  # ~pi phase
+
+    def test_unknown_material_raises_with_names(self):
+        with pytest.raises(KeyError, match="drywall"):
+            get_material("unobtainium")
+
+    def test_register_and_lookup(self):
+        register_material(Material("test-foam", 0.05))
+        assert get_material("test-foam").reflection_amplitude == 0.05
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", 1.5)
+
+
+class TestSignalPath:
+    def test_power(self):
+        path = SignalPath(gain=3 + 4j, delay_s=0.0)
+        assert path.power == pytest.approx(25.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SignalPath(gain=1.0, delay_s=-1e-9)
+
+    def test_scaled(self):
+        path = SignalPath(gain=1 + 0j, delay_s=1e-9, kind="los")
+        scaled = path.scaled(2j)
+        assert scaled.gain == 2j
+        assert scaled.kind == "los"
+
+    def test_delayed(self):
+        path = SignalPath(gain=1.0, delay_s=10e-9)
+        assert path.delayed(5e-9).delay_s == pytest.approx(15e-9)
+
+
+class TestPathsToCfr:
+    def test_single_path_flat_magnitude(self):
+        path = SignalPath(gain=0.5 + 0j, delay_s=50e-9)
+        freqs = np.linspace(-10e6, 10e6, 64)
+        cfr = paths_to_cfr([path], freqs)
+        assert np.allclose(np.abs(cfr), 0.5)
+
+    def test_zero_delay_no_frequency_dependence(self):
+        path = SignalPath(gain=1 + 1j, delay_s=0.0)
+        freqs = np.linspace(-10e6, 10e6, 16)
+        cfr = paths_to_cfr([path], freqs)
+        assert np.allclose(cfr, 1 + 1j)
+
+    def test_linearity(self):
+        p1 = SignalPath(gain=1.0, delay_s=10e-9)
+        p2 = SignalPath(gain=0.3j, delay_s=90e-9)
+        freqs = np.linspace(-10e6, 10e6, 32)
+        assert np.allclose(
+            paths_to_cfr([p1, p2], freqs),
+            paths_to_cfr([p1], freqs) + paths_to_cfr([p2], freqs),
+        )
+
+    def test_two_equal_paths_produce_null(self):
+        # Opposite gains at f=0 with delay difference: null where phase
+        # difference is a multiple of 2 pi.
+        delta = 100e-9
+        p1 = SignalPath(gain=1.0, delay_s=0.0)
+        p2 = SignalPath(gain=-1.0, delay_s=delta)
+        cfr0 = paths_to_cfr([p1, p2], np.array([0.0]))
+        assert abs(cfr0[0]) < 1e-12
+
+    def test_doppler_rotates_with_time(self):
+        path = SignalPath(gain=1.0, delay_s=0.0, doppler_hz=100.0)
+        freqs = np.array([0.0])
+        h0 = paths_to_cfr([path], freqs, time_s=0.0)[0]
+        h1 = paths_to_cfr([path], freqs, time_s=2.5e-3)[0]
+        expected_rotation = cmath.exp(2j * math.pi * 100.0 * 2.5e-3)
+        assert h1 / h0 == pytest.approx(expected_rotation)
+
+
+class TestPathsToCir:
+    def test_taps_placed_at_rounded_delay(self):
+        fs = 20e6
+        path = SignalPath(gain=1.0, delay_s=3 / fs)
+        cir = paths_to_cir([path], fs, 8)
+        assert cir[3] == pytest.approx(1.0)
+        assert np.sum(np.abs(cir)) == pytest.approx(1.0)
+
+    def test_power_conserved_for_overflow_delay(self):
+        fs = 20e6
+        path = SignalPath(gain=2.0, delay_s=1.0)  # absurdly long
+        cir = paths_to_cir([path], fs, 4)
+        assert cir[-1] == pytest.approx(2.0)
+
+    def test_coincident_paths_sum(self):
+        fs = 20e6
+        paths = [SignalPath(gain=1.0, delay_s=0.0), SignalPath(gain=-1.0, delay_s=0.0)]
+        cir = paths_to_cir(paths, fs, 4)
+        assert np.allclose(cir, 0.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            paths_to_cir([], 0.0, 4)
+        with pytest.raises(ValueError):
+            paths_to_cir([], 20e6, 0)
+
+
+def test_total_path_power():
+    paths = [SignalPath(gain=1.0, delay_s=0.0), SignalPath(gain=2.0, delay_s=1e-9)]
+    assert total_path_power(paths) == pytest.approx(5.0)

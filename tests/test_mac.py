@@ -1,0 +1,108 @@
+"""Tests for repro.net.mac and repro.experiments.mac_harmonization."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.mac_harmonization import run_mac_harmonization
+from repro.net.mac import MacConfig, MacStation, simulate_csma
+
+
+@pytest.fixture
+def mac_rng():
+    return np.random.default_rng(42)
+
+
+class TestCsmaBasics:
+    def test_single_station_near_full_airtime(self, mac_rng):
+        result = simulate_csma([MacStation("a")], 1.0, mac_rng)
+        # One saturated station: throughput close to payload/airtime minus
+        # contention overhead.
+        config = MacConfig()
+        ceiling = config.payload_bits / config.frame_airtime_s / 1e6
+        assert 0.6 * ceiling < result.throughput_mbps("a") <= ceiling
+        assert result.collisions["a"] == 0
+
+    def test_two_audible_stations_share_fairly(self, mac_rng):
+        stations = [
+            MacStation("a", can_hear=frozenset({"b"})),
+            MacStation("b", can_hear=frozenset({"a"})),
+        ]
+        result = simulate_csma(stations, 2.0, mac_rng)
+        a = result.throughput_mbps("a")
+        b = result.throughput_mbps("b")
+        assert a == pytest.approx(b, rel=0.2)  # long-run fairness
+        single = simulate_csma([MacStation("a")], 2.0, np.random.default_rng(42))
+        # Each gets roughly half of a lone station's throughput.
+        assert a == pytest.approx(single.throughput_mbps("a") / 2, rel=0.3)
+
+    def test_hidden_terminals_collide_heavily(self, mac_rng):
+        hidden = [
+            MacStation("a", can_hear=frozenset(), interferes_with=frozenset({"b"})),
+            MacStation("b", can_hear=frozenset(), interferes_with=frozenset({"a"})),
+        ]
+        audible = [
+            MacStation("a", can_hear=frozenset({"b"})),
+            MacStation("b", can_hear=frozenset({"a"})),
+        ]
+        hidden_result = simulate_csma(hidden, 2.0, np.random.default_rng(1))
+        audible_result = simulate_csma(audible, 2.0, np.random.default_rng(1))
+        assert hidden_result.collision_rate("a") > 3 * audible_result.collision_rate("a")
+        assert (
+            hidden_result.total_throughput_mbps()
+            < audible_result.total_throughput_mbps()
+        )
+
+    def test_isolated_stations_independent(self, mac_rng):
+        result = simulate_csma(
+            [MacStation("a"), MacStation("b")], 1.0, mac_rng
+        )
+        single = simulate_csma([MacStation("a")], 1.0, np.random.default_rng(42))
+        assert result.throughput_mbps("a") == pytest.approx(
+            single.throughput_mbps("a"), rel=0.15
+        )
+
+    def test_success_probability_scales_goodput(self, mac_rng):
+        perfect = simulate_csma(
+            [MacStation("a", success_probability=1.0)], 1.0, np.random.default_rng(3)
+        )
+        lossy = simulate_csma(
+            [MacStation("a", success_probability=0.5)], 1.0, np.random.default_rng(3)
+        )
+        ratio = lossy.throughput_mbps("a") / perfect.throughput_mbps("a")
+        assert ratio == pytest.approx(0.5, abs=0.1)
+
+    def test_validation(self, mac_rng):
+        with pytest.raises(ValueError):
+            simulate_csma([], 1.0, mac_rng)
+        with pytest.raises(ValueError):
+            simulate_csma([MacStation("a")], 0.0, mac_rng)
+        with pytest.raises(ValueError):
+            simulate_csma(
+                [MacStation("a"), MacStation("a")], 1.0, mac_rng
+            )
+        with pytest.raises(ValueError):
+            MacStation("a", success_probability=1.5)
+        with pytest.raises(ValueError):
+            MacConfig(cw_min=0)
+        with pytest.raises(ValueError):
+            MacConfig(payload_bits=0)
+
+
+class TestMacHarmonization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_mac_harmonization(duration_s=1.0)
+
+    def test_harmonized_beats_hidden_co_channel(self, result):
+        assert result.harmonized_mbps > result.co_channel_mbps
+        assert result.harmonization_gain > 1.2
+
+    def test_harmonized_beats_static_split(self, result):
+        assert result.harmonized_mbps > result.static_split_mbps
+
+    def test_fig7_pair_is_opposite(self, result):
+        assert result.fig7.is_opposite
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_mac_harmonization(duration_s=0.0)

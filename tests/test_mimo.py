@@ -1,0 +1,180 @@
+"""Tests for repro.mimo."""
+
+import numpy as np
+import pytest
+
+from repro.em.channel import subcarrier_frequencies
+from repro.em.paths import SignalPath
+from repro.mimo.capacity import (
+    capacity_bits,
+    ofdm_capacity_bits,
+    waterfilling_capacity_bits,
+)
+from repro.mimo.channel_matrix import (
+    MimoChannel,
+    condition_number_db,
+    condition_numbers_db,
+)
+from repro.mimo.detection import mmse_detect, post_detection_snr_db, zf_detect
+from repro.mimo.precoding import (
+    mmse_precoder,
+    precoding_power_penalty_db,
+    zero_forcing_precoder,
+)
+
+
+class TestConditionNumber:
+    def test_identity_is_zero_db(self):
+        assert condition_number_db(np.eye(2)) == pytest.approx(0.0)
+
+    def test_unitary_is_zero_db(self):
+        q, _ = np.linalg.qr(np.random.default_rng(0).standard_normal((3, 3)))
+        assert condition_number_db(q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_diagonal(self):
+        h = np.diag([10.0, 1.0])
+        assert condition_number_db(h) == pytest.approx(20.0)
+
+    def test_singular_capped(self):
+        h = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert condition_number_db(h) == 200.0
+
+    def test_batch_matches_single(self, rng):
+        matrices = rng.standard_normal((5, 2, 2)) + 1j * rng.standard_normal((5, 2, 2))
+        batch = condition_numbers_db(matrices)
+        singles = [condition_number_db(m) for m in matrices]
+        assert np.allclose(batch, singles)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            condition_number_db(np.ones(4))
+
+
+class TestMimoChannel:
+    def _channel(self):
+        freqs = subcarrier_frequencies(16, 20e6)
+        paths = [
+            [
+                [SignalPath(gain=1.0, delay_s=0.0)],
+                [SignalPath(gain=0.5, delay_s=50e-9)],
+            ],
+            [
+                [SignalPath(gain=0.3j, delay_s=100e-9)],
+                [SignalPath(gain=0.8, delay_s=0.0)],
+            ],
+        ]
+        return MimoChannel.from_lists(paths, freqs)
+
+    def test_shape(self):
+        channel = self._channel()
+        assert channel.num_rx == 2
+        assert channel.num_tx == 2
+        assert channel.matrices().shape == (16, 2, 2)
+
+    def test_entry_matches_siso_cfr(self):
+        channel = self._channel()
+        h = channel.matrices()
+        from repro.em.paths import paths_to_cfr
+
+        expected = paths_to_cfr(channel.paths[0][1], channel.frequencies_hz)
+        assert np.allclose(h[:, 0, 1], expected)
+
+    def test_condition_numbers_positive(self):
+        cond = self._channel().condition_numbers_db()
+        assert np.all(cond >= 0)
+
+    def test_ragged_rejected(self):
+        freqs = subcarrier_frequencies(4, 20e6)
+        with pytest.raises(ValueError):
+            MimoChannel.from_lists([[[]], [[], []]], freqs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MimoChannel.from_lists([], subcarrier_frequencies(4, 20e6))
+
+
+class TestCapacity:
+    def test_siso_shannon(self):
+        h = np.array([[1.0 + 0j]])
+        assert capacity_bits(h, 1.0) == pytest.approx(1.0)  # log2(1+1)
+
+    def test_capacity_zero_at_zero_snr(self):
+        h = np.eye(2, dtype=complex)
+        assert capacity_bits(h, 0.0) == pytest.approx(0.0)
+
+    def test_well_conditioned_beats_ill_conditioned(self):
+        snr = 100.0
+        good = np.eye(2, dtype=complex)
+        bad = np.array([[1.0, 0.99], [0.99, 1.0]], dtype=complex)
+        # Normalise Frobenius norms to isolate conditioning.
+        bad = bad / np.linalg.norm(bad, "fro") * np.linalg.norm(good, "fro")
+        assert capacity_bits(good, snr) > capacity_bits(bad, snr)
+
+    def test_waterfilling_at_least_equal_power(self, rng):
+        for _ in range(10):
+            h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+            snr = float(rng.uniform(0.1, 100.0))
+            assert waterfilling_capacity_bits(h, snr) >= capacity_bits(h, snr) - 1e-9
+
+    def test_waterfilling_siso_matches_shannon(self):
+        h = np.array([[2.0 + 0j]])
+        assert waterfilling_capacity_bits(h, 3.0) == pytest.approx(
+            np.log2(1 + 3.0 * 4.0)
+        )
+
+    def test_ofdm_capacity_mean(self, rng):
+        matrices = rng.standard_normal((4, 2, 2)) + 1j * rng.standard_normal((4, 2, 2))
+        mean = ofdm_capacity_bits(matrices, 10.0)
+        singles = [capacity_bits(m, 10.0) for m in matrices]
+        assert mean == pytest.approx(np.mean(singles))
+
+    def test_negative_snr_rejected(self):
+        with pytest.raises(ValueError):
+            capacity_bits(np.eye(2), -1.0)
+
+
+class TestPrecodingDetection:
+    def test_zf_precoder_diagonalises(self, rng):
+        h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        w = zero_forcing_precoder(h)
+        product = h @ w
+        off_diag = product - np.diag(np.diag(product))
+        assert np.allclose(off_diag, 0.0, atol=1e-10)
+
+    def test_zf_precoder_unit_power(self, rng):
+        h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        w = zero_forcing_precoder(h)
+        assert np.linalg.norm(w, "fro") ** 2 == pytest.approx(2.0)
+
+    def test_mmse_precoder_converges_to_zf(self, rng):
+        h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        w_zf = zero_forcing_precoder(h)
+        w_mmse = mmse_precoder(h, 1e-12)
+        assert np.allclose(w_zf, w_mmse, atol=1e-5)
+
+    def test_power_penalty_grows_with_conditioning(self):
+        good = np.eye(2, dtype=complex)
+        bad = np.diag([1.0, 0.05]).astype(complex)
+        assert precoding_power_penalty_db(bad) > precoding_power_penalty_db(good)
+
+    def test_zf_detection_recovers(self, rng):
+        h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        x = np.array([1 + 1j, -1 + 0.5j])
+        assert np.allclose(zf_detect(h @ x, h), x)
+
+    def test_mmse_detection_low_noise(self, rng):
+        h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        x = np.array([1 + 1j, -1 + 0.5j])
+        assert np.allclose(mmse_detect(h @ x, h, 1e-12), x, atol=1e-5)
+
+    def test_post_detection_snr_penalised_by_conditioning(self):
+        snr = 100.0
+        good = np.eye(2, dtype=complex)
+        bad = np.array([[1.0, 0.95], [0.95, 1.0]], dtype=complex)
+        assert np.min(post_detection_snr_db(bad, snr)) < np.min(
+            post_detection_snr_db(good, snr)
+        )
+
+    def test_zero_channel_rejected(self):
+        with pytest.raises(ValueError):
+            zero_forcing_precoder(np.zeros((2, 2)))

@@ -1,0 +1,200 @@
+"""Tests for repro.em.mobility, repro.control.energy and repro.net.alignment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.control.energy import (
+    ElementPowerModel,
+    EnergyBudget,
+    Harvester,
+    indoor_light_harvester,
+    rf_harvester,
+)
+from repro.em.geometry import Point
+from repro.em.mobility import MovingScatterer, TimeVaryingScene, walking_person
+from repro.em.scene import Scatterer, shoebox_scene
+from repro.net.alignment import (
+    alignment_cosine,
+    isolation_db,
+    mean_alignment_cosine,
+    post_nulling_inr_db,
+)
+
+
+class TestMobility:
+    def test_straight_motion(self):
+        mover = MovingScatterer(
+            scatterer=Scatterer(Point(1.0, 1.0)),
+            velocity_mps=Point(1.0, 0.0),
+            bounds=(10.0, 10.0),
+        )
+        assert mover.position_at(2.0) == Point(3.0, 1.0)
+
+    def test_elastic_bounce(self):
+        mover = MovingScatterer(
+            scatterer=Scatterer(Point(9.0, 5.0)),
+            velocity_mps=Point(1.0, 0.0),
+            bounds=(10.0, 10.0),
+        )
+        # After 3 s: 12 m folded -> 8 m.
+        assert mover.position_at(3.0).x == pytest.approx(8.0)
+
+    def test_position_always_in_bounds(self):
+        mover = walking_person(Point(2.0, 3.0), 0.7, bounds=(8.0, 6.0))
+        for t in np.linspace(0.0, 120.0, 77):
+            p = mover.position_at(float(t))
+            assert 0.0 <= p.x <= 8.0
+            assert 0.0 <= p.y <= 6.0
+
+    def test_walking_person_speed(self):
+        person = walking_person(Point(1, 1), 0.0, bounds=(8.0, 6.0), speed_mph=2.0)
+        assert person.speed_mph == pytest.approx(2.0)
+
+    def test_scene_snapshots_differ(self):
+        base = shoebox_scene(8.0, 6.0)
+        scene = TimeVaryingScene(
+            base=base,
+            movers=(walking_person(Point(2, 3), 0.3, bounds=(8.0, 6.0)),),
+        )
+        a = scene.scene_at(0.0)
+        b = scene.scene_at(1.0)
+        assert a.scatterers[-1].position != b.scatterers[-1].position
+        assert len(a.scatterers) == len(base.scatterers) + 1
+
+    def test_max_speed(self):
+        scene = TimeVaryingScene(
+            base=shoebox_scene(8.0, 6.0),
+            movers=(
+                walking_person(Point(2, 3), 0.0, (8.0, 6.0), speed_mph=1.0),
+                walking_person(Point(4, 3), 0.0, (8.0, 6.0), speed_mph=4.5),
+            ),
+        )
+        assert scene.max_speed_mph() == pytest.approx(4.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovingScatterer(
+                scatterer=Scatterer(Point(0, 0)),
+                velocity_mps=Point(1, 0),
+                bounds=(0.0, 5.0),
+            )
+        with pytest.raises(ValueError):
+            TimeVaryingScene(base=shoebox_scene(4, 4), movers=())
+        with pytest.raises(ValueError):
+            walking_person(Point(0, 0), 0.0, (5.0, 5.0), speed_mph=0.0)
+
+
+class TestEnergy:
+    def test_average_power_components(self):
+        model = ElementPowerModel(
+            idle_w=50e-6, switching_w=5e-3, switching_time_s=100e-6, active_w=0.0
+        )
+        # 100 switches/s: 5 mW * 100 us * 100 = 50 uW extra.
+        assert model.average_power_w(100.0) == pytest.approx(100e-6)
+
+    def test_active_duty_cycle(self):
+        model = ElementPowerModel(active_w=100e-3)
+        assert model.average_power_w(0.0, active_duty_cycle=0.5) == pytest.approx(
+            50e-3 + model.idle_w
+        )
+
+    def test_passive_element_sustainable_on_indoor_light(self):
+        budget = EnergyBudget(
+            element=ElementPowerModel(),
+            harvester=indoor_light_harvester(area_cm2=25.0),
+        )
+        # A passive element switching a few hundred times per second
+        # (several packet slots) runs on a palm-sized solar cell...
+        assert budget.is_sustainable(switches_per_second=300.0)
+        # ... but continuous per-slot switching (~600/s) needs more light.
+        assert not budget.is_sustainable(switches_per_second=600.0)
+
+    def test_active_element_drains(self):
+        budget = EnergyBudget(
+            element=ElementPowerModel(active_w=100e-3),
+            harvester=indoor_light_harvester(area_cm2=25.0),
+        )
+        assert not budget.is_sustainable(10.0, active_duty_cycle=0.5)
+        lifetime = budget.lifetime_s(10.0, active_duty_cycle=0.5)
+        assert 0 < lifetime < float("inf")
+        # 10 J battery at ~50 mW deficit: a few minutes.
+        assert lifetime == pytest.approx(10.0 / 0.05, rel=0.1)
+
+    def test_max_sustainable_switch_rate(self):
+        budget = EnergyBudget(
+            element=ElementPowerModel(),
+            harvester=Harvester("test", power_w=550e-6),
+        )
+        rate = budget.max_sustainable_switch_rate()
+        # headroom 500 uW / (5 mW * 100 us) = 1000 switches/s.
+        assert rate == pytest.approx(1000.0)
+        assert budget.is_sustainable(rate * 0.99)
+        assert not budget.is_sustainable(rate * 1.01)
+
+    def test_rf_harvester(self):
+        harvester = rf_harvester(incident_dbm=0.0, efficiency=0.5)
+        assert harvester.power_w == pytest.approx(0.5e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElementPowerModel(idle_w=-1.0)
+        with pytest.raises(ValueError):
+            Harvester("bad", power_w=-1.0)
+        with pytest.raises(ValueError):
+            indoor_light_harvester(area_cm2=0.0)
+        with pytest.raises(ValueError):
+            rf_harvester(efficiency=0.0)
+        budget = EnergyBudget(ElementPowerModel(), Harvester("h", 1e-3))
+        with pytest.raises(ValueError):
+            budget.net_power_w(-1.0)
+
+
+class TestAlignment:
+    def test_collinear_fully_aligned(self):
+        h = np.array([1 + 1j, 2 - 0.5j])
+        assert alignment_cosine(h, 3.7j * h) == pytest.approx(1.0)
+
+    def test_orthogonal_unaligned(self):
+        assert alignment_cosine(np.array([1, 0]), np.array([0, 1])) == pytest.approx(0.0)
+
+    def test_mean_alignment(self):
+        h1 = np.array([[1, 0], [1, 0]], dtype=complex)
+        h2 = np.array([[1, 0], [0, 1]], dtype=complex)
+        assert mean_alignment_cosine(h1, h2) == pytest.approx(0.5)
+
+    def test_post_nulling_removes_aligned_interference(self):
+        h1 = np.array([1 + 0j, 1 + 0j])
+        h2 = 0.5 * h1  # perfectly aligned
+        inr = post_nulling_inr_db(h1, h2, interferer_power_w=1e-3, noise_power_w=1e-12)
+        assert inr < -200  # clamped floor: nothing leaks
+
+    def test_post_nulling_leaks_orthogonal_interference(self):
+        h1 = np.array([1 + 0j, 0 + 0j])
+        h2 = np.array([0 + 0j, 1 + 0j])
+        inr = post_nulling_inr_db(h1, h2, interferer_power_w=1e-9, noise_power_w=1e-12)
+        assert inr == pytest.approx(30.0)  # all of h2 leaks
+
+    def test_alignment_improves_post_nulling_inr(self):
+        h1 = np.array([1 + 0j, 0.2 + 0j])
+        aligned = h1 * 0.9 + 0.05 * np.array([0, 1])
+        misaligned = np.array([0.3 + 0j, 1 + 0j])
+        inr_aligned = post_nulling_inr_db(h1, aligned, 1e-6, 1e-12)
+        inr_misaligned = post_nulling_inr_db(h1, misaligned, 1e-6, 1e-12)
+        assert inr_aligned < inr_misaligned
+
+    def test_isolation(self):
+        assert isolation_db([1e-6], [1e-9]) == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alignment_cosine(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError):
+            alignment_cosine(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            post_nulling_inr_db(np.ones(2), np.ones(2), -1.0, 1.0)
+        with pytest.raises(ValueError):
+            isolation_db([], [1.0])
+        with pytest.raises(ValueError):
+            isolation_db([1.0], [-1.0])

@@ -1,0 +1,102 @@
+"""Tests for repro.experiments.mu_mimo and repro.experiments.alignment_study."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import ArrayConfiguration
+from repro.experiments import (
+    StudyConfig,
+    build_mimo_setup,
+    run_alignment_study,
+    run_mu_mimo,
+    used_subcarrier_mask,
+)
+from repro.experiments.mu_mimo import mu_mimo_matrices, zf_sum_rate_bits
+from repro.sdr.device import warp_v3
+from repro.em.geometry import Point
+
+
+class TestMuMimoPieces:
+    def test_matrix_shape(self):
+        setup = build_mimo_setup(0)
+        rx0 = setup.rx_device.position
+        clients = [
+            warp_v3("c0", rx0),
+            warp_v3("c1", Point(rx0.x + 0.5, rx0.y)),
+        ]
+        h = mu_mimo_matrices(
+            setup.testbed, setup.tx_device, clients, ArrayConfiguration((0, 0, 0))
+        )
+        assert h.shape == (64, 2, 2)
+
+    def test_no_clients_rejected(self):
+        setup = build_mimo_setup(0)
+        with pytest.raises(ValueError):
+            mu_mimo_matrices(
+                setup.testbed, setup.tx_device, [], ArrayConfiguration((0, 0, 0))
+            )
+
+    def test_sum_rate_monotone_in_power(self, rng):
+        h = rng.standard_normal((8, 2, 2)) * 1e-4 + 1j * rng.standard_normal((8, 2, 2)) * 1e-4
+        low = zf_sum_rate_bits(h, 0.0, 20e6)
+        high = zf_sum_rate_bits(h, 15.0, 20e6)
+        assert high > low
+
+    def test_sum_rate_shape_validation(self):
+        with pytest.raises(ValueError):
+            zf_sum_rate_bits(np.zeros((4, 4)), 10.0, 20e6)
+
+    def test_orthogonal_users_beat_correlated(self):
+        # Equal-gain channels, orthogonal vs nearly-collinear users.
+        scale = 1e-4
+        ortho = np.tile(np.eye(2, dtype=complex) * scale, (8, 1, 1))
+        corr = np.tile(
+            np.array([[1.0, 0.0], [0.98, 0.199]], dtype=complex) * scale, (8, 1, 1)
+        )
+        assert zf_sum_rate_bits(ortho, 10.0, 20e6) > zf_sum_rate_bits(
+            corr, 10.0, 20e6
+        )
+
+
+class TestMuMimoExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_mu_mimo()
+
+    def test_shapes(self, result):
+        assert result.sum_rate_bits.shape == (64,)
+        assert result.median_condition_db.shape == (64,)
+        assert len(result.labels) == 64
+
+    def test_configuration_effect(self, result):
+        assert result.rate_gain > 1.05
+
+    def test_conditioning_correlation(self, result):
+        assert result.conditioning_rate_correlation() > 0.5
+
+    def test_best_worst_distinct(self, result):
+        assert result.best_configuration != result.worst_configuration
+
+
+class TestAlignmentExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_alignment_study()
+
+    def test_shapes(self, result):
+        assert result.alignment.shape == (64,)
+        assert result.residual_inr_db.shape == (64,)
+
+    def test_alignment_bounded(self, result):
+        assert np.all(result.alignment >= 0.0)
+        assert np.all(result.alignment <= 1.0)
+
+    def test_press_moves_alignment(self, result):
+        assert result.alignment_spread > 0.02
+
+    def test_alignment_reduces_residual(self, result):
+        assert result.inr_improvement_db > 0.0
+
+    def test_alignment_anticorrelates_with_residual(self, result):
+        corr = float(np.corrcoef(result.alignment, result.residual_inr_db)[0, 1])
+        assert corr < 0.0

@@ -1,0 +1,135 @@
+"""Tests for repro.net (network, interference, harmonization)."""
+
+import numpy as np
+import pytest
+
+from repro.em.geometry import Point
+from repro.net.harmonization import (
+    HarmonizationPlan,
+    best_partition,
+    opposite_selectivity_db,
+    partitioned_sum_rate_bits,
+    subband_contrast_db,
+)
+from repro.net.interference import LinkQuality, sinr_db, sum_rate_bits
+from repro.net.network import NetworkPair, Node, WirelessLink
+from repro.sdr.device import warp_v3
+
+
+def _pair():
+    ap1 = Node(warp_v3("ap1", Point(0, 0)), role="ap", network_id=1)
+    c1 = Node(warp_v3("c1", Point(1, 0)), role="client", network_id=1)
+    ap2 = Node(warp_v3("ap2", Point(0, 5)), role="ap", network_id=2)
+    c2 = Node(warp_v3("c2", Point(1, 5)), role="client", network_id=2)
+    return NetworkPair(ap1=ap1, client1=c1, ap2=ap2, client2=c2)
+
+
+class TestNetwork:
+    def test_role_validation(self):
+        with pytest.raises(ValueError):
+            Node(warp_v3("x", Point(0, 0)), role="router")
+
+    def test_link_names_and_interference_flag(self):
+        pair = _pair()
+        comms = pair.communication_links()
+        inter = pair.interference_links()
+        assert all(not link.is_interference for link in comms)
+        assert all(link.is_interference for link in inter)
+        assert comms[0].name == "ap1->c1"
+        assert inter[0].name == "ap1->c2"
+
+    def test_all_links_count(self):
+        assert len(list(_pair().all_links())) == 4
+
+    def test_pair_validation(self):
+        ap1 = Node(warp_v3("ap1", Point(0, 0)), role="ap", network_id=1)
+        c1 = Node(warp_v3("c1", Point(1, 0)), role="client", network_id=2)
+        ap2 = Node(warp_v3("ap2", Point(0, 5)), role="ap", network_id=2)
+        c2 = Node(warp_v3("c2", Point(1, 5)), role="client", network_id=2)
+        with pytest.raises(ValueError):
+            NetworkPair(ap1=ap1, client1=c1, ap2=ap2, client2=c2)
+
+
+class TestInterference:
+    def test_sinr_without_interference_is_snr(self):
+        quality = LinkQuality(signal_gain=np.full(64, 1e-7))
+        sinr = sinr_db(quality, 15.0, 64, 20e6)
+        # No interferers: pure SNR, same for all subcarriers.
+        assert np.allclose(sinr, sinr[0])
+
+    def test_interference_reduces_sinr(self):
+        clean = LinkQuality(signal_gain=np.full(64, 1e-7))
+        dirty = LinkQuality(
+            signal_gain=np.full(64, 1e-7),
+            interference_gains=(np.full(64, 1e-8),),
+        )
+        assert np.all(
+            sinr_db(dirty, 15.0, 64, 20e6) < sinr_db(clean, 15.0, 64, 20e6)
+        )
+
+    def test_strong_interference_dominates(self):
+        quality = LinkQuality(
+            signal_gain=np.full(8, 1e-7),
+            interference_gains=(np.full(8, 1e-7),),
+        )
+        sinr = sinr_db(quality, 15.0, 64, 20e6)
+        assert np.allclose(sinr, 0.0, atol=0.1)  # SIR = 0 dB
+
+    def test_gain_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LinkQuality(
+                signal_gain=np.ones(8), interference_gains=(np.ones(4),)
+            )
+
+    def test_sum_rate(self):
+        sinrs = [np.full(8, 0.0), np.full(8, 0.0)]  # 0 dB -> 1 bit each
+        assert sum_rate_bits(sinrs) == pytest.approx(2.0)
+
+
+class TestHarmonization:
+    def test_contrast_sign(self):
+        favour_upper = np.concatenate([np.full(26, 10.0), np.full(26, 30.0)])
+        assert subband_contrast_db(favour_upper) == pytest.approx(20.0)
+        assert subband_contrast_db(favour_upper[::-1]) == pytest.approx(-20.0)
+
+    def test_opposite_selectivity_positive_for_opposite(self):
+        a = np.concatenate([np.full(26, 30.0), np.full(26, 10.0)])  # favours lower
+        b = np.concatenate([np.full(26, 10.0), np.full(26, 30.0)])  # favours upper
+        assert opposite_selectivity_db(a, b) > 0
+        assert opposite_selectivity_db(a, a) < 0
+
+    def test_plan_masks(self):
+        plan = HarmonizationPlan(boundary=20)
+        mask_a, mask_b = plan.masks(52)
+        assert mask_a.sum() == 20
+        assert mask_b.sum() == 32
+        assert not np.any(mask_a & mask_b)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            HarmonizationPlan(boundary=0)
+        with pytest.raises(ValueError):
+            HarmonizationPlan(boundary=52).masks(52)
+
+    def test_partitioned_sum_rate_prefers_matched_split(self):
+        # Network A strong in the lower half, B in the upper half.
+        a = np.concatenate([np.full(26, 30.0), np.full(26, 5.0)])
+        b = np.concatenate([np.full(26, 5.0), np.full(26, 30.0)])
+        matched = partitioned_sum_rate_bits(a, b, HarmonizationPlan(boundary=26))
+        mismatched = partitioned_sum_rate_bits(b, a, HarmonizationPlan(boundary=26))
+        assert matched > mismatched
+
+    def test_best_partition_finds_crossover(self):
+        a = np.concatenate([np.full(20, 30.0), np.full(32, 5.0)])
+        b = np.concatenate([np.full(20, 5.0), np.full(32, 30.0)])
+        plan, rate = best_partition(a, b)
+        assert plan.boundary == 20
+        assert rate == pytest.approx(
+            partitioned_sum_rate_bits(a, b, HarmonizationPlan(boundary=20))
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            partitioned_sum_rate_bits(
+                np.ones(8), np.ones(4), HarmonizationPlan(boundary=2)
+            )

@@ -1,0 +1,157 @@
+"""Tests for repro.phy.modulation, coding and interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.phy.coding import (
+    CODE_RATE_1_2,
+    CODE_RATE_2_3,
+    CODE_RATE_3_4,
+    ConvolutionalCode,
+    get_code,
+)
+from repro.phy.interleaver import deinterleave, interleave, interleaver_permutation
+from repro.phy.modulation import BPSK, MODULATIONS, QAM16, QAM64, QPSK, get_modulation
+
+
+class TestModulation:
+    @pytest.mark.parametrize("mod", [BPSK, QPSK, QAM16, QAM64])
+    def test_unit_average_energy(self, mod):
+        energy = np.mean(np.abs(mod.constellation) ** 2)
+        assert energy == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mod", [BPSK, QPSK, QAM16, QAM64])
+    def test_roundtrip(self, mod, rng):
+        bits = rng.integers(0, 2, 20 * mod.bits_per_symbol)
+        assert np.array_equal(mod.demodulate(mod.modulate(bits)), bits)
+
+    @pytest.mark.parametrize("mod", [QPSK, QAM16, QAM64])
+    def test_gray_mapping_neighbours_differ_by_one_bit(self, mod):
+        # Find the nearest neighbour of each point; Gray mapping means the
+        # bit patterns differ in exactly one position.
+        points = mod.constellation
+        for i, p in enumerate(points):
+            distances = np.abs(points - p)
+            distances[i] = np.inf
+            j = int(np.argmin(distances))
+            assert bin(i ^ j).count("1") == 1
+
+    def test_soft_demod_signs_match_hard(self, rng):
+        bits = rng.integers(0, 2, 400)
+        symbols = QAM16.modulate(bits)
+        llrs = QAM16.demodulate_soft(symbols, 0.01)
+        assert np.array_equal((llrs < 0).astype(int), bits)
+
+    def test_soft_demod_scales_with_noise_var(self):
+        symbols = QPSK.modulate(np.array([0, 0]))
+        llr_low = QPSK.demodulate_soft(symbols, 1.0)
+        llr_high = QPSK.demodulate_soft(symbols, 2.0)
+        assert np.allclose(llr_low, 2.0 * llr_high)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BPSK.modulate(np.array([0, 2]))
+        with pytest.raises(ValueError):
+            QAM16.modulate(np.array([0, 1, 0]))  # not a multiple of 4
+
+    def test_registry(self):
+        assert get_modulation("64-QAM") is QAM64
+        with pytest.raises(KeyError):
+            get_modulation("1024-QAM")
+        assert set(MODULATIONS) == {"BPSK", "QPSK", "16-QAM", "64-QAM"}
+
+    def test_invalid_bits_per_symbol(self):
+        from repro.phy.modulation import Modulation
+
+        with pytest.raises(ValueError):
+            Modulation("8-PSK", 3)
+
+
+class TestConvolutionalCode:
+    @pytest.mark.parametrize("rate", ["1/2", "2/3", "3/4"])
+    def test_clean_roundtrip(self, rate, rng):
+        code = get_code(rate)
+        bits = rng.integers(0, 2, 300)
+        decoded = code.decode_hard(code.encode(bits), 300)
+        assert np.array_equal(decoded, bits)
+
+    def test_coded_length(self):
+        assert CODE_RATE_1_2.coded_length(100) == 2 * 106
+        # 2/3: keep 3 of every 4 mother bits.
+        assert CODE_RATE_2_3.coded_length(100) == (2 * 106) * 3 // 4
+        assert CODE_RATE_3_4.coded_length(99) == (2 * 105) * 2 // 3
+
+    def test_rate_property(self):
+        assert CODE_RATE_1_2.rate == pytest.approx(0.5)
+        assert CODE_RATE_2_3.rate == pytest.approx(2 / 3)
+        assert CODE_RATE_3_4.rate == pytest.approx(0.75)
+
+    def test_corrects_sparse_errors(self, rng):
+        code = CODE_RATE_1_2
+        bits = rng.integers(0, 2, 400)
+        coded = code.encode(bits)
+        corrupted = coded.copy()
+        flips = rng.choice(coded.size, size=coded.size // 40, replace=False)
+        corrupted[flips] ^= 1
+        assert np.array_equal(code.decode_hard(corrupted, 400), bits)
+
+    def test_soft_decoding_beats_hard(self, rng):
+        # At moderate SNR, soft-decision decoding should make no more
+        # errors than hard-decision decoding (statistically it makes
+        # strictly fewer; we assert <=, on a fixed seed).
+        code = CODE_RATE_1_2
+        bits = rng.integers(0, 2, 500)
+        coded = code.encode(bits)
+        tx = 1.0 - 2.0 * coded.astype(float)
+        noisy = tx + rng.normal(scale=0.9, size=tx.size)
+        soft_errors = int(np.sum(code.decode(noisy, 500) != bits))
+        hard_errors = int(
+            np.sum(code.decode_hard((noisy < 0).astype(int), 500) != bits)
+        )
+        assert soft_errors <= hard_errors
+
+    def test_zero_input(self):
+        decoded = CODE_RATE_1_2.decode_hard(
+            CODE_RATE_1_2.encode(np.zeros(50, dtype=int)), 50
+        )
+        assert not decoded.any()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode("5/6")
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            CODE_RATE_1_2.encode(np.array([0, 1, 2]))
+
+    def test_depuncture_length_check(self):
+        with pytest.raises(ValueError):
+            CODE_RATE_3_4.decode(np.ones(7), 10)
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("bits_per_sc", [1, 2, 4, 6])
+    def test_roundtrip(self, bits_per_sc, rng):
+        n_cbps = 48 * bits_per_sc
+        bits = rng.integers(0, 2, n_cbps)
+        assert np.array_equal(deinterleave(interleave(bits, bits_per_sc), bits_per_sc), bits)
+
+    def test_permutation_is_bijection(self):
+        perm = interleaver_permutation(192, 4)
+        assert sorted(perm.tolist()) == list(range(192))
+
+    def test_adjacent_bits_spread(self):
+        # Consecutive coded bits must not land on the same subcarrier.
+        bits_per_sc = 4
+        n_cbps = 48 * bits_per_sc
+        perm = interleaver_permutation(n_cbps, bits_per_sc)
+        subcarrier_of = perm // bits_per_sc
+        assert all(
+            subcarrier_of[k] != subcarrier_of[k + 1] for k in range(n_cbps - 1)
+        )
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            interleaver_permutation(100, 4)  # not a multiple of 16
+        with pytest.raises(ValueError):
+            interleaver_permutation(192, 0)

@@ -1,0 +1,263 @@
+"""Tests for repro.phy.ofdm, preamble, channel_est, equalizer and frame."""
+
+import numpy as np
+import pytest
+
+from repro.em.channel import Channel
+from repro.em.paths import SignalPath
+from repro.phy.channel_est import estimate_channel
+from repro.phy.coding import get_code
+from repro.phy.equalizer import mmse, zero_forcing
+from repro.phy.frame import FrameFormat, build_frame, receive_frame
+from repro.phy.modulation import BPSK, QAM16, QAM64, QPSK
+from repro.phy.ofdm import DEFAULT_OFDM, OfdmParams
+from repro.phy.preamble import NUM_LTF_REPEATS, ltf_spectrum, ltf_time_domain, stf_time_domain
+from repro.phy.transceiver import LinkBudget, simulate_link, transmit_over_channel
+
+
+class TestOfdmParams:
+    def test_default_numerology(self):
+        assert DEFAULT_OFDM.fft_size == 64
+        assert DEFAULT_OFDM.num_data_subcarriers == 48
+        assert DEFAULT_OFDM.num_pilot_subcarriers == 4
+        assert DEFAULT_OFDM.symbol_samples == 80
+        assert DEFAULT_OFDM.symbol_duration_s == pytest.approx(4e-6)
+
+    def test_used_bins_count(self):
+        assert DEFAULT_OFDM.used_bins().size == 52
+        assert DEFAULT_OFDM.used_mask().sum() == 52
+
+    def test_dc_not_used(self):
+        assert 32 not in DEFAULT_OFDM.used_bins()
+
+    def test_time_frequency_roundtrip(self, rng):
+        spectrum = np.zeros(64, dtype=complex)
+        bins = DEFAULT_OFDM.used_bins()
+        spectrum[bins] = rng.standard_normal(52) + 1j * rng.standard_normal(52)
+        recovered = DEFAULT_OFDM.to_frequency_domain(DEFAULT_OFDM.to_time_domain(spectrum))
+        assert np.allclose(recovered, spectrum, atol=1e-10)
+
+    def test_cyclic_prefix_is_tail_copy(self):
+        spectrum = np.zeros(64, dtype=complex)
+        spectrum[DEFAULT_OFDM.used_bins()] = 1.0
+        samples = DEFAULT_OFDM.to_time_domain(spectrum)
+        assert np.allclose(samples[:16], samples[-16:])
+
+    def test_place_and_extract(self, rng):
+        data = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        spectrum = DEFAULT_OFDM.place(data)
+        assert np.array_equal(DEFAULT_OFDM.extract_data(spectrum), data)
+        assert np.all(spectrum[DEFAULT_OFDM.pilot_bins()] == 1.0)
+
+    def test_parseval_scaling(self):
+        # Unit-power spectrum -> unit-power time samples (excluding CP).
+        spectrum = np.zeros(64, dtype=complex)
+        spectrum[DEFAULT_OFDM.used_bins()] = 1.0
+        time = DEFAULT_OFDM.to_time_domain(spectrum)[16:]
+        assert np.sum(np.abs(time) ** 2) == pytest.approx(52.0, rel=1e-9)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OfdmParams(fft_size=63)
+        with pytest.raises(ValueError):
+            OfdmParams(cyclic_prefix=64)
+        with pytest.raises(ValueError):
+            OfdmParams(data_offsets=(1, 2), pilot_offsets=(2,))
+
+
+class TestPreamble:
+    def test_ltf_occupies_used_bins_only(self):
+        spectrum = ltf_spectrum(DEFAULT_OFDM)
+        used = DEFAULT_OFDM.used_mask()
+        assert np.all(spectrum[~used] == 0)
+        assert np.all(np.abs(spectrum[used]) == 1.0)
+
+    def test_ltf_repeats(self):
+        samples = ltf_time_domain(DEFAULT_OFDM, repeats=2)
+        sym = DEFAULT_OFDM.symbol_samples
+        assert samples.size == 2 * sym
+        assert np.allclose(samples[:sym], samples[sym:])
+
+    def test_stf_nonzero(self):
+        assert np.any(stf_time_domain(DEFAULT_OFDM) != 0)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            ltf_time_domain(DEFAULT_OFDM, repeats=0)
+
+
+class TestChannelEstimation:
+    def test_perfect_estimate_without_noise(self, rng):
+        cfr_true = np.ones(64, dtype=complex)
+        bins = DEFAULT_OFDM.used_bins()
+        cfr_true[bins] = rng.standard_normal(52) + 1j * rng.standard_normal(52)
+        reference = ltf_spectrum(DEFAULT_OFDM)
+        received = np.stack([cfr_true * reference] * 2)
+        estimate = estimate_channel(received, DEFAULT_OFDM)
+        assert np.allclose(estimate.cfr[bins], cfr_true[bins])
+        assert estimate.noise_var == pytest.approx(0.0, abs=1e-20)
+
+    def test_noise_variance_estimated(self, rng):
+        reference = ltf_spectrum(DEFAULT_OFDM)
+        cfr_true = np.ones(64, dtype=complex)
+        noise_var = 0.01
+        used = DEFAULT_OFDM.used_mask()
+        received = []
+        for _ in range(2):
+            noise = np.sqrt(noise_var / 2) * (
+                rng.standard_normal(64) + 1j * rng.standard_normal(64)
+            )
+            received.append(cfr_true * reference + noise * used)
+        estimate = estimate_channel(np.stack(received), DEFAULT_OFDM)
+        assert estimate.noise_var == pytest.approx(noise_var, rel=0.5)
+
+    def test_single_ltf_has_no_noise_estimate(self):
+        reference = ltf_spectrum(DEFAULT_OFDM)
+        estimate = estimate_channel(reference[None, :], DEFAULT_OFDM)
+        assert estimate.noise_var is None
+        with pytest.raises(ValueError):
+            estimate.snr_db()
+
+    def test_snr_reflects_channel_gain(self, rng):
+        reference = ltf_spectrum(DEFAULT_OFDM)
+        cfr_true = np.full(64, 2.0, dtype=complex)
+        noise_var = 0.04
+        used = DEFAULT_OFDM.used_mask()
+        received = []
+        for _ in range(2):
+            noise = np.sqrt(noise_var / 2) * (
+                rng.standard_normal(64) + 1j * rng.standard_normal(64)
+            )
+            received.append(cfr_true * reference + noise * used)
+        estimate = estimate_channel(np.stack(received), DEFAULT_OFDM)
+        expected_snr = 10 * np.log10(4.0 / noise_var)
+        measured = np.median(estimate.snr_db()[used])
+        assert measured == pytest.approx(expected_snr, abs=3.0)
+
+
+class TestEqualizers:
+    def test_zero_forcing_inverts(self, rng):
+        cfr = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        data = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        assert np.allclose(zero_forcing(data * cfr, cfr), data)
+
+    def test_zero_forcing_handles_null(self):
+        cfr = np.array([0.0 + 0j, 1.0 + 0j])
+        out = zero_forcing(np.array([1.0 + 0j, 1.0 + 0j]), cfr)
+        assert np.all(np.isfinite(out))
+
+    def test_mmse_approaches_zf_at_high_snr(self, rng):
+        cfr = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        data = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        received = data * cfr
+        assert np.allclose(mmse(received, cfr, 1e-12), zero_forcing(received, cfr), atol=1e-5)
+
+    def test_mmse_attenuates_in_null(self):
+        cfr = np.array([0.01 + 0j])
+        received = np.array([1.0 + 0j])
+        # MMSE output is bounded; ZF would blow up to 100.
+        assert abs(mmse(received, cfr, 0.1)[0]) < abs(zero_forcing(received, cfr)[0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            zero_forcing(np.ones(4), np.ones(5))
+
+
+class TestFrameChain:
+    @pytest.mark.parametrize(
+        "mod,rate",
+        [(BPSK, "1/2"), (QPSK, "3/4"), (QAM16, "1/2"), (QAM64, "2/3")],
+    )
+    def test_loopback_noiseless(self, mod, rate, rng):
+        fmt = FrameFormat(mod, get_code(rate))
+        bits = rng.integers(0, 2, 600)
+        tx = build_frame(bits, fmt)
+        result = receive_frame(tx.samples, fmt, 600, expected_bits=bits)
+        assert result.bit_errors == 0
+
+    def test_loopback_through_multipath(self, rng, two_path_channel):
+        fmt = FrameFormat(QAM16, get_code("1/2"))
+        result = simulate_link(
+            two_path_channel,
+            fmt,
+            num_info_bits=800,
+            rng=rng,
+            payload_rng=np.random.default_rng(9),
+        )
+        assert result.bit_errors == 0
+        assert result.frame_ok
+
+    def test_low_snr_breaks_link(self, rng):
+        # Attenuate the channel to push SNR below decodability for 64-QAM.
+        channel = Channel([SignalPath(gain=3e-7 + 0j, delay_s=0.0)])
+        fmt = FrameFormat(QAM64, get_code("3/4"))
+        result = simulate_link(channel, fmt, num_info_bits=800, rng=rng)
+        assert result.bit_errors > 0
+
+    def test_csi_estimate_matches_channel_shape(self, rng):
+        # Delays on the 50 ns sample grid, so the tapped-delay-line channel
+        # equals the exact CFR and the estimate's shape can be compared.
+        channel = Channel(
+            [
+                SignalPath(gain=1e-3 + 0j, delay_s=50e-9),
+                SignalPath(gain=0.9e-3 * np.exp(1j * 2.4), delay_s=150e-9),
+            ]
+        )
+        fmt = FrameFormat(QPSK, get_code("1/2"))
+        result = simulate_link(channel, fmt, num_info_bits=400, rng=rng)
+        estimate = result.channel
+        used = estimate.used_mask
+        true_cfr = channel.cfr()[used]
+        est_cfr = estimate.cfr[used]
+        # The estimate differs by the TX power scaling; shape correlation
+        # should be near-perfect.
+        correlation = np.abs(np.vdot(true_cfr, est_cfr)) / (
+            np.linalg.norm(true_cfr) * np.linalg.norm(est_cfr)
+        )
+        assert correlation > 0.98
+
+    def test_num_data_symbols(self):
+        fmt = FrameFormat(BPSK, get_code("1/2"))
+        # 100 info bits -> 212 coded -> ceil(212/48) = 5 symbols.
+        assert fmt.num_data_symbols(100) == 5
+
+    def test_frame_sample_count(self):
+        fmt = FrameFormat(QPSK, get_code("1/2"))
+        bits = np.zeros(96, dtype=int)
+        tx = build_frame(bits, fmt)
+        symbols = fmt.num_data_symbols(96)
+        expected = (1 + NUM_LTF_REPEATS + symbols) * fmt.params.symbol_samples
+        assert tx.samples.size == expected
+
+    def test_expected_bits_mismatch(self, rng):
+        fmt = FrameFormat(BPSK, get_code("1/2"))
+        bits = rng.integers(0, 2, 100)
+        tx = build_frame(bits, fmt)
+        with pytest.raises(ValueError):
+            receive_frame(tx.samples, fmt, 100, expected_bits=bits[:50])
+
+
+class TestTransmitOverChannel:
+    def test_power_scaling(self, rng):
+        channel = Channel([SignalPath(gain=1.0, delay_s=0.0)])
+        samples = np.ones(4000, dtype=complex)
+        out = transmit_over_channel(samples, channel, LinkBudget(tx_power_dbm=0.0))
+        # 0 dBm = 1 mW through unit channel.
+        assert np.mean(np.abs(out) ** 2) == pytest.approx(1e-3, rel=1e-6)
+
+    def test_zero_power_rejected(self):
+        channel = Channel([SignalPath(gain=1.0, delay_s=0.0)])
+        with pytest.raises(ValueError):
+            transmit_over_channel(np.zeros(10, dtype=complex), channel, LinkBudget())
+
+    def test_delay_spread_causes_isi(self):
+        # A channel with two taps smears an impulse across samples.
+        channel = Channel(
+            [SignalPath(gain=1.0, delay_s=0.0), SignalPath(gain=0.5, delay_s=150e-9)]
+        )
+        samples = np.zeros(32, dtype=complex)
+        samples[0] = 1.0
+        out = transmit_over_channel(samples, channel, LinkBudget(tx_power_dbm=0.0))
+        nonzero = np.nonzero(np.abs(out) > 1e-12)[0]
+        assert nonzero.size == 2
+        assert nonzero[1] == 3  # 150 ns at 20 MHz = 3 samples

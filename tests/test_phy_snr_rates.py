@@ -1,0 +1,139 @@
+"""Tests for repro.phy.snr and repro.phy.rates."""
+
+import numpy as np
+import pytest
+
+from repro.phy.modulation import BPSK, QAM16, QAM64, QPSK
+from repro.phy.rates import (
+    MCS_TABLE,
+    ber_awgn,
+    coded_per,
+    expected_throughput_mbps,
+    select_mcs,
+)
+from repro.phy.snr import effective_snr_db, evm, evm_to_snr_db, snr_from_ltf_pair
+
+
+class TestEvm:
+    def test_zero_error(self):
+        ref = np.array([1 + 0j, -1 + 0j])
+        assert evm(ref, ref) == 0.0
+
+    def test_known_value(self):
+        ref = np.array([1 + 0j])
+        rx = np.array([1.1 + 0j])
+        assert evm(rx, ref) == pytest.approx(0.1)
+
+    def test_evm_to_snr(self):
+        assert evm_to_snr_db(0.1) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            evm_to_snr_db(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evm(np.ones(3), np.ones(4))
+
+
+class TestSnrFromLtf:
+    def test_estimates_snr(self, rng):
+        snr_db = 20.0
+        signal = np.ones(2000, dtype=complex)
+        sigma = np.sqrt(10 ** (-snr_db / 10) / 2)
+        first = signal + sigma * (rng.standard_normal(2000) + 1j * rng.standard_normal(2000))
+        second = signal + sigma * (rng.standard_normal(2000) + 1j * rng.standard_normal(2000))
+        estimate = snr_from_ltf_pair(first, second)
+        # Per-bin noise estimates are single-sample exponentials, so the
+        # median of the dB ratio sits ~1.6 dB above truth; allow for that.
+        assert np.median(estimate) == pytest.approx(snr_db, abs=3.0)
+        # The linear-domain inverse mean is much tighter.
+        linear = 10 ** (estimate / 10.0)
+        assert 10 * np.log10(1.0 / np.mean(1.0 / linear)) == pytest.approx(
+            snr_db, abs=1.5
+        )
+
+
+class TestEffectiveSnr:
+    def test_flat_channel_identity(self):
+        snr = np.full(52, 17.0)
+        assert effective_snr_db(snr) == pytest.approx(17.0, abs=1e-6)
+
+    def test_null_drags_down_effective_snr(self):
+        flat = np.full(52, 30.0)
+        with_null = flat.copy()
+        with_null[10] = -5.0
+        assert effective_snr_db(with_null) < 30.0
+        # ... but far less than the arithmetic dB mean would suggest at high SNR.
+        assert effective_snr_db(with_null) > with_null.mean() - 2.0
+
+    def test_monotone_in_snr(self):
+        low = effective_snr_db(np.full(8, 10.0))
+        high = effective_snr_db(np.full(8, 20.0))
+        assert high > low
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            effective_snr_db(np.array([]))
+
+
+class TestBer:
+    def test_bpsk_known_point(self):
+        # BPSK at 9.6 dB -> BER ~1e-5 (textbook value ~ 3e-5 at 9.6,
+        # 1e-5 at 9.6... use 9.59 dB ~ 1.0e-5 within factor 3).
+        ber = float(ber_awgn(BPSK, 9.6))
+        assert 3e-6 < ber < 6e-5
+
+    def test_higher_order_needs_more_snr(self):
+        snr = 12.0
+        assert ber_awgn(QAM64, snr) > ber_awgn(QAM16, snr) > ber_awgn(QPSK, snr)
+
+    def test_monotone_decreasing(self):
+        snrs = np.arange(0.0, 30.0, 2.0)
+        bers = np.asarray(ber_awgn(QAM16, snrs))
+        assert np.all(np.diff(bers) < 0)
+
+    def test_capped_at_half(self):
+        assert float(ber_awgn(QAM64, -30.0)) <= 0.5
+
+
+class TestPerAndSelection:
+    def test_per_limits(self):
+        mcs = MCS_TABLE[7]
+        assert coded_per(mcs, 40.0) == pytest.approx(0.0, abs=1e-6)
+        assert coded_per(mcs, -5.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_per_monotone_in_snr(self):
+        mcs = MCS_TABLE[4]
+        pers = [coded_per(mcs, snr) for snr in np.arange(0.0, 30.0, 1.0)]
+        assert all(a >= b - 1e-12 for a, b in zip(pers, pers[1:]))
+
+    def test_select_mcs_ladder(self):
+        # Higher SNR never selects a slower MCS.
+        rates = [
+            select_mcs(np.full(52, snr)).data_rate_mbps for snr in range(0, 36, 3)
+        ]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+        assert rates[0] == 6.0
+        assert rates[-1] == 54.0
+
+    def test_null_reduces_selected_rate(self):
+        flat = np.full(52, 22.0)
+        rate_flat = select_mcs(flat).data_rate_mbps
+        dipped = flat.copy()
+        dipped[20:26] = -5.0
+        rate_dipped = select_mcs(dipped).data_rate_mbps
+        assert rate_dipped < rate_flat
+
+    def test_invalid_per_target(self):
+        with pytest.raises(ValueError):
+            select_mcs(np.full(8, 20.0), per_target=0.0)
+
+    def test_throughput_bounded_by_rate(self):
+        tput = expected_throughput_mbps(np.full(52, 50.0))
+        assert tput == pytest.approx(54.0, abs=0.5)
+        assert expected_throughput_mbps(np.full(52, -10.0)) < 6.0
+
+    def test_mcs_table_consistency(self):
+        for mcs in MCS_TABLE:
+            # 802.11a data rates: N_DBPS per 4 us symbol.
+            expected = mcs.bits_per_ofdm_symbol() / 4e-6 / 1e6
+            assert expected == pytest.approx(mcs.data_rate_mbps)

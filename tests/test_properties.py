@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import EmpiricalDistribution
+from repro.core.configuration import ArrayConfiguration, ConfigurationSpace
+from repro.core.element import open_stub_state, phase_shifter_states
+from repro.em.geometry import Point, Segment, distance, mirror_point
+from repro.em.paths import SignalPath, paths_to_cfr, paths_to_cir
+from repro.mimo.channel_matrix import condition_number_db
+from repro.phy.coding import get_code
+from repro.phy.interleaver import deinterleave, interleave
+from repro.phy.modulation import MODULATIONS
+from repro.phy.ofdm import DEFAULT_OFDM
+
+finite_coords = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestGeometryProperties:
+    @given(px=finite_coords, py=finite_coords)
+    def test_mirror_preserves_distance_to_line(self, px, py):
+        seg = Segment(Point(0.0, 0.0), Point(1.0, 0.0))
+        p = Point(px, py)
+        mirrored = mirror_point(p, seg)
+        # Distance to the x-axis is preserved, sign flipped.
+        assert mirrored.y == pytest.approx(-p.y, abs=1e-9)
+        assert mirrored.x == pytest.approx(p.x, abs=1e-9)
+
+    @given(
+        ax=finite_coords, ay=finite_coords, bx=finite_coords, by=finite_coords
+    )
+    def test_distance_symmetric_nonnegative(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert distance(a, b) == pytest.approx(distance(b, a))
+        assert distance(a, b) >= 0.0
+
+    @given(
+        ax=finite_coords,
+        ay=finite_coords,
+        bx=finite_coords,
+        by=finite_coords,
+        cx=finite_coords,
+        cy=finite_coords,
+    )
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-9
+
+
+class TestPathProperties:
+    @given(
+        gains=st.lists(
+            st.tuples(
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=500e-9, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_cfr_magnitude_bounded_by_gain_sum(self, gains):
+        paths = [
+            SignalPath(gain=complex(re, im), delay_s=delay)
+            for re, im, delay in gains
+        ]
+        freqs = np.linspace(-10e6, 10e6, 16)
+        cfr = paths_to_cfr(paths, freqs)
+        bound = sum(abs(p.gain) for p in paths)
+        assert np.all(np.abs(cfr) <= bound + 1e-9)
+
+    @given(
+        re=st.floats(min_value=-1, max_value=1, allow_nan=False),
+        im=st.floats(min_value=-1, max_value=1, allow_nan=False),
+        delay=st.floats(min_value=0.0, max_value=1e-6, allow_nan=False),
+    )
+    def test_cir_energy_equals_path_energy(self, re, im, delay):
+        path = SignalPath(gain=complex(re, im), delay_s=delay)
+        cir = paths_to_cir([path], 20e6, 64)
+        assert np.sum(np.abs(cir) ** 2) == pytest.approx(path.power, rel=1e-9)
+
+
+class TestElementProperties:
+    @given(extra=st.floats(min_value=0.0, max_value=4.0, allow_nan=False))
+    def test_open_stub_passive(self, extra):
+        state = open_stub_state(extra)
+        assert abs(state.reflection_coefficient()) <= 1.0
+
+    @given(num=st.integers(min_value=1, max_value=16))
+    def test_phase_shifter_unit_circle(self, num):
+        for state in phase_shifter_states(num, include_off=False):
+            assert abs(state.reflection_coefficient()) == pytest.approx(1.0)
+
+    @given(
+        extra=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        freq=st.floats(min_value=2.4e9, max_value=2.5e9, allow_nan=False),
+    )
+    def test_stub_phase_matches_delay(self, extra, freq):
+        state = open_stub_state(extra)
+        gamma = state.reflection_coefficient(freq)
+        expected_phase = (-2 * math.pi * freq * state.extra_path_m / 299_792_458.0) % (
+            2 * math.pi
+        )
+        actual = math.atan2(gamma.imag, gamma.real) % (2 * math.pi)
+        assert actual == pytest.approx(expected_phase, abs=1e-6)
+
+
+class TestConfigurationSpaceProperties:
+    @given(
+        counts=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=5),
+        data=st.data(),
+    )
+    def test_rank_roundtrip(self, counts, data):
+        space = ConfigurationSpace(tuple(counts))
+        rank = data.draw(st.integers(min_value=0, max_value=space.size - 1))
+        assert space.index_of(space.configuration_at(rank)) == rank
+
+    @given(
+        counts=st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=4)
+    )
+    def test_neighbor_count(self, counts):
+        space = ConfigurationSpace(tuple(counts))
+        config = ArrayConfiguration(tuple([0] * len(counts)))
+        neighbors = list(space.neighbors(config))
+        assert len(neighbors) == sum(c - 1 for c in counts)
+
+
+class TestPhyProperties:
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=8, max_size=64),
+        mod_name=st.sampled_from(sorted(MODULATIONS)),
+    )
+    @settings(max_examples=30)
+    def test_modulation_roundtrip(self, bits, mod_name):
+        mod = MODULATIONS[mod_name]
+        usable = (len(bits) // mod.bits_per_symbol) * mod.bits_per_symbol
+        if usable == 0:
+            return
+        payload = np.array(bits[:usable])
+        assert np.array_equal(mod.demodulate(mod.modulate(payload)), payload)
+
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=10, max_size=120),
+        rate=st.sampled_from(["1/2", "2/3", "3/4"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_coding_roundtrip(self, bits, rate):
+        code = get_code(rate)
+        payload = np.array(bits)
+        decoded = code.decode_hard(code.encode(payload), payload.size)
+        assert np.array_equal(decoded, payload)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        bits_per_sc=st.sampled_from([1, 2, 4, 6]),
+    )
+    @settings(max_examples=20)
+    def test_interleaver_roundtrip(self, seed, bits_per_sc):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 48 * bits_per_sc)
+        assert np.array_equal(
+            deinterleave(interleave(bits, bits_per_sc), bits_per_sc), bits
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20)
+    def test_ofdm_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        spectrum = np.zeros(64, dtype=complex)
+        bins = DEFAULT_OFDM.used_bins()
+        spectrum[bins] = rng.standard_normal(52) + 1j * rng.standard_normal(52)
+        recovered = DEFAULT_OFDM.to_frequency_domain(
+            DEFAULT_OFDM.to_time_domain(spectrum)
+        )
+        assert np.allclose(recovered, spectrum, atol=1e-9)
+
+
+class TestMimoProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30)
+    def test_condition_number_nonnegative_and_scale_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        cond = condition_number_db(h)
+        assert cond >= -1e-9
+        assert condition_number_db(3.7 * h) == pytest.approx(cond, abs=1e-6)
+
+
+class TestStatsProperties:
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_cdf_monotone_and_bounded(self, samples):
+        dist = EmpiricalDistribution.from_samples(np.array(samples))
+        points = np.linspace(min(samples) - 1, max(samples) + 1, 13)
+        values = [dist.cdf_at(float(p)) for p in points]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == 1.0

@@ -1,0 +1,168 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.messages import Ack, Beacon, ConfigureCommand, CsiReport, decode_message
+from repro.core.configuration import ArrayConfiguration, ConfigurationSpace
+from repro.core.learning import EpsilonGreedyBandit
+from repro.em.geometry import Point
+from repro.em.mobility import MovingScatterer
+from repro.em.scene import Scatterer
+from repro.experiments.workloads import generate_traffic
+from repro.net.alignment import alignment_cosine, post_nulling_inr_db
+
+
+class TestMessageProperties:
+    @given(
+        sequence=st.integers(min_value=0, max_value=2**16 - 1),
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=255),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=32,
+            unique_by=lambda p: p[0],
+        ),
+    )
+    def test_configure_roundtrip(self, sequence, pairs):
+        ids = tuple(p[0] for p in pairs)
+        states = tuple(p[1] for p in pairs)
+        command = ConfigureCommand(sequence=sequence, element_ids=ids, states=states)
+        assert decode_message(command.encode()) == command
+
+    @given(
+        link=st.integers(min_value=0, max_value=255),
+        snrs=st.lists(
+            st.floats(min_value=-80.0, max_value=80.0, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        ),
+    )
+    def test_csi_report_quantisation_bound(self, link, snrs):
+        report = CsiReport.from_snr_db(link, snrs)
+        decoded = decode_message(report.encode())
+        for original, recovered in zip(snrs, decoded.snr_db()):
+            clamped = min(max(original, -64.0), 63.5)
+            assert abs(recovered - clamped) <= 0.25 + 1e-9
+
+    @given(
+        sequence=st.integers(min_value=0, max_value=2**16 - 1),
+        element=st.integers(min_value=0, max_value=255),
+    )
+    def test_ack_beacon_roundtrip(self, sequence, element):
+        assert decode_message(Ack(sequence, element).encode()) == Ack(sequence, element)
+        beacon = Beacon(element_id=element, battery_centivolts=sequence)
+        assert decode_message(beacon.encode()) == beacon
+
+
+class TestMobilityProperties:
+    @given(
+        x=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        y=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+        vx=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        vy=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        t=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    )
+    def test_position_stays_in_bounds(self, x, y, vx, vy, t):
+        mover = MovingScatterer(
+            scatterer=Scatterer(Point(x, y)),
+            velocity_mps=Point(vx, vy),
+            bounds=(10.0, 8.0),
+        )
+        position = mover.position_at(t)
+        assert -1e-9 <= position.x <= 10.0 + 1e-9
+        assert -1e-9 <= position.y <= 8.0 + 1e-9
+
+    @given(
+        x=st.floats(min_value=0.5, max_value=9.5, allow_nan=False),
+        vx=st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+    )
+    def test_motion_continuous(self, x, vx):
+        mover = MovingScatterer(
+            scatterer=Scatterer(Point(x, 4.0)),
+            velocity_mps=Point(vx, 0.0),
+            bounds=(10.0, 8.0),
+        )
+        dt = 1e-3
+        for t in (0.5, 5.0, 50.0):
+            a = mover.position_at(t)
+            b = mover.position_at(t + dt)
+            assert abs(b.x - a.x) <= vx * dt + 1e-9
+
+
+class TestTrafficProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_links=st.integers(min_value=1, max_value=5),
+        duration=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_epochs_partition_time(self, seed, num_links, duration):
+        rng = np.random.default_rng(seed)
+        names = [f"l{i}" for i in range(num_links)]
+        epochs = generate_traffic(names, duration, rng)
+        assert epochs[0].start_s == 0.0
+        total = sum(e.duration_s for e in epochs)
+        assert total == pytest.approx(duration, rel=1e-9)
+        for first, second in zip(epochs, epochs[1:]):
+            assert second.start_s == pytest.approx(
+                first.start_s + first.duration_s
+            )
+        for epoch in epochs:
+            assert set(epoch.active_links) <= set(names)
+
+
+class TestAlignmentProperties:
+    @given(
+        re1=st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False), min_size=2, max_size=4),
+        data=st.data(),
+    )
+    def test_cosine_bounded(self, re1, data):
+        n = len(re1)
+        im1 = data.draw(
+            st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False), min_size=n, max_size=n)
+        )
+        re2 = data.draw(
+            st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False), min_size=n, max_size=n)
+        )
+        im2 = data.draw(
+            st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False), min_size=n, max_size=n)
+        )
+        h1 = np.array(re1) + 1j * np.array(im1)
+        h2 = np.array(re2) + 1j * np.array(im2)
+        if np.linalg.norm(h1) < 1e-9 or np.linalg.norm(h2) < 1e-9:
+            return
+        cosine = alignment_cosine(h1, h2)
+        assert -1e-9 <= cosine <= 1.0 + 1e-9
+
+    @given(
+        scale=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        phase=st.floats(min_value=0.0, max_value=6.28, allow_nan=False),
+    )
+    def test_collinear_leaks_nothing(self, scale, phase):
+        h1 = np.array([1.0 + 0.5j, -0.3 + 0.2j])
+        h2 = scale * np.exp(1j * phase) * h1
+        inr = post_nulling_inr_db(h1, h2, 1e-3, 1e-12)
+        assert inr < -100.0
+
+
+class TestBanditProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_value_estimates_bounded_by_rewards(self, seed):
+        space = ConfigurationSpace((3, 3))
+        bandit = EpsilonGreedyBandit(space, epsilon=0.5, forgetting=0.5, seed=seed)
+        lo, hi = -5.0, 7.0
+        rng = np.random.default_rng(seed)
+
+        def reward(_config):
+            return float(rng.uniform(lo, hi))
+
+        for _ in range(60):
+            bandit.step(reward)
+        for state in bandit._states.values():
+            assert lo - 1e-9 <= state.value <= hi + 1e-9

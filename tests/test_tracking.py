@@ -1,0 +1,60 @@
+"""Tests for repro.experiments.tracking."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tracking import TrackingResult, run_tracking
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    return run_tracking(duration_s=6.0, step_s=1.0, reoptimize_interval_s=2.0)
+
+
+class TestTracking:
+    def test_all_policies_present(self, short_run):
+        assert set(short_run.min_snr_db) == {
+            "static",
+            "periodic",
+            "model-based",
+            "bandit",
+        }
+
+    def test_series_lengths(self, short_run):
+        n = short_run.times_s.size
+        for series in short_run.min_snr_db.values():
+            assert series.size == n
+
+    def test_measurement_accounting(self, short_run):
+        # Static: one search; periodic: search at t=0 plus per-interval
+        # re-searches; bandit: one sounding per step.
+        assert short_run.measurements["static"] < short_run.measurements["periodic"]
+        assert short_run.measurements["bandit"] == short_run.times_s.size
+
+    def test_model_based_cheaper_than_periodic(self, short_run):
+        assert (
+            short_run.measurements["model-based"]
+            < short_run.measurements["periodic"]
+        )
+
+    def test_channel_actually_varies(self):
+        result = run_tracking(duration_s=20.0, step_s=0.5, walker_speed_mph=2.0)
+        assert np.std(result.min_snr_db["static"]) > 0.5
+
+    def test_model_based_quality(self):
+        result = run_tracking(
+            duration_s=12.0, step_s=0.5, reoptimize_interval_s=2.0
+        )
+        # Model-based tracking should at least match the static policy.
+        assert (
+            result.mean_min_snr_db("model-based")
+            >= result.mean_min_snr_db("static") - 0.5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_tracking(duration_s=0.0)
+        with pytest.raises(ValueError):
+            run_tracking(step_s=-1.0)
+        with pytest.raises(ValueError):
+            run_tracking(reoptimize_interval_s=0.0)

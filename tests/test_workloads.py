@@ -1,0 +1,106 @@
+"""Tests for repro.experiments.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationSpace, LinkObjective, MinSnrObjective
+from repro.core.configuration import ArrayConfiguration
+from repro.experiments.workloads import (
+    TrafficEpoch,
+    evaluate_dynamic_strategies,
+    generate_traffic,
+)
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace((4, 4))
+
+
+def _links(space, count=3, seed=0):
+    rng = np.random.default_rng(seed)
+    links = []
+    for index in range(count):
+        table = rng.standard_normal((space.size, 4)) + 20.0
+
+        def measure(config, table=table):
+            return table[space.index_of(config)]
+
+        links.append(
+            LinkObjective(name=f"l{index}", measure=measure, objective=MinSnrObjective())
+        )
+    return links
+
+
+class TestTrafficGeneration:
+    def test_epochs_cover_duration(self, rng):
+        epochs = generate_traffic(["a", "b"], 60.0, rng)
+        total = sum(epoch.duration_s for epoch in epochs)
+        assert total == pytest.approx(60.0)
+        assert epochs[0].start_s == 0.0
+        for first, second in zip(epochs, epochs[1:]):
+            assert second.start_s == pytest.approx(first.start_s + first.duration_s)
+
+    def test_active_sets_change(self, rng):
+        epochs = generate_traffic(["a", "b", "c"], 200.0, rng)
+        assert len({epoch.active_links for epoch in epochs}) > 1
+
+    def test_duty_cycle_reflects_means(self, rng):
+        epochs = generate_traffic(
+            ["a"], 2000.0, rng, mean_on_s=9.0, mean_off_s=1.0
+        )
+        on_time = sum(e.duration_s for e in epochs if "a" in e.active_links)
+        assert on_time / 2000.0 == pytest.approx(0.9, abs=0.08)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_traffic([], 10.0, rng)
+        with pytest.raises(ValueError):
+            generate_traffic(["a"], 0.0, rng)
+        with pytest.raises(ValueError):
+            generate_traffic(["a"], 10.0, rng, mean_on_s=0.0)
+        with pytest.raises(ValueError):
+            TrafficEpoch(start_s=0.0, duration_s=0.0, active_links=("a",))
+
+
+class TestDynamicStrategies:
+    def test_cached_matches_reactive_quality(self, space, rng):
+        links = _links(space)
+        epochs = generate_traffic([l.name for l in links], 150.0, rng)
+        results = evaluate_dynamic_strategies(links, space, epochs)
+        assert results["cached"].time_weighted_score == pytest.approx(
+            results["reactive-joint"].time_weighted_score
+        )
+
+    def test_cached_spends_less(self, space, rng):
+        links = _links(space)
+        epochs = generate_traffic([l.name for l in links], 300.0, rng)
+        results = evaluate_dynamic_strategies(links, space, epochs)
+        # With recurring active sets, the cache amortises searches.
+        assert results["cached"].num_searches < results["reactive-joint"].num_searches
+        assert (
+            results["cached"].num_measurements
+            < results["reactive-joint"].num_measurements
+        )
+
+    def test_adaptive_at_least_static(self, space, rng):
+        links = _links(space)
+        epochs = generate_traffic([l.name for l in links], 200.0, rng)
+        results = evaluate_dynamic_strategies(links, space, epochs)
+        assert (
+            results["reactive-joint"].time_weighted_score
+            >= results["static-joint"].time_weighted_score - 1e-9
+        )
+
+    def test_static_uses_one_search(self, space, rng):
+        links = _links(space)
+        epochs = generate_traffic([l.name for l in links], 50.0, rng)
+        results = evaluate_dynamic_strategies(links, space, epochs)
+        assert results["static-joint"].num_searches == 1
+
+    def test_validation(self, space, rng):
+        links = _links(space)
+        with pytest.raises(ValueError):
+            evaluate_dynamic_strategies([], space, [])
+        with pytest.raises(ValueError):
+            evaluate_dynamic_strategies(links, space, [])
