@@ -10,6 +10,8 @@ Commands
     Regenerate every figure's headline numbers (compact report).
 ``timing``
     Control-plane latency budgets against the §2 coherence times.
+``profile-sweep``
+    cProfile one Figure-4 configuration sweep (basis or legacy mode).
 """
 
 from __future__ import annotations
@@ -146,6 +148,42 @@ def _cmd_timing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_sweep(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from .experiments import StudyConfig, build_nlos_setup
+
+    setup = build_nlos_setup(args.placement, StudyConfig())
+    testbed = setup.testbed
+    # Warm the caches outside the profile so the report shows steady-state
+    # sweep cost, not one-off tracing (pass --cold to include it).
+    if not args.cold:
+        testbed.environment_paths(setup.tx_device, setup.rx_device)
+        if args.mode == "basis":
+            testbed.basis_for(setup.tx_device, setup.rx_device)
+    rng = np.random.default_rng(args.seed) if args.seed is not None else None
+    profiler = cProfile.Profile()
+    profiler.enable()
+    testbed.sweep(
+        setup.tx_device,
+        setup.rx_device,
+        repetitions=args.repetitions,
+        rng=rng,
+        mode=args.mode,
+    )
+    profiler.disable()
+    space = testbed.array.configuration_space()
+    print(
+        f"one Fig. 4 sweep: {testbed.array.num_elements} elements, "
+        f"{space.size} configurations, {args.repetitions} repetitions, "
+        f"mode={args.mode}"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(20)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,6 +209,25 @@ def build_parser() -> argparse.ArgumentParser:
     timing = sub.add_parser("timing", help="control-plane latency budgets")
     timing.add_argument("--elements", type=int, default=16)
     timing.set_defaults(func=_cmd_timing)
+
+    profile = sub.add_parser(
+        "profile-sweep", help="cProfile one Fig. 4 configuration sweep"
+    )
+    profile.add_argument("--placement", type=int, default=2)
+    profile.add_argument("--repetitions", type=int, default=10)
+    profile.add_argument("--mode", choices=("basis", "legacy"), default="basis")
+    profile.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed measurement noise/drift (default: exact channel)",
+    )
+    profile.add_argument(
+        "--cold",
+        action="store_true",
+        help="include first-trace cache warm-up in the profile",
+    )
+    profile.set_defaults(func=_cmd_profile_sweep)
     return parser
 
 

@@ -8,6 +8,7 @@ scheduler, and the centralised controller loop.
 """
 
 from .array import PressArray
+from .basis import BasisEvaluator, ChannelBasis, exhaustive_argmax
 from .configuration import ArrayConfiguration, ConfigurationSpace
 from .controller import ControlDecision, PressController
 from .element import (
@@ -92,6 +93,9 @@ from .search import (
 
 __all__ = [
     "PressArray",
+    "ChannelBasis",
+    "BasisEvaluator",
+    "exhaustive_argmax",
     "ArrayConfiguration",
     "ConfigurationSpace",
     "PressController",

@@ -46,6 +46,14 @@ class PressArray:
         names = [element.name for element in self.elements]
         if len(set(names)) != len(names):
             raise ValueError(f"element names must be unique, got {names}")
+        # The configuration space is derived from the (immutable) elements;
+        # build it once here instead of rebuilding and re-validating on
+        # every element_paths/describe call.
+        object.__setattr__(
+            self,
+            "_space",
+            ConfigurationSpace(tuple(element.num_states for element in self.elements)),
+        )
 
     @staticmethod
     def from_elements(elements: Iterable[PressElement]) -> "PressArray":
@@ -56,10 +64,8 @@ class PressArray:
         return len(self.elements)
 
     def configuration_space(self) -> ConfigurationSpace:
-        """The M_1 x ... x M_N space of this array's switch settings."""
-        return ConfigurationSpace(
-            tuple(element.num_states for element in self.elements)
-        )
+        """The M_1 x ... x M_N space of this array's switch settings (cached)."""
+        return self._space  # type: ignore[attr-defined]
 
     def describe(self, configuration: ArrayConfiguration) -> str:
         """Label a configuration the way the paper's figures do: "(0.5:, 0, T)"."""

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
 from .configuration import ArrayConfiguration, ConfigurationSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .basis import ChannelBasis
 
 __all__ = [
     "SearchResult",
@@ -96,6 +99,30 @@ class Searcher:
             num_evaluations=counting.num_evaluations,
             trajectory=counting.trajectory,
         )
+
+    def search_basis(
+        self,
+        basis: "ChannelBasis",
+        objective: Callable[[np.ndarray], float],
+        tx_power_dbm: float = 15.0,
+        noise_figure_db: float = 7.0,
+        mask: Optional[np.ndarray] = None,
+    ) -> SearchResult:
+        """Run the search against a precomputed channel basis.
+
+        Every objective evaluation becomes an O(K) numpy gather + sum over
+        the basis state tensor (zero re-tracing), so all searchers —
+        exhaustive, greedy, annealing, genetic, ... — run at numpy speed.
+        Works with any objective over per-subcarrier SNR (dB), exactly as
+        the measurement-backed score functions do.
+        """
+        evaluator = basis.evaluator(
+            objective,
+            tx_power_dbm=tx_power_dbm,
+            noise_figure_db=noise_figure_db,
+            mask=mask,
+        )
+        return self.search(basis.space, evaluator)
 
     def run(
         self, space: ConfigurationSpace, score: ScoreFunction

@@ -18,6 +18,8 @@ from .channel import (
     Channel,
     ChannelObservation,
     coherence_time_s,
+    observe_cfr,
+    snr_db_from_cfr,
     subcarrier_frequencies,
 )
 from .fading import TapDelayProfile, jakes_doppler_paths, rayleigh_paths, rician_paths
@@ -37,7 +39,14 @@ from .geometry import (
 from .materials import MATERIALS, Material, get_material, register_material
 from .mobility import MovingScatterer, TimeVaryingScene, walking_person
 from .noise import add_noise, awgn, noise_power_per_subcarrier_w
-from .paths import SignalPath, paths_to_cfr, paths_to_cir, total_path_power
+from .paths import (
+    SignalPath,
+    path_arrays,
+    paths_to_cfr,
+    paths_to_cfr_batch,
+    paths_to_cir,
+    total_path_power,
+)
 from .raytracer import (
     RayTracer,
     carrier_phase,
@@ -55,6 +64,8 @@ __all__ = [
     "Channel",
     "ChannelObservation",
     "coherence_time_s",
+    "observe_cfr",
+    "snr_db_from_cfr",
     "subcarrier_frequencies",
     "TapDelayProfile",
     "rayleigh_paths",
@@ -79,7 +90,9 @@ __all__ = [
     "add_noise",
     "noise_power_per_subcarrier_w",
     "SignalPath",
+    "path_arrays",
     "paths_to_cfr",
+    "paths_to_cfr_batch",
     "paths_to_cir",
     "total_path_power",
     "RayTracer",

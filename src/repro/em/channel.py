@@ -31,6 +31,8 @@ __all__ = [
     "subcarrier_frequencies",
     "Channel",
     "ChannelObservation",
+    "observe_cfr",
+    "snr_db_from_cfr",
     "coherence_time_s",
 ]
 
@@ -132,27 +134,72 @@ class Channel:
             Additional SNR degradation applied to the estimation error only
             (e.g. quantisation or short training sequences).
         """
-        cfr = self.cfr(time_s)
-        subcarrier_power_w = dbm_to_watts(tx_power_dbm) / self.num_subcarriers
-        subcarrier_bw = self.bandwidth_hz / self.num_subcarriers
-        noise_w = thermal_noise_power_w(subcarrier_bw, noise_figure_db)
-        snr_linear = subcarrier_power_w * np.abs(cfr) ** 2 / noise_w
-        estimated = cfr.copy()
-        if rng is not None:
-            error_var = noise_w / subcarrier_power_w * 10.0 ** (
-                estimation_snr_penalty_db / 10.0
-            )
-            noise = np.sqrt(error_var / 2.0) * (
-                rng.standard_normal(cfr.shape) + 1j * rng.standard_normal(cfr.shape)
-            )
-            estimated = cfr + noise
-            snr_linear = subcarrier_power_w * np.abs(estimated) ** 2 / noise_w
-        return ChannelObservation(
-            cfr=estimated,
-            snr_db=np.asarray(linear_to_db(snr_linear)),
+        return observe_cfr(
+            self.cfr(time_s),
+            num_subcarriers=self.num_subcarriers,
+            bandwidth_hz=self.bandwidth_hz,
             tx_power_dbm=tx_power_dbm,
             noise_figure_db=noise_figure_db,
+            rng=rng,
+            estimation_snr_penalty_db=estimation_snr_penalty_db,
         )
+
+
+def observe_cfr(
+    cfr: np.ndarray,
+    num_subcarriers: int,
+    bandwidth_hz: float,
+    tx_power_dbm: float = 15.0,
+    noise_figure_db: float = 7.0,
+    rng: Optional[np.random.Generator] = None,
+    estimation_snr_penalty_db: float = 0.0,
+) -> "ChannelObservation":
+    """Measure a precomputed CFR as an OFDM receiver would (CSI + SNR).
+
+    The measurement model behind :meth:`Channel.observe`, factored out so
+    fast paths that synthesise the CFR without building path objects (the
+    channel-basis sweep engine) share the identical noise and SNR math —
+    and, crucially, the identical RNG draw pattern.
+    """
+    subcarrier_power_w = dbm_to_watts(tx_power_dbm) / num_subcarriers
+    subcarrier_bw = bandwidth_hz / num_subcarriers
+    noise_w = thermal_noise_power_w(subcarrier_bw, noise_figure_db)
+    snr_linear = subcarrier_power_w * np.abs(cfr) ** 2 / noise_w
+    estimated = cfr.copy()
+    if rng is not None:
+        error_var = noise_w / subcarrier_power_w * 10.0 ** (
+            estimation_snr_penalty_db / 10.0
+        )
+        noise = np.sqrt(error_var / 2.0) * (
+            rng.standard_normal(cfr.shape) + 1j * rng.standard_normal(cfr.shape)
+        )
+        estimated = cfr + noise
+        snr_linear = subcarrier_power_w * np.abs(estimated) ** 2 / noise_w
+    return ChannelObservation(
+        cfr=estimated,
+        snr_db=np.asarray(linear_to_db(snr_linear)),
+        tx_power_dbm=tx_power_dbm,
+        noise_figure_db=noise_figure_db,
+    )
+
+
+def snr_db_from_cfr(
+    cfr: np.ndarray,
+    num_subcarriers: int,
+    bandwidth_hz: float,
+    tx_power_dbm: float = 15.0,
+    noise_figure_db: float = 7.0,
+) -> np.ndarray:
+    """Noiseless per-subcarrier SNR in dB for a (batch of) CFR(s).
+
+    Vectorized over any leading batch dimensions — the whole-sweep form of
+    the exact (``rng=None``) branch of :func:`observe_cfr`.
+    """
+    subcarrier_power_w = dbm_to_watts(tx_power_dbm) / num_subcarriers
+    subcarrier_bw = bandwidth_hz / num_subcarriers
+    noise_w = thermal_noise_power_w(subcarrier_bw, noise_figure_db)
+    snr_linear = subcarrier_power_w * np.abs(np.asarray(cfr)) ** 2 / noise_w
+    return np.asarray(linear_to_db(snr_linear))
 
 
 @dataclass(frozen=True)

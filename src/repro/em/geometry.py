@@ -17,11 +17,16 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 __all__ = [
     "Point",
     "Segment",
     "Wall",
     "Obstacle",
+    "SegmentArrays",
+    "pack_segments",
+    "leg_blocked_packed",
     "distance",
     "mirror_point",
     "segments_intersect",
@@ -217,6 +222,130 @@ def segment_intersection(a: Segment, b: Segment) -> Optional[Point]:
 def segments_intersect(a: Segment, b: Segment) -> bool:
     """Whether two segments intersect (endpoints touching count)."""
     return segment_intersection(a, b) is not None
+
+
+@dataclass(frozen=True)
+class SegmentArrays:
+    """A batch of segments packed into flat coordinate arrays.
+
+    The packed form lets one broadcast intersection test replace a Python
+    loop over segments — the hot inner operation of every ray-tracing
+    blockage check.  Arrays are parallel: segment ``i`` runs from
+    ``(start_x[i], start_y[i])`` to ``(end_x[i], end_y[i])`` with direction
+    ``(dir_x[i], dir_y[i]) = end - start``.
+    """
+
+    start_x: np.ndarray
+    start_y: np.ndarray
+    end_x: np.ndarray
+    end_y: np.ndarray
+    dir_x: np.ndarray
+    dir_y: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.start_x.shape[0])
+
+    def match_mask(self, segment: Segment) -> np.ndarray:
+        """Boolean mask of packed segments with ``segment``'s endpoints.
+
+        Endpoints compare exactly (in either order), mirroring the scalar
+        ``_same_segment`` identity test used to skip a path's own
+        reflecting walls.
+        """
+        ax, ay = segment.start.x, segment.start.y
+        bx, by = segment.end.x, segment.end.y
+        forward = (
+            (self.start_x == ax)
+            & (self.start_y == ay)
+            & (self.end_x == bx)
+            & (self.end_y == by)
+        )
+        backward = (
+            (self.start_x == bx)
+            & (self.start_y == by)
+            & (self.end_x == ax)
+            & (self.end_y == ay)
+        )
+        return forward | backward
+
+
+def pack_segments(segments: Sequence[Segment]) -> SegmentArrays:
+    """Pack a segment list into :class:`SegmentArrays` (done once per scene)."""
+    start_x = np.array([s.start.x for s in segments], dtype=float)
+    start_y = np.array([s.start.y for s in segments], dtype=float)
+    end_x = np.array([s.end.x for s in segments], dtype=float)
+    end_y = np.array([s.end.y for s in segments], dtype=float)
+    return SegmentArrays(
+        start_x=start_x,
+        start_y=start_y,
+        end_x=end_x,
+        end_y=end_y,
+        dir_x=end_x - start_x,
+        dir_y=end_y - start_y,
+    )
+
+
+def leg_blocked_packed(
+    start: Point,
+    end: Point,
+    packed: SegmentArrays,
+    exclude_mask: Optional[np.ndarray] = None,
+    endpoint_tol: float = 1e-6,
+) -> bool:
+    """Whether the leg ``start``→``end`` crosses any packed segment.
+
+    One broadcast intersection test over all segments, reproducing the
+    scalar :func:`segment_intersection` semantics exactly: endpoints
+    touching count as intersections, collinear overlaps resolve to the
+    start of the overlap, and hits within ``endpoint_tol`` of either leg
+    endpoint are ignored (a reflection point lies on its wall by
+    construction).
+    """
+    if len(packed) == 0:
+        return False
+    px, py = start.x, start.y
+    rx, ry = end.x - px, end.y - py
+    r_len2 = rx * rx + ry * ry
+    if r_len2 < _EPS * _EPS:
+        # Degenerate (point) leg: any hit coincides with the leg endpoints
+        # and is therefore ignored.
+        return False
+    qpx = packed.start_x - px
+    qpy = packed.start_y - py
+    sx, sy = packed.dir_x, packed.dir_y
+    rxs = rx * sy - ry * sx  # cross(r, s) per segment
+    qp_x_r = qpx * ry - qpy * rx  # cross(q - p, r)
+    parallel = np.abs(rxs) < _EPS
+    rxs_safe = np.where(parallel, 1.0, rxs)
+    # Non-parallel branch: solve p + t r = q + u s.
+    t_np = (qpx * sy - qpy * sx) / rxs_safe  # cross(q - p, s) / cross(r, s)
+    u_np = qp_x_r / rxs_safe
+    hit_np = (
+        ~parallel
+        & (t_np >= -_EPS)
+        & (t_np <= 1.0 + _EPS)
+        & (u_np >= -_EPS)
+        & (u_np <= 1.0 + _EPS)
+    )
+    # Parallel branch: collinear overlap resolves to the overlap start.
+    collinear = parallel & (np.abs(qp_x_r) <= _EPS)
+    t0 = (qpx * rx + qpy * ry) / r_len2
+    t1 = t0 + (sx * rx + sy * ry) / r_len2
+    lo = np.minimum(t0, t1)
+    hi = np.maximum(t0, t1)
+    hit_par = collinear & (hi >= -_EPS) & (lo <= 1.0 + _EPS)
+    t_par = np.maximum(0.0, lo)
+    hit = hit_np | hit_par
+    if exclude_mask is not None:
+        hit &= ~exclude_mask
+    if not hit.any():
+        return False
+    t = np.clip(np.where(parallel, t_par, t_np), 0.0, 1.0)
+    hit_x = px + t * rx
+    hit_y = py + t * ry
+    near_start = (hit_x - px) ** 2 + (hit_y - py) ** 2 <= endpoint_tol**2
+    near_end = (hit_x - end.x) ** 2 + (hit_y - end.y) ** 2 <= endpoint_tol**2
+    return bool((hit & ~near_start & ~near_end).any())
 
 
 def path_is_blocked(

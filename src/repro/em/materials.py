@@ -13,6 +13,7 @@ scenes, which these are.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 __all__ = ["Material", "get_material", "register_material", "MATERIALS"]
 
@@ -58,11 +59,16 @@ MATERIALS: dict[str, Material] = {}
 def register_material(material: Material) -> Material:
     """Add (or replace) a material in the global registry."""
     MATERIALS[material.name] = material
+    get_material.cache_clear()
     return material
 
 
+@lru_cache(maxsize=None)
 def get_material(name: str) -> Material:
-    """Look up a material by name.
+    """Look up a material by name (memoised; the registry rarely changes).
+
+    :func:`register_material` invalidates the cache, so replacing a
+    material takes effect immediately.  Failed lookups are not cached.
 
     Raises
     ------

@@ -17,11 +17,18 @@ against this same model in :mod:`repro.core.inverse`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["SignalPath", "paths_to_cfr", "paths_to_cir", "total_path_power"]
+__all__ = [
+    "SignalPath",
+    "path_arrays",
+    "paths_to_cfr",
+    "paths_to_cfr_batch",
+    "paths_to_cir",
+    "total_path_power",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +88,71 @@ class SignalPath:
         return replace(self, delay_s=self.delay_s + extra_delay_s)
 
 
+def path_arrays(
+    paths: Sequence[SignalPath] | Iterable[SignalPath],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack paths into (gains, delays_s, dopplers_hz) numpy arrays.
+
+    The array form is what the vectorized CFR kernels operate on; packing
+    once and reusing the arrays avoids touching ``SignalPath`` attributes
+    in hot loops.
+    """
+    path_list = list(paths)
+    gains = np.array([p.gain for p in path_list], dtype=complex)
+    delays = np.array([p.delay_s for p in path_list], dtype=float)
+    dopplers = np.array([p.doppler_hz for p in path_list], dtype=float)
+    return gains, delays, dopplers
+
+
+def paths_to_cfr_batch(
+    gains: np.ndarray,
+    delays_s: np.ndarray,
+    frequencies_hz: np.ndarray,
+    dopplers_hz: Optional[np.ndarray] = None,
+    time_s: float = 0.0,
+) -> np.ndarray:
+    """Batched channel frequency response from packed path arrays.
+
+    Evaluates ``H[..., k] = sum_l gains[..., l] e^{-j 2 pi f_k tau_l}`` as
+    one outer-product ``np.exp`` plus a matmul — no per-path Python loop.
+    The leading dimensions of ``gains`` broadcast, so a whole batch of
+    gain realisations (e.g. per-measurement coherence drift) evaluates in
+    one call against a shared delay vector.
+
+    Parameters
+    ----------
+    gains:
+        Complex path gains, shape ``(..., L)``.
+    delays_s:
+        Path delays, shape ``(L,)``.
+    frequencies_hz:
+        Baseband frequency grid, shape ``(K,)``.
+    dopplers_hz:
+        Optional per-path Doppler shifts, shape ``(L,)``.
+    time_s:
+        Observation time; only matters with non-zero Doppler.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex H of shape ``(..., K)``.
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    gains = np.asarray(gains, dtype=complex)
+    delays = np.asarray(delays_s, dtype=float)
+    if gains.shape[-1:] != delays.shape:
+        raise ValueError(
+            f"gains last axis {gains.shape[-1:]} must match delays {delays.shape}"
+        )
+    if delays.size == 0:
+        return np.zeros(gains.shape[:-1] + freqs.shape, dtype=complex)
+    phasors = np.exp(-2.0j * np.pi * np.outer(delays, freqs))  # (L, K)
+    if dopplers_hz is not None and time_s != 0.0:
+        dopplers = np.asarray(dopplers_hz, dtype=float)
+        gains = gains * np.exp(2.0j * np.pi * dopplers * time_s)
+    return gains @ phasors
+
+
 def paths_to_cfr(
     paths: Sequence[SignalPath] | Iterable[SignalPath],
     frequencies_hz: np.ndarray,
@@ -104,12 +176,13 @@ def paths_to_cfr(
         Complex H of the same shape as ``frequencies_hz``.
     """
     freqs = np.asarray(frequencies_hz, dtype=float)
-    response = np.zeros(freqs.shape, dtype=complex)
-    for path in paths:
-        phase = -2.0j * np.pi * freqs * path.delay_s
-        doppler = 2.0j * np.pi * path.doppler_hz * time_s
-        response += path.gain * np.exp(phase + doppler)
-    return response
+    gains, delays, dopplers = path_arrays(paths)
+    if gains.size == 0:
+        return np.zeros(freqs.shape, dtype=complex)
+    response = paths_to_cfr_batch(
+        gains, delays, freqs.reshape(-1), dopplers_hz=dopplers, time_s=time_s
+    )
+    return response.reshape(freqs.shape)
 
 
 def paths_to_cir(

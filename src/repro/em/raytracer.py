@@ -26,16 +26,22 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from ..constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
 from .antennas import Antenna, IsotropicAntenna
 from .geometry import (
     Point,
     Segment,
+    SegmentArrays,
     Wall,
     distance,
+    leg_blocked_packed,
     mirror_point,
+    pack_segments,
     segment_intersection,
 )
 from .materials import get_material
@@ -134,6 +140,15 @@ class RayTracer:
     # ------------------------------------------------------------------
     # Blockage
     # ------------------------------------------------------------------
+    @cached_property
+    def _packed_blockers(self) -> SegmentArrays:
+        """The scene's opaque segments packed into numpy arrays (built once).
+
+        ``Scene`` is immutable, so the packed form is computed lazily on
+        first blockage test and reused for the tracer's lifetime.
+        """
+        return pack_segments(self.scene.blocking_segments())
+
     def leg_is_clear(
         self,
         start: Point,
@@ -144,22 +159,19 @@ class RayTracer:
 
         Segments in ``exclude`` (the walls the leg reflects off) are
         skipped, as are crossings that coincide with the leg's endpoints —
-        a reflection point lies exactly on its wall by construction.
+        a reflection point lies exactly on its wall by construction.  One
+        broadcast intersection test over the packed scene segments replaces
+        the per-segment Python loop.
         """
-        leg = Segment(start, end)
-        for segment in self.scene.blocking_segments():
-            if any(_same_segment(segment, other) for other in exclude):
-                continue
-            hit = segment_intersection(leg, segment)
-            if hit is None:
-                continue
-            if (
-                distance(hit, start) <= _ENDPOINT_TOL
-                or distance(hit, end) <= _ENDPOINT_TOL
-            ):
-                continue
-            return False
-        return True
+        packed = self._packed_blockers
+        exclude_mask: Optional[np.ndarray] = None
+        if exclude and len(packed):
+            exclude_mask = np.zeros(len(packed), dtype=bool)
+            for other in exclude:
+                exclude_mask |= packed.match_mask(other)
+        return not leg_blocked_packed(
+            start, end, packed, exclude_mask=exclude_mask, endpoint_tol=_ENDPOINT_TOL
+        )
 
     def has_line_of_sight(self, tx: Point, rx: Point) -> bool:
         """Whether the direct TX->RX path is unobstructed."""

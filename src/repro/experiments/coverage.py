@@ -16,6 +16,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.configuration import ArrayConfiguration
+from ..em.channel import snr_db_from_cfr
 from ..em.geometry import Point
 from ..sdr.device import warp_v3
 from .common import StudyConfig, StudySetup, build_nlos_setup, used_subcarrier_mask
@@ -93,16 +94,23 @@ def run_coverage(
     xs = np.linspace(rx0.x - x_span_m / 2, rx0.x + x_span_m / 2, cols)
     ys = np.linspace(rx0.y - y_span_m / 2, rx0.y + y_span_m / 2, rows)
 
-    # min-SNR for every (position, configuration) pair.
+    # min-SNR for every (position, configuration) pair.  One basis trace
+    # per position; the whole configuration axis is a vectorized CFR
+    # evaluation instead of M^N measure_csi re-traces.
+    testbed = setup.testbed
     quality = np.empty((rows, cols, len(configurations)))
     for row, y in enumerate(ys):
         for col, x in enumerate(xs):
             client = warp_v3("probe", Point(float(x), float(y)))
-            for index, configuration in enumerate(configurations):
-                observation = setup.testbed.measure_csi(
-                    setup.tx_device, client, configuration
-                )
-                quality[row, col, index] = float(observation.snr_db[mask].min())
+            basis = testbed.basis_for(setup.tx_device, client)
+            snr = snr_db_from_cfr(
+                basis.evaluate(),
+                testbed.num_subcarriers,
+                testbed.bandwidth_hz,
+                tx_power_dbm=setup.tx_device.tx_power_dbm,
+                noise_figure_db=client.noise_figure_db,
+            )
+            quality[row, col] = snr[:, mask].min(axis=1)
 
     baseline_index = space.index_of(
         ArrayConfiguration(tuple([0] * setup.array.num_elements))

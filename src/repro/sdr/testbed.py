@@ -10,17 +10,25 @@ over all array configurations (Figures 4-6), frequency-selectivity pairs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..constants import BANDWIDTH_HZ, CARRIER_FREQUENCY_HZ, NUM_SUBCARRIERS
 from ..core.array import PressArray
+from ..core.basis import BasisEvaluator, ChannelBasis
 from ..core.configuration import ArrayConfiguration
-from ..em.channel import Channel, ChannelObservation, subcarrier_frequencies
+from ..em.channel import (
+    Channel,
+    ChannelObservation,
+    observe_cfr,
+    snr_db_from_cfr,
+    subcarrier_frequencies,
+)
 from ..em.paths import SignalPath, paths_to_cfr
 from ..em.raytracer import RayTracer
 from ..em.scene import Scene
+from ..phy.ofdm import OfdmParams
 from .device import SdrDevice
 
 __all__ = ["Testbed", "SweepResult"]
@@ -109,6 +117,32 @@ class Testbed:
             scene=scene, frequency_hz=frequency_hz, max_bounces=max_bounces
         )
         self._environment_cache: dict[tuple, tuple[SignalPath, ...]] = {}
+        self._basis_cache: dict[tuple, ChannelBasis] = {}
+        # The configuration space and its enumeration are fixed by the
+        # (immutable) array; compute them once per testbed instead of per
+        # sweep.
+        self._space = array.configuration_space()
+        self._configurations = tuple(self._space.all_configurations())
+
+    def _drift_factors(
+        self,
+        num_paths: int,
+        rng: Optional[np.random.Generator],
+    ) -> Optional[np.ndarray]:
+        """Per-path complex drift factors for one measurement (or ``None``).
+
+        Draw order (one phase vector, then one amplitude vector) is the
+        RNG contract shared by the legacy and basis sweep paths — both
+        consume the same stream, so identically seeded generators produce
+        identical measurements in either mode.
+        """
+        if rng is None or (self.drift_phase_rad == 0 and self.drift_amplitude == 0):
+            return None
+        phases = rng.normal(scale=self.drift_phase_rad, size=num_paths)
+        scales = np.maximum(
+            1.0 + rng.normal(scale=self.drift_amplitude, size=num_paths), 0.0
+        )
+        return scales * np.exp(1j * phases)
 
     def _drifted(
         self,
@@ -116,14 +150,12 @@ class Testbed:
         rng: Optional[np.random.Generator],
     ) -> tuple[SignalPath, ...]:
         """One coherence-drifted realisation of the ambient paths."""
-        if rng is None or (self.drift_phase_rad == 0 and self.drift_amplitude == 0):
+        factors = self._drift_factors(len(paths), rng)
+        if factors is None:
             return paths
-        drifted = []
-        for path in paths:
-            phase = rng.normal(scale=self.drift_phase_rad)
-            scale = max(1.0 + rng.normal(scale=self.drift_amplitude), 0.0)
-            drifted.append(path.scaled(scale * complex(np.cos(phase), np.sin(phase))))
-        return tuple(drifted)
+        return tuple(
+            path.scaled(complex(factor)) for path, factor in zip(paths, factors)
+        )
 
     # ------------------------------------------------------------------
     # Environment paths (configuration independent, cached)
@@ -149,6 +181,60 @@ class Testbed:
                 self.tracer.trace(tx.position, rx.position, tx.antenna, rx.antenna)
             )
         return self._environment_cache[key]
+
+    def basis_for(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        tx_chain: int = 0,
+        rx_chain: int = 0,
+    ) -> ChannelBasis:
+        """The precomputed channel basis for a device-chain pair (cached).
+
+        Traces geometry once — ambient multipath plus one two-hop relay
+        path per (element, state) — after which any configuration's CFR is
+        ``H0 + sum_n E[n, c_n]``, a vectorized gather over the basis.
+        """
+        tx = tx_device.chains[tx_chain]
+        rx = rx_device.chains[rx_chain]
+        key = (
+            tx.position.as_tuple(),
+            rx.position.as_tuple(),
+            tx.antenna,
+            rx.antenna,
+        )
+        if key not in self._basis_cache:
+            self._basis_cache[key] = ChannelBasis.trace(
+                self.array,
+                tx.position,
+                rx.position,
+                self.tracer,
+                tx_antenna=tx.antenna,
+                rx_antenna=rx.antenna,
+                num_subcarriers=self.num_subcarriers,
+                bandwidth_hz=self.bandwidth_hz,
+                environment_paths=self.environment_paths(
+                    tx_device, rx_device, tx_chain, rx_chain
+                ),
+            )
+        return self._basis_cache[key]
+
+    def basis_evaluator(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        objective: Callable[[np.ndarray], float],
+        mask: Optional[np.ndarray] = None,
+        tx_chain: int = 0,
+        rx_chain: int = 0,
+    ) -> BasisEvaluator:
+        """A basis-backed score function using this testbed's radio settings."""
+        return self.basis_for(tx_device, rx_device, tx_chain, rx_chain).evaluator(
+            objective,
+            tx_power_dbm=tx_device.tx_power_dbm,
+            noise_figure_db=rx_device.noise_figure_db,
+            mask=mask,
+        )
 
     # ------------------------------------------------------------------
     # SISO measurements
@@ -209,34 +295,110 @@ class Testbed:
         rx_device: SdrDevice,
         repetitions: int = 10,
         rng: Optional[np.random.Generator] = None,
+        used_mask: Optional[np.ndarray] = None,
+        mode: str = "basis",
         used_only_mask: Optional[np.ndarray] = None,
     ) -> SweepResult:
         """Iterate all configurations ``repetitions`` times (the §3.2 loop).
 
         "we iterate through the 64 combinations 10 times and calculate
         statistics on the SNR for each PRESS antenna configuration."
+
+        ``mode="basis"`` (default) evaluates the sweep from the precomputed
+        channel basis — geometry traced once, every configuration's CFR a
+        vectorized gather + sum; ``mode="legacy"`` keeps the original
+        measure-per-configuration route.  Both modes draw from ``rng`` in
+        the same order, so identical seeds give identical results (to
+        machine precision) either way.
+
+        ``used_only_mask`` is a deprecated alias for ``used_mask``.
         """
         if repetitions <= 0:
             raise ValueError(f"repetitions must be positive, got {repetitions}")
-        space = self.array.configuration_space()
-        configurations = tuple(space.all_configurations())
-        snr = np.empty((repetitions, len(configurations), self.num_subcarriers))
+        if used_only_mask is not None:
+            if used_mask is not None:
+                raise ValueError(
+                    "pass either used_mask or the deprecated used_only_mask, not both"
+                )
+            used_mask = used_only_mask
+        if mode not in ("basis", "legacy"):
+            raise ValueError(f"mode must be 'basis' or 'legacy', got {mode!r}")
+        configurations = self._configurations
+        if mode == "legacy":
+            snr = np.empty((repetitions, len(configurations), self.num_subcarriers))
+            for rep in range(repetitions):
+                for index, configuration in enumerate(configurations):
+                    observation = self.measure_csi(
+                        tx_device, rx_device, configuration, rng=rng
+                    )
+                    snr[rep, index] = observation.snr_db
+        else:
+            snr = self._sweep_basis(tx_device, rx_device, repetitions, rng)
+        if used_mask is None:
+            if self.num_subcarriers == 64:
+                used_mask = OfdmParams().used_mask()
+            else:
+                used_mask = np.ones(self.num_subcarriers, dtype=bool)
+        else:
+            used_mask = np.asarray(used_mask)
+            if used_mask.ndim != 1 or used_mask.shape[0] != self.num_subcarriers:
+                raise ValueError(
+                    f"used_mask must be 1-D with length {self.num_subcarriers}, "
+                    f"got shape {used_mask.shape}"
+                )
+        return SweepResult(
+            snr_db=snr, configurations=configurations, used_mask=used_mask
+        )
+
+    def _sweep_basis(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        repetitions: int,
+        rng: Optional[np.random.Generator],
+    ) -> np.ndarray:
+        """The fast sweep path: precomputed basis, vectorized CFR evaluation.
+
+        Without an rng the measurement is deterministic, so the whole
+        (repetitions x configurations x subcarriers) tensor is one
+        vectorized evaluation.  With an rng, each measurement still needs
+        its own drift/noise draws in legacy order (repetition-major,
+        configuration-major) for stream equivalence — but every draw now
+        feeds O(K) numpy ops on the precomputed basis instead of a
+        re-trace.
+        """
+        basis = self.basis_for(tx_device, rx_device)
+        element_sums = basis.all_element_sums  # (C, K)
+        num_configs = element_sums.shape[0]
+        if rng is None:
+            cfr = basis.ambient_cfr() + element_sums
+            snr_once = snr_db_from_cfr(
+                cfr,
+                self.num_subcarriers,
+                self.bandwidth_hz,
+                tx_power_dbm=tx_device.tx_power_dbm,
+                noise_figure_db=rx_device.noise_figure_db,
+            )
+            return np.broadcast_to(
+                snr_once, (repetitions,) + snr_once.shape
+            ).copy()
+        snr = np.empty((repetitions, num_configs, self.num_subcarriers))
         for rep in range(repetitions):
-            for index, configuration in enumerate(configurations):
-                observation = self.measure_csi(
-                    tx_device, rx_device, configuration, rng=rng
+            for index in range(num_configs):
+                factors = self._drift_factors(basis.num_ambient_paths, rng)
+                ambient = basis.ambient_cfr(
+                    None if factors is None else basis.ambient_gains * factors
+                )
+                observation = observe_cfr(
+                    ambient + element_sums[index],
+                    self.num_subcarriers,
+                    self.bandwidth_hz,
+                    tx_power_dbm=tx_device.tx_power_dbm,
+                    noise_figure_db=rx_device.noise_figure_db,
+                    rng=rng,
                 )
                 snr[rep, index] = observation.snr_db
-        if used_only_mask is None:
-            from ..phy.ofdm import OfdmParams
-
-            if self.num_subcarriers == 64:
-                used_only_mask = OfdmParams().used_mask()
-            else:
-                used_only_mask = np.ones(self.num_subcarriers, dtype=bool)
-        return SweepResult(
-            snr_db=snr, configurations=configurations, used_mask=used_only_mask
-        )
+        return snr
 
     # ------------------------------------------------------------------
     # MIMO measurements
@@ -248,6 +410,7 @@ class Testbed:
         configuration: ArrayConfiguration,
         rng: Optional[np.random.Generator] = None,
         estimation_error_std: float = 0.0,
+        mode: str = "basis",
     ) -> np.ndarray:
         """Per-subcarrier MIMO channel matrices for one configuration.
 
@@ -255,13 +418,32 @@ class Testbed:
         ``estimation_error_std`` adds relative complex-Gaussian estimation
         error per entry, standing in for the finite-SNR CSI estimates of
         §3.2.3 (which averages 50 measurements per configuration).
+
+        ``mode="basis"`` reuses each chain pair's precomputed channel
+        basis (geometry traced once per pair, drift applied as a phasor
+        scaling of the ambient gain vector); ``mode="legacy"`` re-traces
+        the element paths per call.  Both draw from ``rng`` identically.
         """
+        if mode not in ("basis", "legacy"):
+            raise ValueError(f"mode must be 'basis' or 'legacy', got {mode!r}")
         freqs = subcarrier_frequencies(self.num_subcarriers, self.bandwidth_hz)
         num_rx = rx_device.num_chains
         num_tx = tx_device.num_chains
         h = np.zeros((self.num_subcarriers, num_rx, num_tx), dtype=complex)
         for i in range(num_rx):
             for j in range(num_tx):
+                if mode == "basis":
+                    basis = self.basis_for(tx_device, rx_device, j, i)
+                    factors = self._drift_factors(basis.num_ambient_paths, rng)
+                    h[:, i, j] = basis.cfr(
+                        configuration,
+                        ambient_gains=(
+                            None
+                            if factors is None
+                            else basis.ambient_gains * factors
+                        ),
+                    )
+                    continue
                 tx = tx_device.chains[j]
                 rx = rx_device.chains[i]
                 env = self._drifted(
