@@ -11,6 +11,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark carries the ``bench`` marker.
+
+    ``testpaths`` keeps tier-1 runs out of this directory already; the
+    marker lets explicit invocations filter with ``-m bench`` /
+    ``-m 'not bench'`` when mixing test paths.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark an experiment with a single timed round.
 

@@ -1,0 +1,147 @@
+"""Batched geometry + parallel runner benchmark: ``BENCH_trace.json``.
+
+Two measurements make geometry the fast axis:
+
+1. A 400-position receiver grid traced scalar (one ``trace`` call per
+   point) versus batched (one ``trace_batch`` call) — the coverage-map
+   inner loop.  Acceptance: >= 10x, with per-point numerical agreement.
+2. ``run_fig4(num_placements=8)`` serial versus ``jobs=4`` — the
+   placement axis through the process-pool runner, bit-identical output.
+   The >= 2x wall-clock acceptance needs real cores; on boxes with fewer
+   than 4 CPUs the measured ratio is recorded but not asserted (process
+   pools cannot beat serial on one core).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.reporting import ReportTable
+from repro.em import global_trace_cache
+from repro.em.geometry import Point
+from repro.experiments import build_nlos_setup, run_fig4
+from repro.experiments.runner import available_cpus
+
+GRID_POINTS = 400
+FIG4_PLACEMENTS = 8
+FIG4_JOBS = 4
+
+
+def _grid(center: Point, count: int) -> list[Point]:
+    side = int(np.sqrt(count))
+    xs = np.linspace(center.x - 1.2, center.x + 1.2, side)
+    ys = np.linspace(center.y - 0.9, center.y + 0.9, count // side)
+    return [Point(float(x), float(y)) for y in ys for x in xs]
+
+
+def test_bench_trace_speed(once):
+    setup = build_nlos_setup(2)
+    tracer = setup.testbed.tracer
+    tx_chain = setup.tx_device.chains[0]
+    rx_chain = setup.rx_device.chains[0]
+    points = _grid(rx_chain.position, GRID_POINTS)
+
+    start = time.perf_counter()
+    scalar_paths = [
+        tracer.trace(tx_chain.position, point, tx_chain.antenna, rx_chain.antenna)
+        for point in points
+    ]
+    scalar_s = time.perf_counter() - start
+
+    def _batch():
+        return tracer.trace_batch(
+            tx_chain.position, points, tx_chain.antenna, rx_chain.antenna
+        )
+
+    start = time.perf_counter()
+    batch = once(_batch)
+    batch_s = time.perf_counter() - start
+    trace_speedup = scalar_s / batch_s
+
+    deviation = 0.0
+    for index, scalar in enumerate(scalar_paths):
+        gains, delays = batch.point_arrays(index)
+        assert len(gains) == len(scalar)
+        deviation = max(
+            deviation,
+            float(np.max(np.abs(gains - np.array([p.gain for p in scalar])), initial=0.0)),
+            float(np.max(np.abs(delays - np.array([p.delay_s for p in scalar])), initial=0.0)),
+        )
+
+    # Placement-axis parallelism.  Clear the process-wide trace cache
+    # before each run so neither route times against warm geometry.
+    cpus = available_cpus()
+    global_trace_cache().clear()
+    start = time.perf_counter()
+    serial = run_fig4(num_placements=FIG4_PLACEMENTS)
+    serial_s = time.perf_counter() - start
+    global_trace_cache().clear()
+    start = time.perf_counter()
+    parallel = run_fig4(num_placements=FIG4_PLACEMENTS, jobs=FIG4_JOBS)
+    parallel_s = time.perf_counter() - start
+    fig4_speedup = serial_s / parallel_s
+    fig4_deviation = max(
+        abs(a.mean_gap_db - b.mean_gap_db)
+        + abs(a.max_single_rep_gap_db - b.max_single_rep_gap_db)
+        for a, b in zip(serial.placements, parallel.placements)
+    )
+
+    table = ReportTable(
+        title=(
+            f"Batched trace + parallel runner — {len(points)} grid points, "
+            f"{FIG4_PLACEMENTS} placements, {cpus} CPU(s)"
+        )
+    )
+    table.add(
+        "trace_batch speedup (400 points)",
+        ">= 10x",
+        f"{trace_speedup:.0f}x ({1e3 * scalar_s:.0f} -> {1e3 * batch_s:.1f} ms)",
+        trace_speedup >= 10.0,
+    )
+    table.add(
+        "trace_batch max |dgain|, |ddelay|",
+        "<= 1e-12",
+        f"{deviation:.2e}",
+        deviation <= 1e-12,
+    )
+    enough_cpus = cpus >= FIG4_JOBS
+    table.add(
+        f"fig4 jobs={FIG4_JOBS} speedup ({cpus} CPUs)",
+        ">= 2x" if enough_cpus else "recorded only (<4 CPUs)",
+        f"{fig4_speedup:.2f}x ({serial_s:.1f} -> {parallel_s:.1f} s)",
+        fig4_speedup >= 2.0 if enough_cpus else True,
+    )
+    table.add(
+        "fig4 serial vs parallel |ddB|",
+        "== 0",
+        f"{fig4_deviation:.2e} dB",
+        fig4_deviation == 0.0,
+    )
+    print()
+    print(table.render())
+
+    payload = {
+        "cpu_count": cpus,
+        "trace": {
+            "grid_points": len(points),
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "speedup": trace_speedup,
+            "max_abs_deviation": deviation,
+        },
+        "fig4_parallel": {
+            "placements": FIG4_PLACEMENTS,
+            "jobs": FIG4_JOBS,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": fig4_speedup,
+            "speedup_asserted": enough_cpus,
+            "max_abs_deviation_db": fig4_deviation,
+        },
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert table.all_hold()

@@ -89,21 +89,25 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     )
 
     rows = [("experiment", "paper", "measured")]
-    fig4 = run_fig4(num_placements=args.placements, repetitions=args.repetitions)
+    fig4 = run_fig4(
+        num_placements=args.placements,
+        repetitions=args.repetitions,
+        jobs=args.jobs,
+    )
     rows.append(("Fig 4 mean SNR change", "18.6 dB", f"{fig4.largest_mean_change_db:.1f} dB"))
     rows.append(
         ("Fig 4 single-rep change", "26 dB", f"{fig4.largest_single_rep_change_db:.1f} dB")
     )
     fig5 = run_fig5(repetitions=args.repetitions)
     rows.append(("Fig 5 max null shift", "~9 subcarriers", f"{fig5.max_movement} subcarriers"))
-    fig6 = run_fig6(repetitions=args.repetitions)
+    fig6 = run_fig6(repetitions=args.repetitions, jobs=args.jobs)
     rows.append(
         ("Fig 6 pairs w/ 10 dB change", "~38%", f"{100 * fig6.fraction_pairs_10db_change:.0f}%")
     )
     rows.append(
         ("Fig 6 configs below 20 dB", "< 9%", f"{100 * fig6.fraction_configs_below_20db:.0f}%")
     )
-    fig7 = run_fig7()
+    fig7 = run_fig7(jobs=args.jobs)
     rows.append(
         (
             "Fig 7 opposite selectivity",
@@ -115,6 +119,27 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     rows.append(("Fig 8 condition-number gap", "1.5 dB", f"{fig8.median_gap_db:.2f} dB"))
     los = run_los_study(repetitions=max(args.repetitions // 2, 2))
     rows.append(("LoS effect", "< 2 dB", f"{los.los_swing_db:.2f} dB"))
+    print(format_table(rows, header_rule=True))
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .experiments import run_coverage_suite
+
+    seeds = tuple(range(args.placements))
+    maps = run_coverage_suite(placement_seeds=seeds, jobs=args.jobs)
+    rows = [("placement", "worst base", "worst joint", "<20 dB base", "<20 dB joint")]
+    for seed, cov in zip(seeds, maps):
+        rows.append(
+            (
+                str(seed),
+                f"{cov.worst_db('baseline'):.1f} dB",
+                f"{cov.worst_db('joint'):.1f} dB",
+                f"{100 * cov.fraction_below(20.0, 'baseline'):.0f}%",
+                f"{100 * cov.fraction_below(20.0, 'joint'):.0f}%",
+            )
+        )
     print(format_table(rows, header_rule=True))
     return 0
 
@@ -204,7 +229,25 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--placements", type=int, default=8)
     figures.add_argument("--repetitions", type=int, default=10)
     figures.add_argument("--mimo-measurements", type=int, default=50)
+    figures.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for parallel experiment axes "
+        "(default: serial; 0 = all CPUs)",
+    )
     figures.set_defaults(func=_cmd_figures)
+
+    coverage = sub.add_parser("coverage", help="dead-zone coverage maps")
+    coverage.add_argument("--placements", type=int, default=4)
+    coverage.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the placement axis "
+        "(default: serial; 0 = all CPUs)",
+    )
+    coverage.set_defaults(func=_cmd_coverage)
 
     timing = sub.add_parser("timing", help="control-plane latency budgets")
     timing.add_argument("--elements", type=int, default=16)

@@ -36,8 +36,8 @@ from ..constants import BANDWIDTH_HZ, NUM_SUBCARRIERS, SPEED_OF_LIGHT
 from ..em.antennas import Antenna, IsotropicAntenna
 from ..em.channel import snr_db_from_cfr, subcarrier_frequencies
 from ..em.geometry import Point
-from ..em.paths import SignalPath, path_arrays, paths_to_cfr_batch
-from ..em.raytracer import RayTracer
+from ..em.paths import PathBatch, SignalPath, path_arrays, paths_to_cfr_batch
+from ..em.raytracer import RayTracer, _points_to_arrays
 from .array import PressArray
 from .configuration import ArrayConfiguration, ConfigurationSpace
 
@@ -148,6 +148,97 @@ class ChannelBasis:
             num_subcarriers=num_subcarriers,
             bandwidth_hz=bandwidth_hz,
         )
+
+    @classmethod
+    def trace_batch(
+        cls,
+        array: PressArray,
+        tx: Point,
+        rx_points: Union[Sequence[Point], np.ndarray],
+        tracer: RayTracer,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+        num_subcarriers: int = NUM_SUBCARRIERS,
+        bandwidth_hz: float = BANDWIDTH_HZ,
+        ambient: Optional[PathBatch] = None,
+    ) -> list["ChannelBasis"]:
+        """One basis per receiver point, traced with the batched geometry.
+
+        The batched twin of :meth:`trace`, for position sweeps (coverage
+        maps, placement scans): ambient multipath comes from
+        :meth:`RayTracer.trace_batch`, and each element's two-hop geometry
+        — distances, blockage, antenna gains — is computed once for all P
+        points via :meth:`RayTracer.relay_geometry_batch`, then folded with
+        every state's reflectivity and stub phase.  Per-point results match
+        :meth:`trace` to machine precision (same op order throughout), so
+        ambient path counts — and therefore drift-draw counts — are
+        identical to the scalar route.
+
+        ``ambient`` lets a caller reuse an already-traced batch.
+        """
+        freqs = subcarrier_frequencies(num_subcarriers, bandwidth_hz)
+        if ambient is None:
+            ambient = tracer.trace_batch(tx, rx_points, tx_antenna, rx_antenna)
+        rx_x, rx_y = _points_to_arrays(rx_points)
+        num_points = ambient.num_points
+        space = array.configuration_space()
+        max_states = max(space.state_counts)
+        tensors = np.zeros(
+            (num_points, array.num_elements, max_states, num_subcarriers),
+            dtype=complex,
+        )
+        carrier = tracer.frequency_hz
+        freq_factor = -2.0j * np.pi * freqs  # shared (K,) phasor exponent
+        for n, element in enumerate(array.elements):
+            amplitude, total, _, _, clear = tracer.relay_geometry_batch(
+                tx,
+                element.position,
+                rx_x,
+                rx_y,
+                tx_antenna=tx_antenna,
+                rx_antenna=rx_antenna,
+                relay_antenna_in=element.antenna,
+                relay_antenna_out=element.antenna,
+            )
+            carrier_phasor = np.exp(
+                -2.0j * np.pi * total / tracer.wavelength_m
+            )  # (P,)
+            base_delay = total / SPEED_OF_LIGHT
+            for m, state in enumerate(element.states):
+                if state.is_terminated:
+                    continue
+                stub_carrier_phase = (
+                    -2.0 * math.pi * carrier * state.extra_path_m / SPEED_OF_LIGHT
+                )
+                reflectivity = state.magnitude * complex(
+                    math.cos(state.fixed_phase_rad), math.sin(state.fixed_phase_rad)
+                )
+                gain = amplitude * reflectivity * carrier_phasor
+                gain = gain * complex(
+                    math.cos(stub_carrier_phase), math.sin(stub_carrier_phase)
+                )
+                valid = clear & (np.abs(gain) != 0.0)
+                delay = base_delay + state.extra_delay_s
+                contribution = gain[:, None] * np.exp(
+                    freq_factor[None, :] * delay[:, None]
+                )
+                contribution[~valid] = 0.0
+                tensors[:, n, m, :] = contribution
+        bases: list[ChannelBasis] = []
+        for p in range(num_points):
+            gains, delays = ambient.point_arrays(p)
+            bases.append(
+                cls(
+                    space=space,
+                    frequencies_hz=freqs,
+                    ambient_gains=gains,
+                    ambient_delays=delays,
+                    state_tensor=tensors[p],
+                    num_subcarriers=num_subcarriers,
+                    bandwidth_hz=bandwidth_hz,
+                )
+            )
+        return bases
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -40,6 +40,7 @@ from .materials import MATERIALS, Material, get_material, register_material
 from .mobility import MovingScatterer, TimeVaryingScene, walking_person
 from .noise import add_noise, awgn, noise_power_per_subcarrier_w
 from .paths import (
+    PathBatch,
     SignalPath,
     path_arrays,
     paths_to_cfr,
@@ -54,6 +55,7 @@ from .raytracer import (
     two_hop_gain,
 )
 from .scene import Scatterer, Scene, blocker_between, shoebox_scene
+from .trace_cache import TraceCache, global_trace_cache
 
 __all__ = [
     "Antenna",
@@ -90,11 +92,14 @@ __all__ = [
     "add_noise",
     "noise_power_per_subcarrier_w",
     "SignalPath",
+    "PathBatch",
     "path_arrays",
     "paths_to_cfr",
     "paths_to_cfr_batch",
     "paths_to_cir",
     "total_path_power",
+    "TraceCache",
+    "global_trace_cache",
     "RayTracer",
     "free_space_amplitude",
     "carrier_phase",

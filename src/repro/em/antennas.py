@@ -74,10 +74,27 @@ class Antenna:
         """Gain [dBi] at ``offset_rad`` from boresight.  Isotropic: 0 dBi."""
         return 0.0
 
+    def amplitude_gain_array(self, angles_rad: np.ndarray) -> np.ndarray:
+        """Field gains toward an array of absolute directions.
+
+        The base implementation evaluates the scalar pattern per angle, so
+        any subclass is automatically batch-capable with exactly the scalar
+        values; azimuthally flat patterns override it with a constant fill
+        (the hot case in batched ray tracing — endpoint omnis and
+        isotropic references never depend on the angle).
+        """
+        angles = np.asarray(angles_rad, dtype=float)
+        flat = angles.reshape(-1)
+        gains = np.array([self.amplitude_gain(float(a)) for a in flat])
+        return gains.reshape(angles.shape)
+
 
 @dataclass(frozen=True)
 class IsotropicAntenna(Antenna):
     """Ideal 0 dBi isotropic radiator (reference antenna for link budgets)."""
+
+    def amplitude_gain_array(self, angles_rad: np.ndarray) -> np.ndarray:
+        return np.ones(np.shape(angles_rad), dtype=float)
 
 
 @dataclass(frozen=True)
@@ -91,6 +108,11 @@ class OmniAntenna(Antenna):
 
     def pattern_dbi(self, offset_rad: float) -> float:
         return self.peak_gain_dbi
+
+    def amplitude_gain_array(self, angles_rad: np.ndarray) -> np.ndarray:
+        return np.full(
+            np.shape(angles_rad), self.amplitude_gain(self.boresight_rad), dtype=float
+        )
 
 
 @dataclass(frozen=True)

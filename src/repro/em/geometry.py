@@ -27,6 +27,7 @@ __all__ = [
     "SegmentArrays",
     "pack_segments",
     "leg_blocked_packed",
+    "legs_blocked_packed",
     "distance",
     "mirror_point",
     "segments_intersect",
@@ -346,6 +347,92 @@ def leg_blocked_packed(
     near_start = (hit_x - px) ** 2 + (hit_y - py) ** 2 <= endpoint_tol**2
     near_end = (hit_x - end.x) ** 2 + (hit_y - end.y) ** 2 <= endpoint_tol**2
     return bool((hit & ~near_start & ~near_end).any())
+
+
+def legs_blocked_packed(
+    start_x: np.ndarray,
+    start_y: np.ndarray,
+    end_x: np.ndarray,
+    end_y: np.ndarray,
+    packed: SegmentArrays,
+    exclude_mask: Optional[np.ndarray] = None,
+    endpoint_tol: float = 1e-6,
+) -> np.ndarray:
+    """Batched form of :func:`leg_blocked_packed`: P legs against S segments.
+
+    One broadcast ``(P, S)`` intersection test replaces P scalar calls —
+    the hot operation of batched ray tracing, where every candidate path
+    family tests one leg per receiver position.  Semantics match the
+    scalar kernel exactly (endpoint hits ignored, collinear overlaps
+    resolve to the overlap start, degenerate legs never blocked).
+
+    Parameters
+    ----------
+    start_x, start_y, end_x, end_y:
+        Leg endpoints, shape ``(P,)`` each.
+    packed:
+        The scene's opaque segments.
+    exclude_mask:
+        Optional boolean mask of segments to skip — shape ``(S,)`` shared
+        by all legs, or ``(P, S)`` per leg.
+    endpoint_tol:
+        Hits within this distance of a leg endpoint are ignored.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of shape ``(P,)``: whether each leg is blocked.
+    """
+    px = np.asarray(start_x, dtype=float)
+    py = np.asarray(start_y, dtype=float)
+    ex = np.asarray(end_x, dtype=float)
+    ey = np.asarray(end_y, dtype=float)
+    num_legs = px.shape[0]
+    if len(packed) == 0:
+        return np.zeros(num_legs, dtype=bool)
+    rx = ex - px
+    ry = ey - py
+    r_len2 = rx * rx + ry * ry  # (P,)
+    degenerate = r_len2 < _EPS * _EPS
+    r_len2_safe = np.where(degenerate, 1.0, r_len2)
+    qpx = packed.start_x[None, :] - px[:, None]  # (P, S)
+    qpy = packed.start_y[None, :] - py[:, None]
+    sx = packed.dir_x[None, :]
+    sy = packed.dir_y[None, :]
+    rxc = rx[:, None]
+    ryc = ry[:, None]
+    rxs = rxc * sy - ryc * sx  # cross(r, s)
+    qp_x_r = qpx * ryc - qpy * rxc  # cross(q - p, r)
+    parallel = np.abs(rxs) < _EPS
+    rxs_safe = np.where(parallel, 1.0, rxs)
+    # Non-parallel branch: solve p + t r = q + u s.
+    t_np = (qpx * sy - qpy * sx) / rxs_safe
+    u_np = qp_x_r / rxs_safe
+    hit_np = (
+        ~parallel
+        & (t_np >= -_EPS)
+        & (t_np <= 1.0 + _EPS)
+        & (u_np >= -_EPS)
+        & (u_np <= 1.0 + _EPS)
+    )
+    # Parallel branch: collinear overlap resolves to the overlap start.
+    collinear = parallel & (np.abs(qp_x_r) <= _EPS)
+    t0 = (qpx * rxc + qpy * ryc) / r_len2_safe[:, None]
+    t1 = t0 + (sx * rxc + sy * ryc) / r_len2_safe[:, None]
+    lo = np.minimum(t0, t1)
+    hi = np.maximum(t0, t1)
+    hit_par = collinear & (hi >= -_EPS) & (lo <= 1.0 + _EPS)
+    t_par = np.maximum(0.0, lo)
+    hit = hit_np | hit_par
+    if exclude_mask is not None:
+        hit &= ~exclude_mask
+    t = np.clip(np.where(parallel, t_par, t_np), 0.0, 1.0)
+    hit_x = px[:, None] + t * rxc
+    hit_y = py[:, None] + t * ryc
+    near_start = (hit_x - px[:, None]) ** 2 + (hit_y - py[:, None]) ** 2 <= endpoint_tol**2
+    near_end = (hit_x - ex[:, None]) ** 2 + (hit_y - ey[:, None]) ** 2 <= endpoint_tol**2
+    blocked = (hit & ~near_start & ~near_end).any(axis=1)
+    return blocked & ~degenerate
 
 
 def path_is_blocked(

@@ -23,6 +23,7 @@ import numpy as np
 
 __all__ = [
     "SignalPath",
+    "PathBatch",
     "path_arrays",
     "paths_to_cfr",
     "paths_to_cfr_batch",
@@ -124,7 +125,9 @@ def paths_to_cfr_batch(
     gains:
         Complex path gains, shape ``(..., L)``.
     delays_s:
-        Path delays, shape ``(L,)``.
+        Path delays: shape ``(L,)`` shared across the gain batch, or any
+        shape broadcastable against ``gains`` (e.g. ``(P, L)`` per-point
+        delays from a batched geometry trace).
     frequencies_hz:
         Baseband frequency grid, shape ``(K,)``.
     dopplers_hz:
@@ -140,17 +143,23 @@ def paths_to_cfr_batch(
     freqs = np.asarray(frequencies_hz, dtype=float)
     gains = np.asarray(gains, dtype=complex)
     delays = np.asarray(delays_s, dtype=float)
-    if gains.shape[-1:] != delays.shape:
+    if gains.shape[-1:] != delays.shape[-1:]:
         raise ValueError(
-            f"gains last axis {gains.shape[-1:]} must match delays {delays.shape}"
+            f"gains last axis {gains.shape[-1:]} must match delays last axis "
+            f"{delays.shape[-1:]}"
         )
-    if delays.size == 0:
-        return np.zeros(gains.shape[:-1] + freqs.shape, dtype=complex)
-    phasors = np.exp(-2.0j * np.pi * np.outer(delays, freqs))  # (L, K)
+    if delays.shape[-1:] == (0,):
+        batch = np.broadcast_shapes(gains.shape[:-1], delays.shape[:-1])
+        return np.zeros(batch + freqs.shape, dtype=complex)
     if dopplers_hz is not None and time_s != 0.0:
         dopplers = np.asarray(dopplers_hz, dtype=float)
         gains = gains * np.exp(2.0j * np.pi * dopplers * time_s)
-    return gains @ phasors
+    if delays.ndim == 1:
+        phasors = np.exp(-2.0j * np.pi * np.outer(delays, freqs))  # (L, K)
+        return gains @ phasors
+    # Per-batch delays: one phasor tensor (..., L, K), contracted over L.
+    phasors = np.exp(-2.0j * np.pi * delays[..., None] * freqs)
+    return (gains[..., None] * phasors).sum(axis=-2)
 
 
 def paths_to_cfr(
@@ -183,6 +192,95 @@ def paths_to_cfr(
         gains, delays, freqs.reshape(-1), dopplers_hz=dopplers, time_s=time_s
     )
     return response.reshape(freqs.shape)
+
+
+@dataclass(frozen=True)
+class PathBatch:
+    """Packed multipath of one transmitter against P receiver positions.
+
+    The output of :meth:`repro.em.raytracer.RayTracer.trace_batch`: every
+    candidate path family (LoS, each wall, each ordered wall pair, each
+    scatterer) contributes one column, and validity is a mask — so the
+    arrays stay rectangular and every downstream consumer is a vectorized
+    numpy operation.  Column order matches the scalar
+    :meth:`~repro.em.raytracer.RayTracer.trace` path order exactly, so
+    compressing row ``p`` by its validity mask reproduces the per-point
+    path list (same paths, same order).
+
+    Attributes
+    ----------
+    gains:
+        Complex path gains, shape ``(P, C)``; zero where invalid.
+    delays_s:
+        Path delays in seconds, shape ``(P, C)``; zero where invalid.
+    aod_rad, aoa_rad:
+        Departure/arrival angles, shape ``(P, C)``.
+    valid:
+        Which (point, candidate) pairs are real paths, shape ``(P, C)``.
+    kinds:
+        Per-candidate path kind (``"los"``, ``"wall-reflection"``,
+        ``"scatterer"`` ...), length ``C``.
+    hops:
+        Per-candidate interaction count, length ``C``.
+    """
+
+    gains: np.ndarray
+    delays_s: np.ndarray
+    aod_rad: np.ndarray
+    aoa_rad: np.ndarray
+    valid: np.ndarray
+    kinds: tuple[str, ...]
+    hops: tuple[int, ...]
+
+    @property
+    def num_points(self) -> int:
+        return int(self.gains.shape[0])
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.gains.shape[1])
+
+    def counts(self) -> np.ndarray:
+        """Number of valid paths per receiver position, shape ``(P,)``."""
+        return self.valid.sum(axis=1)
+
+    def point_arrays(self, point: int) -> tuple[np.ndarray, np.ndarray]:
+        """Packed ``(gains, delays_s)`` of point ``point``'s valid paths.
+
+        The arrays are ordered exactly like the scalar trace, so they can
+        stand in for ``path_arrays(tracer.trace(tx, rx))`` — e.g. as a
+        :class:`~repro.core.basis.ChannelBasis` ambient vector whose length
+        drives drift-draw counts.
+        """
+        mask = self.valid[point]
+        return self.gains[point, mask], self.delays_s[point, mask]
+
+    def paths(self, point: int) -> list[SignalPath]:
+        """Point ``point``'s paths as :class:`SignalPath` objects."""
+        out: list[SignalPath] = []
+        for c in range(self.num_candidates):
+            if not self.valid[point, c]:
+                continue
+            out.append(
+                SignalPath(
+                    gain=complex(self.gains[point, c]),
+                    delay_s=float(self.delays_s[point, c]),
+                    aod_rad=float(self.aod_rad[point, c]),
+                    aoa_rad=float(self.aoa_rad[point, c]),
+                    kind=self.kinds[c],
+                    hops=self.hops[c],
+                )
+            )
+        return out
+
+    def cfr(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """All P channel frequency responses, shape ``(P, K)``.
+
+        Invalid candidates carry zero gain, so they drop out of the sum;
+        the whole grid evaluates as one vectorized
+        :func:`paths_to_cfr_batch` call with per-point delays.
+        """
+        return paths_to_cfr_batch(self.gains, self.delays_s, frequencies_hz)
 
 
 def paths_to_cir(

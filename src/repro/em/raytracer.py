@@ -27,7 +27,7 @@ import cmath
 import math
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,12 +40,13 @@ from .geometry import (
     Wall,
     distance,
     leg_blocked_packed,
+    legs_blocked_packed,
     mirror_point,
     pack_segments,
     segment_intersection,
 )
 from .materials import get_material
-from .paths import SignalPath
+from .paths import PathBatch, SignalPath
 from .scene import Scatterer, Scene
 
 __all__ = [
@@ -54,6 +55,8 @@ __all__ = [
     "carrier_phase",
     "two_hop_gain",
 ]
+
+_EPS = 1e-9
 
 #: Minimum hop distance [m] used in amplitude calculations, preventing the
 #: near-field singularity of the Friis law when geometry degenerates.
@@ -434,6 +437,420 @@ class RayTracer:
             kind=kind,
             hops=1,
         )
+
+    # ------------------------------------------------------------------
+    # Batched path construction (geometry as the fast axis)
+    # ------------------------------------------------------------------
+    def trace_batch(
+        self,
+        tx: Point,
+        rx_points: Union[Sequence[Point], np.ndarray],
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+        include_los: bool = True,
+        include_scatterers: bool = True,
+    ) -> PathBatch:
+        """All multipath components from ``tx`` to every point of a batch.
+
+        Vectorizes the image method over an array of receiver positions:
+        each candidate family (LoS, each wall, each ordered wall pair, each
+        scatterer) evaluates its mirror/intersection/blockage tests for all
+        P points with numpy broadcasts instead of P scalar traces.  The
+        result reproduces per-point :meth:`trace` — same paths, same order,
+        gains to machine precision (``tests/test_trace_batch.py``) — with
+        :meth:`trace` kept as the scalar reference implementation.
+        """
+        pxs, pys = _points_to_arrays(rx_points)
+        num = pxs.shape[0]
+        columns: list[tuple[np.ndarray, ...]] = []
+        kinds: list[str] = []
+        hops: list[int] = []
+
+        def add(gain, delay, aod, aoa, valid, kind: str, hop: int) -> None:
+            columns.append(
+                (
+                    np.where(valid, gain, 0.0 + 0.0j),
+                    np.where(valid, delay, 0.0),
+                    aod,
+                    aoa,
+                    valid,
+                )
+            )
+            kinds.append(kind)
+            hops.append(hop)
+
+        if include_los:
+            add(*self._los_column(tx, pxs, pys, tx_antenna, rx_antenna), "los", 0)
+        if self.max_bounces >= 1:
+            for wall in self.scene.walls:
+                add(
+                    *self._wall_column(tx, pxs, pys, [wall], tx_antenna, rx_antenna),
+                    "wall-reflection",
+                    1,
+                )
+        if self.max_bounces >= 2:
+            for first in self.scene.walls:
+                for second in self.scene.walls:
+                    if _same_segment(first.segment, second.segment):
+                        continue
+                    add(
+                        *self._wall_column(
+                            tx, pxs, pys, [first, second], tx_antenna, rx_antenna
+                        ),
+                        "wall-reflection",
+                        2,
+                    )
+        if include_scatterers:
+            for scatterer in self.scene.scatterers:
+                add(
+                    *self.relay_column(
+                        tx,
+                        scatterer.position,
+                        pxs,
+                        pys,
+                        tx_antenna=tx_antenna,
+                        rx_antenna=rx_antenna,
+                        relay_gain_dbi=scatterer.gain_dbi,
+                        reflectivity=scatterer.reflectivity,
+                    ),
+                    "scatterer",
+                    1,
+                )
+        if not columns:
+            empty_c = np.zeros((num, 0), dtype=complex)
+            empty_f = np.zeros((num, 0), dtype=float)
+            return PathBatch(
+                gains=empty_c,
+                delays_s=empty_f,
+                aod_rad=empty_f,
+                aoa_rad=empty_f.copy(),
+                valid=np.zeros((num, 0), dtype=bool),
+                kinds=(),
+                hops=(),
+            )
+        return PathBatch(
+            gains=np.stack([c[0] for c in columns], axis=1),
+            delays_s=np.stack([c[1] for c in columns], axis=1),
+            aod_rad=np.stack([c[2] for c in columns], axis=1),
+            aoa_rad=np.stack([c[3] for c in columns], axis=1),
+            valid=np.stack([c[4] for c in columns], axis=1),
+            kinds=tuple(kinds),
+            hops=tuple(hops),
+        )
+
+    def _leg_blocked_batch(
+        self,
+        start_x: np.ndarray,
+        start_y: np.ndarray,
+        end_x: np.ndarray,
+        end_y: np.ndarray,
+        exclude: Sequence[Segment] = (),
+    ) -> np.ndarray:
+        """Batched :meth:`leg_is_clear` complement over the packed scene."""
+        packed = self._packed_blockers
+        exclude_mask: Optional[np.ndarray] = None
+        if exclude and len(packed):
+            exclude_mask = np.zeros(len(packed), dtype=bool)
+            for other in exclude:
+                exclude_mask |= packed.match_mask(other)
+        return legs_blocked_packed(
+            start_x,
+            start_y,
+            end_x,
+            end_y,
+            packed,
+            exclude_mask=exclude_mask,
+            endpoint_tol=_ENDPOINT_TOL,
+        )
+
+    def _los_column(
+        self,
+        tx: Point,
+        pxs: np.ndarray,
+        pys: np.ndarray,
+        tx_antenna: Antenna,
+        rx_antenna: Antenna,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Direct-path candidate for every receiver point."""
+        num = pxs.shape[0]
+        blocked = self._leg_blocked_batch(
+            np.full(num, tx.x), np.full(num, tx.y), pxs, pys
+        )
+        dx = pxs - tx.x
+        dy = pys - tx.y
+        d = np.hypot(dx, dy)
+        aod = np.arctan2(dy, dx)
+        aoa = np.arctan2(-dy, -dx)
+        amplitude = (
+            _free_space_amplitude_array(d, self.wavelength_m)
+            * tx_antenna.amplitude_gain_array(aod)
+            * rx_antenna.amplitude_gain_array(aoa)
+        )
+        gain = amplitude * np.exp(-2.0j * np.pi * d / self.wavelength_m)
+        return gain, d / SPEED_OF_LIGHT, aod, aoa, ~blocked
+
+    def _wall_column(
+        self,
+        tx: Point,
+        pxs: np.ndarray,
+        pys: np.ndarray,
+        walls: Sequence[Wall],
+        tx_antenna: Antenna,
+        rx_antenna: Antenna,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One wall (or ordered wall pair) specular candidate per point.
+
+        The batched twin of :meth:`_wall_path`: iterated transmitter images
+        are shared by every receiver, so the backward pass is one
+        :func:`_ray_segment_hits` broadcast per wall and the blockage tests
+        one :func:`legs_blocked_packed` call per leg.
+        """
+        num = pxs.shape[0]
+        images = [tx]
+        for wall in walls:
+            images.append(mirror_point(images[-1], wall.segment))
+        # Backward pass: recover reflection points for all rays at once.
+        ok = np.ones(num, dtype=bool)
+        hits_x: list[np.ndarray] = []
+        hits_y: list[np.ndarray] = []
+        target_x, target_y = pxs, pys
+        for index in range(len(walls) - 1, -1, -1):
+            hx, hy, hit_ok = _ray_segment_hits(
+                images[index + 1], target_x, target_y, walls[index].segment, tol=1e-6
+            )
+            ok &= hit_ok
+            hits_x.append(hx)
+            hits_y.append(hy)
+            target_x, target_y = hx, hy
+        hits_x.reverse()
+        hits_y.reverse()
+        # vertices: tx, refl_1, ..., refl_k, rx (per point)
+        verts_x = [np.full(num, tx.x)] + hits_x + [pxs]
+        verts_y = [np.full(num, tx.y)] + hits_y + [pys]
+        leg_lengths = [
+            np.hypot(verts_x[i] - verts_x[i + 1], verts_y[i] - verts_y[i + 1])
+            for i in range(len(verts_x) - 1)
+        ]
+        degenerate = np.zeros(num, dtype=bool)
+        for length in leg_lengths:
+            degenerate |= length <= _ENDPOINT_TOL
+        blocked = np.zeros(num, dtype=bool)
+        for leg_index in range(len(verts_x) - 1):
+            exclude: list[Segment] = []
+            if leg_index > 0:
+                exclude.append(walls[leg_index - 1].segment)
+            if leg_index < len(walls):
+                exclude.append(walls[leg_index].segment)
+            blocked |= self._leg_blocked_batch(
+                verts_x[leg_index],
+                verts_y[leg_index],
+                verts_x[leg_index + 1],
+                verts_y[leg_index + 1],
+                exclude=exclude,
+            )
+        valid = ok & ~degenerate & ~blocked
+        total = leg_lengths[0]
+        for length in leg_lengths[1:]:
+            total = total + length
+        reflection = complex(1.0, 0.0)
+        for wall in walls:
+            reflection *= get_material(wall.material).reflection_coefficient
+        aod = np.arctan2(verts_y[1] - tx.y, verts_x[1] - tx.x)
+        aoa = np.arctan2(verts_y[-2] - pys, verts_x[-2] - pxs)
+        amplitude = (
+            _free_space_amplitude_array(total, self.wavelength_m)
+            * tx_antenna.amplitude_gain_array(aod)
+            * rx_antenna.amplitude_gain_array(aoa)
+        )
+        gain = amplitude * reflection * np.exp(-2.0j * np.pi * total / self.wavelength_m)
+        return gain, total / SPEED_OF_LIGHT, aod, aoa, valid
+
+    def relay_geometry_batch(
+        self,
+        tx: Point,
+        via: Point,
+        rx_x: np.ndarray,
+        rx_y: np.ndarray,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+        relay_antenna_in: Optional[Antenna] = None,
+        relay_antenna_out: Optional[Antenna] = None,
+        relay_gain_dbi: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Configuration-independent geometry of TX -> via -> each RX point.
+
+        Returns ``(amplitude, total_length_m, aod, aoa, clear)``, all shape
+        ``(P,)``.  ``amplitude`` is the real field amplitude of
+        :func:`two_hop_gain` *before* reflectivity and carrier phase — the
+        part shared by every relay state — so per-state gains fold in as
+        ``amplitude * reflectivity * exp(-2j pi L / lambda)`` (exactly the
+        scalar order of operations).  :meth:`ChannelBasis.trace_batch`
+        builds its per-point state tensors on this.
+        """
+        num = rx_x.shape[0]
+        if self.leg_is_clear(tx, via):
+            clear = ~self._leg_blocked_batch(
+                np.full(num, via.x), np.full(num, via.y), rx_x, rx_y
+            )
+        else:
+            clear = np.zeros(num, dtype=bool)
+        d1 = distance(tx, via)
+        d2 = np.hypot(rx_x - via.x, rx_y - via.y)
+        aod = np.full(num, (via - tx).angle())
+        aoa = np.arctan2(via.y - rx_y, via.x - rx_x)
+        incident_angle = (tx - via).angle()
+        departure_angle = np.arctan2(rx_y - via.y, rx_x - via.x)
+        if relay_antenna_in is not None:
+            gain_in = relay_antenna_in.amplitude_gain(incident_angle)
+        else:
+            gain_in = 10.0 ** (relay_gain_dbi / 20.0)
+        if relay_antenna_out is not None:
+            gain_out = relay_antenna_out.amplitude_gain_array(departure_angle)
+        else:
+            gain_out = 10.0 ** (relay_gain_dbi / 20.0)
+        amplitude = (
+            free_space_amplitude(d1, self.wavelength_m)
+            * _free_space_amplitude_array(d2, self.wavelength_m)
+            * tx_antenna.amplitude_gain((via - tx).angle())
+            * rx_antenna.amplitude_gain_array(aoa)
+            * gain_in
+            * gain_out
+        )
+        return amplitude, d1 + d2, aod, aoa, clear
+
+    def relay_column(
+        self,
+        tx: Point,
+        via: Point,
+        rx_x: np.ndarray,
+        rx_y: np.ndarray,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+        relay_antenna_in: Optional[Antenna] = None,
+        relay_antenna_out: Optional[Antenna] = None,
+        relay_gain_dbi: float = 0.0,
+        reflectivity: complex = 1.0 + 0.0j,
+        extra_delay_s: float = 0.0,
+        extra_phase_rad: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`relay_path`: TX -> via -> each RX point.
+
+        Returns ``(gain, delay_s, aod, aoa, valid)``, all shape ``(P,)``.
+        """
+        amplitude, total, aod, aoa, clear = self.relay_geometry_batch(
+            tx,
+            via,
+            rx_x,
+            rx_y,
+            tx_antenna=tx_antenna,
+            rx_antenna=rx_antenna,
+            relay_antenna_in=relay_antenna_in,
+            relay_antenna_out=relay_antenna_out,
+            relay_gain_dbi=relay_gain_dbi,
+        )
+        gain = amplitude * reflectivity * np.exp(
+            -2.0j * np.pi * total / self.wavelength_m
+        )
+        gain = gain * cmath.exp(1j * extra_phase_rad)
+        valid = clear & (np.abs(gain) != 0.0)
+        delay = total / SPEED_OF_LIGHT + extra_delay_s
+        return gain, delay, aod, aoa, valid
+
+
+def _free_space_amplitude_array(
+    distance_m: np.ndarray, wavelength_m: float
+) -> np.ndarray:
+    """Vectorized :func:`free_space_amplitude` (same clamp, same op order)."""
+    return wavelength_m / (
+        4.0 * np.pi * np.maximum(distance_m, MIN_HOP_DISTANCE_M)
+    )
+
+
+def _points_to_arrays(
+    points: Union[Sequence[Point], np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a point batch into ``(x, y)`` float arrays.
+
+    Accepts a sequence of :class:`Point` or an ``(P, 2)`` array.
+    """
+    if isinstance(points, np.ndarray):
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(f"point array must have shape (P, 2), got {arr.shape}")
+        return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
+    xs = np.array([p.x for p in points], dtype=float)
+    ys = np.array([p.y for p in points], dtype=float)
+    return xs, ys
+
+
+def _ray_segment_hits(
+    start: Point,
+    target_x: np.ndarray,
+    target_y: np.ndarray,
+    seg: Segment,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched image-method back-step: rays ``start -> target[i]`` vs one wall.
+
+    Vectorizes ``segment_intersection(Segment(start, target), seg)`` plus
+    the ``seg.contains_point(hit, tol)`` validity test of the scalar
+    ``_wall_path``, branch for branch, over an array of ray targets.
+
+    Returns ``(hit_x, hit_y, ok)`` where ``ok[i]`` means ray ``i`` crosses
+    the wall segment at the returned point.
+    """
+    px, py = start.x, start.y
+    rx = target_x - px
+    ry = target_y - py
+    qx, qy = seg.start.x, seg.start.y
+    sx = seg.end.x - qx
+    sy = seg.end.y - qy
+    qpx = qx - px  # q - p is shared by every ray (same origin).
+    qpy = qy - py
+    rxs = rx * sy - ry * sx  # cross(r, s), (P,)
+    qp_x_r = qpx * ry - qpy * rx  # cross(q - p, r), (P,)
+    qp_x_s = qpx * sy - qpy * sx  # cross(q - p, s), scalar
+    parallel = np.abs(rxs) < _EPS
+    rxs_safe = np.where(parallel, 1.0, rxs)
+    t_np = qp_x_s / rxs_safe
+    u_np = qp_x_r / rxs_safe
+    ok_np = (
+        ~parallel
+        & (t_np >= -_EPS)
+        & (t_np <= 1.0 + _EPS)
+        & (u_np >= -_EPS)
+        & (u_np <= 1.0 + _EPS)
+    )
+    # Parallel rays: collinear overlap resolves to the overlap start;
+    # degenerate (zero-length) rays hit at the ray origin if it lies on
+    # the wall — which the contains test below settles.
+    r_len2 = rx * rx + ry * ry
+    degenerate = r_len2 < _EPS * _EPS
+    r_len2_safe = np.where(degenerate, 1.0, r_len2)
+    collinear = parallel & (np.abs(qp_x_r) <= _EPS)
+    t0 = (qpx * rx + qpy * ry) / r_len2_safe
+    t1 = t0 + (sx * rx + sy * ry) / r_len2_safe
+    lo = np.minimum(t0, t1)
+    hi = np.maximum(t0, t1)
+    overlap = collinear & ~degenerate & (hi >= -_EPS) & (lo <= 1.0 + _EPS)
+    ok_pre = ok_np | overlap | (collinear & degenerate)
+    t_sel = np.where(parallel, np.clip(lo, 0.0, 1.0), np.clip(t_np, 0.0, 1.0))
+    t_sel = np.where(degenerate, 0.0, t_sel)
+    hit_x = px + t_sel * rx
+    hit_y = py + t_sel * ry
+    # Wall containment, replicating Segment.contains_point exactly.
+    seg_len = np.hypot(sx, sy)
+    if seg_len < _EPS:
+        contains = np.hypot(hit_x - qx, hit_y - qy) <= tol
+    else:
+        rel_x = hit_x - qx
+        rel_y = hit_y - qy
+        perp = np.abs(sx * rel_y - sy * rel_x) / seg_len
+        tt = (rel_x * sx + rel_y * sy) / (seg_len * seg_len)
+        contains = (
+            (perp <= tol) & (tt >= -tol / seg_len) & (tt <= 1.0 + tol / seg_len)
+        )
+    return hit_x, hit_y, ok_pre & contains
 
 
 def _same_segment(a: Segment, b: Segment) -> bool:

@@ -1,0 +1,110 @@
+"""Process-wide geometry trace cache, keyed by scene fingerprint.
+
+Every experiment that re-builds a testbed for the same placement seed used
+to re-trace identical geometry: ``run_fig6`` and ``run_fig7`` construct a
+fresh :class:`~repro.sdr.testbed.Testbed` per call, and a figure suite run
+back-to-back repeats the same (scene, endpoints) traces many times over.
+
+All the scene types are immutable value dataclasses, so a trace is fully
+determined by the *values* of ``(scene, frequency, max_bounces, tx, rx,
+antennas)`` — that tuple is the cache key (the "scene fingerprint").  Two
+testbeds built from the same placement seed hash to the same key and share
+one trace, across instances and across experiments within a process.
+
+The cache is a bounded LRU; worker processes of the parallel experiment
+runner each hold their own copy (it is per-process state, never pickled).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+from .antennas import Antenna
+from .geometry import Point
+from .paths import SignalPath
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .raytracer import RayTracer
+
+__all__ = ["TraceCache", "global_trace_cache"]
+
+#: Default bound on cached traces.  A coverage run touches a few hundred
+#: endpoints per placement; 4096 comfortably holds several placements.
+DEFAULT_MAXSIZE = 4096
+
+
+class TraceCache:
+    """A bounded LRU cache of ambient traces keyed by geometry values.
+
+    Keys combine the tracer's scene fingerprint (the scene value itself —
+    an immutable dataclass hashing by field values) with its radio
+    parameters and the endpoint positions/antennas.  Values are the packed
+    ``tuple[SignalPath, ...]`` of :meth:`RayTracer.trace`.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, tuple[SignalPath, ...]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(
+        tracer: "RayTracer",
+        tx: Point,
+        rx: Point,
+        tx_antenna: Antenna,
+        rx_antenna: Antenna,
+    ) -> Hashable:
+        """The scene-fingerprint cache key for one trace."""
+        return (
+            tracer.scene,
+            tracer.frequency_hz,
+            tracer.max_bounces,
+            tx,
+            rx,
+            tx_antenna,
+            rx_antenna,
+        )
+
+    def get_or_trace(
+        self,
+        tracer: "RayTracer",
+        tx: Point,
+        rx: Point,
+        tx_antenna: Antenna,
+        rx_antenna: Antenna,
+    ) -> tuple[SignalPath, ...]:
+        """The cached trace for these values, tracing on first request."""
+        key = self.key(tracer, tx, rx, tx_antenna, rx_antenna)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        paths = tuple(tracer.trace(tx, rx, tx_antenna, rx_antenna))
+        self._entries[key] = paths
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return paths
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_GLOBAL_CACHE = TraceCache()
+
+
+def global_trace_cache() -> TraceCache:
+    """The process-wide trace cache shared by all testbeds."""
+    return _GLOBAL_CACHE

@@ -13,7 +13,7 @@ from .common import (
     used_subcarrier_mask,
 )
 from .alignment_study import AlignmentResult, run_alignment_study
-from .coverage import CoverageMap, run_coverage
+from .coverage import CoverageMap, run_coverage, run_coverage_suite
 from .fig4_link_enhancement import Fig4PlacementResult, Fig4Result, run_fig4
 from .fig5_null_movement import Fig5Result, run_fig5
 from .fig6_snr_ccdf import Fig6Result, run_fig6
@@ -22,6 +22,7 @@ from .fig8_mimo import Fig8Result, run_fig8
 from .los_study import LosStudyResult, run_los_study
 from .mac_harmonization import MacHarmonizationResult, run_mac_harmonization
 from .mu_mimo import MuMimoResult, mu_mimo_matrices, run_mu_mimo, zf_sum_rate_bits
+from .runner import available_cpus, derive_seeds, resolve_jobs, run_parallel
 from .tracking import TrackingResult, run_tracking
 from .workloads import (
     DynamicStrategyResult,
@@ -60,6 +61,11 @@ __all__ = [
     "run_tracking",
     "CoverageMap",
     "run_coverage",
+    "run_coverage_suite",
+    "available_cpus",
+    "resolve_jobs",
+    "derive_seeds",
+    "run_parallel",
     "AlignmentResult",
     "run_alignment_study",
     "MuMimoResult",

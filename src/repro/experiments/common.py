@@ -32,7 +32,7 @@ Figures 5 and 6 use placement (e) = seed 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -268,6 +268,58 @@ def _element_positions(
     )
 
 
+def _build_setup(
+    placement_seed: int,
+    config: StudyConfig,
+    *,
+    blocked: bool,
+    elements_fn: Callable[[StudyConfig, np.random.Generator], Sequence[PressElement]],
+    device_factory: Callable[..., SdrDevice],
+    device_prefix: str,
+) -> StudySetup:
+    """Shared scaffolding of every ``build_*_setup`` scenario.
+
+    One place owns the rng/clutter-rng seeding, scene construction, testbed
+    wiring and endpoint-device placement; the scenarios differ only in
+    whether the LoS is blocked, which PRESS elements they install (drawn
+    from ``rng`` *after* the scene, preserving each builder's historical
+    draw order) and which SDR model stands at the endpoints.
+    """
+    rng = np.random.default_rng(placement_seed)
+    clutter_rng = np.random.default_rng([placement_seed, 77])
+    scene = build_study_scene(config, rng, blocked=blocked, clutter_rng=clutter_rng)
+    array = PressArray.from_elements(list(elements_fn(config, rng)))
+    testbed = Testbed(
+        scene=scene,
+        array=array,
+        drift_phase_rad=config.drift_phase_rad,
+        drift_amplitude=config.drift_amplitude,
+    )
+    tx_device = device_factory(
+        f"{device_prefix}-tx", config.tx_position(), tx_power_dbm=config.tx_power_dbm
+    )
+    rx_device = device_factory(f"{device_prefix}-rx", config.rx_position())
+    return StudySetup(
+        testbed=testbed,
+        tx_device=tx_device,
+        rx_device=rx_device,
+        array=array,
+        config=config,
+        placement_seed=placement_seed,
+    )
+
+
+def _study_elements(
+    config: StudyConfig, rng: np.random.Generator
+) -> list[PressElement]:
+    """The §3.2 elements: SP4T omnis on random grid cells near the link."""
+    positions = _element_positions(config, rng, config.num_elements)
+    return [
+        omni_element(p, name=f"e{i}", gain_dbi=config.element_gain_dbi)
+        for i, p in enumerate(positions)
+    ]
+
+
 def build_nlos_setup(
     placement_seed: int,
     config: StudyConfig = StudyConfig(),
@@ -278,30 +330,13 @@ def build_nlos_setup(
     scatterer realisation, reproducing "each antenna placement results in a
     different scattering environment".
     """
-    rng = np.random.default_rng(placement_seed)
-    clutter_rng = np.random.default_rng([placement_seed, 77])
-    scene = build_study_scene(config, rng, blocked=True, clutter_rng=clutter_rng)
-    positions = _element_positions(config, rng, config.num_elements)
-    elements = [
-        omni_element(p, name=f"e{i}", gain_dbi=config.element_gain_dbi)
-        for i, p in enumerate(positions)
-    ]
-    array = PressArray.from_elements(elements)
-    testbed = Testbed(
-        scene=scene,
-        array=array,
-        drift_phase_rad=config.drift_phase_rad,
-        drift_amplitude=config.drift_amplitude,
-    )
-    tx_device = warp_v3("warp-tx", config.tx_position(), tx_power_dbm=config.tx_power_dbm)
-    rx_device = warp_v3("warp-rx", config.rx_position())
-    return StudySetup(
-        testbed=testbed,
-        tx_device=tx_device,
-        rx_device=rx_device,
-        array=array,
-        config=config,
-        placement_seed=placement_seed,
+    return _build_setup(
+        placement_seed,
+        config,
+        blocked=True,
+        elements_fn=_study_elements,
+        device_factory=warp_v3,
+        device_prefix="warp",
     )
 
 
@@ -310,30 +345,13 @@ def build_los_setup(
     config: StudyConfig = StudyConfig(),
 ) -> StudySetup:
     """The §3 line-of-sight control: identical, but the blocker removed."""
-    rng = np.random.default_rng(placement_seed)
-    clutter_rng = np.random.default_rng([placement_seed, 77])
-    scene = build_study_scene(config, rng, blocked=False, clutter_rng=clutter_rng)
-    positions = _element_positions(config, rng, config.num_elements)
-    elements = [
-        omni_element(p, name=f"e{i}", gain_dbi=config.element_gain_dbi)
-        for i, p in enumerate(positions)
-    ]
-    array = PressArray.from_elements(elements)
-    testbed = Testbed(
-        scene=scene,
-        array=array,
-        drift_phase_rad=config.drift_phase_rad,
-        drift_amplitude=config.drift_amplitude,
-    )
-    tx_device = warp_v3("warp-tx", config.tx_position(), tx_power_dbm=config.tx_power_dbm)
-    rx_device = warp_v3("warp-rx", config.rx_position())
-    return StudySetup(
-        testbed=testbed,
-        tx_device=tx_device,
-        rx_device=rx_device,
-        array=array,
-        config=config,
-        placement_seed=placement_seed,
+    return _build_setup(
+        placement_seed,
+        config,
+        blocked=False,
+        elements_fn=_study_elements,
+        device_factory=warp_v3,
+        device_prefix="warp",
     )
 
 
@@ -347,33 +365,26 @@ def build_harmonization_setup(
     which is attached to four different reflective cable lengths and no
     absorptive load, to decrease the reflected phase granularity."
     """
-    rng = np.random.default_rng(placement_seed)
-    clutter_rng = np.random.default_rng([placement_seed, 77])
-    scene = build_study_scene(config, rng, blocked=True, clutter_rng=clutter_rng)
-    positions = _element_positions(config, rng, 2)
-    states = sp4t_states(include_load=False, num_phases=4)
-    elements = [
-        omni_element(
-            p, name=f"e{i}", gain_dbi=config.element_gain_dbi, states=states
-        )
-        for i, p in enumerate(positions)
-    ]
-    array = PressArray.from_elements(elements)
-    testbed = Testbed(
-        scene=scene,
-        array=array,
-        drift_phase_rad=config.drift_phase_rad,
-        drift_amplitude=config.drift_amplitude,
-    )
-    tx_device = usrp_n210("n210-tx", config.tx_position(), tx_power_dbm=config.tx_power_dbm)
-    rx_device = usrp_n210("n210-rx", config.rx_position())
-    return StudySetup(
-        testbed=testbed,
-        tx_device=tx_device,
-        rx_device=rx_device,
-        array=array,
-        config=config,
-        placement_seed=placement_seed,
+
+    def elements_fn(
+        config: StudyConfig, rng: np.random.Generator
+    ) -> list[PressElement]:
+        positions = _element_positions(config, rng, 2)
+        states = sp4t_states(include_load=False, num_phases=4)
+        return [
+            omni_element(
+                p, name=f"e{i}", gain_dbi=config.element_gain_dbi, states=states
+            )
+            for i, p in enumerate(positions)
+        ]
+
+    return _build_setup(
+        placement_seed,
+        config,
+        blocked=True,
+        elements_fn=elements_fn,
+        device_factory=usrp_n210,
+        device_prefix="n210",
     )
 
 
@@ -390,44 +401,36 @@ def build_mimo_setup(
     """
     from ..constants import WAVELENGTH_M
 
-    rng = np.random.default_rng(placement_seed)
-    clutter_rng = np.random.default_rng([placement_seed, 77])
-    scene = build_study_scene(config, rng, blocked=True, clutter_rng=clutter_rng)
-    tx = config.tx_position()
-    spacing = element_spacing_wavelengths * WAVELENGTH_M
-    # Elements co-linear with the TX array's axis (§3.2.3), raised above the
-    # link line so their view of the receiver clears the LoS blocker.  They
-    # sit close to the TX array, where each element is at a distinctly
-    # different distance/angle from each TX antenna, so switching its
-    # reflection perturbs the *spatial* structure of H (conditioning), not
-    # just its overall gain.  The gain default reflects that this near-array
-    # deployment couples more strongly than the far-field two-hop model of a
-    # mid-room element.
-    first = Point(tx.x + 0.25, tx.y + 0.75)
-    elements = [
-        omni_element(
-            Point(first.x + i * spacing, first.y),
-            name=f"e{i}",
-            gain_dbi=element_gain_dbi,
-        )
-        for i in range(config.num_elements)
-    ]
-    array = PressArray.from_elements(elements)
-    testbed = Testbed(
-        scene=scene,
-        array=array,
-        drift_phase_rad=config.drift_phase_rad,
-        drift_amplitude=config.drift_amplitude,
-    )
-    tx_device = usrp_x310("x310-tx", tx, tx_power_dbm=config.tx_power_dbm)
-    rx_device = usrp_x310("x310-rx", config.rx_position())
-    return StudySetup(
-        testbed=testbed,
-        tx_device=tx_device,
-        rx_device=rx_device,
-        array=array,
-        config=config,
-        placement_seed=placement_seed,
+    def elements_fn(
+        config: StudyConfig, rng: np.random.Generator
+    ) -> list[PressElement]:
+        tx = config.tx_position()
+        spacing = element_spacing_wavelengths * WAVELENGTH_M
+        # Elements co-linear with the TX array's axis (§3.2.3), raised above
+        # the link line so their view of the receiver clears the LoS blocker.
+        # They sit close to the TX array, where each element is at a
+        # distinctly different distance/angle from each TX antenna, so
+        # switching its reflection perturbs the *spatial* structure of H
+        # (conditioning), not just its overall gain.  The gain default
+        # reflects that this near-array deployment couples more strongly than
+        # the far-field two-hop model of a mid-room element.
+        first = Point(tx.x + 0.25, tx.y + 0.75)
+        return [
+            omni_element(
+                Point(first.x + i * spacing, first.y),
+                name=f"e{i}",
+                gain_dbi=element_gain_dbi,
+            )
+            for i in range(config.num_elements)
+        ]
+
+    return _build_setup(
+        placement_seed,
+        config,
+        blocked=True,
+        elements_fn=elements_fn,
+        device_factory=usrp_x310,
+        device_prefix="x310",
     )
 
 

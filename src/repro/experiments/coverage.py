@@ -20,8 +20,9 @@ from ..em.channel import snr_db_from_cfr
 from ..em.geometry import Point
 from ..sdr.device import warp_v3
 from .common import StudyConfig, StudySetup, build_nlos_setup, used_subcarrier_mask
+from .runner import run_parallel
 
-__all__ = ["CoverageMap", "run_coverage"]
+__all__ = ["CoverageMap", "run_coverage", "run_coverage_suite"]
 
 
 @dataclass(frozen=True)
@@ -94,23 +95,29 @@ def run_coverage(
     xs = np.linspace(rx0.x - x_span_m / 2, rx0.x + x_span_m / 2, cols)
     ys = np.linspace(rx0.y - y_span_m / 2, rx0.y + y_span_m / 2, rows)
 
-    # min-SNR for every (position, configuration) pair.  One basis trace
-    # per position; the whole configuration axis is a vectorized CFR
-    # evaluation instead of M^N measure_csi re-traces.
+    # min-SNR for every (position, configuration) pair.  The whole position
+    # axis goes through the batched geometry trace — one trace_batch call
+    # for all grid cells instead of one scalar trace per cell — and the
+    # configuration axis is a vectorized CFR evaluation per point.
     testbed = setup.testbed
+    probe = warp_v3("probe", rx0)
+    points = [
+        Point(float(x), float(y)) for y in ys for x in xs
+    ]  # row-major, matching the original (row, col) loop order
+    bases = testbed.bases_for_points(
+        setup.tx_device, points, probe.chains[0].antenna
+    )
     quality = np.empty((rows, cols, len(configurations)))
-    for row, y in enumerate(ys):
-        for col, x in enumerate(xs):
-            client = warp_v3("probe", Point(float(x), float(y)))
-            basis = testbed.basis_for(setup.tx_device, client)
-            snr = snr_db_from_cfr(
-                basis.evaluate(),
-                testbed.num_subcarriers,
-                testbed.bandwidth_hz,
-                tx_power_dbm=setup.tx_device.tx_power_dbm,
-                noise_figure_db=client.noise_figure_db,
-            )
-            quality[row, col] = snr[:, mask].min(axis=1)
+    for index, basis in enumerate(bases):
+        row, col = divmod(index, cols)
+        snr = snr_db_from_cfr(
+            basis.evaluate(),
+            testbed.num_subcarriers,
+            testbed.bandwidth_hz,
+            tx_power_dbm=setup.tx_device.tx_power_dbm,
+            noise_figure_db=probe.noise_figure_db,
+        )
+        quality[row, col] = snr[:, mask].min(axis=1)
 
     baseline_index = space.index_of(
         ArrayConfiguration(tuple([0] * setup.array.num_elements))
@@ -129,3 +136,39 @@ def run_coverage(
         joint_db=joint,
         joint_configuration=configurations[joint_index],
     )
+
+
+def _coverage_task(
+    task: tuple[int, StudyConfig, tuple[int, int], float, float],
+) -> CoverageMap:
+    """One placement's coverage map (module-level for process pools)."""
+    placement_seed, config, grid_shape, x_span_m, y_span_m = task
+    return run_coverage(
+        placement_seed=placement_seed,
+        config=config,
+        grid_shape=grid_shape,
+        x_span_m=x_span_m,
+        y_span_m=y_span_m,
+    )
+
+
+def run_coverage_suite(
+    placement_seeds: tuple[int, ...] = (0, 1, 2, 3),
+    config: StudyConfig = StudyConfig(),
+    grid_shape: tuple[int, int] = (5, 7),
+    x_span_m: float = 1.8,
+    y_span_m: float = 1.2,
+    jobs: Optional[int] = None,
+) -> list[CoverageMap]:
+    """Coverage maps for several placements, fanned across processes.
+
+    Each placement's map is deterministic in its seed (coverage draws no
+    measurement noise), so results are identical at any ``jobs`` value;
+    within each placement the position axis runs through the batched
+    geometry trace.
+    """
+    tasks = [
+        (int(seed), config, grid_shape, x_span_m, y_span_m)
+        for seed in placement_seeds
+    ]
+    return run_parallel(_coverage_task, tasks, jobs=jobs)

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..analysis.metrics import ConfigPairGap, largest_single_subcarrier_gap
 from .common import StudyConfig, build_nlos_setup, used_subcarrier_mask
+from .runner import run_parallel
 
 __all__ = ["Fig4PlacementResult", "Fig4Result", "run_fig4"]
 
@@ -70,39 +71,57 @@ class Fig4Result:
         return max(p.max_single_rep_gap_db for p in self.placements)
 
 
+def _fig4_placement_task(
+    task: tuple[int, int, StudyConfig, int],
+) -> Fig4PlacementResult:
+    """One Figure 4 panel: sweep 64 configs x reps at one placement.
+
+    The placement's rng is seeded from ``noise_seed + placement_seed``
+    alone, so panels are independent of execution order — parallel runs
+    are bit-identical to serial at any worker count.
+    """
+    placement_seed, repetitions, config, noise_seed = task
+    mask = used_subcarrier_mask()
+    setup = build_nlos_setup(placement_seed, config)
+    rng = np.random.default_rng(noise_seed + placement_seed)
+    sweep = setup.testbed.sweep(
+        setup.tx_device, setup.rx_device, repetitions=repetitions, rng=rng
+    )
+    mean_snr = sweep.mean_snr_db()[:, mask]  # (configs, used subcarriers)
+    pair = largest_single_subcarrier_gap(mean_snr)
+    per_rep = sweep.snr_db[:, :, mask]
+    rep_gaps = np.abs(
+        per_rep[:, pair.config_high, :] - per_rep[:, pair.config_low, :]
+    )  # (reps, used)
+    return Fig4PlacementResult(
+        placement_seed=placement_seed,
+        pair=pair,
+        label_low=setup.array.describe(sweep.configurations[pair.config_low]),
+        label_high=setup.array.describe(sweep.configurations[pair.config_high]),
+        snr_low=mean_snr[pair.config_low],
+        snr_high=mean_snr[pair.config_high],
+        mean_gap_db=pair.gap_db,
+        max_single_rep_gap_db=float(rep_gaps.max()),
+    )
+
+
 def run_fig4(
     num_placements: int = 8,
     repetitions: int = 10,
     config: StudyConfig = StudyConfig(),
     noise_seed: int = 1000,
+    jobs: Optional[int] = None,
 ) -> Fig4Result:
-    """Run the Figure 4 experiment: sweep 64 configs x reps per placement."""
+    """Run the Figure 4 experiment: sweep 64 configs x reps per placement.
+
+    ``jobs`` fans the placement axis across processes (``None``/``1``
+    serial, ``<= 0`` all CPUs); results are bit-identical at any value.
+    """
     if num_placements <= 0:
         raise ValueError(f"num_placements must be positive, got {num_placements}")
-    placements = []
-    mask = used_subcarrier_mask()
-    for placement_seed in range(num_placements):
-        setup = build_nlos_setup(placement_seed, config)
-        rng = np.random.default_rng(noise_seed + placement_seed)
-        sweep = setup.testbed.sweep(
-            setup.tx_device, setup.rx_device, repetitions=repetitions, rng=rng
-        )
-        mean_snr = sweep.mean_snr_db()[:, mask]  # (configs, used subcarriers)
-        pair = largest_single_subcarrier_gap(mean_snr)
-        per_rep = sweep.snr_db[:, :, mask]
-        rep_gaps = np.abs(
-            per_rep[:, pair.config_high, :] - per_rep[:, pair.config_low, :]
-        )  # (reps, used)
-        placements.append(
-            Fig4PlacementResult(
-                placement_seed=placement_seed,
-                pair=pair,
-                label_low=setup.array.describe(sweep.configurations[pair.config_low]),
-                label_high=setup.array.describe(sweep.configurations[pair.config_high]),
-                snr_low=mean_snr[pair.config_low],
-                snr_high=mean_snr[pair.config_high],
-                mean_gap_db=pair.gap_db,
-                max_single_rep_gap_db=float(rep_gaps.max()),
-            )
-        )
+    tasks = [
+        (placement_seed, repetitions, config, noise_seed)
+        for placement_seed in range(num_placements)
+    ]
+    placements = run_parallel(_fig4_placement_task, tasks, jobs=jobs)
     return Fig4Result(placements=tuple(placements))

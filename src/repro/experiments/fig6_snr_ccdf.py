@@ -13,6 +13,7 @@ show a worst subcarrier channel gain below 20 dB." (§3.2.1)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from .common import (
     build_nlos_setup,
     used_subcarrier_mask,
 )
+from .runner import derive_seeds, run_parallel
 
 __all__ = ["Fig6Result", "run_fig6"]
 
@@ -69,20 +71,56 @@ class Fig6Result:
         ]
 
 
+def _fig6_rep_task(
+    task: tuple[int, StudyConfig, np.random.SeedSequence],
+) -> np.ndarray:
+    """One Figure 6 repetition: a single 64-configuration sweep.
+
+    Each repetition draws from its own spawned :class:`SeedSequence`
+    child, so the result depends only on ``(noise_seed, rep index)`` — any
+    worker count reproduces any other.
+    """
+    placement_seed, config, seed_seq = task
+    setup = build_nlos_setup(placement_seed, config)
+    rng = np.random.default_rng(seed_seq)
+    sweep = setup.testbed.sweep(
+        setup.tx_device, setup.rx_device, repetitions=1, rng=rng
+    )
+    return sweep.snr_db[0]
+
+
 def run_fig6(
     repetitions: int = 10,
     placement_seed: int = FIG5_PLACEMENT_SEED,
     config: StudyConfig = StudyConfig(),
     noise_seed: int = 3000,
+    jobs: Optional[int] = None,
 ) -> Fig6Result:
-    """Run the Figure 6 experiment at the Figure 5 placement."""
-    setup = build_nlos_setup(placement_seed, config)
-    rng = np.random.default_rng(noise_seed)
-    sweep = setup.testbed.sweep(
-        setup.tx_device, setup.rx_device, repetitions=repetitions, rng=rng
-    )
+    """Run the Figure 6 experiment at the Figure 5 placement.
+
+    ``jobs=None`` (default) keeps the historical serial route: one rng
+    stream consumed across all repetitions in order.  Any explicit
+    ``jobs`` — including ``jobs=1`` — switches the repetition axis to
+    per-rep streams derived with ``SeedSequence.spawn`` so repetitions can
+    fan across processes; that scheme's results are bit-identical at every
+    worker count (but are a different, equally valid random realisation
+    than the legacy single-stream route).
+    """
     mask = used_subcarrier_mask()
-    per_rep = [sweep.snr_db[rep][:, mask] for rep in range(repetitions)]
+    if jobs is None:
+        setup = build_nlos_setup(placement_seed, config)
+        rng = np.random.default_rng(noise_seed)
+        sweep = setup.testbed.sweep(
+            setup.tx_device, setup.rx_device, repetitions=repetitions, rng=rng
+        )
+        snr_reps = [sweep.snr_db[rep] for rep in range(repetitions)]
+    else:
+        tasks = [
+            (placement_seed, config, seed_seq)
+            for seed_seq in derive_seeds(noise_seed, repetitions)
+        ]
+        snr_reps = run_parallel(_fig6_rep_task, tasks, jobs=jobs)
+    per_rep = [snr[:, mask] for snr in snr_reps]
     change_pairs = np.concatenate([min_snr_changes(snr) for snr in per_rep])
     minima_per_trial = tuple(min_snrs(snr) for snr in per_rep)
     frac_10db = float(

@@ -9,8 +9,9 @@ over all array configurations (Figures 4-6), frequency-selectivity pairs
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -25,9 +26,12 @@ from ..em.channel import (
     snr_db_from_cfr,
     subcarrier_frequencies,
 )
+from ..em.antennas import Antenna
+from ..em.geometry import Point
 from ..em.paths import SignalPath, paths_to_cfr
 from ..em.raytracer import RayTracer
 from ..em.scene import Scene
+from ..em.trace_cache import global_trace_cache
 from ..phy.ofdm import OfdmParams
 from .device import SdrDevice
 
@@ -177,8 +181,12 @@ class Testbed:
             rx.antenna,
         )
         if key not in self._environment_cache:
-            self._environment_cache[key] = tuple(
-                self.tracer.trace(tx.position, rx.position, tx.antenna, rx.antenna)
+            # The process-wide cache is keyed by geometry *values* (scene
+            # fingerprint + endpoints), so testbeds rebuilt for the same
+            # placement seed — e.g. successive experiments in a figure
+            # suite — share one trace across instances.
+            self._environment_cache[key] = global_trace_cache().get_or_trace(
+                self.tracer, tx.position, rx.position, tx.antenna, rx.antenna
             )
         return self._environment_cache[key]
 
@@ -218,6 +226,34 @@ class Testbed:
                 ),
             )
         return self._basis_cache[key]
+
+    def bases_for_points(
+        self,
+        tx_device: SdrDevice,
+        rx_points: Union[Sequence[Point], np.ndarray],
+        rx_antenna: Antenna,
+        tx_chain: int = 0,
+    ) -> list[ChannelBasis]:
+        """Channel bases for one TX chain against a batch of RX positions.
+
+        The position-sweep fast path (coverage maps, placement scans): one
+        :meth:`RayTracer.trace_batch` call replaces P scalar ambient traces
+        and each element's two-hop geometry is traced once for all P points
+        (:meth:`ChannelBasis.trace_batch`).  Per-point results match
+        :meth:`basis_for` against a probe device at the same position with
+        the same antenna.
+        """
+        tx = tx_device.chains[tx_chain]
+        return ChannelBasis.trace_batch(
+            self.array,
+            tx.position,
+            rx_points,
+            self.tracer,
+            tx_antenna=tx.antenna,
+            rx_antenna=rx_antenna,
+            num_subcarriers=self.num_subcarriers,
+            bandwidth_hz=self.bandwidth_hz,
+        )
 
     def basis_evaluator(
         self,
@@ -316,6 +352,12 @@ class Testbed:
         if repetitions <= 0:
             raise ValueError(f"repetitions must be positive, got {repetitions}")
         if used_only_mask is not None:
+            warnings.warn(
+                "Testbed.sweep's used_only_mask is deprecated; "
+                "pass used_mask instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             if used_mask is not None:
                 raise ValueError(
                     "pass either used_mask or the deprecated used_only_mask, not both"
