@@ -9,9 +9,6 @@ SNR."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
 __all__ = [

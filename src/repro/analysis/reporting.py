@@ -7,7 +7,7 @@ figure's reproduction reads the same way in ``bench_output.txt``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 __all__ = ["Comparison", "ReportTable", "format_table"]
 

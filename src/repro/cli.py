@@ -10,6 +10,8 @@ Commands
     Regenerate every figure's headline numbers (compact report).
 ``timing``
     Control-plane latency budgets against the §2 coherence times.
+``control-robustness``
+    Closed-loop sweep of link type x loss probability x mobility speed.
 ``profile-sweep``
     cProfile one Figure-4 configuration sweep (basis or legacy mode).
 """
@@ -173,6 +175,59 @@ def _cmd_timing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_control_robustness(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .experiments import run_control_robustness
+
+    result = run_control_robustness(
+        links=tuple(args.links.split(",")),
+        loss_probabilities=tuple(float(x) for x in args.loss.split(",")),
+        speeds_mph=tuple(float(x) for x in args.speeds.split(",")),
+        rounds=args.rounds,
+        placement_seed=args.placement,
+        maintenance_interval=args.maintenance_interval,
+        base_seed=args.seed,
+        jobs=args.jobs,
+    )
+    rows = [
+        (
+            "link",
+            "loss",
+            "speed",
+            "final SNR",
+            "meas",
+            "retries",
+            "lost",
+            "failed",
+            "degraded",
+            "stale",
+        )
+    ]
+    for cell in result.cells:
+        rows.append(
+            (
+                cell.link_name,
+                f"{cell.loss_probability:.2f}",
+                f"{cell.speed_mph:g} mph",
+                f"{cell.final_score:.1f} dB",
+                str(cell.total_measurements),
+                str(cell.total_retries),
+                str(cell.total_lost_messages),
+                str(cell.failed_actuations),
+                f"{cell.degraded_rounds}/{cell.rounds}",
+                f"{cell.stale_rounds}/{cell.rounds}",
+            )
+        )
+    print(format_table(rows, header_rule=True))
+    telemetry = result.telemetry
+    print(
+        f"# trace cache: {telemetry['trace_cache_hits']} hits, "
+        f"{telemetry['trace_cache_misses']} misses, "
+        f"{telemetry['trace_cache_entries']} entries (this process)"
+    )
+    return 0
+
+
 def _cmd_profile_sweep(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
@@ -252,6 +307,43 @@ def build_parser() -> argparse.ArgumentParser:
     timing = sub.add_parser("timing", help="control-plane latency budgets")
     timing.add_argument("--elements", type=int, default=16)
     timing.set_defaults(func=_cmd_timing)
+
+    robustness = sub.add_parser(
+        "control-robustness",
+        help="closed-loop link x loss x mobility sweep",
+    )
+    robustness.add_argument(
+        "--links",
+        default="wired,sub-ghz,wifi,ultrasound",
+        help="comma-separated control media",
+    )
+    robustness.add_argument(
+        "--loss",
+        default="0.0,0.05,0.2",
+        help="comma-separated per-message loss probabilities",
+    )
+    robustness.add_argument(
+        "--speeds",
+        default="0.5,6.0",
+        help="comma-separated mobility speeds [mph]",
+    )
+    robustness.add_argument("--rounds", type=int, default=3)
+    robustness.add_argument("--placement", type=int, default=2)
+    robustness.add_argument(
+        "--maintenance-interval",
+        type=int,
+        default=2,
+        help="rounds between fault-detection sweeps (0 = off)",
+    )
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep cells "
+        "(default: serial; 0 = all CPUs)",
+    )
+    robustness.set_defaults(func=_cmd_control_robustness)
 
     profile = sub.add_parser(
         "profile-sweep", help="cProfile one Fig. 4 configuration sweep"

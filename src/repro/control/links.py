@@ -69,22 +69,46 @@ class ControlLink:
             raise ValueError(f"size_bytes must be positive, got {size_bytes}")
         return self.base_latency_s + 8.0 * size_bytes / self.data_rate_bps
 
-    def delivery_attempts(self, rng: np.random.Generator, max_attempts: int = 10) -> int:
+    def delivery_attempts(
+        self, rng: np.random.Generator, max_attempts: int = 10
+    ) -> Optional[int]:
         """Sample how many transmissions a message needs (ARQ with retries).
 
-        Returns ``max_attempts + 1`` sentinel if every attempt is lost.
+        Returns the attempt number (1 = first transmission delivered) of the
+        first successful delivery, or ``None`` if all ``max_attempts``
+        transmissions are lost — the explicit give-up case, distinguishable
+        from any real attempt count (the old ``max_attempts + 1`` sentinel
+        was not).
         """
         if max_attempts <= 0:
             raise ValueError(f"max_attempts must be positive, got {max_attempts}")
         for attempt in range(1, max_attempts + 1):
             if rng.random() >= self.loss_probability:
                 return attempt
-        return max_attempts + 1
+        return None
 
-    def expected_delivery_time_s(self, size_bytes: int) -> float:
-        """Mean delivery latency including geometric retransmissions."""
-        attempts = 1.0 / (1.0 - self.loss_probability)
-        return attempts * self.transfer_time_s(size_bytes)
+    def expected_attempts(self, max_attempts: int = 10) -> float:
+        """Mean transmissions per message under the truncated ARQ.
+
+        :meth:`delivery_attempts` truncates at ``max_attempts``, so the mean
+        number of transmissions actually sent is ``E[min(G, n)]`` for a
+        geometric ``G`` — ``(1 - p^n) / (1 - p)`` — not the untruncated
+        ``1 / (1 - p)``.
+        """
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        p = self.loss_probability
+        return (1.0 - p**max_attempts) / (1.0 - p)
+
+    def expected_delivery_time_s(self, size_bytes: int, max_attempts: int = 10) -> float:
+        """Mean on-air latency per message, including truncated retransmissions.
+
+        Consistent with the ARQ model of :meth:`delivery_attempts`: a sender
+        that gives up after ``max_attempts`` transmissions spends the
+        truncated-geometric expectation ``(1 - p^n) / (1 - p)`` transfer
+        times per message, not the untruncated ``1 / (1 - p)``.
+        """
+        return self.expected_attempts(max_attempts) * self.transfer_time_s(size_bytes)
 
 
 def sub_ghz_ism_link(loss_probability: float = 0.01) -> ControlLink:

@@ -9,8 +9,8 @@ check actuation against the coherence-time budget (§2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -52,14 +52,49 @@ class ActuationResult:
     success:
         All elements acknowledged.
     elapsed_s:
-        Wall-clock time from first transmission to last ack.
+        Wall-clock time from first transmission to the end of switch
+        settling.  Settling is charged whenever *any* element applied a
+        command this round — including failed rounds, where elements that
+        acked earlier retransmissions have already physically switched.
     transmissions:
         Command transmissions used (1 = no retries needed).
+    applied:
+        The per-element switch states the array is physically in after the
+        attempt.  On success this equals the commanded configuration; on
+        failure it is the mix of old and new states the array is actually
+        producing (elements whose command was received switched, the rest
+        kept their previous state), so callers can model the real channel
+        instead of assuming nothing happened.
+    unacked:
+        Element ids the controller never received an ack from.  Note an
+        unacked element may still have switched (its ack, not its command,
+        may have been lost) — ``applied`` is the ground truth.
+    lost_commands:
+        Per-element command receptions lost across all transmissions.
+    lost_acks:
+        Acknowledgements lost on the return path.
+    deadline_exceeded:
+        The attempt stopped early because ``deadline_s`` ran out.
     """
 
     success: bool
     elapsed_s: float
     transmissions: int
+    applied: tuple[int, ...] = ()
+    unacked: tuple[int, ...] = ()
+    lost_commands: int = 0
+    lost_acks: int = 0
+    deadline_exceeded: bool = False
+
+    @property
+    def retries(self) -> int:
+        """Retransmissions beyond the first command (0 = clean round)."""
+        return max(self.transmissions - 1, 0)
+
+    @property
+    def lost_messages(self) -> int:
+        """Total messages lost on either direction of the control link."""
+        return self.lost_commands + self.lost_acks
 
 
 class ControlPlane:
@@ -95,26 +130,62 @@ class ControlPlane:
         """Switch state currently applied at each element."""
         return tuple(agent.current_state for agent in self.agents)
 
+    def lossless_actuation_s(self) -> float:
+        """Analytic wall-clock time of one lossless full-array actuation.
+
+        Command transfer, serialised per-element acks and switch settling —
+        the same accounting :meth:`actuate` performs, without touching agent
+        state.  Used to derive measurement budgets from the coherence
+        window before a round starts.
+        """
+        num = len(self.agents)
+        command = ConfigureCommand(
+            sequence=0,
+            element_ids=tuple(range(num)),
+            states=tuple([0] * num),
+        )
+        ack = Ack(sequence=0, element_id=0)
+        return (
+            self.link.transfer_time_s(command.size_bytes)
+            + num * self.link.transfer_time_s(ack.size_bytes)
+            + SWITCH_SETTLE_S
+        )
+
     def actuate(
         self,
         configuration: ArrayConfiguration,
         rng: Optional[np.random.Generator] = None,
+        deadline_s: Optional[float] = None,
     ) -> ActuationResult:
         """Push a configuration to all elements, with ack-based retries.
 
         Without an ``rng`` the link is treated as lossless (deterministic
         timing analysis); with one, per-message losses are sampled.
+
+        ``deadline_s`` bounds the retry budget in wall-clock terms: no new
+        retransmission starts once ``elapsed`` reaches the deadline (the
+        coherence-window-derived timeout a scheduler would impose).  At
+        least one transmission is always attempted.
         """
         if configuration.num_elements != len(self.agents):
             raise ValueError(
                 f"configuration has {configuration.num_elements} elements, "
                 f"array has {len(self.agents)}"
             )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         self._sequence = (self._sequence + 1) % 2**16
         pending = set(range(len(self.agents)))
         elapsed = 0.0
         transmissions = 0
+        lost_commands = 0
+        lost_acks = 0
+        any_applied = False
+        deadline_exceeded = False
         for _ in range(self.max_retries + 1):
+            if transmissions > 0 and deadline_s is not None and elapsed >= deadline_s:
+                deadline_exceeded = True
+                break
             command = ConfigureCommand(
                 sequence=self._sequence,
                 element_ids=tuple(sorted(pending)),
@@ -126,20 +197,36 @@ class ControlPlane:
             for element_id in sorted(pending):
                 lost = rng is not None and rng.random() < self.link.loss_probability
                 if lost:
+                    lost_commands += 1
                     continue
                 ack = self.agents[element_id].apply(command)
                 if ack is None:
                     continue
+                any_applied = True
                 ack_lost = (
                     rng is not None and rng.random() < self.link.loss_probability
                 )
                 elapsed += self.link.transfer_time_s(ack.size_bytes)
-                if not ack_lost:
+                if ack_lost:
+                    lost_acks += 1
+                else:
                     acked.add(element_id)
             pending -= acked
             if not pending:
-                elapsed += SWITCH_SETTLE_S
-                return ActuationResult(
-                    success=True, elapsed_s=elapsed, transmissions=transmissions
-                )
-        return ActuationResult(success=False, elapsed_s=elapsed, transmissions=transmissions)
+                break
+        # Elements that received a command switched regardless of whether
+        # their ack survived, so settling time is spent whenever anything
+        # switched — the failure path used to skip it, under-reporting the
+        # elapsed time of exactly the rounds that leave a mixed state.
+        if any_applied:
+            elapsed += SWITCH_SETTLE_S
+        return ActuationResult(
+            success=not pending,
+            elapsed_s=elapsed,
+            transmissions=transmissions,
+            applied=self.current_states,
+            unacked=tuple(sorted(pending)),
+            lost_commands=lost_commands,
+            lost_acks=lost_acks,
+            deadline_exceeded=deadline_exceeded,
+        )

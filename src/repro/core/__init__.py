@@ -10,7 +10,7 @@ scheduler, and the centralised controller loop.
 from .array import PressArray
 from .basis import BasisEvaluator, ChannelBasis, exhaustive_argmax
 from .configuration import ArrayConfiguration, ConfigurationSpace
-from .controller import ControlDecision, PressController
+from .controller import ControlDecision, PressController, RoundTelemetry
 from .element import (
     ElementState,
     PressElement,
@@ -89,6 +89,7 @@ from .search import (
     SearchResult,
     Searcher,
     SimulatedAnnealing,
+    SingleProbeSearch,
 )
 
 __all__ = [
@@ -100,6 +101,7 @@ __all__ = [
     "ConfigurationSpace",
     "PressController",
     "ControlDecision",
+    "RoundTelemetry",
     "ElementState",
     "PressElement",
     "open_stub_state",
@@ -136,6 +138,7 @@ __all__ = [
     "SearchResult",
     "Searcher",
     "ExhaustiveSearch",
+    "SingleProbeSearch",
     "RandomSearch",
     "GreedyCoordinateDescent",
     "SimulatedAnnealing",

@@ -11,19 +11,17 @@ superposition §2's inverse problem reasons about.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
-import numpy as np
-
-from ..constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
+from ..constants import SPEED_OF_LIGHT
 from ..em.antennas import Antenna, IsotropicAntenna
 from ..em.channel import Channel
 from ..em.geometry import Point
 from ..em.paths import SignalPath
 from ..em.raytracer import RayTracer
 from .configuration import ArrayConfiguration, ConfigurationSpace
-from .element import ElementState, PressElement
+from .element import PressElement
 
 __all__ = ["PressArray"]
 

@@ -26,7 +26,7 @@ to machine precision (see ``tests/test_basis_equivalence.py``).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Optional, Sequence, Union
 

@@ -8,12 +8,19 @@ The controller owns the array and drives the three tasks §2 enumerates:
 2. navigate the configuration search space under the coherence-time
    budget;
 3. apply the chosen configuration to the array through the control plane.
+
+With a :class:`~repro.control.protocol.ControlPlane` attached, step 3 is
+no longer an analytic latency charge: every sounding and the final
+adoption run the real command/ack protocol over the (possibly lossy)
+control link, so retries, partial actuations and coherence-deadline
+violations all feed back into what the controller measures and decides.
+Each round emits a :class:`RoundTelemetry` record — the observability
+layer a production control loop would export.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -21,13 +28,68 @@ import numpy as np
 from ..em.channel import coherence_time_s
 from .array import PressArray
 from .configuration import ArrayConfiguration, ConfigurationSpace
+from .faults import detect_unresponsive_elements
 from .scheduler import TimingModel, measurement_budget, pick_searcher
 from .search import SearchResult, Searcher
 
-__all__ = ["ControlDecision", "PressController"]
+__all__ = ["ControlDecision", "RoundTelemetry", "PressController"]
 
-MeasureFunction = Callable[[ArrayConfiguration], object]
-ObjectiveFunction = Callable[[object], float]
+
+@dataclass(frozen=True)
+class RoundTelemetry:
+    """Structured per-round observability record.
+
+    Attributes
+    ----------
+    round_index:
+        1-based optimisation round counter.
+    searcher:
+        Class name of the search strategy the round ran.
+    budget:
+        Measurement budget the round was planned against (may be 0 in the
+        degenerate high-mobility regime).
+    num_evaluations:
+        Over-the-air measurements the search actually spent.
+    search_elapsed_s:
+        Wall-clock spent sounding (actuation + measurement + decision per
+        evaluation; real protocol elapsed when a control plane is attached).
+    actuation_elapsed_s:
+        Wall-clock spent on the final adoption (plus rollback, if any).
+    retries:
+        Command retransmissions across the round (sounding + adoption).
+    lost_messages:
+        Control-plane messages lost across the round (commands + acks).
+    failed_actuations:
+        Actuations that exhausted their retry/deadline budget this round.
+    degraded:
+        Empty when the round completed normally; otherwise one of
+        ``"zero-budget"`` (coherence window too small to search — kept the
+        current configuration), ``"rolled-back"`` (adoption failed, the
+        last fully-acked configuration was restored), ``"partial-state"``
+        (adoption and rollback both failed — the array holds a mix of old
+        and new states, and the controller tracks that mix).
+    stale:
+        The round overran its coherence window (§2's core tension).
+    unresponsive_elements:
+        Elements the most recent maintenance sweep flagged as not moving
+        the channel (stuck or dead); the searcher excludes them.
+    best_score:
+        Objective value of the round's winning configuration.
+    """
+
+    round_index: int
+    searcher: str
+    budget: int
+    num_evaluations: int
+    search_elapsed_s: float
+    actuation_elapsed_s: float
+    retries: int
+    lost_messages: int
+    failed_actuations: int
+    degraded: str
+    stale: bool
+    unresponsive_elements: tuple[int, ...]
+    best_score: float
 
 
 @dataclass(frozen=True)
@@ -39,9 +101,17 @@ class ControlDecision:
     search:
         The search result (best configuration, score, evaluation count).
     elapsed_s:
-        Estimated wall-clock time the round took, from the timing model.
+        Wall-clock time the round took — analytic when no control plane is
+        attached, real protocol time when one is.
     coherence_s:
         The coherence window the round was budgeted against.
+    applied:
+        The configuration the array physically holds after the round.
+        Equals ``search.best`` when adoption succeeded; after a failed
+        adoption it is the rolled-back or partially-actuated state.
+    telemetry:
+        The round's :class:`RoundTelemetry` record (``None`` only for
+        decisions built by legacy callers).
     within_coherence:
         Whether the round finished inside the window — if not, the chosen
         configuration may already be stale (§2's core tension).
@@ -50,6 +120,8 @@ class ControlDecision:
     search: SearchResult
     elapsed_s: float
     coherence_s: float
+    applied: Optional[ArrayConfiguration] = None
+    telemetry: Optional[RoundTelemetry] = None
 
     @property
     def within_coherence(self) -> bool:
@@ -58,6 +130,55 @@ class ControlDecision:
     @property
     def configuration(self) -> ArrayConfiguration:
         return self.search.best
+
+    @property
+    def applied_configuration(self) -> ArrayConfiguration:
+        """What the array is actually producing (falls back to the intent)."""
+        return self.applied if self.applied is not None else self.search.best
+
+
+class _ReducedSpace:
+    """Search-space view with unresponsive elements pinned to their state.
+
+    Maintenance sweeps can flag elements whose switching no longer moves
+    the channel (stuck or dead, :mod:`repro.core.faults`).  Searching
+    their digits wastes the measurement budget, so the controller searches
+    the sub-space of responsive elements and re-inserts the pinned digits
+    before measuring/actuating — "shrink the searcher" degradation.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        pinned: dict[int, int],
+    ) -> None:
+        self.full_space = space
+        self.pinned = dict(pinned)
+        self.free = [i for i in range(space.num_elements) if i not in pinned]
+        if self.free:
+            self.space = ConfigurationSpace(
+                tuple(space.state_counts[i] for i in self.free)
+            )
+        else:
+            self.space = None  # every element pinned: nothing to search
+
+    def expand(self, reduced: ArrayConfiguration) -> ArrayConfiguration:
+        """Map a reduced-space configuration back to the full space."""
+        indices = [0] * self.full_space.num_elements
+        for position, element in enumerate(self.free):
+            indices[element] = reduced.indices[position]
+        for element, state in self.pinned.items():
+            indices[element] = state
+        return ArrayConfiguration(tuple(indices))
+
+    def reduce(self, full: ArrayConfiguration) -> ArrayConfiguration:
+        """Project a full configuration onto the free elements."""
+        return ArrayConfiguration(tuple(full.indices[i] for i in self.free))
+
+
+MeasureFunction = Callable[[ArrayConfiguration], object]
+ObjectiveFunction = Callable[[object], float]
+CfrFunction = Callable[[ArrayConfiguration], np.ndarray]
 
 
 class PressController:
@@ -68,13 +189,29 @@ class PressController:
     array:
         The array under control.
     measure:
-        Callback that actuates a configuration and returns a measurement
-        (per-subcarrier SNR, MIMO matrices, ... — whatever the objective
-        consumes).  Each call models one over-the-air sounding.
+        Callback that returns a measurement for the configuration the array
+        is in (per-subcarrier SNR, MIMO matrices, ... — whatever the
+        objective consumes).  Each call models one over-the-air sounding.
     objective:
         Higher-is-better score over measurements.
     timing:
-        Latency model for budget accounting.
+        Latency model for budget accounting.  With a control plane
+        attached, its ``actuation_latency_s`` is replaced per round by the
+        plane's real lossless actuation time.
+    control_plane:
+        Optional :class:`~repro.control.protocol.ControlPlane`.  When
+        given, every sounding actuates the candidate configuration through
+        the command/ack protocol first — and measures whatever state the
+        array actually reached — and the final adoption does the same with
+        a coherence-derived deadline.
+    rng:
+        Random stream for control-plane loss sampling.  ``None`` treats
+        the link as lossless.
+    maintenance_interval:
+        Run a fault-detection sweep (:func:`detect_unresponsive_elements`)
+        every this many rounds (0 disables).  Requires ``measure_cfr``.
+    measure_cfr:
+        Callback ``configuration -> complex CFR`` for maintenance sweeps.
     """
 
     def __init__(
@@ -83,21 +220,96 @@ class PressController:
         measure: MeasureFunction,
         objective: ObjectiveFunction,
         timing: TimingModel = TimingModel(),
+        control_plane: Optional[object] = None,
+        rng: Optional[np.random.Generator] = None,
+        maintenance_interval: int = 0,
+        measure_cfr: Optional[CfrFunction] = None,
     ) -> None:
+        if maintenance_interval < 0:
+            raise ValueError(
+                f"maintenance_interval must be non-negative, got {maintenance_interval}"
+            )
+        if maintenance_interval > 0 and measure_cfr is None:
+            raise ValueError("maintenance_interval > 0 requires measure_cfr")
         self.array = array
         self.space: ConfigurationSpace = array.configuration_space()
         self._measure = measure
         self._objective = objective
         self.timing = timing
+        self.control_plane = control_plane
+        if control_plane is not None and len(control_plane.agents) != array.num_elements:
+            raise ValueError(
+                f"control plane drives {len(control_plane.agents)} elements, "
+                f"array has {array.num_elements}"
+            )
+        self._rng = rng
+        self.maintenance_interval = maintenance_interval
+        self._measure_cfr = measure_cfr
         self.current_configuration = ArrayConfiguration(
             tuple([0] * array.num_elements)
         )
+        #: Last configuration every element acknowledged — the rollback
+        #: target when an adoption fails mid-way.
+        self.last_acked_configuration: Optional[ArrayConfiguration] = None
+        self.unresponsive_elements: tuple[int, ...] = ()
         self.history: list[ControlDecision] = []
+        self.telemetry: list[RoundTelemetry] = []
+        self._rounds = 0
+
+    # ------------------------------------------------------------------
+    # Observability helpers
+    # ------------------------------------------------------------------
+    @property
+    def stale_round_count(self) -> int:
+        """Rounds that overran their coherence window so far."""
+        return sum(1 for decision in self.history if not decision.within_coherence)
 
     def score(self, configuration: ArrayConfiguration) -> float:
-        """Measure one configuration and score it."""
+        """Measure one configuration and score it (no actuation modelling)."""
         return float(self._objective(self._measure(configuration)))
 
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _effective_timing(self) -> TimingModel:
+        """The per-measurement latency model for budget planning.
+
+        With a control plane attached the analytic actuation guess is
+        replaced by the plane's real lossless actuation time, so budgets
+        reflect the configured link instead of a default constant.
+        """
+        if self.control_plane is None:
+            return self.timing
+        return TimingModel(
+            actuation_latency_s=self.control_plane.lossless_actuation_s(),
+            measurement_time_s=self.timing.measurement_time_s,
+            decision_overhead_s=self.timing.decision_overhead_s,
+        )
+
+    def _maintenance_due(self) -> bool:
+        if self.maintenance_interval <= 0 or self._measure_cfr is None:
+            return False
+        return (self._rounds - 1) % self.maintenance_interval == 0
+
+    def _run_maintenance(self) -> int:
+        """Fault-detection sweep; returns the number of soundings spent."""
+        self.unresponsive_elements = tuple(
+            detect_unresponsive_elements(self.array, self._measure_cfr)
+        )
+        return self.array.num_elements + 1
+
+    def _reduced_view(self) -> Optional[_ReducedSpace]:
+        if not self.unresponsive_elements:
+            return None
+        pinned = {
+            element: self.current_configuration.indices[element]
+            for element in self.unresponsive_elements
+        }
+        return _ReducedSpace(self.space, pinned)
+
+    # ------------------------------------------------------------------
+    # The measure -> search -> actuate loop
+    # ------------------------------------------------------------------
     def optimize(
         self,
         searcher: Optional[Searcher] = None,
@@ -108,19 +320,162 @@ class PressController:
 
         When no searcher is given, one is chosen automatically to fit the
         measurement budget implied by the coherence time at ``speed_mph``
-        (the §2 trade-off between agility and optimisation quality).
+        (the §2 trade-off between agility and optimisation quality); when
+        the window cannot fit even one measurement the round degrades to a
+        keep-current single probe instead of raising.
+
+        With a control plane attached, every sounding pushes its candidate
+        configuration over the real protocol first and measures the state
+        the array actually reached, and the final adoption runs under a
+        coherence-derived deadline with rollback on failure.
         """
+        self._rounds += 1
+        plane = self.control_plane
+        counters = {
+            "retries": 0,
+            "lost": 0,
+            "failed": 0,
+            "sounding_actuation_s": 0.0,
+        }
+
+        maintenance_measurements = 0
+        if self._maintenance_due():
+            maintenance_measurements = self._run_maintenance()
+
         coherence = coherence_time_s(speed_mph, carrier_hz)
+        timing = self._effective_timing()
+        budget = measurement_budget(coherence, timing)
+        degraded = ""
+        reduced = self._reduced_view()
         if searcher is None:
-            budget = max(1, measurement_budget(coherence, self.timing))
-            searcher = pick_searcher(self.space, budget)
-        result = searcher.search(self.space, self.score)
-        elapsed = result.num_evaluations * self.timing.per_measurement_s
-        decision = ControlDecision(
-            search=result, elapsed_s=elapsed, coherence_s=coherence
+            if budget <= 0:
+                degraded = "zero-budget"
+            if reduced is not None and reduced.space is not None:
+                # Shrink the searcher: pick against the sub-space of
+                # responsive elements, holding quarantined digits fixed.
+                searcher = pick_searcher(
+                    reduced.space,
+                    budget,
+                    current=reduced.reduce(self.current_configuration),
+                )
+            else:
+                searcher = pick_searcher(
+                    self.space, budget, current=self.current_configuration
+                )
+
+        def sounded_score(configuration: ArrayConfiguration) -> float:
+            target = configuration
+            if reduced is not None:
+                target = reduced.expand(configuration)
+            actual = target
+            if plane is not None:
+                result = plane.actuate(target, rng=self._rng)
+                counters["retries"] += result.retries
+                counters["lost"] += result.lost_messages
+                counters["sounding_actuation_s"] += result.elapsed_s
+                if not result.success:
+                    counters["failed"] += 1
+                    # Sound the channel the array is *actually* producing:
+                    # a partial actuation leaves a mix of old and new
+                    # states, and pretending otherwise poisons the search.
+                    actual = ArrayConfiguration(result.applied)
+            return float(self._objective(self._measure(actual)))
+
+        if reduced is not None and reduced.space is not None:
+            reduced_result = searcher.search(reduced.space, sounded_score)
+            result = SearchResult(
+                best=reduced.expand(reduced_result.best),
+                best_score=reduced_result.best_score,
+                num_evaluations=reduced_result.num_evaluations,
+                trajectory=reduced_result.trajectory,
+            )
+        elif reduced is not None:
+            # Every element is quarantined: nothing left to search.
+            held = self.current_configuration
+            score = float(self._objective(self._measure(held)))
+            result = SearchResult(
+                best=held, best_score=score, num_evaluations=1, trajectory=[score]
+            )
+            degraded = degraded or "all-unresponsive"
+        else:
+            result = searcher.search(self.space, sounded_score)
+
+        per_sounding_overhead = (
+            timing.measurement_time_s + timing.decision_overhead_s
         )
-        self.current_configuration = result.best
+        if plane is not None:
+            search_elapsed = (
+                counters["sounding_actuation_s"]
+                + result.num_evaluations * per_sounding_overhead
+            )
+        else:
+            search_elapsed = result.num_evaluations * timing.per_measurement_s
+        search_elapsed += maintenance_measurements * timing.per_measurement_s
+
+        # ------------------------------------------------------------------
+        # Adoption: push the winner through the control plane.
+        # ------------------------------------------------------------------
+        actuation_elapsed = 0.0
+        applied = result.best
+        if plane is not None:
+            remaining = coherence - search_elapsed
+            deadline = remaining if remaining > 0 else None
+            adoption = plane.actuate(result.best, rng=self._rng, deadline_s=deadline)
+            counters["retries"] += adoption.retries
+            counters["lost"] += adoption.lost_messages
+            actuation_elapsed += adoption.elapsed_s
+            if adoption.success:
+                applied = result.best
+                self.last_acked_configuration = result.best
+            else:
+                counters["failed"] += 1
+                # Graceful degradation: restore the last configuration the
+                # whole array acknowledged, so the channel model matches
+                # physical reality again.  If even the rollback fails, track
+                # the mixed state the array is actually in.
+                fallback = self.last_acked_configuration
+                if fallback is not None and fallback != result.best:
+                    rollback = plane.actuate(fallback, rng=self._rng)
+                    counters["retries"] += rollback.retries
+                    counters["lost"] += rollback.lost_messages
+                    actuation_elapsed += rollback.elapsed_s
+                    if rollback.success:
+                        applied = fallback
+                        degraded = "rolled-back"
+                    else:
+                        counters["failed"] += 1
+                        applied = ArrayConfiguration(rollback.applied)
+                        degraded = "partial-state"
+                else:
+                    applied = ArrayConfiguration(adoption.applied)
+                    degraded = "partial-state"
+        self.current_configuration = applied
+
+        elapsed = search_elapsed + actuation_elapsed
+        telemetry = RoundTelemetry(
+            round_index=self._rounds,
+            searcher=type(searcher).__name__,
+            budget=budget,
+            num_evaluations=result.num_evaluations,
+            search_elapsed_s=search_elapsed,
+            actuation_elapsed_s=actuation_elapsed,
+            retries=counters["retries"],
+            lost_messages=counters["lost"],
+            failed_actuations=counters["failed"],
+            degraded=degraded,
+            stale=elapsed > coherence,
+            unresponsive_elements=self.unresponsive_elements,
+            best_score=result.best_score,
+        )
+        decision = ControlDecision(
+            search=result,
+            elapsed_s=elapsed,
+            coherence_s=coherence,
+            applied=applied,
+            telemetry=telemetry,
+        )
         self.history.append(decision)
+        self.telemetry.append(telemetry)
         return decision
 
     def reoptimize_if_degraded(

@@ -11,7 +11,7 @@ simple fault detector built on the identification measurements of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -104,8 +104,11 @@ def detect_unresponsive_elements(
     Toggles each element between its first state and its terminated state
     (or last state) while holding the others terminated/fixed, and flags
     elements whose toggle changes the CFR by less than ``threshold``
-    (relative RMS).  Uses 2 measurements per element — the maintenance
-    sweep a deployed controller would run periodically.
+    (relative RMS).  Every toggle is compared against the same all-baseline
+    configuration, measured once — N+1 soundings for an N-element array,
+    the maintenance sweep a deployed controller runs periodically
+    (:class:`~repro.core.controller.PressController` schedules it via
+    ``maintenance_interval``).
 
     Parameters
     ----------
@@ -125,15 +128,15 @@ def detect_unresponsive_elements(
             element.num_states - 1,
         )
         baseline_states.append(off)
+    config_a = ArrayConfiguration(tuple(baseline_states))
+    cfr_a = np.asarray(measure_cfr(config_a), dtype=complex)
+    scale = max(float(np.linalg.norm(cfr_a)), 1e-30)
     unresponsive = []
     for index, element in enumerate(array.elements):
-        config_a = ArrayConfiguration(tuple(baseline_states))
         config_b = config_a.with_element_state(index, 0)
         if baseline_states[index] == 0:
             config_b = config_a.with_element_state(index, element.num_states - 1)
-        cfr_a = np.asarray(measure_cfr(config_a), dtype=complex)
         cfr_b = np.asarray(measure_cfr(config_b), dtype=complex)
-        scale = max(float(np.linalg.norm(cfr_a)), 1e-30)
         change = float(np.linalg.norm(cfr_b - cfr_a)) / scale
         if change < threshold:
             unresponsive.append(index)

@@ -23,14 +23,14 @@ This module implements all three points on that spectrum:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from .configuration import ArrayConfiguration, ConfigurationSpace
 from .scheduler import SwitchingSchedule, TimingModel, packet_timescale_schedule
-from .search import SearchResult, Searcher, ExhaustiveSearch
+from .search import Searcher, ExhaustiveSearch
 
 __all__ = [
     "LinkObjective",

@@ -18,7 +18,7 @@ in :mod:`repro.core.search` can maximise them interchangeably.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable
 
 import numpy as np
 

@@ -28,7 +28,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from .array import PressArray
-from .configuration import ArrayConfiguration, ConfigurationSpace
+from .configuration import ArrayConfiguration
 
 __all__ = [
     "coefficient_vector",

@@ -14,17 +14,17 @@ whether per-link switching can keep up with a packet schedule.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..em.channel import coherence_time_s
-from .configuration import ConfigurationSpace
+from .configuration import ArrayConfiguration, ConfigurationSpace
 from .search import (
     ExhaustiveSearch,
     GreedyCoordinateDescent,
     RandomSearch,
     Searcher,
+    SingleProbeSearch,
 )
 
 __all__ = [
@@ -99,15 +99,27 @@ def pick_searcher(
     space: ConfigurationSpace,
     budget: int,
     seed: int = 0,
+    current: Optional[ArrayConfiguration] = None,
 ) -> Searcher:
     """Choose a search strategy that fits a measurement budget.
 
     * budget >= |space|  -> exhaustive sweep (optimal; what §3.2 does);
     * budget >= one coordinate-descent sweep -> greedy coordinate descent;
-    * otherwise -> random sampling of whatever budget remains.
+    * budget >= 1 -> random sampling of whatever budget remains;
+    * budget <= 0 -> keep-current single probe (:class:`SingleProbeSearch`).
+
+    The degenerate last case is not an error: ``measurement_budget``
+    legitimately returns 0 whenever the coherence window is smaller than
+    one measurement (e.g. sub-GHz ISM actuation at running-speed ~6 ms
+    coherence), and the documented composition
+    ``pick_searcher(space, measurement_budget(...))`` must degrade
+    gracefully in exactly that regime instead of raising.  ``current``
+    names the configuration to hold; ``None`` holds the all-zeros one.
     """
     if budget <= 0:
-        raise ValueError(f"budget must be positive, got {budget}")
+        return SingleProbeSearch(
+            indices=None if current is None else tuple(current.indices)
+        )
     if budget >= space.size:
         return ExhaustiveSearch()
     sweep_cost = sum(count - 1 for count in space.state_counts) + 1

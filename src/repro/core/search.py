@@ -28,6 +28,7 @@ __all__ = [
     "SearchResult",
     "Searcher",
     "ExhaustiveSearch",
+    "SingleProbeSearch",
     "RandomSearch",
     "GreedyCoordinateDescent",
     "SimulatedAnnealing",
@@ -145,6 +146,31 @@ class ExhaustiveSearch(Searcher):
                 best, best_score = configuration, value
         assert best is not None  # space is never empty
         return best, best_score
+
+
+@dataclass(frozen=True)
+class SingleProbeSearch(Searcher):
+    """The degenerate budget strategy: keep (and measure) one configuration.
+
+    When the coherence window is smaller than a single measurement —
+    §2's running-speed regime over a slow control plane — there is no
+    budget to explore.  The only sound move is to keep the current
+    configuration and spend the one affordable sounding confirming its
+    score, so the controller still tracks the objective trajectory without
+    ever raising.  ``indices=None`` probes the all-zeros configuration.
+    """
+
+    indices: Optional[tuple[int, ...]] = None
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        if self.indices is None:
+            probe = ArrayConfiguration(tuple([0] * space.num_elements))
+        else:
+            probe = ArrayConfiguration(tuple(self.indices))
+        space.validate(probe)
+        return probe, score(probe)
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ gain toward ``angle`` measured relative to the antenna's boresight.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

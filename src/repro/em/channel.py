@@ -13,8 +13,8 @@ The subcarrier grid matches the §3.1 numerology: 64 subcarriers over 20 MHz
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 import numpy as np
 

@@ -12,10 +12,8 @@ decorrelates underneath them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Optional
 
 from .geometry import Obstacle, Point, Segment
 from .scene import Scatterer, Scene

@@ -16,7 +16,7 @@ against this same model in :mod:`repro.core.inverse`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence
 
 import numpy as np

@@ -27,7 +27,7 @@ import cmath
 import math
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -47,7 +47,7 @@ from .geometry import (
 )
 from .materials import get_material
 from .paths import PathBatch, SignalPath
-from .scene import Scatterer, Scene
+from .scene import Scene
 
 __all__ = [
     "RayTracer",

@@ -13,6 +13,12 @@ from .common import (
     used_subcarrier_mask,
 )
 from .alignment_study import AlignmentResult, run_alignment_study
+from .control_robustness import (
+    ControlRobustnessCell,
+    ControlRobustnessResult,
+    control_link_by_name,
+    run_control_robustness,
+)
 from .coverage import CoverageMap, run_coverage, run_coverage_suite
 from .fig4_link_enhancement import Fig4PlacementResult, Fig4Result, run_fig4
 from .fig5_null_movement import Fig5Result, run_fig5
@@ -22,7 +28,13 @@ from .fig8_mimo import Fig8Result, run_fig8
 from .los_study import LosStudyResult, run_los_study
 from .mac_harmonization import MacHarmonizationResult, run_mac_harmonization
 from .mu_mimo import MuMimoResult, mu_mimo_matrices, run_mu_mimo, zf_sum_rate_bits
-from .runner import available_cpus, derive_seeds, resolve_jobs, run_parallel
+from .runner import (
+    available_cpus,
+    derive_seeds,
+    process_telemetry,
+    resolve_jobs,
+    run_parallel,
+)
 from .tracking import TrackingResult, run_tracking
 from .workloads import (
     DynamicStrategyResult,
@@ -66,6 +78,11 @@ __all__ = [
     "resolve_jobs",
     "derive_seeds",
     "run_parallel",
+    "process_telemetry",
+    "ControlRobustnessCell",
+    "ControlRobustnessResult",
+    "control_link_by_name",
+    "run_control_robustness",
     "AlignmentResult",
     "run_alignment_study",
     "MuMimoResult",

@@ -31,14 +31,13 @@ Figures 5 and 6 use placement (e) = seed 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..core.array import PressArray
 from ..core.element import PressElement, omni_element, sp4t_states
-from ..em.antennas import OmniAntenna
 from ..em.geometry import Point, Segment, Wall, points_on_grid
 from ..em.materials import MATERIALS, Material, register_material
 from ..em.scene import Scatterer, Scene, blocker_between, shoebox_scene

@@ -11,7 +11,7 @@ the fraction of positions below a service threshold, and how much a single
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 

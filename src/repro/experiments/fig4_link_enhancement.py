@@ -9,7 +9,7 @@ largest change in the SNR within one experimental repetition is 26 dB."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..net.harmonization import opposite_selectivity_db, subband_contrast_db
+from ..net.harmonization import subband_contrast_db
 from .common import StudyConfig, build_harmonization_setup, used_subcarrier_mask
 from .runner import run_parallel
 

@@ -23,7 +23,7 @@ from ..em.geometry import Point
 from ..em.paths import paths_to_cfr
 from ..mimo.channel_matrix import condition_numbers_db
 from ..mimo.precoding import zero_forcing_precoder
-from ..sdr.device import SdrDevice, usrp_x310, warp_v3
+from ..sdr.device import SdrDevice, warp_v3
 from ..sdr.testbed import Testbed
 from .common import StudyConfig, build_mimo_setup, used_subcarrier_mask
 

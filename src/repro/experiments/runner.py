@@ -29,7 +29,13 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["available_cpus", "resolve_jobs", "derive_seeds", "run_parallel"]
+__all__ = [
+    "available_cpus",
+    "resolve_jobs",
+    "derive_seeds",
+    "run_parallel",
+    "process_telemetry",
+]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -67,6 +73,26 @@ def derive_seeds(base_seed: int, count: int) -> list[np.random.SeedSequence]:
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     return np.random.SeedSequence(base_seed).spawn(count)
+
+
+def process_telemetry() -> dict:
+    """Process-level counters experiments attach to their result records.
+
+    Currently the geometry trace cache (:mod:`repro.em.trace_cache`) —
+    hits, misses and residency for *this* process.  Worker processes of
+    :func:`run_parallel` hold their own caches whose counters are not
+    aggregated here, so with ``jobs > 1`` these numbers describe only the
+    parent; they are observability data, not part of any experiment's
+    deterministic result payload.
+    """
+    from ..em.trace_cache import global_trace_cache
+
+    cache = global_trace_cache()
+    return {
+        "trace_cache_hits": cache.hits,
+        "trace_cache_misses": cache.misses,
+        "trace_cache_entries": len(cache),
+    }
 
 
 def run_parallel(

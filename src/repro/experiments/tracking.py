@@ -22,7 +22,7 @@ decorrelates; whatever a policy knew goes stale at the §2 rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -16,7 +16,6 @@ the chordal distance / principal angle between the vectors per subcarrier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

@@ -10,7 +10,6 @@ of Figure 7, and the spectrum-partitioned sum rate of the Figure 2 picture.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

@@ -8,10 +8,8 @@ so the interference and harmonization analyses can talk about them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Iterator
 
 from ..em.geometry import Point
 from ..sdr.device import SdrDevice

@@ -8,7 +8,7 @@ soft-demaps, deinterleaves and Viterbi-decodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

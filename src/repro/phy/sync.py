@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from .ofdm import DEFAULT_OFDM, OfdmParams
-from .preamble import ltf_time_domain, stf_time_domain
+from .preamble import ltf_time_domain
 
 __all__ = [
     "SyncResult",

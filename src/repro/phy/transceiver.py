@@ -18,7 +18,6 @@ from ..constants import dbm_to_watts, thermal_noise_power_w
 from ..em.channel import Channel
 from ..em.noise import awgn
 from ..em.paths import paths_to_cir
-from .channel_est import ChannelEstimate
 from .frame import FrameFormat, RxResult, TxFrame, build_frame, receive_frame
 
 __all__ = ["LinkBudget", "simulate_link", "transmit_over_channel"]

@@ -14,7 +14,6 @@ substrate.  RF impairments live in :mod:`repro.sdr.frontend`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
 
 from ..em.antennas import Antenna, OmniAntenna
 from ..em.geometry import Point

@@ -10,7 +10,7 @@ over all array configurations (Figures 4-6), frequency-selectivity pairs
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
@@ -254,6 +254,51 @@ class Testbed:
             num_subcarriers=self.num_subcarriers,
             bandwidth_hz=self.bandwidth_hz,
         )
+
+    def snr_function(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        mask: Optional[np.ndarray] = None,
+        tx_chain: int = 0,
+        rx_chain: int = 0,
+    ) -> Callable[[ArrayConfiguration], np.ndarray]:
+        """A fast ``configuration -> per-subcarrier SNR (dB)`` callable.
+
+        Backed by the precomputed channel basis, so each call is an O(K)
+        gather instead of a re-trace — the measurement callback a
+        :class:`~repro.core.controller.PressController` sounds the channel
+        with when it runs many optimisation rounds against one geometry.
+        ``mask`` restricts the returned SNR to selected subcarriers.
+        """
+        basis = self.basis_for(tx_device, rx_device, tx_chain, rx_chain)
+
+        def measure(configuration: ArrayConfiguration) -> np.ndarray:
+            snr = snr_db_from_cfr(
+                basis.cfr(configuration),
+                self.num_subcarriers,
+                self.bandwidth_hz,
+                tx_power_dbm=tx_device.tx_power_dbm,
+                noise_figure_db=rx_device.noise_figure_db,
+            )
+            return snr if mask is None else snr[mask]
+
+        return measure
+
+    def cfr_function(
+        self,
+        tx_device: SdrDevice,
+        rx_device: SdrDevice,
+        tx_chain: int = 0,
+        rx_chain: int = 0,
+    ) -> Callable[[ArrayConfiguration], np.ndarray]:
+        """A ``configuration -> complex CFR`` callable on the cached basis.
+
+        The measurement shape :func:`repro.core.faults.detect_unresponsive_elements`
+        consumes for maintenance sweeps.
+        """
+        basis = self.basis_for(tx_device, rx_device, tx_chain, rx_chain)
+        return basis.cfr
 
     def basis_evaluator(
         self,

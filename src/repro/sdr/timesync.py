@@ -11,7 +11,7 @@ sweep-duration accounting used by the control-plane benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Clock", "sync_clocks", "SweepTiming"]
 

@@ -8,9 +8,7 @@ import pytest
 from repro.core import PressArray, omni_element
 from repro.em import (
     Channel,
-    OmniAntenna,
     Point,
-    RayTracer,
     SignalPath,
     blocker_between,
     shoebox_scene,

@@ -16,7 +16,7 @@ from repro.analysis.nulls import (
     null_depth_db,
     null_movements,
 )
-from repro.analysis.reporting import Comparison, ReportTable, format_table
+from repro.analysis.reporting import ReportTable, format_table
 from repro.analysis.stats import EmpiricalDistribution, ccdf, cdf
 
 

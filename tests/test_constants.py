@@ -1,6 +1,5 @@
 """Tests for repro.constants."""
 
-import math
 
 import numpy as np
 import pytest

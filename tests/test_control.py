@@ -91,16 +91,41 @@ class TestLinks:
         assert not sub_ghz_ism_link().interferes_with_data_plane
         assert not wired_bus_link().interferes_with_data_plane
 
-    def test_expected_delivery_includes_retries(self):
+    def test_expected_delivery_uses_truncated_geometric(self):
+        # Regression: the old implementation charged the untruncated
+        # geometric mean 1/(1-p) even though delivery_attempts truncates at
+        # max_attempts; the truncated expectation is (1 - p^n)/(1 - p).
         link = ControlLink("lossy", 1e6, 0.0, loss_probability=0.5)
+        expected_attempts = (1.0 - 0.5**10) / 0.5
+        assert expected_attempts < 1.0 / 0.5  # strictly below the old value
+        assert link.expected_attempts() == pytest.approx(expected_attempts)
         assert link.expected_delivery_time_s(100) == pytest.approx(
-            2.0 * link.transfer_time_s(100)
+            expected_attempts * link.transfer_time_s(100)
+        )
+
+    def test_expected_delivery_truncation_matters_at_high_loss(self):
+        # At p=0.9 and 3 attempts the untruncated mean (10) is nowhere near
+        # the truncated one (2.71): a sender that gives up cannot spend 10
+        # transmissions on average.
+        link = ControlLink("lossy", 1e6, 0.0, loss_probability=0.9)
+        assert link.expected_attempts(max_attempts=3) == pytest.approx(
+            1.0 + 0.9 + 0.81
         )
 
     def test_delivery_attempts_distribution(self, rng):
         link = ControlLink("lossy", 1e6, 0.0, loss_probability=0.3)
         attempts = [link.delivery_attempts(rng) for _ in range(2000)]
-        assert np.mean(attempts) == pytest.approx(1.0 / 0.7, rel=0.1)
+        delivered = [a for a in attempts if a is not None]
+        assert np.mean(delivered) == pytest.approx(1.0 / 0.7, rel=0.1)
+
+    def test_delivery_attempts_give_up_is_explicit(self, rng):
+        # Regression: the give-up case used to return max_attempts + 1,
+        # indistinguishable from a real attempt count.  Now it is None.
+        certain_loss = ControlLink("dead", 1e6, 0.0, loss_probability=0.999999)
+        results = {certain_loss.delivery_attempts(rng, max_attempts=3) for _ in range(50)}
+        assert results == {None}
+        lossless = ControlLink("clean", 1e6, 0.0, loss_probability=0.0)
+        assert lossless.delivery_attempts(rng, max_attempts=3) == 1
 
     def test_validation(self):
         with pytest.raises(ValueError):

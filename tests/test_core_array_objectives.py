@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.array import PressArray
 from repro.core.configuration import ArrayConfiguration
-from repro.core.element import absorptive_load_state, omni_element, sp4t_states
+from repro.core.element import omni_element
 from repro.core.objectives import (
     CapacityObjective,
     ConditionNumberObjective,
@@ -21,7 +21,6 @@ from repro.core.objectives import (
     ThroughputObjective,
     WeightedObjective,
 )
-from repro.em.antennas import OmniAntenna
 from repro.em.geometry import Point
 from repro.em.raytracer import RayTracer
 

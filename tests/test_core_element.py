@@ -6,7 +6,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.constants import CARRIER_FREQUENCY_HZ, WAVELENGTH_M
 from repro.core.configuration import ArrayConfiguration, ConfigurationSpace
 from repro.core.element import (
     ElementState,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.array import PressArray
-from repro.core.configuration import ArrayConfiguration
 from repro.core.controller import PressController
 from repro.core.element import omni_element, phase_shifter_states
 from repro.core.inverse import (

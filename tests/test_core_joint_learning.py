@@ -7,7 +7,6 @@ from repro.core import (
     ArrayConfiguration,
     ConfigurationSpace,
     CrossEntropySearch,
-    ElementGroup,
     EpsilonGreedyBandit,
     ExhaustiveSearch,
     GroupedConfigurationSpace,

@@ -11,13 +11,12 @@ from repro.core import (
     omni_element,
 )
 from repro.core.prediction import (
-    LinearChannelModel,
     coefficient_vector,
     fit_channel_model,
     identification_configurations,
     predict_and_pick,
 )
-from repro.core.relaxation import ContinuousSolution, optimize_phases, softmin_power_db
+from repro.core.relaxation import optimize_phases, softmin_power_db
 from repro.core.element import phase_shifter_states
 from repro.em.geometry import Point
 from repro.experiments import build_nlos_setup, used_subcarrier_mask

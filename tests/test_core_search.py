@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.configuration import ArrayConfiguration, ConfigurationSpace
+from repro.core.configuration import ConfigurationSpace
 from repro.core.scheduler import (
     TimingModel,
     coherence_budget_table,
@@ -17,6 +17,7 @@ from repro.core.search import (
     GreedyCoordinateDescent,
     RandomSearch,
     SimulatedAnnealing,
+    SingleProbeSearch,
 )
 
 
@@ -173,9 +174,11 @@ class TestPickSearcher:
         assert isinstance(searcher, RandomSearch)
         assert searcher.budget == 4
 
-    def test_invalid_budget(self, space):
-        with pytest.raises(ValueError):
-            pick_searcher(space, 0)
+    def test_zero_budget_degrades_to_single_probe(self, space):
+        # Regression: budget 0 is a legitimate output of measurement_budget
+        # (coherence window < one measurement) and used to raise ValueError.
+        searcher = pick_searcher(space, 0)
+        assert isinstance(searcher, SingleProbeSearch)
 
 
 class TestPacketSchedule:

@@ -6,7 +6,6 @@ import pytest
 
 from repro.em.antennas import (
     GAIN_FLOOR_DBI,
-    Antenna,
     IsotropicAntenna,
     LogPeriodicAntenna,
     OmniAntenna,

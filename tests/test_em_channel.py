@@ -19,7 +19,7 @@ from repro.em.fading import (
 )
 from repro.em.noise import add_noise, awgn, noise_power_per_subcarrier_w
 from repro.em.paths import SignalPath
-from repro.em.scene import Scatterer, Scene, blocker_between, shoebox_scene
+from repro.em.scene import Scatterer, blocker_between, shoebox_scene
 from repro.em.geometry import Point
 
 

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.constants import SPEED_OF_LIGHT, WAVELENGTH_M

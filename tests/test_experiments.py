@@ -7,16 +7,13 @@ live in benchmarks/.
 import numpy as np
 import pytest
 
-from repro.core.configuration import ArrayConfiguration
 from repro.em.channel import Channel
 from repro.experiments import (
     FIG5_PLACEMENT_SEED,
-    StudyConfig,
     build_harmonization_setup,
     build_los_setup,
     build_mimo_setup,
     build_nlos_setup,
-    facing_panel,
     run_fig4,
     run_fig5,
     run_fig6,
@@ -25,7 +22,6 @@ from repro.experiments import (
     run_los_study,
     used_subcarrier_mask,
 )
-from repro.em.geometry import Point
 
 
 class TestScenarioBuilders:

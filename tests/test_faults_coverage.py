@@ -6,10 +6,7 @@ import pytest
 from repro.core import (
     ArrayConfiguration,
     ExhaustiveSearch,
-    MinSnrObjective,
-    dead_element,
     detect_unresponsive_elements,
-    stuck_element,
     with_faults,
 )
 from repro.experiments import (

@@ -1,6 +1,5 @@
 """Integration tests: full stacks wired together end to end."""
 
-import numpy as np
 import pytest
 
 from repro.control.links import wired_bus_link

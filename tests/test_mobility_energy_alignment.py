@@ -1,6 +1,5 @@
 """Tests for repro.em.mobility, repro.control.energy and repro.net.alignment."""
 
-import math
 
 import numpy as np
 import pytest

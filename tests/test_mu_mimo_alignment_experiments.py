@@ -5,12 +5,10 @@ import pytest
 
 from repro.core.configuration import ArrayConfiguration
 from repro.experiments import (
-    StudyConfig,
     build_mimo_setup,
     run_alignment_study,
     run_mu_mimo,
-    used_subcarrier_mask,
-)
+    )
 from repro.experiments.mu_mimo import mu_mimo_matrices, zf_sum_rate_bits
 from repro.sdr.device import warp_v3
 from repro.em.geometry import Point

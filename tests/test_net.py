@@ -12,7 +12,7 @@ from repro.net.harmonization import (
     subband_contrast_db,
 )
 from repro.net.interference import LinkQuality, sinr_db, sum_rate_bits
-from repro.net.network import NetworkPair, Node, WirelessLink
+from repro.net.network import NetworkPair, Node
 from repro.sdr.device import warp_v3
 
 

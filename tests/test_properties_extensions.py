@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.control.messages import Ack, Beacon, ConfigureCommand, CsiReport, decode_message
-from repro.core.configuration import ArrayConfiguration, ConfigurationSpace
+from repro.core.configuration import ConfigurationSpace
 from repro.core.learning import EpsilonGreedyBandit
 from repro.em.geometry import Point
 from repro.em.mobility import MovingScatterer

@@ -9,7 +9,7 @@ from repro.core.configuration import ArrayConfiguration
 from repro.core.element import omni_element
 from repro.em.geometry import Point
 from repro.em.scene import blocker_between, shoebox_scene
-from repro.sdr.device import RadioChain, SdrDevice, usrp_n210, usrp_x310, warp_v3
+from repro.sdr.device import SdrDevice, usrp_n210, usrp_x310, warp_v3
 from repro.sdr.frontend import (
     FrontendImpairments,
     apply_cfo,

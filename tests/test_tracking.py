@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.tracking import TrackingResult, run_tracking
+from repro.experiments.tracking import run_tracking
 
 
 @pytest.fixture(scope="module")

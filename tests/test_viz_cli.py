@@ -6,7 +6,7 @@ import pytest
 from repro.analysis.viz import render_profile, render_profiles, render_scene, sparkline
 from repro.cli import build_parser, main
 from repro.em.geometry import Point
-from repro.em.scene import Scatterer, blocker_between, shoebox_scene
+from repro.em.scene import blocker_between, shoebox_scene
 
 
 class TestSparkline:

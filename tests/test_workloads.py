@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import ConfigurationSpace, LinkObjective, MinSnrObjective
-from repro.core.configuration import ArrayConfiguration
 from repro.experiments.workloads import (
     TrafficEpoch,
     evaluate_dynamic_strategies,
