@@ -1,0 +1,109 @@
+"""Observability overhead A/B benchmark: ``BENCH_obs.json``.
+
+Runs ``run_fig6`` twice — observability enabled vs disabled — and checks
+that (1) the results are bit-identical (instruments never touch RNG
+streams or reorder work) and (2) the enabled run costs < 3% extra
+wall-clock.  Each arm takes the minimum of several repeats so scheduler
+noise does not masquerade as instrument cost.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.reporting import ReportTable
+from repro.em import global_trace_cache
+from repro.experiments import run_fig6
+from repro.obs import reset_observability, set_enabled
+
+REPETITIONS = 24
+REPEATS = 5
+MAX_OVERHEAD = 0.03
+
+
+def _timed_fig6():
+    global_trace_cache().clear()
+    reset_observability()
+    start = time.perf_counter()
+    result = run_fig6(repetitions=REPETITIONS, jobs=1)
+    return time.perf_counter() - start, result
+
+
+def test_bench_obs_overhead():
+    set_enabled(True)
+    on_times = []
+    on_result = None
+    for _ in range(REPEATS):
+        elapsed, on_result = _timed_fig6()
+        on_times.append(elapsed)
+    on_s = min(on_times)
+
+    previous = set_enabled(False)
+    try:
+        off_times = []
+        off_result = None
+        for _ in range(REPEATS):
+            elapsed, off_result = _timed_fig6()
+            off_times.append(elapsed)
+        off_s = min(off_times)
+    finally:
+        set_enabled(previous)
+        reset_observability()
+
+    overhead = on_s / off_s - 1.0
+
+    identical = (
+        np.array_equal(
+            on_result.min_snr_change_pairs, off_result.min_snr_change_pairs
+        )
+        and all(
+            np.array_equal(a, b)
+            for a, b in zip(
+                on_result.min_snr_per_trial, off_result.min_snr_per_trial
+            )
+        )
+        and on_result.fraction_pairs_10db_change
+        == off_result.fraction_pairs_10db_change
+        and on_result.fraction_configs_below_20db
+        == off_result.fraction_configs_below_20db
+    )
+
+    table = ReportTable(
+        title=(
+            f"Observability A/B — run_fig6 x{REPETITIONS} reps, "
+            f"min of {REPEATS} repeats"
+        )
+    )
+    table.add(
+        "results obs on vs off",
+        "bit-identical",
+        "identical" if identical else "DIVERGED",
+        identical,
+    )
+    table.add(
+        "wall-clock overhead",
+        f"< {MAX_OVERHEAD:.0%}",
+        f"{overhead:+.2%} ({off_s:.2f} -> {on_s:.2f} s)",
+        overhead < MAX_OVERHEAD,
+    )
+    print()
+    print(table.render())
+
+    payload = {
+        "experiment": "fig6",
+        "repetitions": REPETITIONS,
+        "repeats": REPEATS,
+        "obs_on_s": on_s,
+        "obs_off_s": off_s,
+        "obs_on_times_s": on_times,
+        "obs_off_times_s": off_times,
+        "overhead_fraction": overhead,
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "bit_identical": identical,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert table.all_hold()

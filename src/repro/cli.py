@@ -14,6 +14,9 @@ Commands
     Closed-loop sweep of link type x loss probability x mobility speed.
 ``profile-sweep``
     cProfile one Figure-4 configuration sweep (basis or legacy mode).
+``report``
+    Render run records (JSONL emitted via ``--record``): per-phase
+    wall-clock and counter breakdown, schema-validated.
 """
 
 from __future__ import annotations
@@ -130,7 +133,9 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     from .experiments import run_coverage_suite
 
     seeds = tuple(range(args.placements))
-    maps = run_coverage_suite(placement_seeds=seeds, jobs=args.jobs)
+    maps = run_coverage_suite(
+        placement_seeds=seeds, jobs=args.jobs, record_to=args.record
+    )
     rows = [("placement", "worst base", "worst joint", "<20 dB base", "<20 dB joint")]
     for seed, cov in zip(seeds, maps):
         rows.append(
@@ -188,6 +193,7 @@ def _cmd_control_robustness(args: argparse.Namespace) -> int:
         maintenance_interval=args.maintenance_interval,
         base_seed=args.seed,
         jobs=args.jobs,
+        record_to=args.record,
     )
     rows = [
         (
@@ -223,9 +229,100 @@ def _cmd_control_robustness(args: argparse.Namespace) -> int:
     print(
         f"# trace cache: {telemetry['trace_cache_hits']} hits, "
         f"{telemetry['trace_cache_misses']} misses, "
-        f"{telemetry['trace_cache_entries']} entries (this process)"
+        f"{telemetry['trace_cache_entries']} entries "
+        f"(merged over {telemetry['processes']} process(es))"
     )
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .obs import read_records, validate_record
+
+    try:
+        records = read_records(args.records)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"error: {args.records}: no records", file=sys.stderr)
+        return 1
+    exit_code = 0
+    for index, record in enumerate(records):
+        problems = validate_record(record)
+        if problems:
+            exit_code = 1
+            print(f"record {index}: INVALID", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            continue
+        meta = record["meta"]
+        print(
+            f"== {record['experiment']}  "
+            f"wall {record['wall_s']:.2f} s  "
+            f"jobs {record['jobs'] if record['jobs'] is not None else 'serial'}  "
+            f"workers {record['workers']}  "
+            f"git {meta.get('git') or '?'}  "
+            f"obs {'on' if record.get('observability_enabled') else 'off'}"
+        )
+        spans = record["spans"]
+        if spans:
+            rows = [("phase", "count", "total", "mean", "max")]
+            ordered = sorted(
+                spans.items(), key=lambda item: item[1]["total_s"], reverse=True
+            )
+            for name, summary in ordered:
+                count = summary["count"]
+                total = summary["total_s"]
+                mean = total / count if count else 0.0
+                rows.append(
+                    (
+                        name,
+                        str(count),
+                        f"{1e3 * total:.1f} ms",
+                        f"{1e3 * mean:.2f} ms",
+                        f"{1e3 * summary['max_s']:.1f} ms",
+                    )
+                )
+            print(format_table(rows, header_rule=True))
+        counters = record["metrics"]["counters"]
+        nonzero = [(name, value) for name, value in counters.items() if value]
+        if nonzero:
+            rows = [("counter", "total")]
+            for name, value in sorted(nonzero):
+                rows.append((name, str(value)))
+            print(format_table(rows, header_rule=True))
+        gauges = record["metrics"]["gauges"]
+        nonzero_gauges = sorted(
+            (name, value) for name, value in gauges.items() if value
+        )
+        if nonzero_gauges:
+            print(
+                "gauges: "
+                + ", ".join(f"{name}={value:g}" for name, value in nonzero_gauges)
+            )
+        histograms = record["metrics"]["histograms"]
+        observed = {
+            name: state
+            for name, state in sorted(histograms.items())
+            if state["count"]
+        }
+        if observed:
+            rows = [("histogram", "count", "mean", "min", "max")]
+            for name, state in observed.items():
+                mean = state["sum"] / state["count"]
+                rows.append(
+                    (
+                        name,
+                        str(state["count"]),
+                        f"{mean:.3g} s",
+                        f"{state['min']:.3g} s",
+                        f"{state['max']:.3g} s",
+                    )
+                )
+            print(format_table(rows, header_rule=True))
+        print()
+    return exit_code
 
 
 def _cmd_profile_sweep(args: argparse.Namespace) -> int:
@@ -302,6 +399,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the placement axis "
         "(default: serial; 0 = all CPUs)",
     )
+    coverage.add_argument(
+        "--record",
+        default=None,
+        metavar="JSONL",
+        help="append a run record to this JSONL file",
+    )
     coverage.set_defaults(func=_cmd_coverage)
 
     timing = sub.add_parser("timing", help="control-plane latency budgets")
@@ -343,7 +446,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep cells "
         "(default: serial; 0 = all CPUs)",
     )
+    robustness.add_argument(
+        "--record",
+        default=None,
+        metavar="JSONL",
+        help="append a run record to this JSONL file",
+    )
     robustness.set_defaults(func=_cmd_control_robustness)
+
+    report = sub.add_parser(
+        "report", help="render run records emitted via --record"
+    )
+    report.add_argument("records", help="path to a run-record JSONL file")
+    report.set_defaults(func=_cmd_report)
 
     profile = sub.add_parser(
         "profile-sweep", help="cProfile one Fig. 4 configuration sweep"

@@ -15,10 +15,21 @@ from typing import Optional
 import numpy as np
 
 from ..core.configuration import ArrayConfiguration
+from ..obs.metrics import global_registry
 from .links import ControlLink
 from .messages import Ack, ConfigureCommand
 
 __all__ = ["ElementAgent", "ActuationResult", "ControlPlane"]
+
+_ACTUATIONS = global_registry().counter("control.protocol.actuations")
+_TRANSMISSIONS = global_registry().counter("control.protocol.transmissions")
+_RETRIES = global_registry().counter("control.protocol.retries")
+_LOST_COMMANDS = global_registry().counter("control.protocol.lost_commands")
+_LOST_ACKS = global_registry().counter("control.protocol.lost_acks")
+_FAILURES = global_registry().counter("control.protocol.failures")
+#: Histogram of *simulated* actuation wall-clock (seconds of modelled link
+#: time, not host time — deterministic for a given seed).
+_ACTUATION_S = global_registry().histogram("control.protocol.actuation_s")
 
 #: RF switch settling time [s].  The PE42441 SP4T switches in ~1 us; we
 #: budget generously for the micro-controller's GPIO path.
@@ -220,6 +231,14 @@ class ControlPlane:
         # elapsed time of exactly the rounds that leave a mixed state.
         if any_applied:
             elapsed += SWITCH_SETTLE_S
+        _ACTUATIONS.inc()
+        _TRANSMISSIONS.inc(transmissions)
+        _RETRIES.inc(max(transmissions - 1, 0))
+        _LOST_COMMANDS.inc(lost_commands)
+        _LOST_ACKS.inc(lost_acks)
+        if pending:
+            _FAILURES.inc()
+        _ACTUATION_S.observe(elapsed)
         return ActuationResult(
             success=not pending,
             elapsed_s=elapsed,

@@ -38,12 +38,19 @@ from ..em.channel import snr_db_from_cfr, subcarrier_frequencies
 from ..em.geometry import Point
 from ..em.paths import PathBatch, SignalPath, path_arrays, paths_to_cfr_batch
 from ..em.raytracer import RayTracer, _points_to_arrays
+from ..obs.metrics import global_registry
 from .array import PressArray
 from .configuration import ArrayConfiguration, ConfigurationSpace
 
 __all__ = ["ChannelBasis", "BasisEvaluator", "exhaustive_argmax"]
 
 ConfigurationsLike = Union[Sequence[ArrayConfiguration], np.ndarray]
+
+_BASES_TRACED = global_registry().counter("core.basis.traces")
+_BATCHES_TRACED = global_registry().counter("core.basis.batch_traces")
+_BATCH_POINTS = global_registry().counter("core.basis.batch_points")
+_EVALUATIONS = global_registry().counter("core.basis.evaluations")
+_CONFIGS_EVALUATED = global_registry().counter("core.basis.configurations_evaluated")
 
 
 @dataclass(frozen=True)
@@ -98,6 +105,7 @@ class ChannelBasis:
         paths (e.g. the testbed's environment cache); when ``None`` the
         ambient multipath is traced here.
         """
+        _BASES_TRACED.inc()
         freqs = subcarrier_frequencies(num_subcarriers, bandwidth_hz)
         if environment_paths is None:
             environment_paths = tracer.trace(tx, rx, tx_antenna, rx_antenna)
@@ -181,6 +189,8 @@ class ChannelBasis:
             ambient = tracer.trace_batch(tx, rx_points, tx_antenna, rx_antenna)
         rx_x, rx_y = _points_to_arrays(rx_points)
         num_points = ambient.num_points
+        _BATCHES_TRACED.inc()
+        _BATCH_POINTS.inc(num_points)
         space = array.configuration_space()
         max_states = max(space.state_counts)
         tensors = np.zeros(
@@ -356,6 +366,8 @@ class ChannelBasis:
             sums = self.all_element_sums
         else:
             sums = self.element_sums(self.configuration_indices(configurations))
+        _EVALUATIONS.inc()
+        _CONFIGS_EVALUATED.inc(int(sums.shape[0]))
         return self.ambient_cfr(ambient_gains) + sums
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..em.channel import coherence_time_s
+from ..obs.metrics import global_registry
 from .array import PressArray
 from .configuration import ArrayConfiguration, ConfigurationSpace
 from .faults import detect_unresponsive_elements
@@ -33,6 +34,14 @@ from .scheduler import TimingModel, measurement_budget, pick_searcher
 from .search import SearchResult, Searcher
 
 __all__ = ["ControlDecision", "RoundTelemetry", "PressController"]
+
+_ROUNDS = global_registry().counter("core.controller.rounds")
+_SOUNDINGS = global_registry().counter("core.controller.soundings")
+_DEGRADED_ROUNDS = global_registry().counter("core.controller.degraded_rounds")
+_STALE_ROUNDS = global_registry().counter("core.controller.stale_rounds")
+#: Histogram of *simulated* round wall-clock (modelled seconds, not host
+#: time — deterministic for a given seed).
+_ROUND_ELAPSED_S = global_registry().histogram("core.controller.round_elapsed_s")
 
 
 @dataclass(frozen=True)
@@ -467,6 +476,13 @@ class PressController:
             unresponsive_elements=self.unresponsive_elements,
             best_score=result.best_score,
         )
+        _ROUNDS.inc()
+        _SOUNDINGS.inc(result.num_evaluations + maintenance_measurements)
+        if degraded:
+            _DEGRADED_ROUNDS.inc()
+        if telemetry.stale:
+            _STALE_ROUNDS.inc()
+        _ROUND_ELAPSED_S.observe(elapsed)
         decision = ControlDecision(
             search=result,
             elapsed_s=elapsed,

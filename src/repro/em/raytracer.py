@@ -32,6 +32,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from ..constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
+from ..obs.metrics import global_registry
 from .antennas import Antenna, IsotropicAntenna
 from .geometry import (
     Point,
@@ -57,6 +58,10 @@ __all__ = [
 ]
 
 _EPS = 1e-9
+
+_TRACES = global_registry().counter("em.raytracer.traces")
+_BATCH_TRACES = global_registry().counter("em.raytracer.batch_traces")
+_BATCH_POINTS = global_registry().counter("em.raytracer.batch_points")
 
 #: Minimum hop distance [m] used in amplitude calculations, preventing the
 #: near-field singularity of the Friis law when geometry degenerates.
@@ -199,6 +204,7 @@ class RayTracer:
         produced here — the PRESS array layer adds them on top (they depend
         on the array configuration).
         """
+        _TRACES.inc()
         paths: list[SignalPath] = []
         if include_los:
             los = self.line_of_sight_path(tx, rx, tx_antenna, rx_antenna)
@@ -462,6 +468,8 @@ class RayTracer:
         """
         pxs, pys = _points_to_arrays(rx_points)
         num = pxs.shape[0]
+        _BATCH_TRACES.inc()
+        _BATCH_POINTS.inc(num)
         columns: list[tuple[np.ndarray, ...]] = []
         kinds: list[str] = []
         hops: list[int] = []

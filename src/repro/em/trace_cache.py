@@ -13,6 +13,9 @@ one trace, across instances and across experiments within a process.
 
 The cache is a bounded LRU; worker processes of the parallel experiment
 runner each hold their own copy (it is per-process state, never pickled).
+Hit/miss/eviction totals are mirrored into the observability registry
+(``em.trace_cache.*``) so the parallel runner can merge complete run-level
+cache statistics across workers.
 """
 
 from __future__ import annotations
@@ -20,9 +23,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
+from ..obs.metrics import global_registry
 from .antennas import Antenna
 from .geometry import Point
-from .paths import SignalPath
+from .paths import PathBatch, SignalPath
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .raytracer import RayTracer
@@ -33,6 +37,13 @@ __all__ = ["TraceCache", "global_trace_cache"]
 #: endpoints per placement; 4096 comfortably holds several placements.
 DEFAULT_MAXSIZE = 4096
 
+_HITS = global_registry().counter("em.trace_cache.hits")
+_MISSES = global_registry().counter("em.trace_cache.misses")
+_EVICTIONS = global_registry().counter("em.trace_cache.evictions")
+_BATCH_HITS = global_registry().counter("em.trace_cache.batch_hits")
+_BATCH_MISSES = global_registry().counter("em.trace_cache.batch_misses")
+_ENTRIES = global_registry().gauge("em.trace_cache.entries")
+
 
 class TraceCache:
     """A bounded LRU cache of ambient traces keyed by geometry values.
@@ -40,16 +51,24 @@ class TraceCache:
     Keys combine the tracer's scene fingerprint (the scene value itself —
     an immutable dataclass hashing by field values) with its radio
     parameters and the endpoint positions/antennas.  Values are the packed
-    ``tuple[SignalPath, ...]`` of :meth:`RayTracer.trace`.
+    ``tuple[SignalPath, ...]`` of :meth:`RayTracer.trace` — or, for the
+    batched entry point, the :class:`~repro.em.paths.PathBatch` of
+    :meth:`RayTracer.trace_batch` keyed by the raw coordinate bytes.
+
+    ``hits``/``misses``/``evictions`` count per-instance; the same events
+    are mirrored into the global metrics registry under
+    ``em.trace_cache.*`` so run records see totals across all instances
+    and worker processes.
     """
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, tuple[SignalPath, ...]]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -73,6 +92,39 @@ class TraceCache:
             rx_antenna,
         )
 
+    @staticmethod
+    def batch_key(
+        tracer: "RayTracer",
+        tx: Point,
+        rx_points,
+        tx_antenna: Antenna,
+        rx_antenna: Antenna,
+    ) -> Hashable:
+        """The cache key for one batched trace (coordinate grid by value)."""
+        from .raytracer import _points_to_arrays
+
+        xs, ys = _points_to_arrays(rx_points)
+        return (
+            "batch",
+            tracer.scene,
+            tracer.frequency_hz,
+            tracer.max_bounces,
+            tx,
+            xs.shape,
+            xs.tobytes(),
+            ys.tobytes(),
+            tx_antenna,
+            rx_antenna,
+        )
+
+    def _store(self, key: Hashable, value: object) -> None:
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            _EVICTIONS.inc()
+        _ENTRIES.set(len(self._entries))
+
     def get_or_trace(
         self,
         tracer: "RayTracer",
@@ -87,19 +139,59 @@ class TraceCache:
         if cached is not None:
             self._entries.move_to_end(key)
             self.hits += 1
-            return cached
+            _HITS.inc()
+            return cached  # type: ignore[return-value]
         self.misses += 1
+        _MISSES.inc()
         paths = tuple(tracer.trace(tx, rx, tx_antenna, rx_antenna))
-        self._entries[key] = paths
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        self._store(key, paths)
         return paths
 
-    def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
-        self._entries.clear()
+    def get_or_trace_batch(
+        self,
+        tracer: "RayTracer",
+        tx: Point,
+        rx_points,
+        tx_antenna: Antenna,
+        rx_antenna: Antenna,
+    ) -> PathBatch:
+        """The cached batched trace for a batch of receiver points.
+
+        Keys by the raw bytes of the coordinate arrays, so re-running the
+        same coverage grid (across figure calls, or across repeats within
+        a worker) reuses one :class:`~repro.em.paths.PathBatch` instead of
+        re-tracing.  Batch lookups are counted separately
+        (``em.trace_cache.batch_hits``/``batch_misses``) from per-link
+        ones, since one batch stands in for hundreds of point traces.
+        """
+        key = self.batch_key(tracer, tx, rx_points, tx_antenna, rx_antenna)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            _BATCH_HITS.inc()
+            return cached  # type: ignore[return-value]
+        self.misses += 1
+        _BATCH_MISSES.inc()
+        batch = tracer.trace_batch(tx, rx_points, tx_antenna, rx_antenna)
+        self._store(key, batch)
+        return batch
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss/eviction counters without dropping entries.
+
+        Benchmarks call this between phases so one phase's warm-up traffic
+        does not bleed into the next phase's statistics.
+        """
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss/eviction counters."""
+        self._entries.clear()
+        self.reset_counters()
+        _ENTRIES.set(0)
 
 
 _GLOBAL_CACHE = TraceCache()

@@ -31,6 +31,7 @@ from .mu_mimo import MuMimoResult, mu_mimo_matrices, run_mu_mimo, zf_sum_rate_bi
 from .runner import (
     available_cpus,
     derive_seeds,
+    merged_telemetry,
     process_telemetry,
     resolve_jobs,
     run_parallel,
@@ -79,6 +80,7 @@ __all__ = [
     "derive_seeds",
     "run_parallel",
     "process_telemetry",
+    "merged_telemetry",
     "ControlRobustnessCell",
     "ControlRobustnessResult",
     "control_link_by_name",

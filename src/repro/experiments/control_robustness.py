@@ -32,8 +32,9 @@ from ..control.links import (
 from ..control.protocol import ControlPlane
 from ..core.controller import PressController
 from ..core.objectives import MinSnrObjective
+from ..obs.records import RunRecorder, current_sample
 from .common import StudyConfig, build_nlos_setup, used_subcarrier_mask
-from .runner import derive_seeds, process_telemetry, run_parallel
+from .runner import derive_seeds, merged_telemetry, run_parallel
 
 __all__ = [
     "ControlRobustnessCell",
@@ -119,11 +120,13 @@ class ControlRobustnessCell:
 
 @dataclass(frozen=True)
 class ControlRobustnessResult:
-    """The full sweep plus process-level counters.
+    """The full sweep plus run-level counters.
 
     ``cells`` is the deterministic payload (bit-identical at any worker
-    count); ``telemetry`` carries this process's counters (trace-cache
-    hits/misses) and is observability data only.
+    count); ``telemetry`` carries the run's merged trace-cache counters —
+    parent *and* worker processes, via the runner's observability samples
+    (:func:`repro.experiments.runner.merged_telemetry`) — and is
+    observability data only.
     """
 
     cells: tuple[ControlRobustnessCell, ...]
@@ -217,13 +220,16 @@ def run_control_robustness(
     maintenance_interval: int = 2,
     base_seed: int = 0,
     jobs: Optional[int] = None,
+    record_to: Optional[str] = None,
 ) -> ControlRobustnessResult:
     """Sweep link type x loss probability x mobility speed.
 
     Each cell runs ``rounds`` closed measure -> search -> actuate rounds
     over its own ``SeedSequence``-derived loss stream.  ``jobs`` fans the
     cell axis across processes (``None``/``1`` serial, ``<= 0`` all
-    CPUs); ``cells`` are bit-identical at any value.
+    CPUs); ``cells`` are bit-identical at any value.  ``record_to``
+    appends a schema-validated run record (config, seeds, merged metrics,
+    span summaries) to the given JSONL file.
     """
     if rounds <= 0:
         raise ValueError(f"rounds must be positive, got {rounds}")
@@ -253,7 +259,24 @@ def run_control_robustness(
         )
         for (link_name, loss, speed), seed_seq in zip(coordinates, seeds)
     ]
-    cells = run_parallel(_robustness_task, tasks, jobs=jobs)
-    return ControlRobustnessResult(
-        cells=tuple(cells), telemetry=process_telemetry()
-    )
+    with RunRecorder(
+        "control_robustness",
+        config={
+            "links": list(links),
+            "loss_probabilities": [float(p) for p in loss_probabilities],
+            "speeds_mph": [float(s) for s in speeds_mph],
+            "rounds": rounds,
+            "maintenance_interval": maintenance_interval,
+            "study": config,
+        },
+        path=record_to,
+        jobs=jobs,
+        seeds={"base_seed": base_seed, "placement_seed": placement_seed},
+    ) as recorder:
+        since = current_sample()
+        cells, samples = run_parallel(
+            _robustness_task, tasks, jobs=jobs, collect_obs=True
+        )
+        recorder.add_worker_samples(samples)
+        telemetry = merged_telemetry(samples, since=since)
+    return ControlRobustnessResult(cells=tuple(cells), telemetry=telemetry)

@@ -18,6 +18,7 @@ import numpy as np
 from ..core.configuration import ArrayConfiguration
 from ..em.channel import snr_db_from_cfr
 from ..em.geometry import Point
+from ..obs.records import RunRecorder
 from ..sdr.device import warp_v3
 from .common import StudyConfig, StudySetup, build_nlos_setup, used_subcarrier_mask
 from .runner import run_parallel
@@ -159,16 +160,36 @@ def run_coverage_suite(
     x_span_m: float = 1.8,
     y_span_m: float = 1.2,
     jobs: Optional[int] = None,
+    record_to: Optional[str] = None,
 ) -> list[CoverageMap]:
     """Coverage maps for several placements, fanned across processes.
 
     Each placement's map is deterministic in its seed (coverage draws no
     measurement noise), so results are identical at any ``jobs`` value;
     within each placement the position axis runs through the batched
-    geometry trace.
+    geometry trace.  ``record_to`` appends a schema-validated run record
+    (config, merged metrics across all workers, span summaries) to the
+    given JSONL file.
     """
     tasks = [
         (int(seed), config, grid_shape, x_span_m, y_span_m)
         for seed in placement_seeds
     ]
-    return run_parallel(_coverage_task, tasks, jobs=jobs)
+    with RunRecorder(
+        "coverage_suite",
+        config={
+            "placement_seeds": [int(seed) for seed in placement_seeds],
+            "grid_shape": list(grid_shape),
+            "x_span_m": x_span_m,
+            "y_span_m": y_span_m,
+            "study": config,
+        },
+        path=record_to,
+        jobs=jobs,
+        seeds={"placement_seeds": [int(seed) for seed in placement_seeds]},
+    ) as recorder:
+        maps, samples = run_parallel(
+            _coverage_task, tasks, jobs=jobs, collect_obs=True
+        )
+        recorder.add_worker_samples(samples)
+    return maps

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.metrics import ConfigPairGap, largest_single_subcarrier_gap
+from ..obs.records import RunRecorder
 from .common import StudyConfig, build_nlos_setup, used_subcarrier_mask
 from .runner import run_parallel
 
@@ -111,11 +112,14 @@ def run_fig4(
     config: StudyConfig = StudyConfig(),
     noise_seed: int = 1000,
     jobs: Optional[int] = None,
+    record_to: Optional[str] = None,
 ) -> Fig4Result:
     """Run the Figure 4 experiment: sweep 64 configs x reps per placement.
 
     ``jobs`` fans the placement axis across processes (``None``/``1``
     serial, ``<= 0`` all CPUs); results are bit-identical at any value.
+    ``record_to`` appends a schema-validated run record to the given
+    JSONL file.
     """
     if num_placements <= 0:
         raise ValueError(f"num_placements must be positive, got {num_placements}")
@@ -123,5 +127,19 @@ def run_fig4(
         (placement_seed, repetitions, config, noise_seed)
         for placement_seed in range(num_placements)
     ]
-    placements = run_parallel(_fig4_placement_task, tasks, jobs=jobs)
+    with RunRecorder(
+        "fig4",
+        config={
+            "num_placements": num_placements,
+            "repetitions": repetitions,
+            "study": config,
+        },
+        path=record_to,
+        jobs=jobs,
+        seeds={"noise_seed": noise_seed},
+    ) as recorder:
+        placements, samples = run_parallel(
+            _fig4_placement_task, tasks, jobs=jobs, collect_obs=True
+        )
+        recorder.add_worker_samples(samples)
     return Fig4Result(placements=tuple(placements))

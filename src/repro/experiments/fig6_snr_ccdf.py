@@ -23,6 +23,7 @@ from ..analysis.metrics import (
     min_snrs,
 )
 from ..analysis.stats import EmpiricalDistribution
+from ..obs.records import RunRecorder
 from .common import (
     FIG5_PLACEMENT_SEED,
     StudyConfig,
@@ -95,6 +96,7 @@ def run_fig6(
     config: StudyConfig = StudyConfig(),
     noise_seed: int = 3000,
     jobs: Optional[int] = None,
+    record_to: Optional[str] = None,
 ) -> Fig6Result:
     """Run the Figure 6 experiment at the Figure 5 placement.
 
@@ -104,22 +106,36 @@ def run_fig6(
     per-rep streams derived with ``SeedSequence.spawn`` so repetitions can
     fan across processes; that scheme's results are bit-identical at every
     worker count (but are a different, equally valid random realisation
-    than the legacy single-stream route).
+    than the legacy single-stream route).  ``record_to`` appends a
+    schema-validated run record to the given JSONL file.
     """
     mask = used_subcarrier_mask()
-    if jobs is None:
-        setup = build_nlos_setup(placement_seed, config)
-        rng = np.random.default_rng(noise_seed)
-        sweep = setup.testbed.sweep(
-            setup.tx_device, setup.rx_device, repetitions=repetitions, rng=rng
-        )
-        snr_reps = [sweep.snr_db[rep] for rep in range(repetitions)]
-    else:
-        tasks = [
-            (placement_seed, config, seed_seq)
-            for seed_seq in derive_seeds(noise_seed, repetitions)
-        ]
-        snr_reps = run_parallel(_fig6_rep_task, tasks, jobs=jobs)
+    with RunRecorder(
+        "fig6",
+        config={
+            "repetitions": repetitions,
+            "study": config,
+        },
+        path=record_to,
+        jobs=jobs,
+        seeds={"noise_seed": noise_seed, "placement_seed": placement_seed},
+    ) as recorder:
+        if jobs is None:
+            setup = build_nlos_setup(placement_seed, config)
+            rng = np.random.default_rng(noise_seed)
+            sweep = setup.testbed.sweep(
+                setup.tx_device, setup.rx_device, repetitions=repetitions, rng=rng
+            )
+            snr_reps = [sweep.snr_db[rep] for rep in range(repetitions)]
+        else:
+            tasks = [
+                (placement_seed, config, seed_seq)
+                for seed_seq in derive_seeds(noise_seed, repetitions)
+            ]
+            snr_reps, samples = run_parallel(
+                _fig6_rep_task, tasks, jobs=jobs, collect_obs=True
+            )
+            recorder.add_worker_samples(samples)
     per_rep = [snr[:, mask] for snr in snr_reps]
     change_pairs = np.concatenate([min_snr_changes(snr) for snr in per_rep])
     minima_per_trial = tuple(min_snrs(snr) for snr in per_rep)

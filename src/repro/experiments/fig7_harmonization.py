@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..net.harmonization import subband_contrast_db
+from ..obs.records import RunRecorder
 from .common import StudyConfig, build_harmonization_setup, used_subcarrier_mask
 from .runner import run_parallel
 
@@ -99,6 +100,7 @@ def run_fig7(
     min_total_contrast_db: float = 6.0,
     noise_seed: int = 4000,
     jobs: Optional[int] = None,
+    record_to: Optional[str] = None,
 ) -> Fig7Result:
     """Scan scenario seeds for a clear opposite-selectivity pair.
 
@@ -127,24 +129,46 @@ def run_fig7(
 
     from .runner import resolve_jobs
 
-    best: Optional[Fig7Result] = None
-    if resolve_jobs(jobs) <= 1:
-        # Serial: preserve the historical early exit.
-        for placement_seed in range(max_seeds):
-            candidate = _fig7_seed_task((placement_seed, config, noise_seed))
-            if best is None or candidate.total_contrast_db > best.total_contrast_db:
-                best = candidate
-            accepted = select([candidate])
-            if accepted is not None:
-                return accepted
-        assert best is not None
-        return best
-    tasks = [
-        (placement_seed, config, noise_seed)
-        for placement_seed in range(max_seeds)
-    ]
-    candidates = run_parallel(_fig7_seed_task, tasks, jobs=jobs)
-    accepted = select(candidates)
-    if accepted is not None:
-        return accepted
-    return max(candidates, key=lambda c: c.total_contrast_db)
+    with RunRecorder(
+        "fig7",
+        config={
+            "max_seeds": max_seeds,
+            "min_total_contrast_db": min_total_contrast_db,
+            "study": config,
+        },
+        path=record_to,
+        jobs=jobs,
+        seeds={"noise_seed": noise_seed},
+    ) as recorder:
+        best: Optional[Fig7Result] = None
+        chosen: Optional[Fig7Result] = None
+        if resolve_jobs(jobs) <= 1:
+            # Serial: preserve the historical early exit.
+            for placement_seed in range(max_seeds):
+                candidate = _fig7_seed_task((placement_seed, config, noise_seed))
+                if (
+                    best is None
+                    or candidate.total_contrast_db > best.total_contrast_db
+                ):
+                    best = candidate
+                accepted = select([candidate])
+                if accepted is not None:
+                    chosen = accepted
+                    break
+            if chosen is None:
+                assert best is not None
+                chosen = best
+        else:
+            tasks = [
+                (placement_seed, config, noise_seed)
+                for placement_seed in range(max_seeds)
+            ]
+            candidates, samples = run_parallel(
+                _fig7_seed_task, tasks, jobs=jobs, collect_obs=True
+            )
+            recorder.add_worker_samples(samples)
+            accepted = select(candidates)
+            chosen = accepted or max(
+                candidates, key=lambda c: c.total_contrast_db
+            )
+    return chosen

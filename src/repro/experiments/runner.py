@@ -14,6 +14,11 @@ how those axes fan out:
   parallel tasks independent streams from one base seed.  Results depend
   only on ``(base_seed, task index)``, never on worker scheduling, so any
   ``jobs`` value reproduces any other.
+* With ``collect_obs=True``, :func:`run_parallel` also returns each task's
+  observability delta — the per-worker metrics/span sample the run-record
+  sink merges into a complete run-level view at any ``--jobs``
+  (:func:`merged_telemetry`), fixing the parent-only blind spot the old
+  :func:`process_telemetry` documented.
 
 Task functions must be module-level (picklable) and tasks/results must
 survive a round-trip through pickle; every experiment's task payload here
@@ -24,10 +29,14 @@ dataclass of arrays.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
+
+from ..obs.records import ObsSample, current_sample, merge_samples
+from ..obs.tracing import global_tracer
 
 __all__ = [
     "available_cpus",
@@ -35,6 +44,7 @@ __all__ = [
     "derive_seeds",
     "run_parallel",
     "process_telemetry",
+    "merged_telemetry",
 ]
 
 TaskT = TypeVar("TaskT")
@@ -76,15 +86,19 @@ def derive_seeds(base_seed: int, count: int) -> list[np.random.SeedSequence]:
 
 
 def process_telemetry() -> dict:
-    """Process-level counters experiments attach to their result records.
+    """Deprecated: trace-cache counters for *this process only*.
 
-    Currently the geometry trace cache (:mod:`repro.em.trace_cache`) —
-    hits, misses and residency for *this* process.  Worker processes of
-    :func:`run_parallel` hold their own caches whose counters are not
-    aggregated here, so with ``jobs > 1`` these numbers describe only the
-    parent; they are observability data, not part of any experiment's
-    deterministic result payload.
+    Use :func:`merged_telemetry` (fed by ``run_parallel(collect_obs=True)``
+    samples), which aggregates across worker processes instead of seeing
+    only the parent.  Kept as a thin shim for callers of the old API.
     """
+    warnings.warn(
+        "process_telemetry() sees only the parent process; use "
+        "merged_telemetry() with run_parallel(collect_obs=True) samples "
+        "for complete cross-worker totals",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..em.trace_cache import global_trace_cache
 
     cache = global_trace_cache()
@@ -95,12 +109,66 @@ def process_telemetry() -> dict:
     }
 
 
+def merged_telemetry(
+    worker_samples: Sequence[ObsSample] = (),
+    since: Optional[ObsSample] = None,
+) -> dict:
+    """Run-level trace-cache totals: parent *plus* every worker.
+
+    The successor of :func:`process_telemetry`: merges the parent process's
+    registry (optionally only its delta ``since`` a sample taken at run
+    start) with the per-task worker samples ``run_parallel(collect_obs=
+    True)`` returned.  Hit/miss totals cover per-link and batched lookups;
+    ``trace_cache_entries`` sums residency over the distinct processes.
+    """
+    parent = current_sample()
+    if since is not None:
+        parent = parent.delta(since)
+    merged = merge_samples([parent, *worker_samples])
+    counters = merged.metrics.counters
+    return {
+        "trace_cache_hits": counters.get("em.trace_cache.hits", 0)
+        + counters.get("em.trace_cache.batch_hits", 0),
+        "trace_cache_misses": counters.get("em.trace_cache.misses", 0)
+        + counters.get("em.trace_cache.batch_misses", 0),
+        "trace_cache_evictions": counters.get("em.trace_cache.evictions", 0),
+        "trace_cache_entries": int(
+            merged.metrics.gauges.get("em.trace_cache.entries", 0)
+        ),
+        "processes": len({parent.pid, *(s.pid for s in worker_samples)}),
+    }
+
+
+class _ObservedTask:
+    """Picklable task wrapper shipping a per-task observability delta.
+
+    Runs in the worker process: snapshots the worker's registry/tracer
+    before and after the task, wraps the task in a ``task.<fn name>`` span,
+    and returns ``(result, delta)``.  Per-task deltas (not cumulative
+    snapshots) mean a worker that handles many tasks is never
+    double-counted when the parent merges all samples.
+    """
+
+    __slots__ = ("fn", "span_name")
+
+    def __init__(self, fn: Callable[[TaskT], ResultT]) -> None:
+        self.fn = fn
+        self.span_name = f"task.{getattr(fn, '__name__', 'task')}"
+
+    def __call__(self, task: TaskT) -> Tuple[ResultT, ObsSample]:
+        before = current_sample()
+        with global_tracer().span(self.span_name):
+            result = self.fn(task)
+        return result, current_sample().delta(before)
+
+
 def run_parallel(
     fn: Callable[[TaskT], ResultT],
     tasks: Sequence[TaskT],
     jobs: Optional[int] = None,
     chunksize: int = 1,
-) -> List[ResultT]:
+    collect_obs: bool = False,
+):
     """Map ``fn`` over ``tasks``, optionally across worker processes.
 
     Results come back in task order regardless of completion order.  With
@@ -119,11 +187,35 @@ def run_parallel(
     chunksize:
         Tasks handed to a worker per dispatch (larger amortises IPC for
         many small tasks).
+    collect_obs:
+        When true, return ``(results, worker_samples)`` where
+        ``worker_samples`` is one :class:`~repro.obs.records.ObsSample`
+        delta per task executed in a *worker* process.  The serial path
+        returns an empty sample list — everything it records is already in
+        the parent registry, so a caller measuring its own parent delta
+        (e.g. :class:`~repro.obs.records.RunRecorder`) sees each event
+        exactly once at any ``jobs`` value.
+
+    Returns
+    -------
+    list, or ``(list, list[ObsSample])`` when ``collect_obs`` is true.
     """
     task_list = list(tasks)
     num_workers = resolve_jobs(jobs)
     if num_workers <= 1 or len(task_list) <= 1:
-        return [fn(task) for task in task_list]
+        if not collect_obs:
+            return [fn(task) for task in task_list]
+        # Serial tasks record straight into the parent registry/tracer (the
+        # per-task span included), so the caller's own parent delta already
+        # covers them — returning samples too would double count.
+        wrapped = _ObservedTask(fn)
+        return [wrapped(task)[0] for task in task_list], []
     num_workers = min(num_workers, len(task_list))
+    mapped_fn = _ObservedTask(fn) if collect_obs else fn
     with ProcessPoolExecutor(max_workers=num_workers) as pool:
-        return list(pool.map(fn, task_list, chunksize=chunksize))
+        mapped = list(pool.map(mapped_fn, task_list, chunksize=chunksize))
+    if not collect_obs:
+        return mapped
+    results: List[ResultT] = [result for result, _ in mapped]
+    samples = [sample for _, sample in mapped]
+    return results, samples

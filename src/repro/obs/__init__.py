@@ -1,0 +1,87 @@
+"""Unified observability: metrics registry, span tracing, run records.
+
+See DESIGN.md "Observability" for the instrument naming scheme, span
+hierarchy, and run-record schema.  Quick tour:
+
+* :func:`global_registry` — process-local counters/gauges/histograms that
+  every subsystem (``em.trace_cache``, ``em.raytracer``, ``core.basis``,
+  ``control.protocol``, ``core.controller``) registers instruments in.
+* :func:`global_tracer` — context-manager spans for coarse phases.
+* :class:`RunRecorder` — assembles one schema-validated JSONL run record
+  per experiment, merging parent and worker observability deltas.
+* :func:`set_enabled` / ``REPRO_OBS=0`` — global on/off switch; results
+  are bit-identical either way (instruments never touch random streams).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramState,
+    MetricsRegistry,
+    MetricsSnapshot,
+    enabled,
+    global_registry,
+    log_bin_edges,
+    merge_snapshots,
+    reset_metrics,
+    set_enabled,
+)
+from .records import (
+    SCHEMA_VERSION,
+    ObsSample,
+    RunRecorder,
+    append_record,
+    current_sample,
+    merge_samples,
+    read_records,
+    run_metadata,
+    validate_record,
+)
+from .tracing import (
+    SpanRecord,
+    SpanSummary,
+    SpanTracer,
+    global_tracer,
+    merge_span_summaries,
+    reset_tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramState",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "enabled",
+    "global_registry",
+    "log_bin_edges",
+    "merge_snapshots",
+    "reset_metrics",
+    "set_enabled",
+    "SpanRecord",
+    "SpanSummary",
+    "SpanTracer",
+    "global_tracer",
+    "merge_span_summaries",
+    "reset_tracing",
+    "SCHEMA_VERSION",
+    "ObsSample",
+    "RunRecorder",
+    "append_record",
+    "current_sample",
+    "merge_samples",
+    "read_records",
+    "run_metadata",
+    "validate_record",
+]
+
+
+def reset_observability() -> None:
+    """Zero the global registry and tracer (tests/benchmarks)."""
+    reset_metrics()
+    reset_tracing()
+
+
+__all__.append("reset_observability")

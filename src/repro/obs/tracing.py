@@ -1,0 +1,242 @@
+"""Lightweight span tracer: nested wall-clock phases, ring-buffered.
+
+Spans mark the coarse phases of a run — a geometry trace, a configuration
+sweep, one parallel task — with monotonic (``time.perf_counter``) timings
+and parent/child nesting, so ``repro report`` can render a per-phase
+wall-clock breakdown.  Two properties keep tracing safe for a
+reproducibility-obsessed codebase:
+
+* spans live only at *phase* boundaries, never inside seeded hot loops,
+  and read no random streams — results are bit-identical with tracing on
+  or off (:func:`repro.obs.metrics.set_enabled` disables the clock reads
+  entirely);
+* completed spans land in a bounded ring buffer (old spans fall off), and
+  a cumulative per-name aggregate (count, total, min, max) is maintained
+  separately so summaries never lose data to the ring.
+
+Aggregates are plain value objects (:class:`SpanSummary`): the parallel
+runner ships each worker's aggregate delta back with its results, and
+merging is count/total addition plus min/max reduction — exact at the run
+level in any merge order.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .metrics import enabled
+
+__all__ = [
+    "SpanRecord",
+    "SpanSummary",
+    "SpanTracer",
+    "global_tracer",
+    "reset_tracing",
+    "merge_span_summaries",
+]
+
+#: Completed spans kept in the ring buffer (per process).
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    ``start_s`` is monotonic time relative to the tracer's epoch (its
+    construction), so records from one process order and nest correctly;
+    they are not comparable across processes.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    parent: Optional[str]
+    depth: int
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Cumulative per-name aggregate of completed spans."""
+
+    name: str
+    count: int
+    total_s: float
+    min_s: float
+    max_s: float
+
+    @classmethod
+    def empty(cls, name: str) -> "SpanSummary":
+        return cls(name=name, count=0, total_s=0.0, min_s=math.inf, max_s=-math.inf)
+
+    def merged(self, other: "SpanSummary") -> "SpanSummary":
+        return SpanSummary(
+            name=self.name,
+            count=self.count + other.count,
+            total_s=self.total_s + other.total_s,
+            min_s=min(self.min_s, other.min_s),
+            max_s=max(self.max_s, other.max_s),
+        )
+
+    def delta(self, earlier: "SpanSummary") -> "SpanSummary":
+        """Spans completed since ``earlier`` (same-tracer summary).
+
+        Count and total subtract exactly; ``min_s``/``max_s`` carry the
+        cumulative window, which still reduces to the true run extrema
+        when deltas are merged (min-of-mins, max-of-maxes).
+        """
+        return SpanSummary(
+            name=self.name,
+            count=self.count - earlier.count,
+            total_s=self.total_s - earlier.total_s,
+            min_s=self.min_s,
+            max_s=self.max_s,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping) -> "SpanSummary":
+        return cls(
+            name=name,
+            count=int(data["count"]),
+            total_s=float(data["total_s"]),
+            min_s=float(data["min_s"]),
+            max_s=float(data["max_s"]),
+        )
+
+
+def merge_span_summaries(
+    summaries: Iterable[Mapping[str, SpanSummary]],
+) -> Dict[str, SpanSummary]:
+    """Merge per-name summary maps from several sources (workers, parent)."""
+    merged: Dict[str, SpanSummary] = {}
+    for source in summaries:
+        for name, summary in source.items():
+            prior = merged.get(name)
+            merged[name] = summary if prior is None else prior.merged(summary)
+    return merged
+
+
+class _SpanContext:
+    """The context manager :meth:`SpanTracer.span` hands out.
+
+    Hand-rolled (not ``contextlib``) to keep per-span overhead at two
+    ``perf_counter`` calls plus a few attribute writes.
+    """
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "SpanTracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_SpanContext":
+        self._tracer._stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        self._tracer._close(self._name, self._start, end)
+        return None
+
+
+class _NullContext:
+    """No-op span: zero clock reads when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class SpanTracer:
+    """Context-manager span tracer with a bounded ring-buffer exporter."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._epoch = time.perf_counter()
+        self._buffer: Deque[SpanRecord] = deque(maxlen=capacity)
+        self._stack: List[str] = []
+        self._aggregates: Dict[str, SpanSummary] = {}
+
+    def span(self, name: str) -> object:
+        """A context manager timing one phase.
+
+        Nesting is tracked via the open-span stack: a span opened while
+        another is open records that span as its parent.  When
+        observability is disabled the returned context performs no clock
+        reads at all.
+        """
+        if not enabled():
+            return _NULL_CONTEXT
+        return _SpanContext(self, name)
+
+    def _close(self, name: str, start: float, end: float) -> None:
+        self._stack.pop()
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            name=name,
+            start_s=start - self._epoch,
+            duration_s=end - start,
+            parent=parent,
+            depth=len(self._stack),
+        )
+        self._buffer.append(record)
+        duration = record.duration_s
+        prior = self._aggregates.get(name)
+        if prior is None:
+            prior = SpanSummary.empty(name)
+        self._aggregates[name] = SpanSummary(
+            name=name,
+            count=prior.count + 1,
+            total_s=prior.total_s + duration,
+            min_s=min(prior.min_s, duration),
+            max_s=max(prior.max_s, duration),
+        )
+
+    def records(self) -> Tuple[SpanRecord, ...]:
+        """The ring buffer's current contents (oldest first)."""
+        return tuple(self._buffer)
+
+    def summaries(self) -> Dict[str, SpanSummary]:
+        """Cumulative per-name aggregates (immune to ring eviction)."""
+        return dict(self._aggregates)
+
+    def reset(self) -> None:
+        """Drop all records and aggregates (open spans keep nesting)."""
+        self._buffer.clear()
+        self._aggregates.clear()
+        self._epoch = time.perf_counter()
+
+
+_TRACER = SpanTracer()
+
+
+def global_tracer() -> SpanTracer:
+    """The process-wide tracer all subsystems emit spans into."""
+    return _TRACER
+
+
+def reset_tracing() -> None:
+    """Clear the global tracer (benchmarks use this between phases)."""
+    _TRACER.reset()

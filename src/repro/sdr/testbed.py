@@ -32,6 +32,7 @@ from ..em.paths import SignalPath, paths_to_cfr
 from ..em.raytracer import RayTracer
 from ..em.scene import Scene
 from ..em.trace_cache import global_trace_cache
+from ..obs.tracing import global_tracer
 from ..phy.ofdm import OfdmParams
 from .device import SdrDevice
 
@@ -212,19 +213,20 @@ class Testbed:
             rx.antenna,
         )
         if key not in self._basis_cache:
-            self._basis_cache[key] = ChannelBasis.trace(
-                self.array,
-                tx.position,
-                rx.position,
-                self.tracer,
-                tx_antenna=tx.antenna,
-                rx_antenna=rx.antenna,
-                num_subcarriers=self.num_subcarriers,
-                bandwidth_hz=self.bandwidth_hz,
-                environment_paths=self.environment_paths(
-                    tx_device, rx_device, tx_chain, rx_chain
-                ),
-            )
+            with global_tracer().span("testbed.basis_trace"):
+                self._basis_cache[key] = ChannelBasis.trace(
+                    self.array,
+                    tx.position,
+                    rx.position,
+                    self.tracer,
+                    tx_antenna=tx.antenna,
+                    rx_antenna=rx.antenna,
+                    num_subcarriers=self.num_subcarriers,
+                    bandwidth_hz=self.bandwidth_hz,
+                    environment_paths=self.environment_paths(
+                        tx_device, rx_device, tx_chain, rx_chain
+                    ),
+                )
         return self._basis_cache[key]
 
     def bases_for_points(
@@ -244,16 +246,24 @@ class Testbed:
         the same antenna.
         """
         tx = tx_device.chains[tx_chain]
-        return ChannelBasis.trace_batch(
-            self.array,
-            tx.position,
-            rx_points,
-            self.tracer,
-            tx_antenna=tx.antenna,
-            rx_antenna=rx_antenna,
-            num_subcarriers=self.num_subcarriers,
-            bandwidth_hz=self.bandwidth_hz,
-        )
+        with global_tracer().span("testbed.bases_for_points"):
+            # The ambient batch is value-cached process-wide: coverage runs
+            # that revisit a (scene, TX, grid) — e.g. no-array vs pattern
+            # phases of the same placement — trace the grid once.
+            ambient = global_trace_cache().get_or_trace_batch(
+                self.tracer, tx.position, rx_points, tx.antenna, rx_antenna
+            )
+            return ChannelBasis.trace_batch(
+                self.array,
+                tx.position,
+                rx_points,
+                self.tracer,
+                tx_antenna=tx.antenna,
+                rx_antenna=rx_antenna,
+                num_subcarriers=self.num_subcarriers,
+                bandwidth_hz=self.bandwidth_hz,
+                ambient=ambient,
+            )
 
     def snr_function(
         self,
@@ -411,16 +421,19 @@ class Testbed:
         if mode not in ("basis", "legacy"):
             raise ValueError(f"mode must be 'basis' or 'legacy', got {mode!r}")
         configurations = self._configurations
-        if mode == "legacy":
-            snr = np.empty((repetitions, len(configurations), self.num_subcarriers))
-            for rep in range(repetitions):
-                for index, configuration in enumerate(configurations):
-                    observation = self.measure_csi(
-                        tx_device, rx_device, configuration, rng=rng
-                    )
-                    snr[rep, index] = observation.snr_db
-        else:
-            snr = self._sweep_basis(tx_device, rx_device, repetitions, rng)
+        with global_tracer().span("testbed.sweep"):
+            if mode == "legacy":
+                snr = np.empty(
+                    (repetitions, len(configurations), self.num_subcarriers)
+                )
+                for rep in range(repetitions):
+                    for index, configuration in enumerate(configurations):
+                        observation = self.measure_csi(
+                            tx_device, rx_device, configuration, rng=rng
+                        )
+                        snr[rep, index] = observation.snr_db
+            else:
+                snr = self._sweep_basis(tx_device, rx_device, repetitions, rng)
         if used_mask is None:
             if self.num_subcarriers == 64:
                 used_mask = OfdmParams().used_mask()
