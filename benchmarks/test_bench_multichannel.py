@@ -12,11 +12,12 @@ shifting hardware" would enable.
 import numpy as np
 
 from repro.analysis.reporting import ReportTable, format_table
+from repro.constants import CARRIER_FREQUENCY_HZ
 from repro.core import ExhaustiveSearch
 from repro.experiments import StudyConfig, build_nlos_setup, used_subcarrier_mask
 from repro.sdr.testbed import Testbed
 
-WIFI_CHANNELS = {1: 2.412e9, 6: 2.437e9, 11: 2.462e9}
+WIFI_CHANNELS = {1: 2.412e9, 6: 2.437e9, 11: CARRIER_FREQUENCY_HZ}
 
 
 def test_bench_cross_channel_transfer(once):

@@ -1,5 +1,6 @@
-"""Analysis: distribution statistics, null detection, figure metrics, reports."""
+"""Analysis: statistics, null detection, figure metrics, reports, repro lint."""
 
+from .linter import Finding, run_lint, run_lint_source
 from .metrics import (
     ConfigPairGap,
     fraction_of_pairs_with_change,
@@ -19,6 +20,9 @@ from .stats import EmpiricalDistribution, ccdf, cdf
 from .viz import render_profile, render_profiles, render_scene, sparkline
 
 __all__ = [
+    "Finding",
+    "run_lint",
+    "run_lint_source",
     "EmpiricalDistribution",
     "cdf",
     "ccdf",

@@ -1,0 +1,111 @@
+"""Baseline ("grandfather") file for ``repro lint``.
+
+A baseline lets the linter land with strict rules before every historical
+violation is fixed: ``repro lint --update-baseline`` records the current
+findings, and subsequent runs only fail on findings *not* in the file.
+Entries are keyed by :meth:`Finding.fingerprint` — path + rule + stripped
+source line — so edits elsewhere in a file don't invalidate them, and a
+count per fingerprint handles several identical violations in one file.
+
+The shipped baseline is empty (every real violation was fixed instead);
+the machinery exists for future rule additions, where a new rule may
+surface violations that need staged cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .linter import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "apply_baseline",
+    "load_baseline",
+    "save_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed-occurrence budget, plus debugging context."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    context: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    counts: Dict[str, int] = {}
+    context: Dict[str, dict] = {}
+    for key, entry in data.get("findings", {}).items():
+        counts[str(key)] = int(entry.get("count", 1))
+        context[str(key)] = {
+            "path": entry.get("path", ""),
+            "rule": entry.get("rule", ""),
+            "snippet": entry.get("snippet", ""),
+        }
+    return Baseline(counts=counts, context=context)
+
+
+def save_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
+    """Write the baseline capturing ``findings`` (deterministic JSON)."""
+    entries: Dict[str, dict] = {}
+    for finding in findings:
+        key = finding.fingerprint()
+        entry = entries.get(key)
+        if entry is None:
+            entries[key] = {
+                "path": finding.path,
+                "rule": finding.rule,
+                "snippet": finding.snippet.strip(),
+                "count": 1,
+            }
+        else:
+            entry["count"] += 1
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], int]:
+    """Split findings into (fresh, baselined-count).
+
+    Each fingerprint suppresses at most its recorded count, so a file
+    that *grows* a second copy of a grandfathered violation still fails.
+    """
+    remaining = dict(baseline.counts)
+    fresh: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = finding.fingerprint()
+        budget = remaining.get(key, 0)
+        if budget > 0:
+            remaining[key] = budget - 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched

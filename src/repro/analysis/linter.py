@@ -1,0 +1,373 @@
+"""``repro lint``: AST-based invariant checker for reproducibility contracts.
+
+The test suite can only spot-check the properties every result in this
+repo rests on — bit-identical runs at any ``--jobs``, explicit
+``numpy.random.Generator`` threading, no wall-clock reads in library
+code, frozen physical constants, canonical instrument names.  This
+module makes those conventions *decidable*: each :class:`Rule` walks a
+parsed module and yields :class:`Finding` objects for violations, and CI
+fails on any finding that is neither baselined
+(:mod:`repro.analysis.baseline`) nor pragma-suppressed.
+
+Suppression pragmas
+-------------------
+``# reprolint: disable=RPL003 -- reason`` suppresses the listed rule IDs
+on its own line; written as a comment-only line, it also covers the next
+code line (the idiom for statements too long to share a line with their
+pragma).  ``# reprolint: skip-file=RPL005`` anywhere in a file
+suppresses the listed rules for the whole file.  A reason after ``--``
+is conventional, not parsed.
+
+Library entry points
+--------------------
+:func:`run_lint` lints files/directories; :func:`run_lint_source` lints
+one in-memory snippet (the unit-test entry).  Both return sorted
+:class:`Finding` lists.  Rule instances carry per-run state (e.g.
+duplicate-name detection across files), so a fresh rule set is created
+for every :func:`run_lint` call.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "ImportMap",
+    "LintContext",
+    "Rule",
+    "iter_python_files",
+    "run_lint",
+    "run_lint_source",
+]
+
+#: Pseudo-rule ID reported when a file does not parse at all.
+SYNTAX_RULE_ID = "RPL000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|skip-file)\s*=\s*([A-Z0-9, ]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Location-independent identity used by the baseline file.
+
+        Hashes path + rule + the stripped source line (not the line
+        *number*), so unrelated edits above a grandfathered violation do
+        not invalidate its baseline entry.
+        """
+        payload = f"{self.path}::{self.rule}::{self.snippet.strip()}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:20]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def _parse_pragmas(
+    lines: Sequence[str],
+) -> Tuple[frozenset, Dict[int, frozenset]]:
+    """Extract file-level and per-line suppression pragmas.
+
+    Returns ``(file_disabled, line_disabled)`` where ``line_disabled``
+    maps 1-based line numbers to the rule IDs disabled on that line.
+    """
+    file_disabled: set = set()
+    line_disabled: Dict[int, frozenset] = {}
+
+    def disable(number: int, rules: frozenset) -> None:
+        line_disabled[number] = line_disabled.get(number, frozenset()) | rules
+
+    for number, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            rule.strip() for rule in match.group(2).split(",") if rule.strip()
+        )
+        if match.group(1) == "skip-file":
+            file_disabled |= rules
+            continue
+        disable(number, rules)
+        if text.lstrip().startswith("#"):
+            # Comment-only pragma: also cover the next code line.
+            for follower in range(number, len(lines)):
+                follower_text = lines[follower].strip()
+                if follower_text and not follower_text.startswith("#"):
+                    disable(follower + 1, rules)
+                    break
+    return frozenset(file_disabled), line_disabled
+
+
+class ImportMap:
+    """Local name -> canonical dotted path, from a module's import statements.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng`` maps ``default_rng -> numpy.random.default_rng``;
+    relative imports keep their leading dots (``from .tracing import
+    global_tracer`` maps to ``.tracing.global_tracer``), so rules match
+    canonical names with :func:`str.endswith` when the absolute package
+    root is unknowable.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                prefix = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{prefix}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, or ``None``.
+
+        Follows ``Attribute`` chains down to a ``Name`` whose base is an
+        imported alias.  Unimported bases (locals, builtins) resolve to
+        ``None`` — rules that care about builtins match bare ``Name``
+        nodes themselves.
+        """
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(chain)])
+
+
+class LintContext:
+    """Everything a rule needs to check one parsed module."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = Path(path).as_posix()
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source)
+        self.imports = ImportMap(self.tree)
+        self.file_disabled, self.line_disabled = _parse_pragmas(self.lines)
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # -- path predicates ------------------------------------------------
+    def _has_part(self, part: str) -> bool:
+        return part in Path(self.path).parts
+
+    @property
+    def is_tests(self) -> bool:
+        """Under a ``tests/`` directory (benchmarks are NOT exempt)."""
+        return self._has_part("tests")
+
+    @property
+    def in_repro_src(self) -> bool:
+        """Whether the file is library code under ``src/repro/``."""
+        return "src/repro/" in self.path or self.path.startswith("repro/")
+
+    @property
+    def in_obs(self) -> bool:
+        return self.in_repro_src and self._has_part("obs")
+
+    @property
+    def is_constants_module(self) -> bool:
+        return self.in_repro_src and Path(self.path).name == "constants.py"
+
+    # -- AST helpers ----------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The innermost function/lambda containing ``node``, if any."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return current
+            current = self.parent(current)
+        return None
+
+    def at_module_level(self, node: ast.AST) -> bool:
+        """True when ``node`` is outside every function and class body."""
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                return False
+            current = self.parent(current)
+        return True
+
+    def module_string_constants(self) -> Dict[str, str]:
+        """Module-level ``NAME = "literal"`` assignments (spans use these)."""
+        constants: Dict[str, str] = {}
+        for stmt in self.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not isinstance(value, ast.Constant) or not isinstance(
+                value.value, str
+            ):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = value.value
+        return constants
+
+    def snippet(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str, hint: Optional[str] = None
+    ) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            message=message,
+            hint=rule.hint if hint is None else hint,
+            snippet=self.snippet(node),
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_disabled:
+            return True
+        disabled = self.line_disabled.get(finding.line)
+        return disabled is not None and finding.rule in disabled
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title``/``hint`` and ``check``.
+
+    A rule instance lives for one :func:`run_lint` call and sees every
+    file in deterministic (sorted) order, so it may carry cross-file
+    state such as seen-instrument-name maps.
+    """
+
+    id: str = ""
+    title: str = ""
+    hint: str = ""
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> str:
+        return f"{cls.id}: {cls.title}"
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache"}
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    found.append(candidate)
+        elif path.suffix == ".py":
+            found.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    unique: Dict[str, Path] = {p.as_posix(): p for p in found}
+    return [unique[key] for key in sorted(unique)]
+
+
+def _default_rules() -> List[Rule]:
+    from .rules import all_rules
+
+    return all_rules()
+
+
+def run_lint_source(
+    source: str,
+    path: str = "src/repro/_snippet.py",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module; the unit-test entry point.
+
+    ``path`` matters: rules scope themselves by location (``tests/`` is
+    exempt from RPL001, ``obs/`` has its own RPL003 allowlist), so tests
+    pass a representative fake path.
+    """
+    active: Sequence[Rule] = _default_rules() if rules is None else rules
+    try:
+        context = LintContext(path, source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=Path(path).as_posix(),
+                line=error.lineno or 0,
+                col=error.offset or 0,
+                rule=SYNTAX_RULE_ID,
+                message=f"file does not parse: {error.msg}",
+                snippet=(error.text or "").strip(),
+            )
+        ]
+    findings = [
+        finding
+        for rule in active
+        for finding in rule.check(context)
+        if not context.suppressed(finding)
+    ]
+    return sorted(findings)
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    active: Sequence[Rule] = _default_rules() if rules is None else rules
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(run_lint_source(source, file_path.as_posix(), active))
+    return sorted(findings)

@@ -1,0 +1,65 @@
+"""Text and JSON rendering for ``repro lint`` findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .linter import Finding
+
+__all__ = ["REPORT_VERSION", "render_json", "render_text", "summarize"]
+
+REPORT_VERSION = 1
+
+
+def summarize(
+    findings: Sequence[Finding],
+    files_checked: int,
+    baselined: int = 0,
+) -> Dict[str, object]:
+    """The stable summary block both output formats share."""
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "files_checked": files_checked,
+        "findings": len(findings),
+        "baselined": baselined,
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+
+
+def render_text(
+    findings: Sequence[Finding],
+    files_checked: int,
+    baselined: int = 0,
+) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per finding."""
+    lines: List[str] = []
+    for finding in findings:
+        location = f"{finding.path}:{finding.line}:{finding.col + 1}"
+        lines.append(f"{location}: {finding.rule} {finding.message}")
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    summary = summarize(findings, files_checked, baselined)
+    tail = f"{summary['findings']} finding(s) in {files_checked} file(s)"
+    if baselined:
+        tail += f" ({baselined} baselined)"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    files_checked: int,
+    baselined: int = 0,
+    baseline_path: Optional[str] = None,
+) -> str:
+    """Machine-readable report (the CI artifact)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "summary": summarize(findings, files_checked, baselined),
+        "baseline": baseline_path,
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

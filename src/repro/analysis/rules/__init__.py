@@ -1,0 +1,34 @@
+"""Rule families for ``repro lint``; one module per family.
+
+Adding a rule: subclass :class:`repro.analysis.linter.Rule` in the
+fitting family module (or a new one), give it a stable ``RPLnnn`` id,
+``title`` and ``hint``, and list the class in :data:`RULE_CLASSES`.
+DESIGN.md §9 documents the shipped rule set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Type
+
+from ..linter import Rule
+from .clock import WallClockRule
+from .literals import PhysicalConstantRule
+from .obs_names import ObsNamingRule
+from .ordering import UnorderedIterationRule
+from .rng import GlobalRngRule, ShadowedRngRule
+
+__all__ = ["RULE_CLASSES", "all_rules"]
+
+RULE_CLASSES: Tuple[Type[Rule], ...] = (
+    GlobalRngRule,
+    ShadowedRngRule,
+    WallClockRule,
+    UnorderedIterationRule,
+    PhysicalConstantRule,
+    ObsNamingRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh rule instances for one lint run, ordered by rule id."""
+    return [cls() for cls in sorted(RULE_CLASSES, key=lambda cls: cls.id)]

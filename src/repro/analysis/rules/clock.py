@@ -1,0 +1,86 @@
+"""RPL003: no wall-clock or entropy reads in library code.
+
+Simulated time is the only time that exists inside ``src/repro/`` —
+latency budgets, coherence windows and protocol costs are all computed
+from models, never measured.  A stray ``time.time()`` or ``uuid.uuid4()``
+makes output depend on when (or where) the run happened.  The one
+exception is the observability layer (``repro/obs/``), which exists to
+time phases — and must do so with the monotonic clocks only
+(``perf_counter``/``monotonic``), never the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..linter import Finding, LintContext, Rule
+
+#: Wall-clock and entropy reads: banned everywhere under ``src/repro/``.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+}
+
+#: Monotonic clocks: the ``obs/`` allowlist; still banned in plain library
+#: code, where timing belongs in an obs span, not an ad-hoc stopwatch.
+_MONOTONIC = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+
+class WallClockRule(Rule):
+    """RPL003: wall-clock/entropy reads are confined out of ``src/repro/``."""
+
+    id = "RPL003"
+    title = "wall-clock or entropy read in library code"
+    hint = (
+        "library code computes simulated time from models; phase timing "
+        "belongs in repro.obs spans (perf_counter/monotonic only)"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if not context.in_repro_src or context.is_tests:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = context.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in _WALL_CLOCK:
+                yield context.finding(
+                    self,
+                    node,
+                    f"{resolved}() reads the wall clock / OS entropy; "
+                    "results must not depend on when the run happened",
+                )
+            elif resolved in _MONOTONIC and not context.in_obs:
+                yield context.finding(
+                    self,
+                    node,
+                    f"{resolved}() outside repro/obs/: time phases with an "
+                    "observability span instead of an ad-hoc stopwatch",
+                )

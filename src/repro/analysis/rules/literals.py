@@ -1,0 +1,60 @@
+# reprolint: skip-file=RPL005 -- this module IS the known-constant table
+"""RPL005: physical constants come from ``repro.constants``, not literals.
+
+A reproduction lives or dies on every subsystem agreeing about the
+numerology: one module quietly using ``3e8`` while another uses
+``299792458.0`` shifts phases by parts in ten thousand — enough to move
+a null by a subcarrier.  Any literal close to a known physical constant
+must be replaced by the named constant so there is exactly one value in
+the whole codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..linter import Finding, LintContext, Rule
+
+#: (value, canonical name, relative tolerance).  The tolerance catches
+#: truncated approximations (``3e8``, ``1.38e-23``) as well as the exact
+#: value; it is kept tight enough that distinct constants never overlap.
+KNOWN_CONSTANTS: Tuple[Tuple[float, str, float], ...] = (
+    (299_792_458.0, "repro.constants.SPEED_OF_LIGHT", 1e-3),
+    (1.380649e-23, "repro.constants.BOLTZMANN", 1e-3),
+    (2.462e9, "repro.constants.CARRIER_FREQUENCY_HZ", 1e-3),
+    (2.4e9, "repro.constants.ISM_BAND_2G4_HZ", 1e-3),
+)
+
+
+def _match(value: float) -> Optional[str]:
+    for constant, name, rtol in KNOWN_CONSTANTS:
+        if abs(value - constant) <= rtol * constant:
+            return name
+    return None
+
+
+class PhysicalConstantRule(Rule):
+    """RPL005: literals shadowing known physical constants."""
+
+    id = "RPL005"
+    title = "physical-constant literal duplicates repro.constants"
+    hint = "import the named constant from repro.constants"
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if context.is_constants_module or context.is_tests:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            name = _match(float(value))
+            if name is not None:
+                yield context.finding(
+                    self,
+                    node,
+                    f"literal {value!r} duplicates {name}; one canonical "
+                    "value must exist",
+                )

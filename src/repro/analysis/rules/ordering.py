@@ -1,0 +1,128 @@
+"""RPL004: hash-ordered iteration must not feed order-sensitive sinks.
+
+Iterating a ``set`` yields elements in hash order, which varies with
+``PYTHONHASHSEED`` and across interpreter versions — the classic silent
+determinism leak.  Membership tests, ``len``, and order-insensitive
+reductions are fine; materialising a set into an ordered container
+(``list``/``tuple``), looping over one, joining one into a string, or
+serialising one into JSON is not, unless the set passes through an
+explicit ``sorted(...)`` first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..linter import Finding, LintContext, Rule
+
+#: Builtins that consume an iterable order-insensitively (safe sinks).
+_ORDER_INSENSITIVE = {
+    "sorted",
+    "set",
+    "frozenset",
+    "len",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+}
+
+#: Builtins that freeze iteration order into an ordered container.
+_ORDERED_MATERIALIZERS = {"list", "tuple"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether an expression is syntactically set-typed."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        # set algebra keeps the type: blocked | extra, seen - done, ...
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _sink_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+class UnorderedIterationRule(Rule):
+    """RPL004: sets reaching ordered sinks need an explicit ``sorted()``."""
+
+    id = "RPL004"
+    title = "hash-ordered set iteration feeds an order-sensitive sink"
+    hint = "wrap the set in sorted(...) before freezing its order"
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield context.finding(
+                    self,
+                    node.iter,
+                    "for-loop over a set runs in hash order",
+                )
+            elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter):
+                        yield context.finding(
+                            self,
+                            generator.iter,
+                            "comprehension freezes a set's hash order into "
+                            "an ordered container",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(context, node)
+
+    def _check_call(
+        self, context: LintContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        name = _sink_name(node)
+        if name in _ORDERED_MATERIALIZERS:
+            for arg in node.args:
+                if _is_set_expr(arg):
+                    yield context.finding(
+                        self,
+                        node,
+                        f"{name}(set) freezes hash order",
+                    )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            yield context.finding(
+                self,
+                node,
+                "str.join over a set concatenates in hash order",
+            )
+        else:
+            resolved = context.imports.resolve(node.func)
+            if resolved is not None and resolved.endswith("json.dumps"):
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    for child in ast.walk(arg):
+                        if _is_set_expr(child) or _is_keys_call(child):
+                            yield context.finding(
+                                self,
+                                node,
+                                "json.dumps payload contains a set / raw "
+                                ".keys() view; serialise a sorted list",
+                            )
+                            break

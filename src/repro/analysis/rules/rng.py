@@ -1,0 +1,185 @@
+"""RNG threading rules: RPL001 (global RNG) and RPL002 (shadowed streams).
+
+The determinism story of this repo (bit-identical results at any
+``--jobs``) rests on one discipline: every random draw comes from a
+``numpy.random.Generator`` threaded down from a ``SeedSequence.spawn``
+at the experiment boundary.  Global-state RNGs (``np.random.seed``,
+``random.random``) and generators constructed ad hoc inside library
+functions both break that chain silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..linter import Finding, LintContext, Rule
+
+#: numpy.random constructors that are fine when given an explicit seed.
+_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+    "numpy.random.BitGenerator",
+}
+
+#: stdlib ``random`` class constructors (seeded use is still discouraged in
+#: numerics, but only the module-level global-state functions are banned).
+_STDLIB_SEEDED = {"random.Random", "random.SystemRandom"}
+
+
+def _canonical_numpy(resolved: str) -> Optional[str]:
+    """Normalize ``np.random.x``/``numpy.random.x`` to ``numpy.random.x``."""
+    if resolved.startswith("numpy.random."):
+        return resolved
+    return None
+
+
+class GlobalRngRule(Rule):
+    """RPL001: no global-RNG calls, no unseeded ``default_rng()``."""
+
+    id = "RPL001"
+    title = "global or unseeded RNG call"
+    hint = (
+        "thread a numpy.random.Generator derived from SeedSequence.spawn "
+        "down from the experiment boundary"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if context.is_tests:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = context.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            numpy_name = _canonical_numpy(resolved)
+            if numpy_name is not None:
+                tail = numpy_name.rsplit(".", 1)[1]
+                if numpy_name == "numpy.random.default_rng":
+                    if not node.args and not node.keywords:
+                        yield context.finding(
+                            self,
+                            node,
+                            "unseeded default_rng() draws OS entropy; pass an "
+                            "explicit seed or SeedSequence",
+                        )
+                elif numpy_name == "numpy.random.RandomState":
+                    yield context.finding(
+                        self,
+                        node,
+                        "legacy numpy.random.RandomState; use "
+                        "default_rng(seed) instead",
+                    )
+                elif numpy_name in _SEEDED_CONSTRUCTORS:
+                    pass  # explicit bit-generator plumbing is the good path
+                elif tail.islower():
+                    yield context.finding(
+                        self,
+                        node,
+                        f"global numpy RNG call numpy.random.{tail}() mutates "
+                        "hidden process state",
+                    )
+            elif resolved.startswith("random."):
+                if resolved in _STDLIB_SEEDED:
+                    if not node.args and not node.keywords:
+                        yield context.finding(
+                            self,
+                            node,
+                            f"unseeded {resolved}() draws OS entropy",
+                        )
+                elif resolved.count(".") == 1 and resolved.rsplit(".", 1)[1].islower():
+                    yield context.finding(
+                        self,
+                        node,
+                        f"stdlib global RNG call {resolved}() mutates hidden "
+                        "process state",
+                    )
+
+
+def _rng_like_params(node: ast.AST) -> Set[str]:
+    """Parameter names that mark a function as RNG/seed-threaded."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return set()
+    names: Set[str] = set()
+    args = node.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]:
+        name = arg.arg
+        if name in ("rng", "seed") or name.endswith(("_rng", "_seed")):
+            names.add(name)
+    return names
+
+
+def _names_in(node: ast.Call) -> Set[str]:
+    """Every ``Name`` referenced by a call's arguments."""
+    found: Set[str] = set()
+    for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+        for child in ast.walk(arg):
+            if isinstance(child, ast.Name):
+                found.add(child.id)
+    return found
+
+
+class ShadowedRngRule(Rule):
+    """RPL002: RNG/seed-threaded functions must not mint unrelated streams.
+
+    A function that accepts ``rng``/``seed`` (or ``*_rng``/``*_seed``)
+    advertises that its caller controls the random stream.  Constructing
+    a generator inside it from anything that does not reference one of
+    those parameters (``default_rng(0)``, ``default_rng(12345)``) quietly
+    takes that control back.
+    """
+
+    id = "RPL002"
+    title = "internal Generator construction shadows the threaded rng/seed"
+    hint = (
+        "derive the generator from the rng/seed parameter, or move the "
+        "fixed fallback stream into a dedicated module-level helper"
+    )
+
+    _CONSTRUCTORS = _SEEDED_CONSTRUCTORS | _STDLIB_SEEDED
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        if context.is_tests:
+            return
+        for function in ast.walk(context.tree):
+            params = _rng_like_params(function)
+            if not params:
+                continue
+            for node in self._own_calls(function):
+                resolved = context.imports.resolve(node.func)
+                if resolved is None or resolved not in self._CONSTRUCTORS:
+                    continue
+                if _names_in(node) & params:
+                    continue  # derived from the threaded seed: the good path
+                yield context.finding(
+                    self,
+                    node,
+                    f"{resolved.rsplit('.', 1)[1]}(...) inside a function "
+                    f"taking {', '.join(sorted(params))} ignores the "
+                    "caller-threaded stream",
+                )
+
+    @staticmethod
+    def _own_calls(function: ast.AST) -> Iterator[ast.Call]:
+        """Calls in ``function``'s body, excluding nested function bodies."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(function))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested scopes are visited on their own
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))

@@ -17,6 +17,10 @@ Commands
 ``report``
     Render run records (JSONL emitted via ``--record``): per-phase
     wall-clock and counter breakdown, schema-validated.
+``lint``
+    AST-based reproducibility lint (RPL001-RPL006): RNG threading,
+    wall-clock hygiene, ordering determinism, frozen constants,
+    observability naming.  Exits non-zero on non-baselined findings.
 """
 
 from __future__ import annotations
@@ -325,6 +329,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.baseline import apply_baseline, load_baseline, save_baseline
+    from .analysis.linter import iter_python_files, run_lint
+    from .analysis.report import render_json, render_text
+
+    paths = args.paths or ["src", "benchmarks"]
+    try:
+        files_checked = len(iter_python_files(paths))
+        findings = run_lint(paths)
+    except (FileNotFoundError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        save_baseline(args.baseline, findings)
+        print(
+            f"baseline {args.baseline}: recorded {len(findings)} finding(s) "
+            f"from {files_checked} file(s)"
+        )
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    fresh, baselined = apply_baseline(findings, baseline)
+    if args.format == "json":
+        print(render_json(fresh, files_checked, baselined, str(args.baseline)))
+    else:
+        print(render_text(fresh, files_checked, baselined))
+    return 1 if fresh else 0
+
+
 def _cmd_profile_sweep(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
@@ -459,6 +495,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("records", help="path to a run-record JSONL file")
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint", help="AST-based reproducibility invariant checks"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src benchmarks)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=".reprolint-baseline.json",
+        help="grandfathered-findings file (missing = empty)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     profile = sub.add_parser(
         "profile-sweep", help="cProfile one Fig. 4 configuration sweep"

@@ -17,6 +17,10 @@ SPEED_OF_LIGHT = 299_792_458.0
 #: Carrier frequency used throughout the paper's study: Wi-Fi channel 11 [Hz].
 CARRIER_FREQUENCY_HZ = 2.462e9
 
+#: Nominal 2.4 GHz ISM-band carrier [Hz], used by the §2 coherence-time
+#: rules of thumb that quote "2.4 GHz" rather than a specific channel.
+ISM_BAND_2G4_HZ = 2.4e9
+
 #: Signal bandwidth [Hz] (20 MHz Wi-Fi-like OFDM).
 BANDWIDTH_HZ = 20e6
 

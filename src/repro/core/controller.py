@@ -25,6 +25,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..constants import ISM_BAND_2G4_HZ
 from ..em.channel import coherence_time_s
 from ..obs.metrics import global_registry
 from .array import PressArray
@@ -323,7 +324,7 @@ class PressController:
         self,
         searcher: Optional[Searcher] = None,
         speed_mph: float = 0.5,
-        carrier_hz: float = 2.4e9,
+        carrier_hz: float = ISM_BAND_2G4_HZ,
     ) -> ControlDecision:
         """Run one optimisation round and adopt the winning configuration.
 

@@ -54,6 +54,15 @@ def coefficient_vector(
     )
 
 
+def _default_probe_rng() -> np.random.Generator:
+    """The documented fixed stream used when no probe rng is threaded.
+
+    Module-level by design: every caller that omits ``rng`` shares one
+    well-known schedule, and the seed lives in exactly one place.
+    """
+    return np.random.default_rng(0)
+
+
 def identification_configurations(
     array: PressArray,
     extra: int = 0,
@@ -86,12 +95,12 @@ def identification_configurations(
     else:
         # No off state: use N+1 random configurations (generically
         # identifiable because the Gamma vectors differ).
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else _default_probe_rng()
         schedule.extend(
             space.random_configuration(rng) for _ in range(array.num_elements + 1)
         )
     if extra:
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else _default_probe_rng()
         schedule.extend(space.random_configuration(rng) for _ in range(extra))
     return schedule
 

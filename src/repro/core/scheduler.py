@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..constants import ISM_BAND_2G4_HZ
 from ..em.channel import coherence_time_s
 from .configuration import ArrayConfiguration, ConfigurationSpace
 from .search import (
@@ -219,7 +220,7 @@ def packet_timescale_schedule(
 def coherence_budget_table(
     timing: TimingModel,
     speeds_mph: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 6.0),
-    carrier_hz: float = 2.4e9,
+    carrier_hz: float = ISM_BAND_2G4_HZ,
 ) -> list[dict]:
     """Measurement budgets across the §2 mobility range (for reports)."""
     rows = []

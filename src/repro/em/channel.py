@@ -20,7 +20,9 @@ import numpy as np
 
 from ..constants import (
     BANDWIDTH_HZ,
+    ISM_BAND_2G4_HZ,
     NUM_SUBCARRIERS,
+    SPEED_OF_LIGHT,
     dbm_to_watts,
     linear_to_db,
     thermal_noise_power_w,
@@ -222,7 +224,7 @@ class ChannelObservation:
         return float(np.mean(snr))
 
 
-def coherence_time_s(speed_mph: float, carrier_hz: float = 2.4e9) -> float:
+def coherence_time_s(speed_mph: float, carrier_hz: float = ISM_BAND_2G4_HZ) -> float:
     """Channel coherence time at a given motion speed.
 
     §2 quotes ~80 ms at 0.5 mph and ~6 ms at 6 mph for 2.4 GHz.  We use the
@@ -234,6 +236,6 @@ def coherence_time_s(speed_mph: float, carrier_hz: float = 2.4e9) -> float:
     if carrier_hz <= 0:
         raise ValueError(f"carrier_hz must be positive, got {carrier_hz}")
     speed_ms = speed_mph * 0.44704
-    wavelength = 299_792_458.0 / carrier_hz
+    wavelength = SPEED_OF_LIGHT / carrier_hz
     doppler_hz = speed_ms / wavelength
     return 1.0 / (2.0 * np.pi * doppler_hz)

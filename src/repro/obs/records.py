@@ -138,6 +138,7 @@ def _git_revision() -> Optional[str]:
 
 def run_metadata() -> dict:
     """Environment fingerprint stored in every run record."""
+    numpy_version: Optional[str]
     try:
         import numpy
 
@@ -162,7 +163,11 @@ def _jsonable(value: Any) -> Any:
         return _jsonable(dataclasses.asdict(value))
     if isinstance(value, Mapping):
         return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
+    if isinstance(value, (set, frozenset)):
+        # Sets iterate in hash order, which varies with PYTHONHASHSEED;
+        # canonicalise so identical configs serialise identically.
+        return sorted((_jsonable(v) for v in value), key=repr)
+    if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     item = getattr(value, "item", None)
     if callable(item):  # numpy scalars
@@ -221,7 +226,7 @@ class RunRecorder:
         self._worker_samples.extend(samples)
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is not None:
+        if exc_type is not None or self._before is None:
             return None
         wall_s = time.perf_counter() - self._t0
         parent_delta = current_sample().delta(self._before)
@@ -229,6 +234,8 @@ class RunRecorder:
         self.record = {
             "schema_version": SCHEMA_VERSION,
             "experiment": self.experiment,
+            # reprolint: disable=RPL003 -- archival metadata: records when a
+            # run happened; never read back into any computation.
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
             "wall_s": wall_s,
             "jobs": self.jobs,

@@ -77,6 +77,15 @@ def transmit_over_channel(
     return received
 
 
+def _default_payload_rng() -> np.random.Generator:
+    """The documented fixed payload stream used when none is threaded.
+
+    Module-level by design: all callers that omit ``payload_rng`` share
+    one well-known bit sequence, and the seed lives in exactly one place.
+    """
+    return np.random.default_rng(0)
+
+
 def simulate_link(
     channel: Channel,
     fmt: FrameFormat,
@@ -91,7 +100,7 @@ def simulate_link(
     PRESS controller would observe and whose ``bit_errors`` verifies link
     quality end to end.
     """
-    bit_rng = payload_rng if payload_rng is not None else np.random.default_rng(0)
+    bit_rng = payload_rng if payload_rng is not None else _default_payload_rng()
     info_bits = bit_rng.integers(0, 2, num_info_bits)
     tx: TxFrame = build_frame(info_bits, fmt)
     received = transmit_over_channel(tx.samples, channel, budget, rng=rng)

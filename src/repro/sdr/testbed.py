@@ -38,6 +38,12 @@ from .device import SdrDevice
 
 __all__ = ["Testbed", "SweepResult"]
 
+# Span names: registered once here so the phase vocabulary of a run is
+# statically known (enforced by `repro lint` rule RPL006).
+_SPAN_BASIS_TRACE = "testbed.basis_trace"
+_SPAN_BASES_FOR_POINTS = "testbed.bases_for_points"
+_SPAN_SWEEP = "testbed.sweep"
+
 
 @dataclass(frozen=True)
 class SweepResult:
@@ -213,7 +219,7 @@ class Testbed:
             rx.antenna,
         )
         if key not in self._basis_cache:
-            with global_tracer().span("testbed.basis_trace"):
+            with global_tracer().span(_SPAN_BASIS_TRACE):
                 self._basis_cache[key] = ChannelBasis.trace(
                     self.array,
                     tx.position,
@@ -246,7 +252,7 @@ class Testbed:
         the same antenna.
         """
         tx = tx_device.chains[tx_chain]
-        with global_tracer().span("testbed.bases_for_points"):
+        with global_tracer().span(_SPAN_BASES_FOR_POINTS):
             # The ambient batch is value-cached process-wide: coverage runs
             # that revisit a (scene, TX, grid) — e.g. no-array vs pattern
             # phases of the same placement — trace the grid once.
@@ -421,7 +427,7 @@ class Testbed:
         if mode not in ("basis", "legacy"):
             raise ValueError(f"mode must be 'basis' or 'legacy', got {mode!r}")
         configurations = self._configurations
-        with global_tracer().span("testbed.sweep"):
+        with global_tracer().span(_SPAN_SWEEP):
             if mode == "legacy":
                 snr = np.empty(
                     (repetitions, len(configurations), self.num_subcarriers)

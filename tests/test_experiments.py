@@ -119,7 +119,7 @@ class TestFigureDrivers:
         assert result.max_movement >= 0
         assert 0.0 <= result.fraction_moving_more_than(0) <= 1.0
         curves = result.ccdf_curves()
-        for x, y in curves:
+        for _x, y in curves:
             assert np.all(np.diff(y) <= 1e-12)  # CCDF non-increasing
 
     def test_fig5_nulls_move_multiple_subcarriers(self):

@@ -1,0 +1,401 @@
+"""`repro lint` regression suite: every rule fires on a minimal violating
+snippet and stays silent on the corrected form; baseline and pragma
+machinery round-trips; and — the meta-test — the repo itself is clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.linter import Finding, run_lint, run_lint_source
+from repro.analysis.rules import RULE_CLASSES, all_rules
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LIB_PATH = "src/repro/em/example.py"
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# RPL001: global / unseeded RNG
+# ----------------------------------------------------------------------
+def test_rpl001_flags_numpy_global_rng():
+    source = "import numpy as np\n\nx = np.random.normal(size=3)\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL001"]
+
+
+def test_rpl001_flags_unseeded_default_rng():
+    source = "import numpy as np\n\nrng = np.random.default_rng()\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL001"]
+
+
+def test_rpl001_flags_stdlib_random():
+    source = "import random\n\nx = random.random()\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL001"]
+
+
+def test_rpl001_flags_legacy_randomstate():
+    source = "import numpy as np\n\nrs = np.random.RandomState(3)\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL001"]
+
+
+def test_rpl001_allows_seeded_generator_threading():
+    source = (
+        "import numpy as np\n\n"
+        "def make(seed):\n"
+        "    return np.random.default_rng(seed)\n\n"
+        "root = np.random.SeedSequence(7)\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+def test_rpl001_exempts_tests_directory():
+    source = "import numpy as np\n\nx = np.random.normal()\n"
+    assert run_lint_source(source, "tests/test_example.py") == []
+
+
+# ----------------------------------------------------------------------
+# RPL002: internal Generator construction shadows the threaded stream
+# ----------------------------------------------------------------------
+def test_rpl002_flags_fixed_fallback_inside_rng_function():
+    source = (
+        "import numpy as np\n\n"
+        "def measure(rng=None):\n"
+        "    rng = rng if rng is not None else np.random.default_rng(0)\n"
+        "    return rng.normal()\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL002"]
+
+
+def test_rpl002_allows_generator_derived_from_seed_param():
+    source = (
+        "import numpy as np\n\n"
+        "def measure(placement_seed):\n"
+        "    rng = np.random.default_rng([placement_seed, 77])\n"
+        "    return rng.normal()\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+def test_rpl002_ignores_functions_without_rng_params():
+    source = (
+        "import numpy as np\n\n"
+        "def default_stream():\n"
+        "    return np.random.default_rng(12345)\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# RPL003: wall-clock / entropy reads in library code
+# ----------------------------------------------------------------------
+def test_rpl003_flags_wall_clock_in_library_code():
+    source = "import time\n\n\ndef stamp():\n    return time.time()\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL003"]
+
+
+def test_rpl003_flags_uuid_and_datetime():
+    source = (
+        "import uuid\nfrom datetime import datetime\n\n\n"
+        "def tag():\n"
+        "    return uuid.uuid4(), datetime.now()\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL003", "RPL003"]
+
+
+def test_rpl003_flags_ad_hoc_stopwatch_outside_obs():
+    source = "import time\n\n\ndef tic():\n    return time.perf_counter()\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL003"]
+
+
+def test_rpl003_allows_monotonic_clocks_in_obs():
+    source = "import time\n\n\ndef tic():\n    return time.perf_counter()\n"
+    assert run_lint_source(source, "src/repro/obs/example.py") == []
+
+
+def test_rpl003_still_bans_wall_clock_in_obs():
+    source = "import time\n\n\ndef stamp():\n    return time.time()\n"
+    assert rules_of(run_lint_source(source, "src/repro/obs/example.py")) == [
+        "RPL003"
+    ]
+
+
+def test_rpl003_does_not_apply_outside_library_tree():
+    source = "import time\n\n\ndef stamp():\n    return time.time()\n"
+    assert run_lint_source(source, "benchmarks/bench_example.py") == []
+
+
+# ----------------------------------------------------------------------
+# RPL004: hash-ordered iteration into order-sensitive sinks
+# ----------------------------------------------------------------------
+def test_rpl004_flags_list_over_set():
+    source = "def order(items):\n    return list(set(items))\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL004"]
+
+
+def test_rpl004_flags_for_loop_over_set_literal():
+    source = (
+        "def walk(a, b):\n"
+        "    out = []\n"
+        "    for item in {a, b}:\n"
+        "        out.append(item)\n"
+        "    return out\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL004"]
+
+
+def test_rpl004_flags_json_dumps_of_set():
+    source = (
+        "import json\n\n\n"
+        "def dump(items):\n"
+        "    return json.dumps({'used': set(items)})\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL004"]
+
+
+def test_rpl004_allows_sorted_and_order_insensitive_sinks():
+    source = (
+        "def ok(items, d):\n"
+        "    a = sorted(set(items))\n"
+        "    b = len(set(items))\n"
+        "    c = max({1, 2})\n"
+        "    e = {k: 1 for k in sorted(d.keys())}\n"
+        "    return a, b, c, e\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# RPL005: physical-constant literals
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("literal", ["3e8", "299792458.0", "1.38e-23", "2.462e9"])
+def test_rpl005_flags_known_constant_literals(literal):
+    source = f"VALUE = {literal}\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL005"]
+
+
+def test_rpl005_allows_named_constants_and_unrelated_numbers():
+    source = (
+        "from repro.constants import SPEED_OF_LIGHT\n\n"
+        "BANDWIDTH = 20e6\n"
+        "WAVELENGTH = SPEED_OF_LIGHT / 2.0\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+def test_rpl005_exempts_the_constants_module():
+    source = "SPEED_OF_LIGHT = 299792458.0\n"
+    assert run_lint_source(source, "src/repro/constants.py") == []
+
+
+# ----------------------------------------------------------------------
+# RPL006: observability registration and naming
+# ----------------------------------------------------------------------
+def test_rpl006_flags_registration_inside_function():
+    source = (
+        "from repro.obs.metrics import global_registry\n\n\n"
+        "def hot_path():\n"
+        "    global_registry().counter('em.example.hits').inc()\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_flags_bad_name_grammar():
+    source = (
+        "from repro.obs.metrics import global_registry\n\n"
+        "_C = global_registry().counter('EmExampleHits')\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_flags_histogram_without_unit_suffix():
+    source = (
+        "from repro.obs.metrics import global_registry\n\n"
+        "_H = global_registry().histogram('em.example.latency')\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_flags_duplicate_registration():
+    source = (
+        "from repro.obs.metrics import global_registry\n\n"
+        "_A = global_registry().counter('em.example.hits')\n"
+        "_B = global_registry().counter('em.example.hits')\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_flags_inline_span_literal():
+    source = (
+        "from repro.obs.tracing import global_tracer\n\n\n"
+        "def phase():\n"
+        "    with global_tracer().span('em.example_phase'):\n"
+        "        pass\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_allows_module_level_names_on_grammar():
+    source = (
+        "from repro.obs.metrics import global_registry\n"
+        "from repro.obs.tracing import global_tracer\n\n"
+        "_HITS = global_registry().counter('em.example.hits')\n"
+        "_WAIT_S = global_registry().histogram('em.example.wait_s')\n"
+        "_SPAN_TRACE = 'em.example_trace'\n\n\n"
+        "def phase():\n"
+        "    with global_tracer().span(_SPAN_TRACE):\n"
+        "        pass\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# Pragmas, syntax errors, ordering
+# ----------------------------------------------------------------------
+def test_pragma_suppresses_on_line_and_from_comment_above():
+    source = (
+        "import time\n\n\n"
+        "def stamp():\n"
+        "    a = time.time()  # reprolint: disable=RPL003 -- test fixture\n"
+        "    # reprolint: disable=RPL003 -- covers the next code line\n"
+        "    b = time.time()\n"
+        "    return a, b\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+def test_skip_file_pragma_disables_rule_everywhere():
+    source = (
+        "# reprolint: skip-file=RPL005\n"
+        "A = 3e8\n"
+        "B = 2.462e9\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+def test_pragma_does_not_suppress_other_rules():
+    source = "import time\n\nx = time.time()  # reprolint: disable=RPL001\n"
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL003"]
+
+
+def test_syntax_error_becomes_rpl000_finding():
+    findings = run_lint_source("def broken(:\n", LIB_PATH)
+    assert rules_of(findings) == ["RPL000"]
+
+
+def test_findings_are_sorted_and_fingerprints_stable():
+    source = "import numpy as np\n\nx = np.random.normal()\ny = 3e8\n"
+    findings = run_lint_source(source, LIB_PATH)
+    assert findings == sorted(findings)
+    shifted = run_lint_source("\n\n" + source, LIB_PATH)
+    assert [f.fingerprint() for f in findings] == [
+        f.fingerprint() for f in shifted
+    ]
+
+
+def test_rule_registry_ids_are_unique_and_stable():
+    ids = [cls.id for cls in RULE_CLASSES]
+    assert len(set(ids)) == len(ids)
+    assert sorted(ids) == [f"RPL00{n}" for n in range(1, 7)]
+    assert [rule.id for rule in all_rules()] == sorted(ids)
+
+
+# ----------------------------------------------------------------------
+# Baseline machinery
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path):
+    module = tmp_path / "module.py"
+    module.write_text("import numpy as np\n\nx = np.random.normal()\n")
+    baseline_path = tmp_path / "baseline.json"
+
+    findings = run_lint([str(module)])
+    assert rules_of(findings) == ["RPL001"]
+
+    save_baseline(baseline_path, findings)
+    baseline = load_baseline(baseline_path)
+    fresh, matched = apply_baseline(run_lint([str(module)]), baseline)
+    assert fresh == [] and matched == 1
+
+    # A second copy of the same violation exceeds the recorded budget.
+    module.write_text(
+        "import numpy as np\n\nx = np.random.normal()\nx = np.random.normal()\n"
+    )
+    fresh, matched = apply_baseline(run_lint([str(module)]), baseline)
+    assert matched == 1 and rules_of(fresh) == ["RPL001"]
+
+
+def test_missing_baseline_is_empty():
+    baseline = load_baseline("/nonexistent/baseline.json")
+    assert baseline.counts == {} and baseline.total == 0
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes, JSON schema, --update-baseline
+# ----------------------------------------------------------------------
+def test_cli_lint_json_schema_and_exit_codes(tmp_path, capsys):
+    module = tmp_path / "module.py"
+    module.write_text("import numpy as np\n\nx = np.random.normal()\n")
+    baseline_path = tmp_path / "baseline.json"
+
+    rc = main(
+        ["lint", str(module), "--format", "json", "--baseline", str(baseline_path)]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["version"] == 1
+    assert payload["summary"]["findings"] == 1
+    assert payload["summary"]["by_rule"] == {"RPL001": 1}
+    assert payload["summary"]["files_checked"] == 1
+    (finding,) = payload["findings"]
+    assert set(finding) >= {
+        "path",
+        "line",
+        "col",
+        "rule",
+        "message",
+        "hint",
+        "snippet",
+        "fingerprint",
+    }
+    assert finding["rule"] == "RPL001"
+
+    rc = main(
+        ["lint", str(module), "--baseline", str(baseline_path), "--update-baseline"]
+    )
+    capsys.readouterr()
+    assert rc == 0 and baseline_path.exists()
+
+    rc = main(["lint", str(module), "--baseline", str(baseline_path)])
+    out = capsys.readouterr().out
+    assert rc == 0 and "1 baselined" in out
+
+
+def test_cli_lint_missing_path_is_usage_error(tmp_path, capsys):
+    rc = main(["lint", str(tmp_path / "nope"), "--baseline", "unused.json"])
+    capsys.readouterr()
+    assert rc == 2
+
+
+# ----------------------------------------------------------------------
+# The meta-test: the repo itself is lint-clean with an empty baseline
+# ----------------------------------------------------------------------
+def test_repo_is_lint_clean_at_head():
+    findings = run_lint(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")]
+    )
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
+    )
+
+
+def test_shipped_baseline_is_empty():
+    baseline = load_baseline(REPO_ROOT / ".reprolint-baseline.json")
+    assert baseline.total == 0
