@@ -1,0 +1,183 @@
+"""RFocus-scale search benchmark: ``BENCH_largearray.json``.
+
+Three measurements pin the scaling story:
+
+1. Delta-scoring at N=1024: a random flip sequence scored incrementally
+   (O(K) per flip) versus full re-evaluation (the O(N*K) per-candidate
+   path a naive searcher pays).  Acceptance: >= 50x, with per-flip score
+   agreement <= 1e-9.
+2. Search quality at N=3: greedy coordinate descent and RFocus majority
+   voting versus the vectorized exhaustive optimum.  Acceptance: within
+   1 dB (the space is enumerable there, so ground truth is exact).
+3. The wall-array sweep itself (N in {256, 1024}): SNR gain and
+   soundings per scalable searcher, recorded for the report.
+
+``REPRO_BENCH_SMOKE=1`` shrinks N, skips the acceptance assertions and
+leaves ``BENCH_largearray.json`` untouched — the CI tier-1 smoke mode.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.reporting import ReportTable
+from repro.core import (
+    ArrayConfiguration,
+    GreedyCoordinateDescent,
+    MeanSnrObjective,
+    RFocusMajoritySearch,
+    exhaustive_argmax,
+)
+from repro.experiments import (
+    build_large_array_setup,
+    build_nlos_setup,
+    run_large_array,
+    used_subcarrier_mask,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+N_DELTA = 64 if SMOKE else 1024
+NUM_FLIPS = 20 if SMOKE else 200
+SWEEP_COUNTS = (48,) if SMOKE else (256, 1024)
+DELTA_SPEEDUP_FLOOR = 50.0
+QUALITY_GAP_DB = 1.0
+
+
+def _evaluator(setup):
+    basis = setup.testbed.basis_for(setup.tx_device, setup.rx_device)
+    return basis.evaluator(
+        MeanSnrObjective(),
+        tx_power_dbm=setup.tx_device.tx_power_dbm,
+        noise_figure_db=setup.rx_device.noise_figure_db,
+        mask=used_subcarrier_mask(),
+    )
+
+
+def test_bench_large_array(once):
+    # -- 1. delta vs full re-evaluation on the wall-sized array ---------
+    setup = build_large_array_setup(0, num_elements=N_DELTA)
+    evaluator = _evaluator(setup)
+    space = evaluator.basis.space
+    rng = np.random.default_rng(0)
+    flips = []
+    for _ in range(NUM_FLIPS):
+        element = int(rng.integers(0, space.num_elements))
+        flips.append(
+            (element, int(rng.integers(0, space.state_counts[element])))
+        )
+
+    delta = evaluator.delta()
+    start = time.perf_counter()
+    delta_scores = [delta.flip(element, state) for element, state in flips]
+    delta_s = time.perf_counter() - start
+
+    def _full_path():
+        configuration = ArrayConfiguration(tuple([0] * space.num_elements))
+        scores = []
+        for element, state in flips:
+            configuration = configuration.with_element_state(element, state)
+            scores.append(evaluator(configuration))
+        return scores
+
+    start = time.perf_counter()
+    full_scores = once(_full_path)
+    full_s = time.perf_counter() - start
+
+    delta_speedup = full_s / delta_s
+    score_deviation = float(
+        np.max(np.abs(np.array(delta_scores) - np.array(full_scores)))
+    )
+
+    # -- 2. scalable searchers vs exhaustive ground truth at N=3 --------
+    small = build_nlos_setup(0)
+    small_basis = small.testbed.basis_for(small.tx_device, small.rx_device)
+    kwargs = {
+        "tx_power_dbm": small.tx_device.tx_power_dbm,
+        "noise_figure_db": small.rx_device.noise_figure_db,
+        "mask": used_subcarrier_mask(),
+    }
+    _, optimum_db = exhaustive_argmax(small_basis, MeanSnrObjective(), **kwargs)
+    gaps = {}
+    for name, searcher in (
+        ("greedy", GreedyCoordinateDescent(seed=0)),
+        ("rfocus", RFocusMajoritySearch(seed=0)),
+    ):
+        result = searcher.search_basis(small_basis, MeanSnrObjective(), **kwargs)
+        gaps[name] = optimum_db - result.best_score
+
+    # -- 3. the wall-array sweep (recorded, not asserted) ---------------
+    sweep = run_large_array(
+        element_counts=SWEEP_COUNTS, searchers=("greedy", "rfocus")
+    )
+
+    table = ReportTable(
+        title=(
+            f"RFocus-scale search — N={N_DELTA}, {NUM_FLIPS} flips"
+            + (" [SMOKE]" if SMOKE else "")
+        )
+    )
+    table.add(
+        f"delta-scoring speedup (N={N_DELTA})",
+        f">= {DELTA_SPEEDUP_FLOOR:.0f}x",
+        f"{delta_speedup:.0f}x ({1e3 * full_s:.0f} -> {1e3 * delta_s:.1f} ms)",
+        SMOKE or delta_speedup >= DELTA_SPEEDUP_FLOOR,
+    )
+    table.add(
+        "delta vs full |dscore|",
+        "<= 1e-9",
+        f"{score_deviation:.2e}",
+        score_deviation <= 1e-9,
+    )
+    for name, gap in gaps.items():
+        table.add(
+            f"{name} gap to exhaustive (N=3)",
+            f"<= {QUALITY_GAP_DB:.0f} dB",
+            f"{gap:.3f} dB",
+            SMOKE or gap <= QUALITY_GAP_DB,
+        )
+    for cell in sweep.cells:
+        table.add(
+            f"{cell.searcher} gain (N={cell.num_elements})",
+            "recorded",
+            f"{cell.gain_db:+.1f} dB in {cell.soundings} soundings",
+            True,
+        )
+    print()
+    print(table.render())
+
+    if not SMOKE:
+        payload = {
+            "delta_scoring": {
+                "num_elements": N_DELTA,
+                "num_flips": NUM_FLIPS,
+                "full_s": full_s,
+                "delta_s": delta_s,
+                "speedup": delta_speedup,
+                "speedup_floor": DELTA_SPEEDUP_FLOOR,
+                "max_abs_score_deviation": score_deviation,
+            },
+            "quality_vs_exhaustive": {
+                "num_elements": 3,
+                "gap_bound_db": QUALITY_GAP_DB,
+                "gaps_db": {name: float(gap) for name, gap in gaps.items()},
+            },
+            "wall_array_sweep": [
+                {
+                    "num_elements": cell.num_elements,
+                    "searcher": cell.searcher,
+                    "baseline_db": cell.baseline_db,
+                    "best_db": cell.best_db,
+                    "gain_db": cell.gain_db,
+                    "soundings": cell.soundings,
+                }
+                for cell in sweep.cells
+            ],
+        }
+        out = Path(__file__).resolve().parent.parent / "BENCH_largearray.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert table.all_hold()

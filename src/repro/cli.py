@@ -8,6 +8,9 @@ Commands
     ASCII floor plan of the §3 study scene.
 ``figures``
     Regenerate every figure's headline numbers (compact report).
+``large-array``
+    RFocus-scale sweep: SNR gain vs soundings for the scalable searchers
+    on wall-sized element grids (N into the thousands).
 ``timing``
     Control-plane latency budgets against the §2 coherence times.
 ``control-robustness``
@@ -149,6 +152,34 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                 f"{cov.worst_db('joint'):.1f} dB",
                 f"{100 * cov.fraction_below(20.0, 'baseline'):.0f}%",
                 f"{100 * cov.fraction_below(20.0, 'joint'):.0f}%",
+            )
+        )
+    print(format_table(rows, header_rule=True))
+    return 0
+
+
+def _cmd_large_array(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .experiments import run_large_array
+
+    result = run_large_array(
+        element_counts=tuple(int(x) for x in args.elements.split(",")),
+        searchers=tuple(args.searchers.split(",")),
+        placement_seed=args.placement,
+        base_seed=args.seed,
+        jobs=args.jobs,
+        record_to=args.record,
+    )
+    rows = [("elements", "searcher", "baseline", "best", "gain", "soundings")]
+    for cell in result.cells:
+        rows.append(
+            (
+                str(cell.num_elements),
+                cell.searcher,
+                f"{cell.baseline_db:.1f} dB",
+                f"{cell.best_db:.1f} dB",
+                f"{cell.gain_db:+.1f} dB",
+                str(cell.soundings),
             )
         )
     print(format_table(rows, header_rule=True))
@@ -442,6 +473,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a run record to this JSONL file",
     )
     coverage.set_defaults(func=_cmd_coverage)
+
+    large_array = sub.add_parser(
+        "large-array",
+        help="RFocus-scale search: SNR gain vs soundings on wall-sized arrays",
+    )
+    large_array.add_argument(
+        "--elements",
+        default="64,256,1024",
+        help="comma-separated element counts to sweep",
+    )
+    large_array.add_argument(
+        "--searchers",
+        default="greedy,rfocus",
+        help="comma-separated searcher names (greedy, rfocus, random)",
+    )
+    large_array.add_argument("--placement", type=int, default=0)
+    large_array.add_argument(
+        "--seed", type=int, default=0, help="base searcher seed"
+    )
+    large_array.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the (elements x searcher) cell axis "
+        "(default: serial; 0 = all CPUs)",
+    )
+    large_array.add_argument(
+        "--record",
+        default=None,
+        metavar="JSONL",
+        help="append a run record to this JSONL file",
+    )
+    large_array.set_defaults(func=_cmd_large_array)
 
     timing = sub.add_parser("timing", help="control-plane latency budgets")
     timing.add_argument("--elements", type=int, default=16)

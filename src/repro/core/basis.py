@@ -32,7 +32,13 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..constants import BANDWIDTH_HZ, NUM_SUBCARRIERS, SPEED_OF_LIGHT
+from ..constants import (
+    BANDWIDTH_HZ,
+    NUM_SUBCARRIERS,
+    SPEED_OF_LIGHT,
+    dbm_to_watts,
+    thermal_noise_power_w,
+)
 from ..em.antennas import Antenna, IsotropicAntenna
 from ..em.channel import snr_db_from_cfr, subcarrier_frequencies
 from ..em.geometry import Point
@@ -42,7 +48,17 @@ from ..obs.metrics import global_registry
 from .array import PressArray
 from .configuration import ArrayConfiguration, ConfigurationSpace
 
-__all__ = ["ChannelBasis", "BasisEvaluator", "exhaustive_argmax"]
+__all__ = [
+    "ChannelBasis",
+    "BasisEvaluator",
+    "DeltaEvaluator",
+    "SearchSpaceTooLarge",
+    "StateTensorBudgetExceeded",
+    "MAX_ENUMERABLE_CONFIGS",
+    "DEFAULT_STATE_TENSOR_BUDGET_BYTES",
+    "state_tensor_nbytes",
+    "exhaustive_argmax",
+]
 
 ConfigurationsLike = Union[Sequence[ArrayConfiguration], np.ndarray]
 
@@ -51,6 +67,56 @@ _BATCHES_TRACED = global_registry().counter("core.basis.batch_traces")
 _BATCH_POINTS = global_registry().counter("core.basis.batch_points")
 _EVALUATIONS = global_registry().counter("core.basis.evaluations")
 _CONFIGS_EVALUATED = global_registry().counter("core.basis.configurations_evaluated")
+_DELTA_EVALS = global_registry().counter("search.delta_evals")
+
+#: Largest configuration space the vectorized exhaustive path will
+#: materialize as an (M^N, N) index table.  4^10 = 2^20 rows of N intp
+#: columns is ~80 MB of indices plus an (M^N, K) complex sum matrix —
+#: already generous.  Above this, enumeration raises
+#: :class:`SearchSpaceTooLarge` instead of OOM-ing.
+MAX_ENUMERABLE_CONFIGS = 1 << 20
+
+#: Default cap on the E[n, m, k] state-tensor allocation (512 MiB holds
+#: N=65536 elements x 8 states x 64 subcarriers of complex128).
+DEFAULT_STATE_TENSOR_BUDGET_BYTES = 512 * 1024 * 1024
+
+
+class SearchSpaceTooLarge(RuntimeError):
+    """Raised instead of materializing an M^N table that cannot fit.
+
+    Exhaustive enumeration is only meaningful for prototype-scale arrays
+    (the paper's 4^3 = 64).  Large arrays must use the scalable searchers,
+    which score configurations by O(K) per-element delta updates.
+    """
+
+
+class StateTensorBudgetExceeded(MemoryError):
+    """Raised when a basis state tensor would exceed its memory budget."""
+
+
+def state_tensor_nbytes(
+    num_elements: int, max_states: int, num_subcarriers: int
+) -> int:
+    """Bytes needed by a complex128 ``E[n, m, k]`` state tensor."""
+    return int(num_elements) * int(max_states) * int(num_subcarriers) * 16
+
+
+def _too_large_message(space: ConfigurationSpace) -> str:
+    size = space.size
+    digits = len(str(size))
+    shown = str(size) if digits <= 12 else f"~10^{digits - 1}"
+    low, high = min(space.state_counts), max(space.state_counts)
+    states = str(low) if low == high else f"{low}-{high}"
+    return (
+        f"configuration space has {space.num_elements} elements with "
+        f"{states} states each = {shown} configurations "
+        f"(> MAX_ENUMERABLE_CONFIGS = {MAX_ENUMERABLE_CONFIGS}); "
+        "enumerating it would materialize the full M^N table. Use the "
+        "scalable searchers instead: GreedyCoordinateDescent or "
+        "RFocusMajoritySearch via Searcher.search_basis (repro.core.search), "
+        "or repro.core.scheduler.pick_searcher, which auto-selects them for "
+        "large spaces."
+    )
 
 
 @dataclass(frozen=True)
@@ -250,6 +316,136 @@ class ChannelBasis:
             )
         return bases
 
+    @classmethod
+    def trace_chunked(
+        cls,
+        array: PressArray,
+        tx: Point,
+        rx: Point,
+        tracer: RayTracer,
+        tx_antenna: Antenna = IsotropicAntenna(),
+        rx_antenna: Antenna = IsotropicAntenna(),
+        num_subcarriers: int = NUM_SUBCARRIERS,
+        bandwidth_hz: float = BANDWIDTH_HZ,
+        environment_paths: Optional[Sequence[SignalPath]] = None,
+        element_chunk: int = 256,
+        memory_budget_bytes: Optional[int] = DEFAULT_STATE_TENSOR_BUDGET_BYTES,
+    ) -> "ChannelBasis":
+        """Large-array basis construction: chunked, budgeted, state-vectorized.
+
+        The wall-sized twin of :meth:`trace`.  Geometry (distances,
+        blockage, antenna gains) is computed exactly once per *element* via
+        :meth:`RayTracer.relay_geometry_batch` — not once per
+        (element, state) as the scalar path does — and every state's
+        reflectivity, stub phase and stub dispersion fold in as vectorized
+        per-chunk numpy operations, with per-state-set constants cached
+        across elements.  Agrees with :meth:`trace` to <=1e-9 (the stub
+        phasor is factored out of the per-subcarrier exponential; the math
+        is identical, the op order differs only in that split).
+
+        The state tensor is assembled ``element_chunk`` elements at a time
+        so the per-chunk temporaries stay bounded, and the full
+        ``E[n, m, k]`` allocation is checked against
+        ``memory_budget_bytes`` up front (``None`` disables the check),
+        raising :class:`StateTensorBudgetExceeded` before any allocation
+        instead of OOM-ing mid-build.  Nothing here ever touches the M^N
+        configuration table.
+        """
+        if element_chunk <= 0:
+            raise ValueError(f"element_chunk must be positive, got {element_chunk}")
+        space = array.configuration_space()
+        max_states = max(space.state_counts)
+        needed = state_tensor_nbytes(array.num_elements, max_states, num_subcarriers)
+        if memory_budget_bytes is not None and needed > memory_budget_bytes:
+            raise StateTensorBudgetExceeded(
+                f"state tensor E[{array.num_elements}, {max_states}, "
+                f"{num_subcarriers}] needs {needed} bytes "
+                f"(> memory_budget_bytes = {memory_budget_bytes}); raise the "
+                "budget explicitly or reduce the array/subcarrier count"
+            )
+        _BASES_TRACED.inc()
+        freqs = subcarrier_frequencies(num_subcarriers, bandwidth_hz)
+        if environment_paths is None:
+            environment_paths = tracer.trace(tx, rx, tx_antenna, rx_antenna)
+        gains, delays, _ = path_arrays(environment_paths)
+        num_elements = array.num_elements
+        tensor = np.zeros((num_elements, max_states, num_subcarriers), dtype=complex)
+        carrier = tracer.frequency_hz
+        freq_factor = -2.0j * np.pi * freqs  # shared (K,) phasor exponent
+        rx_x = np.array([rx.x])
+        rx_y = np.array([rx.y])
+
+        # Per-state-set constants, shared across every element using the
+        # same switch hardware (the common case is one state set for the
+        # whole wall): Gamma at the carrier and the stub's dispersion
+        # phasor across the band.
+        folds: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+        def fold_for(states: tuple) -> tuple[np.ndarray, np.ndarray]:
+            cached = folds.get(states)
+            if cached is not None:
+                return cached
+            gamma = np.zeros(len(states), dtype=complex)
+            extra_phasor = np.zeros((len(states), num_subcarriers), dtype=complex)
+            for m, state in enumerate(states):
+                if state.is_terminated:
+                    continue
+                stub_carrier_phase = (
+                    -2.0 * math.pi * carrier * state.extra_path_m / SPEED_OF_LIGHT
+                )
+                gamma[m] = state.magnitude * complex(
+                    math.cos(state.fixed_phase_rad), math.sin(state.fixed_phase_rad)
+                ) * complex(math.cos(stub_carrier_phase), math.sin(stub_carrier_phase))
+                extra_phasor[m] = np.exp(freq_factor * state.extra_delay_s)
+            folds[states] = (gamma, extra_phasor)
+            return gamma, extra_phasor
+
+        for start in range(0, num_elements, element_chunk):
+            stop = min(start + element_chunk, num_elements)
+            chunk = stop - start
+            amplitudes = np.zeros(chunk)
+            totals = np.zeros(chunk)
+            clears = np.zeros(chunk, dtype=bool)
+            for offset, n in enumerate(range(start, stop)):
+                element = array.elements[n]
+                amplitude, total, _, _, clear = tracer.relay_geometry_batch(
+                    tx,
+                    element.position,
+                    rx_x,
+                    rx_y,
+                    tx_antenna=tx_antenna,
+                    rx_antenna=rx_antenna,
+                    relay_antenna_in=element.antenna,
+                    relay_antenna_out=element.antenna,
+                )
+                amplitudes[offset] = amplitude[0]
+                totals[offset] = total[0]
+                clears[offset] = clear[0]
+            # One vectorized (chunk, K) exponential covers the chunk's
+            # carrier phase + propagation delay across the band.
+            base_phasors = np.exp(
+                freq_factor[None, :] * (totals / SPEED_OF_LIGHT)[:, None]
+            )
+            carrier_phasors = np.exp(-2.0j * np.pi * totals / tracer.wavelength_m)
+            for offset, n in enumerate(range(start, stop)):
+                if not clears[offset] or amplitudes[offset] == 0.0:
+                    continue
+                element = array.elements[n]
+                gamma, extra_phasor = fold_for(element.states)
+                per_state_gain = amplitudes[offset] * carrier_phasors[offset] * gamma
+                tensor[n, : len(element.states)] = (
+                    per_state_gain[:, None] * base_phasors[offset][None, :] * extra_phasor
+                )
+        return cls(
+            space=space,
+            frequencies_hz=freqs,
+            ambient_gains=gains,
+            ambient_delays=delays,
+            state_tensor=tensor,
+            num_subcarriers=num_subcarriers,
+            bandwidth_hz=bandwidth_hz,
+        )
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -273,7 +469,18 @@ class ChannelBasis:
         """Index matrix of the whole space, shape ``(M^N, N)``.
 
         Row order matches :meth:`ConfigurationSpace.all_configurations`.
+
+        Raises
+        ------
+        SearchSpaceTooLarge
+            When the space exceeds :data:`MAX_ENUMERABLE_CONFIGS`; every
+            exhaustive entry point (:meth:`all_element_sums`,
+            :meth:`evaluate` with ``configurations=None``,
+            :meth:`BasisEvaluator.scores_all`/:meth:`BasisEvaluator.argmax`,
+            :func:`exhaustive_argmax`) inherits the guard.
         """
+        if self.space.size > MAX_ENUMERABLE_CONFIGS:
+            raise SearchSpaceTooLarge(_too_large_message(self.space))
         indices = np.array(
             [cfg.indices for cfg in self.space.all_configurations()], dtype=np.intp
         )
@@ -431,13 +638,259 @@ class BasisEvaluator:
         return np.array([float(self.objective(row)) for row in snr])
 
     def argmax(self) -> tuple[ArrayConfiguration, float]:
-        """The best configuration over the whole space, fully vectorized."""
+        """The best configuration over the whole space, fully vectorized.
+
+        Raises :class:`SearchSpaceTooLarge` (via
+        :attr:`ChannelBasis.all_configuration_indices`) instead of
+        allocating the M^N score vector for spaces past
+        :data:`MAX_ENUMERABLE_CONFIGS`.
+        """
         scores = self.scores_all()
         index = int(np.argmax(scores))
         winner = ArrayConfiguration(
             tuple(int(i) for i in self.basis.all_configuration_indices[index])
         )
         return winner, float(scores[index])
+
+    def delta(
+        self,
+        initial: Optional[ArrayConfiguration] = None,
+        resync_interval: int = 4096,
+    ) -> "DeltaEvaluator":
+        """An incrementally-scored working copy of this evaluator."""
+        return DeltaEvaluator(self, initial=initial, resync_interval=resync_interval)
+
+
+class DeltaEvaluator:
+    """Incremental configuration scoring via O(K) per-element delta updates.
+
+    Because the basis CFR is linear in per-element state,
+
+        H(f; c) = H_0(f) + sum_n E[n, c_n, f],
+
+    changing one element's state only moves the running element sum by
+    ``E[n, new] - E[n, old]`` — O(K) work regardless of N — instead of the
+    O(N*K) gather the full path (:meth:`ChannelBasis.element_sum`) redoes
+    per candidate.  This is the kernel that makes search cost scale with
+    elements *touched* rather than configurations *enumerated*.
+
+    The evaluator keeps two states: a *working* configuration mutated by
+    :meth:`flip`/:meth:`flip_many`, and a *committed* snapshot restored
+    bit-exactly by :meth:`revert` and advanced by :meth:`commit`.  Every
+    ``resync_interval`` applied flips the running sum is recomputed from
+    scratch at a deterministic point, bounding floating-point drift so
+    delta-scored values stay within 1e-9 of the full path over arbitrarily
+    long flip sequences (``tests/test_delta_evaluator.py``).
+
+    Bookkeeping mirrors ``_CountingScore``: ``num_scores`` counts scored
+    probes (the over-the-air measurement proxy; reverts are free) and
+    ``trajectory`` records the best-so-far score after each probe.
+    """
+
+    def __init__(
+        self,
+        evaluator: BasisEvaluator,
+        initial: Optional[ArrayConfiguration] = None,
+        resync_interval: int = 4096,
+    ) -> None:
+        if resync_interval <= 0:
+            raise ValueError(
+                f"resync_interval must be positive, got {resync_interval}"
+            )
+        self._evaluator = evaluator
+        basis = evaluator.basis
+        self._space = basis.space
+        # Scoring only ever sees masked subcarriers, and every SNR op is
+        # elementwise — so the mask is applied once to the tensor and the
+        # ambient CFR up front, not per probe.  Scores are elementwise
+        # identical to masking after the fact.
+        if evaluator.mask is None:
+            self._tensor = basis.state_tensor
+            self._ambient = basis.ambient_cfr()
+        else:
+            self._tensor = np.ascontiguousarray(
+                basis.state_tensor[:, :, evaluator.mask]
+            )
+            self._ambient = basis.ambient_cfr()[evaluator.mask]
+        self._resync_interval = int(resync_interval)
+        self._flips_since_resync = 0
+        if initial is None:
+            indices = np.zeros(self._space.num_elements, dtype=np.intp)
+        else:
+            self._space.validate(initial)
+            indices = np.array(initial.indices, dtype=np.intp)
+        self._indices = indices
+        # Per-score constants of BasisEvaluator._snr_db / snr_db_from_cfr,
+        # hoisted out of the per-flip path.  The operation order below in
+        # _snr_db_fast is exactly the library's (p * |H|^2 / n, floor,
+        # 10*log10), so delta scores are bit-identical to the full path's
+        # — only the constant recomputation and dispatch overhead go.
+        self._subcarrier_power_w = float(
+            dbm_to_watts(evaluator.tx_power_dbm) / basis.num_subcarriers
+        )
+        self._noise_w = thermal_noise_power_w(
+            basis.bandwidth_hz / basis.num_subcarriers,
+            evaluator.noise_figure_db,
+        )
+        self._sum = self._full_sum()
+        self._score = self._score_of(self._sum)
+        self._committed_indices = self._indices.copy()
+        self._committed_sum = self._sum.copy()
+        self._committed_score = self._score
+        self.num_scores = 1
+        self._best = self._score
+        self.trajectory: list[float] = [self._score]
+
+    # -- state views ----------------------------------------------------
+    @property
+    def space(self) -> ConfigurationSpace:
+        """The configuration space being searched."""
+        return self._space
+
+    @property
+    def score(self) -> float:
+        """Objective value of the current working configuration."""
+        return self._score
+
+    @property
+    def configuration(self) -> ArrayConfiguration:
+        """The current working configuration."""
+        return ArrayConfiguration(tuple(int(i) for i in self._indices))
+
+    @property
+    def committed_configuration(self) -> ArrayConfiguration:
+        """The configuration :meth:`revert` falls back to."""
+        return ArrayConfiguration(tuple(int(i) for i in self._committed_indices))
+
+    # -- internals ------------------------------------------------------
+    def _full_sum(self) -> np.ndarray:
+        rows = np.arange(self._space.num_elements)
+        return self._tensor[rows, self._indices, :].sum(axis=0)
+
+    def _snr_db_fast(self, cfr: np.ndarray) -> np.ndarray:
+        """BasisEvaluator._snr_db with the per-call constants precomputed.
+
+        ``cfr`` is already mask-restricted (the working tensor is); the
+        operation order matches :func:`~repro.em.channel.snr_db_from_cfr`
+        exactly, so values are bit-identical to the full path's.
+        """
+        snr_linear = self._subcarrier_power_w * np.abs(cfr) ** 2 / self._noise_w
+        return 10.0 * np.log10(np.maximum(snr_linear, 1e-30))
+
+    def _score_of(self, element_sum: np.ndarray) -> float:
+        snr = self._snr_db_fast(self._ambient + element_sum)
+        return float(self._evaluator.objective(snr))
+
+    def _record(self, value: float) -> None:
+        self.num_scores += 1
+        _DELTA_EVALS.inc()
+        if value > self._best:
+            self._best = value
+        self.trajectory.append(self._best)
+
+    def _count_flips(self, applied: int) -> None:
+        self._flips_since_resync += applied
+        if self._flips_since_resync >= self._resync_interval:
+            self._sum = self._full_sum()
+            self._flips_since_resync = 0
+
+    # -- mutation -------------------------------------------------------
+    def flip(self, element: int, state: int) -> float:
+        """Set one element's state and return the re-scored objective."""
+        if not 0 <= element < self._space.num_elements:
+            raise IndexError(f"element {element} out of range")
+        if not 0 <= state < self._space.state_counts[element]:
+            raise ValueError(
+                f"state {state} out of range for element {element} "
+                f"({self._space.state_counts[element]} states)"
+            )
+        previous = int(self._indices[element])
+        if state != previous:
+            self._sum += self._tensor[element, state] - self._tensor[element, previous]
+            self._indices[element] = state
+            self._count_flips(1)
+        self._score = self._score_of(self._sum)
+        self._record(self._score)
+        return self._score
+
+    def flip_many(
+        self,
+        elements: Sequence[int],
+        states: Sequence[int],
+    ) -> float:
+        """Flip several *distinct* elements at once (one scored probe).
+
+        The RFocus perturbation primitive: one random multi-element
+        perturbation costs one sounding, not N.  ``elements`` must not
+        contain duplicates (the batched gather reads all previous states
+        before any write).
+        """
+        element_idx = np.asarray(elements, dtype=np.intp)
+        state_idx = np.asarray(states, dtype=np.intp)
+        if element_idx.shape != state_idx.shape:
+            raise ValueError("elements and states must have matching shapes")
+        if element_idx.size:
+            previous = self._indices[element_idx]
+            changed = state_idx != previous
+            if np.any(changed):
+                moved = element_idx[changed]
+                self._sum += (
+                    self._tensor[moved, state_idx[changed]]
+                    - self._tensor[moved, previous[changed]]
+                ).sum(axis=0)
+                self._indices[moved] = state_idx[changed]
+                self._count_flips(int(changed.sum()))
+        self._score = self._score_of(self._sum)
+        self._record(self._score)
+        return self._score
+
+    def set_configuration(self, configuration: ArrayConfiguration) -> float:
+        """Jump to an arbitrary configuration (full O(N*K) recompute)."""
+        self._space.validate(configuration)
+        self._indices = np.array(configuration.indices, dtype=np.intp)
+        self._sum = self._full_sum()
+        self._flips_since_resync = 0
+        self._score = self._score_of(self._sum)
+        self._record(self._score)
+        return self._score
+
+    def revert(self) -> float:
+        """Bit-exact rollback to the committed configuration (free)."""
+        self._indices = self._committed_indices.copy()
+        self._sum = self._committed_sum.copy()
+        self._score = self._committed_score
+        return self._score
+
+    def commit(self) -> float:
+        """Make the working configuration the new revert point."""
+        self._committed_indices = self._indices.copy()
+        self._committed_sum = self._sum.copy()
+        self._committed_score = self._score
+        return self._score
+
+    # -- batched per-element probing ------------------------------------
+    def scores_for_element(self, element: int) -> np.ndarray:
+        """Objective value for every state of one element, vectorized.
+
+        The greedy-descent kernel: candidate sums for all M states of
+        ``element`` are formed in one (M, K) broadcast and scored in one
+        batched SNR evaluation.  Counts M-1 probes (the current state's
+        score is already known).
+        """
+        if not 0 <= element < self._space.num_elements:
+            raise IndexError(f"element {element} out of range")
+        count = self._space.state_counts[element]
+        current = int(self._indices[element])
+        base = self._sum - self._tensor[element, current]
+        candidates = base[None, :] + self._tensor[element, :count, :]
+        snr = self._snr_db_fast(self._ambient[None, :] + candidates)
+        scores = np.array(
+            [float(self._evaluator.objective(row)) for row in snr]
+        )
+        for m in range(count):
+            if m != current:
+                self._record(float(scores[m]))
+        return scores
 
 
 def exhaustive_argmax(

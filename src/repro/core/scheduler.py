@@ -20,10 +20,12 @@ from typing import Optional, Sequence
 from ..constants import ISM_BAND_2G4_HZ
 from ..em.channel import coherence_time_s
 from .configuration import ArrayConfiguration, ConfigurationSpace
+from .basis import MAX_ENUMERABLE_CONFIGS
 from .search import (
     ExhaustiveSearch,
     GreedyCoordinateDescent,
     RandomSearch,
+    RFocusMajoritySearch,
     Searcher,
     SingleProbeSearch,
 )
@@ -106,7 +108,13 @@ def pick_searcher(
 
     * budget >= |space|  -> exhaustive sweep (optimal; what §3.2 does);
     * budget >= one coordinate-descent sweep -> greedy coordinate descent;
-    * budget >= 1 -> random sampling of whatever budget remains;
+    * budget >= 1 -> random sampling of whatever budget remains — except
+      on RFocus-scale spaces (> :data:`~repro.core.basis.MAX_ENUMERABLE_CONFIGS`
+      configurations), where :class:`RFocusMajoritySearch` sized to the
+      budget replaces blind random sampling: its per-element majority
+      voting extracts N per-element decisions from each whole-array
+      sounding, the only strategy that makes progress when even one
+      coordinate-descent sweep exceeds the budget;
     * budget <= 0 -> keep-current single probe (:class:`SingleProbeSearch`).
 
     The degenerate last case is not an error: ``measurement_budget``
@@ -127,6 +135,16 @@ def pick_searcher(
     if budget >= sweep_cost:
         max_sweeps = max(1, budget // max(sweep_cost, 1))
         return GreedyCoordinateDescent(max_sweeps=min(max_sweeps, 4), seed=seed)
+    if space.size > MAX_ENUMERABLE_CONFIGS:
+        # Budget below one greedy sweep on a space too large to enumerate:
+        # spend it on majority-voted whole-array perturbations.  Each round
+        # costs perturbations + 1 soundings (the +1 scores the voted
+        # candidate).
+        perturbations = max(2, min(budget - 1, 24))
+        rounds = max(1, budget // (perturbations + 1))
+        return RFocusMajoritySearch(
+            rounds=rounds, perturbations=perturbations, seed=seed
+        )
     return RandomSearch(budget=budget, seed=seed)
 
 

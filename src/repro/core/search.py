@@ -19,10 +19,11 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
+from ..obs.metrics import global_registry
 from .configuration import ArrayConfiguration, ConfigurationSpace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .basis import ChannelBasis
+    from .basis import ChannelBasis, DeltaEvaluator
 
 __all__ = [
     "SearchResult",
@@ -31,11 +32,15 @@ __all__ = [
     "SingleProbeSearch",
     "RandomSearch",
     "GreedyCoordinateDescent",
+    "RFocusMajoritySearch",
     "SimulatedAnnealing",
     "GeneticSearch",
 ]
 
 ScoreFunction = Callable[[ArrayConfiguration], float]
+
+_FLIPS = global_registry().counter("search.flips")
+_ROUNDS = global_registry().counter("search.rounds")
 
 
 @dataclass
@@ -116,6 +121,14 @@ class Searcher:
         exhaustive, greedy, annealing, genetic, ... — run at numpy speed.
         Works with any objective over per-subcarrier SNR (dB), exactly as
         the measurement-backed score functions do.
+
+        Searchers that implement :meth:`run_delta` (the scalable ones)
+        additionally route through a :class:`~repro.core.basis.DeltaEvaluator`
+        here, scoring configurations by O(K) per-element delta updates —
+        per-flip cost independent of N — instead of re-summing all N
+        element contributions per candidate.  The generic callback path
+        (:meth:`search`) is untouched: controllers driving real
+        measurements still go through it.
         """
         evaluator = basis.evaluator(
             objective,
@@ -123,7 +136,25 @@ class Searcher:
             noise_figure_db=noise_figure_db,
             mask=mask,
         )
+        if self.uses_delta:
+            delta = evaluator.delta()
+            best, best_score = self.run_delta(delta)
+            return SearchResult(
+                best=best,
+                best_score=best_score,
+                num_evaluations=delta.num_scores,
+                trajectory=delta.trajectory,
+            )
         return self.search(basis.space, evaluator)
+
+    #: Searchers that implement :meth:`run_delta` set this true; it routes
+    #: :meth:`search_basis` through the incremental scorer.
+    uses_delta = False
+
+    def run_delta(
+        self, delta: "DeltaEvaluator"
+    ) -> tuple[ArrayConfiguration, float]:  # pragma: no cover - interface
+        raise NotImplementedError
 
     def run(
         self, space: ConfigurationSpace, score: ScoreFunction
@@ -206,11 +237,19 @@ class GreedyCoordinateDescent(Searcher):
     Uses N*(M-1) measurements per sweep instead of M^N — the natural
     "focus the search" heuristic for a switch-per-element architecture.
     Random restarts escape poor local optima.
+
+    Against a channel basis (:meth:`Searcher.search_basis`) the sweep runs
+    on a :class:`~repro.core.basis.DeltaEvaluator`: each element's M
+    candidate states are scored in one vectorized batch from the running
+    element sum, so a full sweep costs O(N*M*K) total instead of
+    O(N^2*M*K) — per-candidate cost independent of array size.
     """
 
     max_sweeps: int = 4
     restarts: int = 1
     seed: int = 0
+
+    uses_delta = True
 
     def __post_init__(self) -> None:
         if self.max_sweeps <= 0:
@@ -247,6 +286,197 @@ class GreedyCoordinateDescent(Searcher):
                 best, best_score = current, current_score
         assert best is not None
         return best, best_score
+
+    def run_delta(
+        self, delta: "DeltaEvaluator"
+    ) -> tuple[ArrayConfiguration, float]:
+        """Coordinate descent over the incremental scorer.
+
+        Same acceptance semantics as :meth:`run` — an element moves to the
+        best strictly-improving state (first index wins ties) — but each
+        element's candidates are scored in one batched
+        :meth:`~repro.core.basis.DeltaEvaluator.scores_for_element` call.
+        """
+        rng = np.random.default_rng(self.seed)
+        space = delta.space
+        best: Optional[ArrayConfiguration] = None
+        best_score = -math.inf
+        for restart in range(self.restarts):
+            if restart == 0:
+                start = ArrayConfiguration(tuple([0] * space.num_elements))
+            else:
+                start = space.random_configuration(rng)
+            delta.set_configuration(start)
+            delta.commit()
+            current_score = delta.score
+            for _ in range(self.max_sweeps):
+                _ROUNDS.inc()
+                improved = False
+                for element in range(space.num_elements):
+                    scores = delta.scores_for_element(element)
+                    candidate = int(np.argmax(scores))
+                    held = int(delta.configuration.indices[element])
+                    if candidate != held and scores[candidate] > current_score:
+                        current_score = delta.flip(element, candidate)
+                        delta.commit()
+                        _FLIPS.inc()
+                        improved = True
+                if not improved:
+                    break
+            if current_score > best_score:
+                best, best_score = delta.configuration, current_score
+        assert best is not None
+        return best, best_score
+
+
+@dataclass(frozen=True)
+class RFocusMajoritySearch(Searcher):
+    """Randomized perturbation + per-element majority voting (RFocus).
+
+    The search RFocus (arXiv:1905.05130) runs on ~3,000-element surfaces:
+    each round draws random multi-element perturbations of the current
+    configuration, scores each whole perturbation with a single sounding,
+    and then each element "votes" — it moves to the state whose probes
+    averaged the highest score.  No per-element measurement is ever taken,
+    so a round costs ``perturbations`` soundings regardless of N, and the
+    per-element statistics converge because every element's states are
+    (randomly) exercised across the batch.
+
+    Only meaningful against a channel basis (it is delta-powered); the
+    candidate configuration produced by a vote is adopted only if it
+    actually improves the committed score, otherwise the round is rolled
+    back and ``patience`` counts down to early exit.
+
+    Parameters
+    ----------
+    rounds:
+        Maximum voting rounds.
+    perturbations:
+        Random probes scored per round (1 sounding each).
+    flip_fraction:
+        Expected fraction of elements randomized per probe.
+    patience:
+        Consecutive non-improving rounds tolerated before stopping.
+    """
+
+    rounds: int = 12
+    perturbations: int = 24
+    flip_fraction: float = 0.5
+    patience: int = 2
+    seed: int = 0
+
+    uses_delta = True
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {self.rounds}")
+        if self.perturbations <= 0:
+            raise ValueError(
+                f"perturbations must be positive, got {self.perturbations}"
+            )
+        if not 0.0 < self.flip_fraction <= 1.0:
+            raise ValueError(
+                f"flip_fraction must be in (0, 1], got {self.flip_fraction}"
+            )
+        if self.patience <= 0:
+            raise ValueError(f"patience must be positive, got {self.patience}")
+
+    def run(
+        self, space: ConfigurationSpace, score: ScoreFunction
+    ) -> tuple[ArrayConfiguration, float]:
+        """Callback-scored variant (for measurement-backed controllers).
+
+        Draws the same RNG stream and makes the same decisions as
+        :meth:`run_delta`; each whole-array perturbation costs one
+        ``score`` call, so the per-round sounding budget is
+        ``perturbations + 1`` regardless of N.
+        """
+        rng = np.random.default_rng(self.seed)
+        num_elements = space.num_elements
+        state_counts = np.array(space.state_counts, dtype=np.intp)
+        max_states = int(state_counts.max())
+        current = np.zeros(num_elements, dtype=np.intp)
+        current_score = score(ArrayConfiguration(tuple([0] * num_elements)))
+        stale = 0
+        rows = np.arange(num_elements)
+        for _ in range(self.rounds):
+            _ROUNDS.inc()
+            score_sums = np.zeros((num_elements, max_states))
+            probe_counts = np.zeros((num_elements, max_states))
+            for _ in range(self.perturbations):
+                mask = rng.random(num_elements) < self.flip_fraction
+                random_states = rng.integers(0, state_counts)
+                probe = np.where(mask, random_states, current)
+                value = score(ArrayConfiguration(tuple(int(s) for s in probe)))
+                score_sums[rows, probe] += value
+                probe_counts[rows, probe] += 1.0
+            sampled = probe_counts > 0
+            means = np.full((num_elements, max_states), -math.inf)
+            means[sampled] = score_sums[sampled] / probe_counts[sampled]
+            voted = np.argmax(means, axis=1)
+            if np.array_equal(voted, current):
+                stale += 1
+                if stale >= self.patience:
+                    break
+                continue
+            value = score(ArrayConfiguration(tuple(int(s) for s in voted)))
+            if value > current_score:
+                _FLIPS.inc(int((voted != current).sum()))
+                current = voted.copy()
+                current_score = value
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        return ArrayConfiguration(tuple(int(s) for s in current)), current_score
+
+    def run_delta(
+        self, delta: "DeltaEvaluator"
+    ) -> tuple[ArrayConfiguration, float]:
+        rng = np.random.default_rng(self.seed)
+        space = delta.space
+        num_elements = space.num_elements
+        state_counts = np.array(space.state_counts, dtype=np.intp)
+        max_states = int(state_counts.max())
+        delta.commit()
+        current = np.array(delta.committed_configuration.indices, dtype=np.intp)
+        current_score = delta.score
+        stale = 0
+        for _ in range(self.rounds):
+            _ROUNDS.inc()
+            score_sums = np.zeros((num_elements, max_states))
+            probe_counts = np.zeros((num_elements, max_states))
+            rows = np.arange(num_elements)
+            for _ in range(self.perturbations):
+                mask = rng.random(num_elements) < self.flip_fraction
+                random_states = rng.integers(0, state_counts)
+                probe = np.where(mask, random_states, current)
+                value = delta.flip_many(rows[mask], random_states[mask])
+                score_sums[rows, probe] += value
+                probe_counts[rows, probe] += 1.0
+                delta.revert()
+            # Majority vote: each element independently adopts the state
+            # whose probes scored best on average (unsampled states and
+            # index padding past an element's state count never win).
+            sampled = probe_counts > 0
+            means = np.full((num_elements, max_states), -math.inf)
+            means[sampled] = score_sums[sampled] / probe_counts[sampled]
+            voted = np.argmax(means, axis=1)
+            changed = voted != current
+            value = delta.flip_many(rows[changed], voted[changed])
+            if value > current_score:
+                delta.commit()
+                _FLIPS.inc(int(changed.sum()))
+                current = voted
+                current_score = value
+                stale = 0
+            else:
+                delta.revert()
+                stale += 1
+                if stale >= self.patience:
+                    break
+        return delta.committed_configuration, current_score
 
 
 @dataclass(frozen=True)

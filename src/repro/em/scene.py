@@ -20,7 +20,13 @@ import numpy as np
 
 from .geometry import Obstacle, Point, Segment, Wall, rectangle_walls
 
-__all__ = ["Scatterer", "Scene", "shoebox_scene", "blocker_between"]
+__all__ = [
+    "Scatterer",
+    "Scene",
+    "shoebox_scene",
+    "blocker_between",
+    "surface_grid_positions",
+]
 
 
 @dataclass(frozen=True)
@@ -148,6 +154,47 @@ def shoebox_scene(
                 )
             )
     return Scene(walls=walls, scatterers=tuple(scatterers), name=name)
+
+
+def surface_grid_positions(
+    start: Point,
+    end: Point,
+    count: int,
+    rows: int = 1,
+    standoff_m: float = 0.05,
+    row_spacing_m: float = 0.06,
+) -> tuple[Point, ...]:
+    """Element positions tiling a wall-sized programmable surface.
+
+    Lays ``count`` positions in ``rows`` rows parallel to the ``start`` ->
+    ``end`` segment, offset into the room by ``standoff_m`` along the
+    left-hand normal (so a surface on the top wall of a shoebox faces
+    down into it).  Columns are evenly spaced along the segment; rows
+    step a further ``row_spacing_m`` inward.  Purely deterministic — the
+    RFocus-scale builder (``build_large_array_setup``) scales ``count``
+    into the thousands without touching any RNG stream.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if rows <= 0:
+        raise ValueError(f"rows must be positive, got {rows}")
+    direction = end - start
+    length = direction.norm()
+    if length <= 0:
+        raise ValueError("start and end must be distinct points")
+    unit = direction.normalized()
+    normal = Point(-unit.y, unit.x)
+    columns = -(-count // rows)  # ceil: last row may be partial
+    positions: list[Point] = []
+    for index in range(count):
+        row, column = divmod(index, columns)
+        if columns == 1:
+            along = 0.5 * length
+        else:
+            along = length * column / (columns - 1)
+        inward = standoff_m + row * row_spacing_m
+        positions.append(start + along * unit + inward * normal)
+    return tuple(positions)
 
 
 def blocker_between(

@@ -5,6 +5,7 @@ from .common import (
     StudyConfig,
     StudySetup,
     build_harmonization_setup,
+    build_large_array_setup,
     build_los_setup,
     build_mimo_setup,
     build_nlos_setup,
@@ -25,6 +26,12 @@ from .fig5_null_movement import Fig5Result, run_fig5
 from .fig6_snr_ccdf import Fig6Result, run_fig6
 from .fig7_harmonization import Fig7Result, run_fig7
 from .fig8_mimo import Fig8Result, run_fig8
+from .large_array import (
+    LargeArrayCell,
+    LargeArrayResult,
+    make_searcher,
+    run_large_array,
+)
 from .los_study import LosStudyResult, run_los_study
 from .mac_harmonization import MacHarmonizationResult, run_mac_harmonization
 from .mu_mimo import MuMimoResult, mu_mimo_matrices, run_mu_mimo, zf_sum_rate_bits
@@ -51,6 +58,7 @@ __all__ = [
     "build_nlos_setup",
     "build_los_setup",
     "build_harmonization_setup",
+    "build_large_array_setup",
     "build_mimo_setup",
     "facing_panel",
     "used_subcarrier_mask",
@@ -66,6 +74,10 @@ __all__ = [
     "run_fig7",
     "Fig8Result",
     "run_fig8",
+    "LargeArrayCell",
+    "LargeArrayResult",
+    "make_searcher",
+    "run_large_array",
     "LosStudyResult",
     "run_los_study",
     "MacHarmonizationResult",

@@ -40,7 +40,13 @@ from ..core.array import PressArray
 from ..core.element import PressElement, omni_element, sp4t_states
 from ..em.geometry import Point, Segment, Wall, points_on_grid
 from ..em.materials import MATERIALS, Material, register_material
-from ..em.scene import Scatterer, Scene, blocker_between, shoebox_scene
+from ..em.scene import (
+    Scatterer,
+    Scene,
+    blocker_between,
+    shoebox_scene,
+    surface_grid_positions,
+)
 from ..phy.ofdm import OfdmParams
 from ..sdr.device import SdrDevice, usrp_n210, usrp_x310, warp_v3
 from ..sdr.testbed import Testbed
@@ -54,6 +60,7 @@ __all__ = [
     "build_los_setup",
     "build_harmonization_setup",
     "build_mimo_setup",
+    "build_large_array_setup",
     "FIG5_PLACEMENT_SEED",
     "used_subcarrier_mask",
 ]
@@ -439,6 +446,72 @@ def build_mimo_setup(
         elements_fn=elements_fn,
         device_factory=usrp_x310,
         device_prefix="x310",
+    )
+
+
+def build_large_array_setup(
+    placement_seed: int,
+    num_elements: int = 1024,
+    config: StudyConfig = StudyConfig(),
+    states: Optional[Sequence] = None,
+    rows: Optional[int] = None,
+) -> StudySetup:
+    """An RFocus-scale scenario: a wall-sized element grid, N into the thousands.
+
+    Same room, clutter and blocked link as :func:`build_nlos_setup`, but
+    instead of three elements near the link the far wall carries a
+    programmable surface: ``num_elements`` SP4T omni elements tiled in a
+    deterministic grid (``surface_grid_positions``) along the top wall.
+    This is the regime RFocus (arXiv:1905.05130) targets — ~3,000 passive
+    elements, where the M^N space cannot be enumerated and search must
+    scale with elements touched.
+
+    The testbed automatically routes basis construction through the
+    chunked large-array path, and ``pick_searcher``/``search_basis``
+    select the delta-powered searchers; calling ``testbed.sweep`` (an
+    exhaustive enumeration) on such a setup raises
+    :class:`~repro.core.basis.SearchSpaceTooLarge` by design.
+
+    ``rows`` defaults to the smallest row count keeping at most 256
+    columns per row; ``states`` overrides the per-element state set
+    (default: the prototype's 4-state SP4T).
+    """
+    if num_elements <= 0:
+        raise ValueError(f"num_elements must be positive, got {num_elements}")
+    if rows is None:
+        rows = -(-num_elements // 256)
+    state_set = tuple(states) if states is not None else sp4t_states()
+
+    def elements_fn(
+        config: StudyConfig, rng: np.random.Generator
+    ) -> list[PressElement]:
+        margin = 0.6
+        y = config.room_height_m - 0.2
+        # Right-to-left along the top wall so the grid's left-hand normal
+        # (and its row stacking) faces down into the room.
+        positions = surface_grid_positions(
+            Point(config.room_width_m - margin, y),
+            Point(margin, y),
+            count=num_elements,
+            rows=rows,
+        )
+        return [
+            omni_element(
+                p,
+                name=f"e{i}",
+                gain_dbi=config.element_gain_dbi,
+                states=state_set,
+            )
+            for i, p in enumerate(positions)
+        ]
+
+    return _build_setup(
+        placement_seed,
+        config,
+        blocked=True,
+        elements_fn=elements_fn,
+        device_factory=warp_v3,
+        device_prefix="warp",
     )
 
 

@@ -15,7 +15,9 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.metrics import ConfigPairGap, largest_single_subcarrier_gap
+from ..core.basis import ChannelBasis
 from ..obs.records import RunRecorder
+from ..sdr.testbed import sweep_basis_snr
 from .common import StudyConfig, build_nlos_setup, used_subcarrier_mask
 from .runner import run_parallel
 
@@ -72,33 +74,84 @@ class Fig4Result:
         return max(p.max_single_rep_gap_db for p in self.placements)
 
 
-def _fig4_placement_task(
-    task: tuple[int, int, StudyConfig, int],
-) -> Fig4PlacementResult:
-    """One Figure 4 panel: sweep 64 configs x reps at one placement.
+@dataclass(frozen=True)
+class _Fig4Task:
+    """One placement's worker payload: a pre-traced basis, not a scene.
+
+    The parent traces geometry once per placement (cheap, milliseconds, and
+    value-cached across figure runs) and ships the resulting basis plus the
+    handful of radio scalars a sweep needs.  Workers never rebuild scenes or
+    ray tracers — the old per-job rebuild cost more than the sweep itself,
+    which is how parallel fig4 ended up slower than serial.
+    """
+
+    placement_seed: int
+    repetitions: int
+    noise_seed: int
+    basis: ChannelBasis
+    tx_power_dbm: float
+    noise_figure_db: float
+    drift_phase_rad: float
+    drift_amplitude: float
+    labels: tuple[str, ...]
+
+
+def _fig4_task_for(
+    placement_seed: int,
+    repetitions: int,
+    config: StudyConfig,
+    noise_seed: int,
+) -> _Fig4Task:
+    """Build one placement's payload: trace its basis in the parent."""
+    setup = build_nlos_setup(placement_seed, config)
+    basis = setup.testbed.basis_for(setup.tx_device, setup.rx_device)
+    labels = tuple(
+        setup.array.describe(configuration)
+        for configuration in setup.testbed.configurations
+    )
+    return _Fig4Task(
+        placement_seed=placement_seed,
+        repetitions=repetitions,
+        noise_seed=noise_seed,
+        basis=basis,
+        tx_power_dbm=setup.tx_device.tx_power_dbm,
+        noise_figure_db=setup.rx_device.noise_figure_db,
+        drift_phase_rad=setup.testbed.drift_phase_rad,
+        drift_amplitude=setup.testbed.drift_amplitude,
+        labels=labels,
+    )
+
+
+def _fig4_placement_task(task: _Fig4Task) -> Fig4PlacementResult:
+    """One Figure 4 panel: sweep 64 configs x reps over a shipped basis.
 
     The placement's rng is seeded from ``noise_seed + placement_seed``
-    alone, so panels are independent of execution order — parallel runs
-    are bit-identical to serial at any worker count.
+    alone and the drift/noise draws follow the legacy sweep order, so
+    results are bit-identical to the historical build-in-worker path at
+    any worker count.
     """
-    placement_seed, repetitions, config, noise_seed = task
     mask = used_subcarrier_mask()
-    setup = build_nlos_setup(placement_seed, config)
-    rng = np.random.default_rng(noise_seed + placement_seed)
-    sweep = setup.testbed.sweep(
-        setup.tx_device, setup.rx_device, repetitions=repetitions, rng=rng
+    rng = np.random.default_rng(task.noise_seed + task.placement_seed)
+    snr = sweep_basis_snr(
+        task.basis,
+        task.repetitions,
+        rng,
+        tx_power_dbm=task.tx_power_dbm,
+        noise_figure_db=task.noise_figure_db,
+        drift_phase_rad=task.drift_phase_rad,
+        drift_amplitude=task.drift_amplitude,
     )
-    mean_snr = sweep.mean_snr_db()[:, mask]  # (configs, used subcarriers)
+    mean_snr = snr.mean(axis=0)[:, mask]  # (configs, used subcarriers)
     pair = largest_single_subcarrier_gap(mean_snr)
-    per_rep = sweep.snr_db[:, :, mask]
+    per_rep = snr[:, :, mask]
     rep_gaps = np.abs(
         per_rep[:, pair.config_high, :] - per_rep[:, pair.config_low, :]
     )  # (reps, used)
     return Fig4PlacementResult(
-        placement_seed=placement_seed,
+        placement_seed=task.placement_seed,
         pair=pair,
-        label_low=setup.array.describe(sweep.configurations[pair.config_low]),
-        label_high=setup.array.describe(sweep.configurations[pair.config_high]),
+        label_low=task.labels[pair.config_low],
+        label_high=task.labels[pair.config_high],
         snr_low=mean_snr[pair.config_low],
         snr_high=mean_snr[pair.config_high],
         mean_gap_db=pair.gap_db,
@@ -118,15 +171,12 @@ def run_fig4(
 
     ``jobs`` fans the placement axis across processes (``None``/``1``
     serial, ``<= 0`` all CPUs); results are bit-identical at any value.
-    ``record_to`` appends a schema-validated run record to the given
-    JSONL file.
+    Geometry is traced in the parent and shipped to workers as channel
+    bases, so workers only sweep.  ``record_to`` appends a
+    schema-validated run record to the given JSONL file.
     """
     if num_placements <= 0:
         raise ValueError(f"num_placements must be positive, got {num_placements}")
-    tasks = [
-        (placement_seed, repetitions, config, noise_seed)
-        for placement_seed in range(num_placements)
-    ]
     with RunRecorder(
         "fig4",
         config={
@@ -138,6 +188,10 @@ def run_fig4(
         jobs=jobs,
         seeds={"noise_seed": noise_seed},
     ) as recorder:
+        tasks = [
+            _fig4_task_for(placement_seed, repetitions, config, noise_seed)
+            for placement_seed in range(num_placements)
+        ]
         placements, samples = run_parallel(
             _fig4_placement_task, tasks, jobs=jobs, collect_obs=True
         )

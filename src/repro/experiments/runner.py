@@ -28,9 +28,11 @@ dataclass of arrays.
 
 from __future__ import annotations
 
+import atexit
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
@@ -43,6 +45,8 @@ __all__ = [
     "resolve_jobs",
     "derive_seeds",
     "run_parallel",
+    "warm_pool",
+    "shutdown_shared_pools",
     "process_telemetry",
     "merged_telemetry",
 ]
@@ -139,6 +143,56 @@ def merged_telemetry(
     }
 
 
+#: Process pools kept alive across :func:`run_parallel` calls, keyed by
+#: worker count.  Pool startup costs ~0.2 s (fork + import) — more than a
+#: whole small figure run — so paying it once per session instead of once
+#: per call is what makes parallel runs of short workloads actually faster
+#: than serial (the fig4 regression BENCH_trace.json used to record).
+#: Workers hold no experiment state the results depend on: task functions
+#: are pure functions of their pickled payloads, and observability is
+#: shipped as per-task deltas, so reuse is invisible to outputs.
+_SHARED_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(num_workers: int) -> ProcessPoolExecutor:
+    """The persistent pool for ``num_workers``, creating it on first use."""
+    pool = _SHARED_POOLS.get(num_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=num_workers)
+        _SHARED_POOLS[num_workers] = pool
+    return pool
+
+
+def _dispose_pool(num_workers: int) -> None:
+    """Drop (and shut down) a pool, e.g. after its workers died."""
+    pool = _SHARED_POOLS.pop(num_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every persistent worker pool (registered via atexit)."""
+    for num_workers in list(_SHARED_POOLS):
+        _dispose_pool(num_workers)
+
+
+atexit.register(shutdown_shared_pools)
+
+
+def warm_pool(jobs: Optional[int]) -> int:
+    """Pre-start the worker pool a later :func:`run_parallel` will use.
+
+    Returns the resolved worker count.  Benchmarks call this before
+    timing so they measure steady-state parallel throughput, not one-off
+    pool startup; long-running drivers may call it to move startup cost
+    ahead of the first measured figure.
+    """
+    num_workers = resolve_jobs(jobs)
+    if num_workers > 1:
+        _shared_pool(num_workers)
+    return num_workers
+
+
 class _ObservedTask:
     """Picklable task wrapper shipping a per-task observability delta.
 
@@ -215,7 +269,14 @@ def run_parallel(
         return [wrapped(task)[0] for task in task_list], []
     num_workers = min(num_workers, len(task_list))
     mapped_fn = _ObservedTask(fn) if collect_obs else fn
-    with ProcessPoolExecutor(max_workers=num_workers) as pool:
+    try:
+        pool = _shared_pool(num_workers)
+        mapped = list(pool.map(mapped_fn, task_list, chunksize=chunksize))
+    except BrokenProcessPool:
+        # A worker died (OOM, signal).  Replace the pool once and retry —
+        # task functions are pure, so a retry is safe.
+        _dispose_pool(num_workers)
+        pool = _shared_pool(num_workers)
         mapped = list(pool.map(mapped_fn, task_list, chunksize=chunksize))
     if not collect_obs:
         return mapped

@@ -17,7 +17,13 @@ import numpy as np
 
 from ..constants import BANDWIDTH_HZ, CARRIER_FREQUENCY_HZ, NUM_SUBCARRIERS
 from ..core.array import PressArray
-from ..core.basis import BasisEvaluator, ChannelBasis
+from ..core.basis import (
+    MAX_ENUMERABLE_CONFIGS,
+    BasisEvaluator,
+    ChannelBasis,
+    SearchSpaceTooLarge,
+    _too_large_message,
+)
 from ..core.configuration import ArrayConfiguration
 from ..em.channel import (
     Channel,
@@ -36,13 +42,99 @@ from ..obs.tracing import global_tracer
 from ..phy.ofdm import OfdmParams
 from .device import SdrDevice
 
-__all__ = ["Testbed", "SweepResult"]
+__all__ = [
+    "Testbed",
+    "SweepResult",
+    "drift_factors",
+    "sweep_basis_snr",
+    "LARGE_ARRAY_THRESHOLD",
+]
 
 # Span names: registered once here so the phase vocabulary of a run is
 # statically known (enforced by `repro lint` rule RPL006).
 _SPAN_BASIS_TRACE = "testbed.basis_trace"
 _SPAN_BASES_FOR_POINTS = "testbed.bases_for_points"
 _SPAN_SWEEP = "testbed.sweep"
+
+#: Arrays at or above this element count trace their basis through
+#: :meth:`ChannelBasis.trace_chunked` (per-element geometry, vectorized
+#: state folding, budgeted tensor) instead of the scalar per-(element,
+#: state) path.  Below it the scalar path is kept so prototype-scale
+#: results stay bit-identical with earlier revisions.
+LARGE_ARRAY_THRESHOLD = 32
+
+
+def drift_factors(
+    num_paths: int,
+    rng: Optional[np.random.Generator],
+    drift_phase_rad: float,
+    drift_amplitude: float,
+) -> Optional[np.ndarray]:
+    """Per-path complex drift factors for one measurement (or ``None``).
+
+    Draw order (one phase vector, then one amplitude vector) is the RNG
+    contract shared by the legacy and basis sweep paths — and by workers
+    sweeping a shipped basis without a testbed — so identically seeded
+    generators produce identical measurements everywhere.
+    """
+    if rng is None or (drift_phase_rad == 0 and drift_amplitude == 0):
+        return None
+    phases = rng.normal(scale=drift_phase_rad, size=num_paths)
+    scales = np.maximum(
+        1.0 + rng.normal(scale=drift_amplitude, size=num_paths), 0.0
+    )
+    return scales * np.exp(1j * phases)
+
+
+def sweep_basis_snr(
+    basis: ChannelBasis,
+    repetitions: int,
+    rng: Optional[np.random.Generator],
+    tx_power_dbm: float,
+    noise_figure_db: float,
+    drift_phase_rad: float = 0.0,
+    drift_amplitude: float = 0.0,
+) -> np.ndarray:
+    """The basis-mode configuration sweep, standalone.
+
+    Exactly :meth:`Testbed._sweep_basis`'s computation, but taking the
+    (picklable) basis and radio parameters directly: a worker process can
+    sweep a basis traced by the parent without rebuilding scene, tracer or
+    testbed.  Drift/noise draws stay in legacy order (repetition-major,
+    configuration-major).  Returns shape
+    ``(repetitions, configurations, subcarriers)``.
+    """
+    element_sums = basis.all_element_sums  # (C, K)
+    num_configs = element_sums.shape[0]
+    if rng is None:
+        cfr = basis.ambient_cfr() + element_sums
+        snr_once = snr_db_from_cfr(
+            cfr,
+            basis.num_subcarriers,
+            basis.bandwidth_hz,
+            tx_power_dbm=tx_power_dbm,
+            noise_figure_db=noise_figure_db,
+        )
+        return np.broadcast_to(snr_once, (repetitions,) + snr_once.shape).copy()
+    snr = np.empty((repetitions, num_configs, basis.num_subcarriers))
+    for rep in range(repetitions):
+        for index in range(num_configs):
+            factors = drift_factors(
+                basis.num_ambient_paths, rng, drift_phase_rad, drift_amplitude
+            )
+            ambient = basis.ambient_cfr(
+                None if factors is None else basis.ambient_gains * factors
+            )
+            observation = observe_cfr(
+                ambient + element_sums[index],
+                basis.num_subcarriers,
+                basis.bandwidth_hz,
+                tx_power_dbm=tx_power_dbm,
+                noise_figure_db=noise_figure_db,
+                rng=rng,
+            )
+            snr[rep, index] = observation.snr_db
+    return snr
 
 
 @dataclass(frozen=True)
@@ -129,31 +221,35 @@ class Testbed:
         )
         self._environment_cache: dict[tuple, tuple[SignalPath, ...]] = {}
         self._basis_cache: dict[tuple, ChannelBasis] = {}
-        # The configuration space and its enumeration are fixed by the
-        # (immutable) array; compute them once per testbed instead of per
-        # sweep.
+        # The configuration space is fixed by the (immutable) array; its
+        # enumeration is computed lazily — a wall-sized array's space can
+        # never be enumerated at all (see :attr:`configurations`), but the
+        # testbed must still construct so the basis/delta paths can run.
         self._space = array.configuration_space()
-        self._configurations = tuple(self._space.all_configurations())
+        self._configurations: Optional[tuple[ArrayConfiguration, ...]] = None
+
+    @property
+    def configurations(self) -> tuple[ArrayConfiguration, ...]:
+        """Every configuration, enumerated once per testbed (guarded).
+
+        Raises :class:`~repro.core.basis.SearchSpaceTooLarge` on
+        RFocus-scale arrays instead of materializing the M^N tuple.
+        """
+        if self._configurations is None:
+            if self._space.size > MAX_ENUMERABLE_CONFIGS:
+                raise SearchSpaceTooLarge(_too_large_message(self._space))
+            self._configurations = tuple(self._space.all_configurations())
+        return self._configurations
 
     def _drift_factors(
         self,
         num_paths: int,
         rng: Optional[np.random.Generator],
     ) -> Optional[np.ndarray]:
-        """Per-path complex drift factors for one measurement (or ``None``).
-
-        Draw order (one phase vector, then one amplitude vector) is the
-        RNG contract shared by the legacy and basis sweep paths — both
-        consume the same stream, so identically seeded generators produce
-        identical measurements in either mode.
-        """
-        if rng is None or (self.drift_phase_rad == 0 and self.drift_amplitude == 0):
-            return None
-        phases = rng.normal(scale=self.drift_phase_rad, size=num_paths)
-        scales = np.maximum(
-            1.0 + rng.normal(scale=self.drift_amplitude, size=num_paths), 0.0
+        """Per-path drift factors (see module-level :func:`drift_factors`)."""
+        return drift_factors(
+            num_paths, rng, self.drift_phase_rad, self.drift_amplitude
         )
-        return scales * np.exp(1j * phases)
 
     def _drifted(
         self,
@@ -209,6 +305,11 @@ class Testbed:
         Traces geometry once — ambient multipath plus one two-hop relay
         path per (element, state) — after which any configuration's CFR is
         ``H0 + sum_n E[n, c_n]``, a vectorized gather over the basis.
+
+        Arrays of :data:`LARGE_ARRAY_THRESHOLD` elements or more route
+        through :meth:`ChannelBasis.trace_chunked` (per-element geometry,
+        per-chunk vectorized state folding, budgeted tensor allocation);
+        smaller arrays keep the scalar path bit-for-bit.
         """
         tx = tx_device.chains[tx_chain]
         rx = rx_device.chains[rx_chain]
@@ -219,8 +320,13 @@ class Testbed:
             rx.antenna,
         )
         if key not in self._basis_cache:
+            trace = (
+                ChannelBasis.trace_chunked
+                if self.array.num_elements >= LARGE_ARRAY_THRESHOLD
+                else ChannelBasis.trace
+            )
             with global_tracer().span(_SPAN_BASIS_TRACE):
-                self._basis_cache[key] = ChannelBasis.trace(
+                self._basis_cache[key] = trace(
                     self.array,
                     tx.position,
                     rx.position,
@@ -426,7 +532,7 @@ class Testbed:
             used_mask = used_only_mask
         if mode not in ("basis", "legacy"):
             raise ValueError(f"mode must be 'basis' or 'legacy', got {mode!r}")
-        configurations = self._configurations
+        configurations = self.configurations
         with global_tracer().span(_SPAN_SWEEP):
             if mode == "legacy":
                 snr = np.empty(
@@ -471,40 +577,19 @@ class Testbed:
         its own drift/noise draws in legacy order (repetition-major,
         configuration-major) for stream equivalence — but every draw now
         feeds O(K) numpy ops on the precomputed basis instead of a
-        re-trace.
+        re-trace.  Delegates to the module-level :func:`sweep_basis_snr`
+        (which parallel figure runners also call against shipped bases).
         """
         basis = self.basis_for(tx_device, rx_device)
-        element_sums = basis.all_element_sums  # (C, K)
-        num_configs = element_sums.shape[0]
-        if rng is None:
-            cfr = basis.ambient_cfr() + element_sums
-            snr_once = snr_db_from_cfr(
-                cfr,
-                self.num_subcarriers,
-                self.bandwidth_hz,
-                tx_power_dbm=tx_device.tx_power_dbm,
-                noise_figure_db=rx_device.noise_figure_db,
-            )
-            return np.broadcast_to(
-                snr_once, (repetitions,) + snr_once.shape
-            ).copy()
-        snr = np.empty((repetitions, num_configs, self.num_subcarriers))
-        for rep in range(repetitions):
-            for index in range(num_configs):
-                factors = self._drift_factors(basis.num_ambient_paths, rng)
-                ambient = basis.ambient_cfr(
-                    None if factors is None else basis.ambient_gains * factors
-                )
-                observation = observe_cfr(
-                    ambient + element_sums[index],
-                    self.num_subcarriers,
-                    self.bandwidth_hz,
-                    tx_power_dbm=tx_device.tx_power_dbm,
-                    noise_figure_db=rx_device.noise_figure_db,
-                    rng=rng,
-                )
-                snr[rep, index] = observation.snr_db
-        return snr
+        return sweep_basis_snr(
+            basis,
+            repetitions,
+            rng,
+            tx_power_dbm=tx_device.tx_power_dbm,
+            noise_figure_db=rx_device.noise_figure_db,
+            drift_phase_rad=self.drift_phase_rad,
+            drift_amplitude=self.drift_amplitude,
+        )
 
     # ------------------------------------------------------------------
     # MIMO measurements
