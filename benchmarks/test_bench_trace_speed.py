@@ -175,10 +175,32 @@ def test_bench_trace_speed(once):
             "pool_reuse_speedup": pool_reuse_speedup,
             "speedup_asserted": bool(enough_cpus and fig4_speedup > 1.0),
             "pool_reuse_asserted": bool(enough_cpus and pool_reuse_speedup > 1.0),
+            # Timed states: serial/cold run against no pool, the warm
+            # figure against the persistent pre-started pool.
+            "pool_warm": {
+                "serial": False,
+                "parallel_cold": False,
+                "parallel": True,
+            },
             "max_abs_deviation_db": fig4_deviation,
         },
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    # A 1-core run must not clobber a record measured with real cores:
+    # the fig4 ratios are only meaningful (and only asserted) at >= 2
+    # CPUs, so the multi-core record is the durable one.
+    existing_cpus = 0
+    if out.exists():
+        try:
+            existing_cpus = int(json.loads(out.read_text()).get("cpu_count", 0))
+        except (ValueError, TypeError):
+            existing_cpus = 0
+    if cpus < 2 and existing_cpus >= 2:
+        print(
+            f"BENCH_trace.json kept: existing record is {existing_cpus}-core, "
+            f"this run has {cpus} CPU(s)"
+        )
+    else:
+        out.write_text(json.dumps(payload, indent=2) + "\n")
 
     assert table.all_hold()

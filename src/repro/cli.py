@@ -15,6 +15,11 @@ Commands
     Control-plane latency budgets against the §2 coherence times.
 ``control-robustness``
     Closed-loop sweep of link type x loss probability x mobility speed.
+``serve``
+    Environment-as-a-service demo: start the in-process asyncio service,
+    drive a deterministic mixed workload through the async client, and
+    report throughput, batching efficiency, session/cache hit rates and
+    rejections.
 ``profile-sweep``
     cProfile one Figure-4 configuration sweep (basis or legacy mode).
 ``report``
@@ -267,6 +272,104 @@ def _cmd_control_robustness(args: argparse.Namespace) -> int:
         f"{telemetry['trace_cache_entries']} entries "
         f"(merged over {telemetry['processes']} process(es))"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .analysis.reporting import format_table
+    from .em import trace_cache
+    from .obs import RunRecorder
+    from .serve import (
+        EnvironmentService,
+        ScenarioSpec,
+        ServiceConfig,
+        mixed_requests,
+        run_closed_loop,
+    )
+
+    scenarios = [
+        ScenarioSpec(kind="nlos", placement=p) for p in range(args.scenarios)
+    ]
+    requests = mixed_requests(
+        scenarios, args.requests, seed=args.seed, skew=args.skew
+    )
+    config = ServiceConfig(
+        batch_window_s=args.window,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        session_capacity=args.session_capacity,
+        search_jobs=args.search_jobs,
+    )
+    cache = trace_cache.configure()
+
+    async def drive():
+        async with EnvironmentService(config) as service:
+            load = await run_closed_loop(
+                service.submit, requests, args.concurrency
+            )
+            return service, load
+
+    with RunRecorder(
+        "serve_demo",
+        config={
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "scenarios": args.scenarios,
+            "batch_window_s": config.batch_window_s,
+            "max_batch": config.max_batch,
+            "max_pending": config.max_pending,
+            "session_capacity": config.session_capacity,
+            "skew": args.skew,
+        },
+        path=args.record,
+        seeds={"workload": args.seed},
+    ) as recorder:
+        service, load = asyncio.run(drive())
+    record = recorder.record
+    wall_s = record["wall_s"] if record else float("nan")
+    counters = record["metrics"]["counters"] if record else {}
+    batches = counters.get("serve.batches", 0)
+    batched = counters.get("serve.batched_requests", 0)
+    session_lookups = service.session_hits + service.session_misses
+    cache_lookups = cache.hits + cache.misses
+
+    rows = [("metric", "value")]
+    rows.append(("requests", str(len(requests))))
+    rows.append(("completed", str(load.completed)))
+    rows.append(("rejected", str(load.rejected)))
+    rows.append(("failed", str(load.failed)))
+    rows.append(("wall", f"{wall_s:.2f} s"))
+    rows.append(("throughput", f"{load.completed / wall_s:.1f} req/s"))
+    rows.append(("batches", str(batches)))
+    rows.append(
+        ("batching efficiency", f"{batched / max(batches, 1):.1f} req/batch")
+    )
+    rows.append(
+        (
+            "session hit rate",
+            f"{service.session_hits / max(session_lookups, 1):.2f} "
+            f"({service.sessions} hot, {service.session_evictions} evicted)",
+        )
+    )
+    rows.append(
+        (
+            "trace cache hit rate",
+            f"{cache.hit_rate:.2f} ({cache_lookups} lookups)",
+        )
+    )
+    print(format_table(rows, header_rule=True))
+    if args.fail_on_rejections and load.rejected:
+        print(
+            f"error: {load.rejected} rejection(s) under max_pending="
+            f"{config.max_pending}",
+            file=sys.stderr,
+        )
+        return 1
+    if load.failed:
+        print(f"error: {load.failed} failed request(s)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -553,6 +656,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a run record to this JSONL file",
     )
     robustness.set_defaults(func=_cmd_control_robustness)
+
+    serve = sub.add_parser(
+        "serve",
+        help="environment-as-a-service demo: batched async serving + load",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=200, help="workload size"
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=32, help="closed-loop clients"
+    )
+    serve.add_argument(
+        "--scenarios",
+        type=int,
+        default=3,
+        help="distinct NLoS placements in the workload",
+    )
+    serve.add_argument(
+        "--skew",
+        type=float,
+        default=1.0,
+        help="scenario popularity skew (0 = uniform, higher = hotter head)",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="micro-batch coalescing window in seconds",
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="backpressure threshold (queued requests before rejection)",
+    )
+    serve.add_argument("--session-capacity", type=int, default=8)
+    serve.add_argument(
+        "--search-jobs",
+        type=int,
+        default=None,
+        help="worker processes for search requests "
+        "(default: inline; 0 = all CPUs)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument(
+        "--record",
+        default=None,
+        metavar="JSONL",
+        help="append a run record to this JSONL file",
+    )
+    serve.add_argument(
+        "--fail-on-rejections",
+        action="store_true",
+        help="exit non-zero if any request was shed (CI smoke mode)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
         "report", help="render run records emitted via --record"

@@ -76,6 +76,12 @@ _DELTA_EVALS = global_registry().counter("search.delta_evals")
 #: :class:`SearchSpaceTooLarge` instead of OOM-ing.
 MAX_ENUMERABLE_CONFIGS = 1 << 20
 
+#: Largest space :meth:`ChannelBasis.warm` will eagerly enumerate.  Warm
+#: is about publishing a fully-materialized read-only object, so it only
+#: pre-builds sum tables that are cheap to keep resident (2^14 rows x 64
+#: subcarriers of complex128 is ~16 MB); bigger spaces stay lazy.
+WARM_ENUMERATION_LIMIT = 1 << 14
+
 #: Default cap on the E[n, m, k] state-tensor allocation (512 MiB holds
 #: N=65536 elements x 8 states x 64 subcarriers of complex128).
 DEFAULT_STATE_TENSOR_BUDGET_BYTES = 512 * 1024 * 1024
@@ -148,6 +154,41 @@ class ChannelBasis:
     state_tensor: np.ndarray
     num_subcarriers: int = NUM_SUBCARRIERS
     bandwidth_hz: float = BANDWIDTH_HZ
+
+    def __post_init__(self) -> None:
+        # Reentrancy guard: a basis is shared by concurrent readers (the
+        # serving layer hands one session to interleaved request handlers;
+        # the parallel runner ships one to worker processes).  Marking the
+        # arrays read-only turns any accidental in-place write into an
+        # immediate ValueError instead of a cross-request data race.
+        # Flag flips on views never propagate to their base array, so the
+        # per-point bases sliced out of a parent batch are safe to freeze.
+        for array in (
+            self.frequencies_hz,
+            self.ambient_gains,
+            self.ambient_delays,
+            self.state_tensor,
+        ):
+            if isinstance(array, np.ndarray):
+                array.setflags(write=False)
+
+    def warm(self) -> "ChannelBasis":
+        """Materialize the lazy caches so concurrent readers never write.
+
+        ``cached_property`` installs its value with a plain ``__dict__``
+        write on first access — benign under a single reader, but a
+        publish step (the serving layer building a session) should finish
+        all writes before the object is shared.  Enumeration caches are
+        only touched while the space is small enough that the (M^N, K)
+        sum table is cheap to hold (well under the
+        :data:`MAX_ENUMERABLE_CONFIGS` guard, which bounds compute but
+        not residency); larger spaces keep lazy/guarded behaviour.
+        Returns ``self`` for chaining.
+        """
+        _ = self._ambient_cfr0
+        if self.space.size <= WARM_ENUMERATION_LIMIT:
+            _ = self.all_element_sums
+        return self
 
     # ------------------------------------------------------------------
     # Construction

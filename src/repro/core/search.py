@@ -129,6 +129,15 @@ class Searcher:
         element contributions per candidate.  The generic callback path
         (:meth:`search`) is untouched: controllers driving real
         measurements still go through it.
+
+        **Reentrancy.** Every call builds its own evaluator (and delta
+        scorer) over the immutable basis arrays; no state is shared
+        between calls beyond the searcher's constructor parameters.
+        Seeded searchers draw from the RNG created at construction, so
+        one *instance* is not safely shareable across concurrent calls —
+        callers that serve searches concurrently (the serving layer, the
+        parallel runner) construct a fresh searcher per request via
+        :func:`make_searcher` and get deterministic, isolated runs.
         """
         evaluator = basis.evaluator(
             objective,

@@ -21,7 +21,9 @@ cache statistics across workers.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Hashable, Optional
+
+import numpy as np
 
 from ..obs.metrics import global_registry
 from .antennas import Antenna
@@ -31,11 +33,17 @@ from .paths import PathBatch, SignalPath
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .raytracer import RayTracer
 
-__all__ = ["TraceCache", "global_trace_cache"]
+__all__ = ["TraceCache", "configure", "global_trace_cache", "reset"]
 
 #: Default bound on cached traces.  A coverage run touches a few hundred
 #: endpoints per placement; 4096 comfortably holds several placements.
 DEFAULT_MAXSIZE = 4096
+
+#: Approximate resident size of one cached :class:`SignalPath`.  The exact
+#: CPython figure varies by version and field values; the budget only needs
+#: the right order of magnitude to keep batch entries (megabytes of packed
+#: arrays) from starving scalar ones.
+_SIGNAL_PATH_NBYTES = 160
 
 _HITS = global_registry().counter("em.trace_cache.hits")
 _MISSES = global_registry().counter("em.trace_cache.misses")
@@ -43,6 +51,26 @@ _EVICTIONS = global_registry().counter("em.trace_cache.evictions")
 _BATCH_HITS = global_registry().counter("em.trace_cache.batch_hits")
 _BATCH_MISSES = global_registry().counter("em.trace_cache.batch_misses")
 _ENTRIES = global_registry().gauge("em.trace_cache.entries")
+_BYTES = global_registry().gauge("em.trace_cache.bytes")
+_HIT_RATE = global_registry().gauge("em.trace_cache.hit_rate")
+
+
+def _entry_nbytes(value: object) -> int:
+    """Approximate resident bytes of one cached value.
+
+    PathBatch entries are dominated by their packed numpy arrays, which
+    report exact ``nbytes``; scalar path tuples use a fixed per-path
+    estimate (see :data:`_SIGNAL_PATH_NBYTES`).
+    """
+    if isinstance(value, PathBatch):
+        total = 0
+        for field in (value.gains, value.delays_s, value.aod_rad, value.aoa_rad, value.valid):
+            if isinstance(field, np.ndarray):
+                total += int(field.nbytes)
+        return max(total, 1)
+    if isinstance(value, tuple):
+        return max(len(value), 1) * _SIGNAL_PATH_NBYTES
+    return _SIGNAL_PATH_NBYTES
 
 
 class TraceCache:
@@ -61,17 +89,32 @@ class TraceCache:
     and worker processes.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_MAXSIZE,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self.current_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache since the last reset."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     @staticmethod
     def key(
@@ -118,12 +161,31 @@ class TraceCache:
         )
 
     def _store(self, key: Hashable, value: object) -> None:
+        nbytes = _entry_nbytes(value)
         self._entries[key] = value
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        self._sizes[key] = nbytes
+        self.current_bytes += nbytes
+        while len(self._entries) > self.maxsize or (
+            self.max_bytes is not None
+            and self.current_bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.current_bytes -= self._sizes.pop(evicted_key)
             self.evictions += 1
             _EVICTIONS.inc()
         _ENTRIES.set(len(self._entries))
+        _BYTES.set(self.current_bytes)
+
+    def _record_hit(self, mirror) -> None:
+        self.hits += 1
+        mirror.inc()
+        _HIT_RATE.set(self.hit_rate)
+
+    def _record_miss(self, mirror) -> None:
+        self.misses += 1
+        mirror.inc()
+        _HIT_RATE.set(self.hit_rate)
 
     def get_or_trace(
         self,
@@ -138,11 +200,9 @@ class TraceCache:
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
-            self.hits += 1
-            _HITS.inc()
+            self._record_hit(_HITS)
             return cached  # type: ignore[return-value]
-        self.misses += 1
-        _MISSES.inc()
+        self._record_miss(_MISSES)
         paths = tuple(tracer.trace(tx, rx, tx_antenna, rx_antenna))
         self._store(key, paths)
         return paths
@@ -168,11 +228,9 @@ class TraceCache:
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
-            self.hits += 1
-            _BATCH_HITS.inc()
+            self._record_hit(_BATCH_HITS)
             return cached  # type: ignore[return-value]
-        self.misses += 1
-        _BATCH_MISSES.inc()
+        self._record_miss(_BATCH_MISSES)
         batch = tracer.trace_batch(tx, rx_points, tx_antenna, rx_antenna)
         self._store(key, batch)
         return batch
@@ -186,12 +244,16 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        _HIT_RATE.set(0.0)
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss/eviction counters."""
         self._entries.clear()
+        self._sizes.clear()
+        self.current_bytes = 0
         self.reset_counters()
         _ENTRIES.set(0)
+        _BYTES.set(0)
 
 
 _GLOBAL_CACHE = TraceCache()
@@ -200,3 +262,26 @@ _GLOBAL_CACHE = TraceCache()
 def global_trace_cache() -> TraceCache:
     """The process-wide trace cache shared by all testbeds."""
     return _GLOBAL_CACHE
+
+
+def configure(
+    maxsize: int = DEFAULT_MAXSIZE, max_bytes: Optional[int] = None
+) -> TraceCache:
+    """Replace the process-wide cache with a freshly sized, empty one.
+
+    The serving layer calls this at startup to pin an explicit budget, and
+    test suites use it (via the autouse fixture in ``tests/conftest.py``)
+    to stop cached traces and hit/miss counts leaking between tests.
+    Returns the new cache, which :func:`global_trace_cache` hands out from
+    now on.  Existing references to the old cache keep working but no
+    longer see global traffic.
+    """
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE.clear()
+    _GLOBAL_CACHE = TraceCache(maxsize=maxsize, max_bytes=max_bytes)
+    return _GLOBAL_CACHE
+
+
+def reset() -> TraceCache:
+    """Restore the process-wide cache to a default-sized empty one."""
+    return configure()

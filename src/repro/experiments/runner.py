@@ -45,6 +45,7 @@ __all__ = [
     "resolve_jobs",
     "derive_seeds",
     "run_parallel",
+    "shared_pool",
     "warm_pool",
     "shutdown_shared_pools",
     "process_telemetry",
@@ -177,6 +178,23 @@ def shutdown_shared_pools() -> None:
 
 
 atexit.register(shutdown_shared_pools)
+
+
+def shared_pool(jobs: Optional[int]) -> Optional[ProcessPoolExecutor]:
+    """The persistent shared executor for a ``jobs`` request, or ``None``.
+
+    The public seam for long-running drivers (the serving layer) that
+    schedule their own work — e.g. via
+    ``loop.run_in_executor(shared_pool(jobs), fn, ...)`` — instead of
+    going through :func:`run_parallel`.  Serial requests (resolved worker
+    count 1) return ``None`` so callers can run inline.  The pool is the
+    same one :func:`run_parallel` uses: created once, reused across
+    callers, shut down at interpreter exit.
+    """
+    num_workers = resolve_jobs(jobs)
+    if num_workers <= 1:
+        return None
+    return _shared_pool(num_workers)
 
 
 def warm_pool(jobs: Optional[int]) -> int:

@@ -1,0 +1,63 @@
+"""Environment-as-a-service: the asyncio serving layer.
+
+The PRESS/metasurface programme (Liaskos et al., arXiv:1812.11429)
+frames the programmable environment as a shared multi-tenant resource
+configured on request; RFocus (arXiv:1905.05130) shows the per-request
+work is tiny once per-environment state is amortized.  This package is
+that shape over the repo's primitives: a long-running in-process service
+with micro-batched evaluation, scenario-sharded hot sessions behind the
+process-wide trace cache, explicit backpressure, and a deterministic
+load harness.  See DESIGN.md §11.
+"""
+
+from .loadgen import (
+    REJECTED,
+    LoadResult,
+    mixed_requests,
+    run_closed_loop,
+    run_open_loop,
+)
+from .scenarios import ScenarioSession, ScenarioSpec, build_session
+from .service import (
+    ActuateRequest,
+    ActuateResult,
+    CoverageRequest,
+    CoverageResult,
+    EnvironmentService,
+    EvaluateRequest,
+    EvaluateResult,
+    SearchRequest,
+    SearchResult,
+    ServiceClient,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+    SweepRequest,
+    SweepResult,
+)
+
+__all__ = [
+    "ActuateRequest",
+    "ActuateResult",
+    "CoverageRequest",
+    "CoverageResult",
+    "EnvironmentService",
+    "EvaluateRequest",
+    "EvaluateResult",
+    "LoadResult",
+    "REJECTED",
+    "ScenarioSession",
+    "ScenarioSpec",
+    "SearchRequest",
+    "SearchResult",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "SweepRequest",
+    "SweepResult",
+    "build_session",
+    "mixed_requests",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,237 @@
+"""Deterministic load generation for the serving layer.
+
+Two arrival disciplines drive the same request list:
+
+- **Closed loop** — ``concurrency`` workers, each issuing its share of
+  the requests back-to-back (worker ``i`` takes ``requests[i::C]`` in
+  order).  Offered load tracks service speed; this is the throughput
+  measurement mode.
+- **Open loop** — requests arrive on a seeded Poisson process
+  (exponential inter-arrival gaps) regardless of completion; offered
+  load is external, so overload actually builds queue depth.  This is
+  the backpressure/latency measurement mode.
+
+Everything is seeded and deterministic: the request mix comes from one
+``default_rng(seed)``, and per-request responses are pure functions of
+the requests (see :mod:`repro.serve.service`), so a load run's responses
+are reproducible bit-for-bit at any concurrency.  Wall-clock latency is
+measured only when the caller injects a ``timer`` callable (benchmarks
+pass ``time.perf_counter``); the library itself reads no clocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .scenarios import ScenarioSpec
+from .service import (
+    ActuateRequest,
+    EvaluateRequest,
+    Request,
+    ServiceOverloaded,
+    SweepRequest,
+)
+
+__all__ = ["LoadResult", "mixed_requests", "run_closed_loop", "run_open_loop"]
+
+#: Placeholder response for requests shed by backpressure.
+REJECTED = "rejected"
+
+
+@dataclass(frozen=True, eq=False)
+class LoadResult:
+    """Outcome of one load run.
+
+    ``responses[i]`` is request ``i``'s result object, :data:`REJECTED`
+    when it was shed by backpressure, or the raised exception when it
+    failed.  ``latencies_s[i]`` is present (not ``nan``) only when a
+    timer was injected and the request completed.
+    """
+
+    responses: tuple
+    latencies_s: np.ndarray
+
+    @property
+    def completed(self) -> int:
+        return sum(
+            1
+            for response in self.responses
+            if response is not REJECTED and not isinstance(response, Exception)
+        )
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for response in self.responses if response is REJECTED)
+
+    @property
+    def failed(self) -> int:
+        return sum(
+            1 for response in self.responses if isinstance(response, Exception)
+        )
+
+    def latency_percentiles(self, percentiles=(50.0, 95.0, 99.0)) -> dict:
+        """Completion-latency percentiles (seconds), from timed requests."""
+        timed = self.latencies_s[~np.isnan(self.latencies_s)]
+        if timed.size == 0:
+            return {f"p{p:g}": float("nan") for p in percentiles}
+        return {
+            f"p{p:g}": float(np.percentile(timed, p)) for p in percentiles
+        }
+
+
+def mixed_requests(
+    scenarios: Sequence[ScenarioSpec],
+    num_requests: int,
+    seed: int,
+    evaluate_weight: float = 0.6,
+    actuate_weight: float = 0.3,
+    sweep_weight: float = 0.1,
+    skew: float = 0.0,
+    configurations_per_evaluate: int = 4,
+) -> list[Request]:
+    """A seeded mixed workload over a scenario set.
+
+    ``skew`` shapes the scenario popularity: ``0`` is uniform, larger
+    values concentrate traffic on the first scenarios (weights
+    proportional to ``1 / rank^skew`` — the classic Zipf shape of "a few
+    rooms get almost all the traffic").  Configurations are drawn
+    uniformly from each scenario's nominal SP4T state range; the mix of
+    operations follows the given weights.  Same arguments, same request
+    list — always.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if not scenarios:
+        raise ValueError("need at least one scenario")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, len(scenarios) + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    op_weights = np.array([evaluate_weight, actuate_weight, sweep_weight])
+    op_weights = op_weights / op_weights.sum()
+    requests: list[Request] = []
+    num_states = 4  # SP4T elements throughout the study scenes
+    for _ in range(num_requests):
+        spec = scenarios[int(rng.choice(len(scenarios), p=weights))]
+        num_elements = _scenario_elements(spec)
+        op = int(rng.choice(3, p=op_weights))
+        if op == 0:
+            configurations = tuple(
+                tuple(
+                    int(s)
+                    for s in rng.integers(0, num_states, size=num_elements)
+                )
+                for _ in range(configurations_per_evaluate)
+            )
+            requests.append(
+                EvaluateRequest(scenario=spec, configurations=configurations)
+            )
+        elif op == 1:
+            configuration = tuple(
+                int(s) for s in rng.integers(0, num_states, size=num_elements)
+            )
+            requests.append(
+                ActuateRequest(scenario=spec, configuration=configuration)
+            )
+        else:
+            requests.append(
+                SweepRequest(scenario=spec, repetitions=1, seed=None)
+            )
+    return requests
+
+
+#: The §3 study array size (``StudyConfig.num_elements``); hardcoding it
+#: keeps request generation scene-build-free.
+NLOS_NUM_ELEMENTS = 3
+
+
+def _scenario_elements(spec: ScenarioSpec) -> int:
+    """Element count of a spec's array without building the scene."""
+    if spec.kind == "large":
+        return spec.num_elements
+    return NLOS_NUM_ELEMENTS
+
+
+async def run_closed_loop(
+    submit: Callable,
+    requests: Sequence[Request],
+    concurrency: int,
+    timer: Optional[Callable[[], float]] = None,
+) -> LoadResult:
+    """Drive requests through ``submit`` with C closed-loop workers.
+
+    ``submit`` is an awaitable callable of one request — typically
+    ``service.submit`` or a retrying wrapper.  Worker ``i`` issues
+    ``requests[i::concurrency]`` strictly in order, a new request only
+    after its previous one resolved.  Backpressure rejections are
+    recorded as :data:`REJECTED`, other exceptions as the exception —
+    the run itself never raises.
+    """
+    if concurrency <= 0:
+        raise ValueError("concurrency must be positive")
+    responses: list = [None] * len(requests)
+    latencies = np.full(len(requests), np.nan)
+
+    async def worker(start: int) -> None:
+        for index in range(start, len(requests), concurrency):
+            begin = timer() if timer is not None else 0.0
+            try:
+                responses[index] = await submit(requests[index])
+            except ServiceOverloaded:
+                responses[index] = REJECTED
+                continue
+            except Exception as error:
+                responses[index] = error
+                continue
+            if timer is not None:
+                latencies[index] = timer() - begin
+
+    await asyncio.gather(*(worker(i) for i in range(concurrency)))
+    return LoadResult(responses=tuple(responses), latencies_s=latencies)
+
+
+async def run_open_loop(
+    submit: Callable,
+    requests: Sequence[Request],
+    rate_hz: float,
+    seed: int,
+    timer: Optional[Callable[[], float]] = None,
+) -> LoadResult:
+    """Fire requests on a seeded Poisson arrival process.
+
+    Inter-arrival gaps are exponential with mean ``1/rate_hz`` drawn
+    from ``default_rng(seed)``; each request is launched as its own task
+    at its arrival instant whether or not earlier ones finished — so
+    sustained ``rate_hz`` above service capacity exercises backpressure
+    rather than implicitly throttling the generator.
+    """
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_hz, size=len(requests))
+    responses: list = [None] * len(requests)
+    latencies = np.full(len(requests), np.nan)
+
+    async def issue(index: int) -> None:
+        begin = timer() if timer is not None else 0.0
+        try:
+            responses[index] = await submit(requests[index])
+        except ServiceOverloaded:
+            responses[index] = REJECTED
+            return
+        except Exception as error:
+            responses[index] = error
+            return
+        if timer is not None:
+            latencies[index] = timer() - begin
+
+    tasks = []
+    for index, gap in enumerate(gaps):
+        tasks.append(asyncio.ensure_future(issue(index)))
+        await asyncio.sleep(float(gap))
+    await asyncio.gather(*tasks)
+    return LoadResult(responses=tuple(responses), latencies_s=latencies)

@@ -1,0 +1,609 @@
+"""The in-process environment service: micro-batcher, shards, backpressure.
+
+``EnvironmentService`` fronts the repo's primitives (configuration
+evaluation, actuation, sounding sweeps, large-array search, coverage
+grids) as a long-running asyncio service.  Three mechanisms carry the
+perf story:
+
+1. **Micro-batching** — concurrent ``evaluate``/``actuate`` requests for
+   the same scenario are coalesced, within a bounded window
+   (``batch_window_s``, capped at ``max_batch``), into *one* vectorized
+   basis evaluation.  Per-request work collapses from one full numpy
+   dispatch each to one shared gather + SNR map.  Determinism is free:
+   the basis evaluation is row-independent (see
+   :meth:`~repro.serve.scenarios.ScenarioSession.snr_rows`), so batch
+   composition — and therefore arrival interleaving — cannot change any
+   individual response.
+2. **Scenario-sharded sessions** — requests are routed by their
+   :class:`~repro.serve.scenarios.ScenarioSpec` value to a per-scenario
+   shard; the first request builds the scene + basis once
+   (:func:`~repro.serve.scenarios.build_session`), later ones reuse it.
+   Sessions live in a bounded LRU; geometry traces additionally sit in
+   the process-wide :func:`~repro.em.trace_cache.global_trace_cache`, so
+   even a rebuilt session skips re-tracing.  CPU-bound search requests
+   are routed onto the persistent shared process pools of
+   :mod:`repro.experiments.runner` when ``search_jobs`` asks for them.
+3. **Backpressure** — at most ``max_pending`` requests may be queued
+   (admitted but not yet flushed); beyond that :meth:`submit` raises
+   :class:`ServiceOverloaded` immediately instead of letting latency
+   grow without bound.  Rejections are synchronous and cheap, so a
+   closed-loop client can retry on its own schedule.
+
+Everything is single-event-loop and socket-free: tests and benchmarks
+drive the service through :class:`ServiceClient` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from ..experiments.runner import resolve_jobs, shared_pool
+from ..obs.metrics import global_registry
+from ..obs.tracing import global_tracer
+from ..sdr.testbed import sweep_basis_snr
+from . import work
+from .scenarios import ScenarioSession, ScenarioSpec, build_session
+
+__all__ = [
+    "ActuateRequest",
+    "ActuateResult",
+    "CoverageRequest",
+    "CoverageResult",
+    "EnvironmentService",
+    "EvaluateRequest",
+    "EvaluateResult",
+    "SearchRequest",
+    "SearchResult",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "SweepRequest",
+    "SweepResult",
+]
+
+_REQUESTS = global_registry().counter("serve.requests")
+_REJECTIONS = global_registry().counter("serve.rejections")
+_ERRORS = global_registry().counter("serve.errors")
+_BATCHES = global_registry().counter("serve.batches")
+_BATCHED_REQUESTS = global_registry().counter("serve.batched_requests")
+_SESSION_HITS = global_registry().counter("serve.session_hits")
+_SESSION_MISSES = global_registry().counter("serve.session_misses")
+_SESSION_EVICTIONS = global_registry().counter("serve.session_evictions")
+_PENDING = global_registry().gauge("serve.pending")
+_SESSIONS = global_registry().gauge("serve.sessions")
+
+_SPAN_BATCH = "serve.batch"
+_SPAN_SESSION_BUILD = "serve.session_build"
+
+
+class ServiceOverloaded(RuntimeError):
+    """Raised by :meth:`EnvironmentService.submit` when the pending queue
+    is full — explicit load shedding instead of unbounded latency."""
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when submitting to a service that has been closed."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`EnvironmentService`.
+
+    Attributes
+    ----------
+    batch_window_s:
+        How long a shard's first queued request waits for company before
+        its batch flushes.  ``0.0`` still coalesces: the flusher yields
+        to the event loop once, so every request submitted in the same
+        scheduling round joins the batch.
+    max_batch:
+        A shard flushes immediately once this many requests are queued,
+        bounding both latency and the size of one vectorized evaluation.
+    max_pending:
+        Service-wide cap on admitted-but-unflushed requests; beyond it
+        :meth:`EnvironmentService.submit` raises
+        :class:`ServiceOverloaded`.
+    session_capacity:
+        How many scenario sessions stay hot in the LRU.
+    search_jobs:
+        Worker-pool sizing for search requests, as in
+        :func:`repro.experiments.runner.resolve_jobs` (``None``/``1`` =
+        inline in the event loop process, ``<= 0`` = all CPUs).  Pools
+        are the persistent shared executors — no per-request spin-up.
+    """
+
+    batch_window_s: float = 0.0
+    max_batch: int = 64
+    max_pending: int = 256
+    session_capacity: int = 8
+    search_jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if self.session_capacity <= 0:
+            raise ValueError("session_capacity must be positive")
+
+
+# ---------------------------------------------------------------------------
+# Request / result values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """Score a batch of configurations: mean used-subcarrier SNR each."""
+
+    scenario: ScenarioSpec
+    configurations: tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class EvaluateResult:
+    scores_db: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ActuateRequest:
+    """Apply one configuration; observe the full per-subcarrier SNR."""
+
+    scenario: ScenarioSpec
+    configuration: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ActuateResult:
+    snr_db: tuple[float, ...]
+    mean_used_snr_db: float
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Exhaustive configuration sweep with optional coherence drift.
+
+    ``seed=None`` is the drift-free deterministic sweep; an integer seed
+    draws per-sounding drift from its own generator, so equal requests
+    get equal answers regardless of what else the service is running.
+    """
+
+    scenario: ScenarioSpec
+    repetitions: int = 1
+    seed: Optional[int] = None
+    drift_phase_rad: float = 0.0
+    drift_amplitude: float = 0.0
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-configuration mean used-subcarrier SNR over all repetitions."""
+
+    scores_db: tuple[float, ...]
+    best_index: int
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """Run a named configuration searcher (greedy / rfocus / random)."""
+
+    scenario: ScenarioSpec
+    searcher: str = "greedy"
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    best_configuration: tuple[int, ...]
+    best_score_db: float
+    num_evaluations: int
+
+
+@dataclass(frozen=True)
+class CoverageRequest:
+    """Mean used-SNR on a position grid centred on the RX, one config."""
+
+    scenario: ScenarioSpec
+    rows: int = 4
+    cols: int = 4
+    x_span_m: float = 2.0
+    y_span_m: float = 2.0
+    configuration: Optional[tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Row-major per-point scores for the requested grid."""
+
+    scores_db: tuple[float, ...]
+    rows: int
+    cols: int
+
+
+Request = Union[
+    EvaluateRequest, ActuateRequest, SweepRequest, SearchRequest, CoverageRequest
+]
+
+#: Ops the micro-batcher coalesces into one vectorized basis evaluation.
+_COALESCED = (EvaluateRequest, ActuateRequest)
+
+
+@dataclass
+class _Shard:
+    """Per-scenario batching state: queued requests + their flusher."""
+
+    pending: list = field(default_factory=list)
+    flusher: Optional[asyncio.Task] = None
+
+
+class EnvironmentService:
+    """The programmable-environment service (in-process, asyncio).
+
+    Use as an async context manager, or call :meth:`close` explicitly so
+    queued requests drain::
+
+        async with EnvironmentService(ServiceConfig()) as service:
+            client = ServiceClient(service)
+            result = await client.actuate(spec, (0, 1, 2))
+    """
+
+    def __init__(self, config: ServiceConfig = ServiceConfig()) -> None:
+        self.config = config
+        self._sessions: "OrderedDict[ScenarioSpec, ScenarioSession]" = OrderedDict()
+        self._shards: dict[ScenarioSpec, _Shard] = {}
+        self._executions: set[asyncio.Task] = set()
+        self._pending_total = 0
+        self._closed = False
+        self.session_hits = 0
+        self.session_misses = 0
+        self.session_evictions = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def __aenter__(self) -> "EnvironmentService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop admitting requests, flush queues, await running batches."""
+        self._closed = True
+        for spec in list(self._shards):
+            self._flush(spec)
+        while self._executions:
+            await asyncio.gather(*list(self._executions), return_exceptions=True)
+
+    # -- admission + batching -------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet flushed into a batch."""
+        return self._pending_total
+
+    async def submit(self, request: Request):
+        """Admit one request; resolve with its result (or raise).
+
+        Raises :class:`ServiceOverloaded` synchronously when
+        ``max_pending`` requests are already queued, and
+        :class:`ServiceClosed` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        if self._pending_total >= self.config.max_pending:
+            _REJECTIONS.inc()
+            raise ServiceOverloaded(
+                f"{self._pending_total} requests pending "
+                f"(max_pending={self.config.max_pending})"
+            )
+        _REQUESTS.inc()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        shard = self._shards.setdefault(request.scenario, _Shard())
+        shard.pending.append((request, future))
+        self._pending_total += 1
+        _PENDING.set(self._pending_total)
+        if len(shard.pending) >= self.config.max_batch:
+            self._flush(request.scenario)
+        elif shard.flusher is None:
+            shard.flusher = loop.create_task(self._flush_later(request.scenario))
+        return await future
+
+    async def _flush_later(self, spec: ScenarioSpec) -> None:
+        # With a zero window this still yields to the loop once, so every
+        # submit() of the current scheduling round joins the batch.
+        await asyncio.sleep(self.config.batch_window_s)
+        shard = self._shards.get(spec)
+        if shard is not None:
+            shard.flusher = None
+        self._flush(spec)
+
+    def _flush(self, spec: ScenarioSpec) -> None:
+        shard = self._shards.get(spec)
+        if shard is None:
+            return
+        if shard.flusher is not None:
+            shard.flusher.cancel()
+            shard.flusher = None
+        if not shard.pending:
+            return
+        batch, shard.pending = shard.pending, []
+        self._pending_total -= len(batch)
+        _PENDING.set(self._pending_total)
+        _BATCHES.inc()
+        _BATCHED_REQUESTS.inc(len(batch))
+        task = asyncio.get_running_loop().create_task(
+            self._execute_batch(spec, batch)
+        )
+        self._executions.add(task)
+        task.add_done_callback(self._executions.discard)
+
+    # -- sessions -------------------------------------------------------
+
+    @property
+    def sessions(self) -> int:
+        """Scenario sessions currently hot."""
+        return len(self._sessions)
+
+    def _session(self, spec: ScenarioSpec) -> ScenarioSession:
+        session = self._sessions.get(spec)
+        if session is not None:
+            self._sessions.move_to_end(spec)
+            self.session_hits += 1
+            _SESSION_HITS.inc()
+            return session
+        self.session_misses += 1
+        _SESSION_MISSES.inc()
+        with global_tracer().span(_SPAN_SESSION_BUILD):
+            session = build_session(spec)
+        self._sessions[spec] = session
+        while len(self._sessions) > self.config.session_capacity:
+            self._sessions.popitem(last=False)
+            self.session_evictions += 1
+            _SESSION_EVICTIONS.inc()
+        _SESSIONS.set(len(self._sessions))
+        return session
+
+    # -- execution ------------------------------------------------------
+
+    async def _execute_batch(self, spec: ScenarioSpec, batch: list) -> None:
+        with global_tracer().span(_SPAN_BATCH):
+            try:
+                session = self._session(spec)
+            except Exception as error:  # scene build failed: fail the batch
+                for _, future in batch:
+                    self._reject_future(future, error)
+                return
+            self._run_coalesced(session, batch)
+            for request, future in batch:
+                if future.done() or isinstance(request, _COALESCED):
+                    continue
+                try:
+                    result = await self._run_single(session, request)
+                except Exception as error:
+                    self._reject_future(future, error)
+                else:
+                    if not future.cancelled():
+                        future.set_result(result)
+
+    @staticmethod
+    def _reject_future(future: asyncio.Future, error: Exception) -> None:
+        _ERRORS.inc()
+        if not future.cancelled():
+            future.set_exception(error)
+
+    def _run_coalesced(self, session: ScenarioSession, batch: list) -> None:
+        """One vectorized evaluation for every evaluate/actuate in the batch.
+
+        Each request's rows are validated individually first, so a
+        malformed configuration fails only its own future; the surviving
+        rows share a single ``basis.evaluate`` + SNR map, then split back
+        per request.  Row results are independent of batch composition
+        (per-row gather, elementwise SNR), so responses are bit-identical
+        to serial issue.
+        """
+        blocks: list[np.ndarray] = []
+        spans: list[tuple[Request, asyncio.Future, int, int]] = []
+        total = 0
+        for request, future in batch:
+            if not isinstance(request, _COALESCED):
+                continue
+            if isinstance(request, EvaluateRequest):
+                configurations = request.configurations
+            else:
+                configurations = (request.configuration,)
+            try:
+                if len(configurations) == 0:
+                    raise ValueError("evaluate request carries no configurations")
+                rows = session.validate_rows(configurations)
+            except Exception as error:
+                self._reject_future(future, error)
+                continue
+            spans.append((request, future, total, rows.shape[0]))
+            blocks.append(rows)
+            total += rows.shape[0]
+        if not blocks:
+            return
+        snr = session.snr_rows(np.concatenate(blocks, axis=0))
+        means = session.mean_used_snr(snr)
+        for request, future, start, count in spans:
+            if future.cancelled():
+                continue
+            if isinstance(request, EvaluateRequest):
+                scores = tuple(float(x) for x in means[start : start + count])
+                future.set_result(EvaluateResult(scores_db=scores))
+            else:
+                future.set_result(
+                    ActuateResult(
+                        snr_db=tuple(float(x) for x in snr[start]),
+                        mean_used_snr_db=float(means[start]),
+                    )
+                )
+
+    async def _run_single(self, session: ScenarioSession, request: Request):
+        if isinstance(request, SweepRequest):
+            return self._run_sweep(session, request)
+        if isinstance(request, SearchRequest):
+            return await self._run_search(session, request)
+        if isinstance(request, CoverageRequest):
+            return self._run_coverage(session, request)
+        raise TypeError(f"unknown request type {type(request).__name__}")
+
+    def _run_sweep(
+        self, session: ScenarioSession, request: SweepRequest
+    ) -> SweepResult:
+        if request.repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        rng = (
+            None
+            if request.seed is None
+            else np.random.default_rng(request.seed)
+        )
+        snr = sweep_basis_snr(
+            session.basis,
+            request.repetitions,
+            rng,
+            tx_power_dbm=session.tx_power_dbm,
+            noise_figure_db=session.noise_figure_db,
+            drift_phase_rad=request.drift_phase_rad,
+            drift_amplitude=request.drift_amplitude,
+        )
+        scores = snr[:, :, session.mask].mean(axis=(0, 2))
+        return SweepResult(
+            scores_db=tuple(float(x) for x in scores),
+            best_index=int(np.argmax(scores)),
+        )
+
+    async def _run_search(
+        self, session: ScenarioSession, request: SearchRequest
+    ) -> SearchResult:
+        """Run a searcher, on the shared process pool when configured.
+
+        The searcher is seeded from the request, so the answer is the
+        same whether it runs inline or on a worker; the pool only buys
+        the event loop its latency back.  ``search_basis`` builds a fresh
+        evaluator per call against the immutable shared basis, so
+        concurrent searches on one session never interfere.
+        """
+        jobs = resolve_jobs(self.config.search_jobs)
+        pool = shared_pool(jobs)
+        args = (
+            session.basis,
+            request.searcher,
+            request.seed,
+            session.tx_power_dbm,
+            session.noise_figure_db,
+            session.mask,
+        )
+        if pool is None:
+            best, score, evaluations = work.search_task(*args)
+        else:
+            best, score, evaluations = await asyncio.get_running_loop().run_in_executor(
+                pool, work.search_task, *args
+            )
+        return SearchResult(
+            best_configuration=best,
+            best_score_db=score,
+            num_evaluations=evaluations,
+        )
+
+    def _run_coverage(
+        self, session: ScenarioSession, request: CoverageRequest
+    ) -> CoverageResult:
+        if request.rows <= 0 or request.cols <= 0:
+            raise ValueError("coverage grid must have positive rows and cols")
+        configuration = request.configuration
+        if configuration is None:
+            configuration = tuple([0] * session.basis.space.num_elements)
+        session.validate_configuration(configuration)
+        scores = work.coverage_task(
+            session,
+            request.rows,
+            request.cols,
+            request.x_span_m,
+            request.y_span_m,
+            configuration,
+        )
+        return CoverageResult(
+            scores_db=tuple(float(x) for x in scores),
+            rows=request.rows,
+            cols=request.cols,
+        )
+
+
+class ServiceClient:
+    """Typed async facade over :meth:`EnvironmentService.submit`."""
+
+    def __init__(self, service: EnvironmentService) -> None:
+        self._service = service
+
+    async def evaluate(self, scenario: ScenarioSpec, configurations) -> EvaluateResult:
+        return await self._service.submit(
+            EvaluateRequest(
+                scenario=scenario,
+                configurations=tuple(
+                    tuple(int(s) for s in row) for row in configurations
+                ),
+            )
+        )
+
+    async def actuate(self, scenario: ScenarioSpec, configuration) -> ActuateResult:
+        return await self._service.submit(
+            ActuateRequest(
+                scenario=scenario,
+                configuration=tuple(int(s) for s in configuration),
+            )
+        )
+
+    async def sweep(
+        self,
+        scenario: ScenarioSpec,
+        repetitions: int = 1,
+        seed: Optional[int] = None,
+        drift_phase_rad: float = 0.0,
+        drift_amplitude: float = 0.0,
+    ) -> SweepResult:
+        return await self._service.submit(
+            SweepRequest(
+                scenario=scenario,
+                repetitions=repetitions,
+                seed=seed,
+                drift_phase_rad=drift_phase_rad,
+                drift_amplitude=drift_amplitude,
+            )
+        )
+
+    async def search(
+        self, scenario: ScenarioSpec, searcher: str = "greedy", seed: int = 0
+    ) -> SearchResult:
+        return await self._service.submit(
+            SearchRequest(scenario=scenario, searcher=searcher, seed=seed)
+        )
+
+    async def coverage(
+        self,
+        scenario: ScenarioSpec,
+        rows: int = 4,
+        cols: int = 4,
+        x_span_m: float = 2.0,
+        y_span_m: float = 2.0,
+        configuration: Optional[tuple[int, ...]] = None,
+    ) -> CoverageResult:
+        return await self._service.submit(
+            CoverageRequest(
+                scenario=scenario,
+                rows=rows,
+                cols=cols,
+                x_span_m=x_span_m,
+                y_span_m=y_span_m,
+                configuration=configuration,
+            )
+        )

@@ -13,10 +13,26 @@ from repro.em import (
     blocker_between,
     shoebox_scene,
 )
+from repro.em import trace_cache as trace_cache_module
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    """Give every test a default-sized, empty process-wide trace cache.
+
+    ``global_trace_cache()`` is process-wide state: without this seam a
+    test that traces a scene warms the cache (and its hit/miss counters)
+    for every later test in the same process.  Resetting before and after
+    keeps tests order-independent; tests that want a custom budget call
+    ``trace_cache.configure(...)`` themselves and are re-defaulted here.
+    """
+    trace_cache_module.reset()
+    yield
+    trace_cache_module.reset()
 
 
 @pytest.fixture
-def rng() -> np.random.Generator:
+def rng():
     """A deterministic random generator."""
     return np.random.default_rng(1234)
 
