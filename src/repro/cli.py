@@ -191,6 +191,53 @@ def _cmd_large_array(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_multi_user(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .experiments import run_multi_user
+
+    result = run_multi_user(
+        link_counts=tuple(int(x) for x in args.links.split(",")),
+        strategies=tuple(args.strategies.split(",")),
+        num_elements=args.elements,
+        placement_seed=args.placement,
+        searcher=args.searcher,
+        aggregate=args.aggregate,
+        floor_headroom_db=args.headroom,
+        base_seed=args.seed,
+        jobs=args.jobs,
+        record_to=args.record,
+    )
+    rows = [("links", "strategy", "aggregate", "worst", "configs", "switches", "soundings")]
+    for cell in result.cells:
+        rows.append(
+            (
+                str(cell.num_links),
+                cell.strategy,
+                f"{cell.aggregate_db:.1f} dB",
+                f"{cell.worst_link_db:.1f} dB",
+                str(cell.num_distinct_configurations),
+                str(cell.num_switches),
+                str(cell.num_measurements),
+            )
+        )
+    print(format_table(rows, header_rule=True))
+    print()
+    rows = [("links", "admitted", "rejected", "reclusters", "rate", "soundings")]
+    for point in result.admission:
+        rows.append(
+            (
+                str(point.num_links),
+                str(point.admitted),
+                str(point.rejected),
+                str(point.reclusters),
+                f"{100 * point.admission_rate:.0f}%",
+                str(point.num_measurements),
+            )
+        )
+    print(format_table(rows, header_rule=True))
+    return 0
+
+
 def _cmd_timing(args: argparse.Namespace) -> int:
     from .analysis.reporting import format_table
     from .control import (
@@ -609,6 +656,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a run record to this JSONL file",
     )
     large_array.set_defaults(func=_cmd_large_array)
+
+    multi_user = sub.add_parser(
+        "multi-user",
+        help="multi-tenant strategies and admission on one shared array",
+    )
+    multi_user.add_argument(
+        "--links",
+        default="2,4,8",
+        help="comma-separated concurrent-user counts to sweep",
+    )
+    multi_user.add_argument(
+        "--strategies",
+        default="per-link,hybrid,joint",
+        help="comma-separated strategies (per-link, hybrid, joint)",
+    )
+    multi_user.add_argument(
+        "--elements", type=int, default=256, help="array element count"
+    )
+    multi_user.add_argument(
+        "--searcher",
+        default="greedy",
+        help="searcher name (greedy, rfocus, random)",
+    )
+    multi_user.add_argument(
+        "--aggregate",
+        default="mean",
+        help="joint scoring mode (mean, worst, lexicographic)",
+    )
+    multi_user.add_argument(
+        "--headroom",
+        type=float,
+        default=3.0,
+        help="admission floor = solo optimum minus this headroom [dB]",
+    )
+    multi_user.add_argument("--placement", type=int, default=0)
+    multi_user.add_argument(
+        "--seed", type=int, default=0, help="base searcher seed"
+    )
+    multi_user.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for each sweep's cell axis "
+        "(default: serial; 0 = all CPUs)",
+    )
+    multi_user.add_argument(
+        "--record",
+        default=None,
+        metavar="JSONL",
+        help="append a run record to this JSONL file",
+    )
+    multi_user.set_defaults(func=_cmd_multi_user)
 
     timing = sub.add_parser("timing", help="control-plane latency budgets")
     timing.add_argument("--elements", type=int, default=16)

@@ -52,6 +52,7 @@ __all__ = [
     "ChannelBasis",
     "BasisEvaluator",
     "DeltaEvaluator",
+    "MultiLinkDeltaEvaluator",
     "SearchSpaceTooLarge",
     "StateTensorBudgetExceeded",
     "MAX_ENUMERABLE_CONFIGS",
@@ -68,6 +69,7 @@ _BATCH_POINTS = global_registry().counter("core.basis.batch_points")
 _EVALUATIONS = global_registry().counter("core.basis.evaluations")
 _CONFIGS_EVALUATED = global_registry().counter("core.basis.configurations_evaluated")
 _DELTA_EVALS = global_registry().counter("search.delta_evals")
+_MULTILINK_PROBES = global_registry().counter("search.multilink_probes")
 
 #: Largest configuration space the vectorized exhaustive path will
 #: materialize as an (M^N, N) index table.  4^10 = 2^20 rows of N intp
@@ -929,6 +931,192 @@ class DeltaEvaluator:
             [float(self._evaluator.objective(row)) for row in snr]
         )
         for m in range(count):
+            if m != current:
+                self._record(float(scores[m]))
+        return scores
+
+
+class MultiLinkDeltaEvaluator:
+    """Joint multi-link scoring via one cached element sum *per link*.
+
+    The §2 joint strategy scores one shared configuration against L links
+    at once.  Against callback-measured links that costs L soundings per
+    candidate and — worse — O(N*K) per link to recompute each CFR.  But
+    every link's basis shares the *same* per-element state (one array, one
+    configuration), and each link's CFR is linear in that state, so this
+    evaluator keeps one :class:`DeltaEvaluator` running sum per link over
+    a shared working configuration: a single flip moves every link's sum
+    by ``E_l[n, new] - E_l[n, old]`` — O(K·L) total, independent of N.
+    That is what makes :func:`repro.core.joint.optimize_joint` runnable
+    with :class:`~repro.core.search.GreedyCoordinateDescent` /
+    :class:`~repro.core.search.RFocusMajoritySearch` on wall-sized arrays.
+
+    The joint score is ``aggregate(per_link_scores, weights)`` — any
+    :data:`~repro.core.objectives.LinkAggregate` (weighted mean, worst-link
+    max-min, lexicographic); ``aggregate=None`` means the weighted mean,
+    matching :meth:`repro.core.joint.JointResult.aggregate_score`.
+
+    The searcher-facing protocol (``space`` / ``score`` / ``flip`` /
+    ``flip_many`` / ``set_configuration`` / ``revert`` / ``commit`` /
+    ``scores_for_element`` / ``num_scores`` / ``trajectory``) matches
+    :class:`DeltaEvaluator`, so every ``run_delta`` searcher drives it
+    unchanged.  ``num_scores`` counts *joint* probes — each one sounds all
+    L links, which callers charging over-the-air measurements multiply by
+    ``num_links`` (see ``optimize_joint_basis``).
+    """
+
+    def __init__(
+        self,
+        evaluators: Sequence[BasisEvaluator],
+        weights: Optional[Sequence[float]] = None,
+        aggregate: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+        initial: Optional[ArrayConfiguration] = None,
+        resync_interval: int = 4096,
+    ) -> None:
+        if not evaluators:
+            raise ValueError("need at least one link evaluator")
+        spaces = [evaluator.basis.space for evaluator in evaluators]
+        for space in spaces[1:]:
+            if space.state_counts != spaces[0].state_counts:
+                raise ValueError(
+                    "all link bases must share one configuration space "
+                    f"(got state counts {spaces[0].state_counts} vs "
+                    f"{space.state_counts}); every link sees the same array"
+                )
+        if weights is None:
+            weight_vector = np.ones(len(evaluators))
+        else:
+            weight_vector = np.asarray(list(weights), dtype=float)
+            if weight_vector.shape != (len(evaluators),):
+                raise ValueError(
+                    f"{len(evaluators)} evaluators but weights shape "
+                    f"{weight_vector.shape}"
+                )
+            if np.any(weight_vector <= 0.0) or not np.all(
+                np.isfinite(weight_vector)
+            ):
+                raise ValueError(
+                    f"link weights must be finite and positive, got "
+                    f"{weight_vector.tolist()}"
+                )
+        self._weights = weight_vector
+        self._weight_total = float(weight_vector.sum())
+        self._aggregate = aggregate
+        self._deltas = [
+            evaluator.delta(initial=initial, resync_interval=resync_interval)
+            for evaluator in evaluators
+        ]
+        self._space = spaces[0]
+        self._score = self._aggregate_of(self._link_scores())
+        self._committed_score = self._score
+        self.num_scores = 1
+        self._best = self._score
+        self.trajectory: list[float] = [self._score]
+
+    # -- state views ----------------------------------------------------
+    @property
+    def space(self) -> ConfigurationSpace:
+        """The shared configuration space being searched."""
+        return self._space
+
+    @property
+    def num_links(self) -> int:
+        return len(self._deltas)
+
+    @property
+    def score(self) -> float:
+        """Aggregate value of the current working configuration."""
+        return self._score
+
+    @property
+    def configuration(self) -> ArrayConfiguration:
+        """The current working configuration (shared by every link)."""
+        return self._deltas[0].configuration
+
+    @property
+    def committed_configuration(self) -> ArrayConfiguration:
+        """The configuration :meth:`revert` falls back to."""
+        return self._deltas[0].committed_configuration
+
+    def per_link_scores(self) -> np.ndarray:
+        """Each link's objective at the current working configuration."""
+        return self._link_scores()
+
+    # -- internals ------------------------------------------------------
+    def _link_scores(self) -> np.ndarray:
+        return np.array([delta.score for delta in self._deltas])
+
+    def _aggregate_of(self, scores: np.ndarray) -> float:
+        if self._aggregate is None:
+            return float(np.dot(self._weights, scores) / self._weight_total)
+        return float(self._aggregate(scores, self._weights))
+
+    def _record(self, value: float) -> None:
+        self.num_scores += 1
+        _MULTILINK_PROBES.inc()
+        if value > self._best:
+            self._best = value
+        self.trajectory.append(self._best)
+
+    # -- mutation -------------------------------------------------------
+    def flip(self, element: int, state: int) -> float:
+        """Set one element's state on every link and re-aggregate."""
+        for delta in self._deltas:
+            delta.flip(element, state)
+        self._score = self._aggregate_of(self._link_scores())
+        self._record(self._score)
+        return self._score
+
+    def flip_many(
+        self,
+        elements: Sequence[int],
+        states: Sequence[int],
+    ) -> float:
+        """Flip several distinct elements at once (one joint probe)."""
+        for delta in self._deltas:
+            delta.flip_many(elements, states)
+        self._score = self._aggregate_of(self._link_scores())
+        self._record(self._score)
+        return self._score
+
+    def set_configuration(self, configuration: ArrayConfiguration) -> float:
+        """Jump every link to an arbitrary configuration."""
+        for delta in self._deltas:
+            delta.set_configuration(configuration)
+        self._score = self._aggregate_of(self._link_scores())
+        self._record(self._score)
+        return self._score
+
+    def revert(self) -> float:
+        """Bit-exact rollback of every link to the committed state (free)."""
+        for delta in self._deltas:
+            delta.revert()
+        self._score = self._committed_score
+        return self._score
+
+    def commit(self) -> float:
+        """Make the working configuration the new revert point."""
+        for delta in self._deltas:
+            delta.commit()
+        self._committed_score = self._score
+        return self._score
+
+    # -- batched per-element probing ------------------------------------
+    def scores_for_element(self, element: int) -> np.ndarray:
+        """Aggregate value for every state of one element, vectorized.
+
+        Each link scores its M candidate sums in one batched broadcast
+        (:meth:`DeltaEvaluator.scores_for_element`); the (L, M) matrix is
+        then aggregated per state.  Counts M-1 joint probes.
+        """
+        per_link = np.stack(
+            [delta.scores_for_element(element) for delta in self._deltas]
+        )
+        scores = np.array(
+            [self._aggregate_of(per_link[:, m]) for m in range(per_link.shape[1])]
+        )
+        current = int(self._deltas[0].configuration.indices[element])
+        for m in range(scores.size):
             if m != current:
                 self._record(float(scores[m]))
         return scores

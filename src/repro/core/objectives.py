@@ -38,6 +38,12 @@ __all__ = [
     "CapacityObjective",
     "WeightedObjective",
     "TargetCfrObjective",
+    "LinkAggregate",
+    "WeightedMeanAggregate",
+    "WorstLinkAggregate",
+    "LexicographicAggregate",
+    "joint_aggregate",
+    "JOINT_AGGREGATE_NAMES",
 ]
 
 
@@ -184,6 +190,89 @@ class TargetCfrObjective:
             error = np.abs(cfr) - np.abs(target)
             return float(-np.mean(error**2))
         return float(-np.mean(np.abs(cfr - target) ** 2))
+
+
+#: Protocol of the joint multi-link scoring modes: an aggregate maps the
+#: per-link score vector (shape ``(L,)``) and the per-link weights (shape
+#: ``(L,)``, all positive) to one scalar, higher is better.  Used by
+#: :class:`repro.core.basis.MultiLinkDeltaEvaluator` and
+#: :func:`repro.core.joint.optimize_joint`.
+LinkAggregate = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class WeightedMeanAggregate:
+    """Weighted mean of per-link scores (the utilitarian default).
+
+    Matches :meth:`repro.core.joint.JointResult.aggregate_score`, so joint
+    optimisation under this aggregate maximises exactly the quantity the
+    strategy comparison reports.
+    """
+
+    def __call__(self, scores: np.ndarray, weights: np.ndarray) -> float:
+        scores = np.asarray(scores, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        total = float(np.sum(weights))
+        if total <= 0.0:
+            raise ValueError(
+                f"aggregate weights must sum to a positive total, got {total}"
+            )
+        return float(np.dot(weights, scores) / total)
+
+
+@dataclass(frozen=True)
+class WorstLinkAggregate:
+    """Max-min fairness: the worst link's score drives the joint objective.
+
+    Weights are ignored — a floor is a floor regardless of how much a
+    tenant pays for it.  Maximising this aggregate lifts the weakest link,
+    the Pareto corner of the §2 joint-optimisation trade-off.
+    """
+
+    def __call__(self, scores: np.ndarray, weights: np.ndarray) -> float:
+        return float(np.min(np.asarray(scores, dtype=float)))
+
+
+@dataclass(frozen=True)
+class LexicographicAggregate:
+    """Leximin scalarisation: worst link first, then second-worst, ...
+
+    Per-link scores are sorted ascending and folded with geometrically
+    decaying coefficients ``epsilon**i``, so the worst link dominates and
+    each successive rank only breaks ties among configurations whose
+    worse-ranked links are (nearly) equal.  ``epsilon`` must be small
+    relative to the score differences that matter; the default trades a
+    strict lexicographic order for a smooth, searchable scalar.
+    """
+
+    epsilon: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+
+    def __call__(self, scores: np.ndarray, weights: np.ndarray) -> float:
+        ordered = np.sort(np.asarray(scores, dtype=float))
+        coefficients = self.epsilon ** np.arange(ordered.size)
+        return float(np.dot(coefficients, ordered))
+
+
+#: Names accepted by :func:`joint_aggregate` (the serve/CLI spelling of the
+#: scoring modes).
+JOINT_AGGREGATE_NAMES = ("mean", "worst", "lexicographic")
+
+
+def joint_aggregate(name: str) -> LinkAggregate:
+    """Look up a joint scoring mode by its serve/CLI name."""
+    if name == "mean":
+        return WeightedMeanAggregate()
+    if name == "worst":
+        return WorstLinkAggregate()
+    if name == "lexicographic":
+        return LexicographicAggregate()
+    raise ValueError(
+        f"unknown joint aggregate {name!r}; expected one of {JOINT_AGGREGATE_NAMES}"
+    )
 
 
 @dataclass(frozen=True)

@@ -170,11 +170,21 @@ class SwitchingSchedule:
         Schedule period.
     feasible:
         Whether the actuation latency fits inside every inter-slot gap.
+    num_switches:
+        Array reconfigurations per period: slot boundaries (cyclic, so the
+        wrap from the last slot back to the first counts) whose
+        configuration ranks differ.  Adjacent slots holding the same
+        configuration cost nothing — a joint result switches zero times.
+    switching_time_per_period_s:
+        Actuation time spent per period (``num_switches`` × actuation
+        latency) — the switching load a strategy imposes on the array.
     """
 
     slots: tuple[LinkSlot, ...]
     period_s: float
     feasible: bool
+    num_switches: int = 0
+    switching_time_per_period_s: float = 0.0
 
 
 def packet_timescale_schedule(
@@ -228,10 +238,21 @@ def packet_timescale_schedule(
                 configuration_rank=int(rank),
             )
         )
+    ranks = [int(rank) for rank in configuration_ranks]
+    if len(ranks) > 1:
+        num_switches = sum(
+            1
+            for index, rank in enumerate(ranks)
+            if rank != ranks[(index + 1) % len(ranks)]
+        )
+    else:
+        num_switches = 0
     return SwitchingSchedule(
         slots=tuple(slots),
         period_s=slot_duration_s * len(link_names),
         feasible=feasible,
+        num_switches=num_switches,
+        switching_time_per_period_s=num_switches * timing.actuation_latency_s,
     )
 
 

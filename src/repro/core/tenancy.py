@@ -1,0 +1,307 @@
+"""Multi-tenant admission control over one shared programmable environment.
+
+The ROADMAP's multi-user item (grounded in Liaskos et al.,
+arXiv:1812.11429) asks for a controller that serves many concurrent user
+pairs over one PRESS array and degrades gracefully as user count climbs.
+This module is that controller: tenants (links) arrive one at a time, and
+a newcomer is admitted only if a re-optimised shared environment keeps
+*every* link — incumbents and newcomer alike — above its per-link SNR
+floor.
+
+Admission runs the §2 strategy spectrum in escalation order:
+
+1. **joint** — re-optimise one shared configuration over all candidate
+   links (zero switching).  If every floor holds, admit.
+2. **re-cluster (hybrid)** — if the joint optimum starves someone, fall
+   back to greedy clustering: compatible links share configurations, the
+   rest get their own slot in the packet-timescale switching schedule.
+   If every floor now holds, admit with the clustered plan.
+3. **reject** — otherwise the newcomer is refused and the incumbents keep
+   their previous plan untouched.
+
+Every decision is observable through ``joint.*`` counters and the
+``joint.active_links`` gauge, and the controller tracks exact cumulative
+sounding costs via :attr:`MultiTenantController.total_measurements`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..obs.metrics import global_registry
+from .configuration import ConfigurationSpace
+from .joint import (
+    BasisLink,
+    JointResult,
+    LinkObjective,
+    optimize_hybrid,
+    optimize_joint,
+)
+from .search import ExhaustiveSearch, Searcher
+
+__all__ = [
+    "AdmissionDecision",
+    "MultiTenantController",
+    "TenancySnapshot",
+    "TenantLink",
+]
+
+Link = Union[LinkObjective, BasisLink]
+LinkAggregate = Callable[[np.ndarray, np.ndarray], float]
+
+_ADMISSIONS = global_registry().counter("joint.admissions")
+_REJECTIONS = global_registry().counter("joint.rejections")
+_RECLUSTERS = global_registry().counter("joint.reclusters")
+_OPTIMIZATIONS = global_registry().counter("joint.optimizations")
+_RELEASES = global_registry().counter("joint.releases")
+_ACTIVE_LINKS = global_registry().gauge("joint.active_links")
+
+
+@dataclass(frozen=True)
+class TenantLink:
+    """One tenant: a link plus the SNR floor its admission guarantees."""
+
+    link: Link
+    snr_floor_db: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.snr_floor_db):
+            raise ValueError(
+                f"link {self.link.name!r} snr_floor_db must be finite, "
+                f"got {self.snr_floor_db}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.link.name
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one :meth:`MultiTenantController.admit` call.
+
+    Attributes
+    ----------
+    admitted:
+        Whether the newcomer is now served.
+    strategy:
+        The plan in force after the decision: "joint" or "hybrid" when
+        admitted, the incumbents' unchanged strategy (or "" when there is
+        no plan) on rejection.
+    result:
+        The plan in force after the decision (``None`` before any
+        admission succeeds).
+    reclustered:
+        True when the joint optimum violated a floor and the hybrid
+        fallback was what admitted the link.
+    violations:
+        Links whose floors the *final attempted* plan violated — empty on
+        admission, the starved links on rejection.
+    num_measurements:
+        Soundings this decision spent (joint attempt plus, if taken, the
+        re-cluster attempt).
+    """
+
+    admitted: bool
+    strategy: str
+    result: Optional[JointResult]
+    reclustered: bool
+    violations: tuple[str, ...]
+    num_measurements: int
+
+
+@dataclass(frozen=True)
+class TenancySnapshot:
+    """Read-only view of the controller's current serving state."""
+
+    link_names: tuple[str, ...]
+    strategy: str
+    floors_db: dict[str, float]
+    per_link_scores: dict[str, float]
+    num_distinct_configurations: int
+    total_measurements: int
+
+
+def _floor_violations(
+    result: JointResult, tenants: Sequence[TenantLink]
+) -> tuple[str, ...]:
+    return tuple(
+        tenant.name
+        for tenant in tenants
+        if result.per_link_scores[tenant.name] < tenant.snr_floor_db
+    )
+
+
+class MultiTenantController:
+    """Floor-guarded admission control over the joint/hybrid strategies.
+
+    Parameters
+    ----------
+    searcher:
+        Strategy used by every re-optimisation.  Delta-capable searchers
+        (:class:`~repro.core.search.GreedyCoordinateDescent`,
+        :class:`~repro.core.search.RFocusMajoritySearch`) let admission
+        run on wall-sized arrays when the tenants are
+        :class:`~repro.core.joint.BasisLink`\\ s.
+    tolerance:
+        Hybrid clustering tolerance (score a link may concede to join an
+        existing cluster) for the re-cluster fallback.
+    aggregate:
+        Joint scoring mode (:mod:`repro.core.objectives` aggregates);
+        ``None`` is the weighted mean.
+    space:
+        Configuration space; required for callback-measured links,
+        inferred from the bases otherwise.
+    """
+
+    def __init__(
+        self,
+        searcher: Searcher = ExhaustiveSearch(),
+        tolerance: float = 1.0,
+        aggregate: Optional[LinkAggregate] = None,
+        space: Optional[ConfigurationSpace] = None,
+    ) -> None:
+        self._searcher = searcher
+        self._tolerance = tolerance
+        self._aggregate = aggregate
+        self._space = space
+        self._tenants: list[TenantLink] = []
+        self._result: Optional[JointResult] = None
+        self.total_measurements = 0
+
+    # -- state views ----------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        return len(self._tenants)
+
+    @property
+    def link_names(self) -> tuple[str, ...]:
+        return tuple(tenant.name for tenant in self._tenants)
+
+    @property
+    def result(self) -> Optional[JointResult]:
+        """The plan currently serving the admitted links."""
+        return self._result
+
+    def snapshot(self) -> TenancySnapshot:
+        return TenancySnapshot(
+            link_names=self.link_names,
+            strategy="" if self._result is None else self._result.strategy,
+            floors_db={t.name: t.snr_floor_db for t in self._tenants},
+            per_link_scores=(
+                {} if self._result is None else dict(self._result.per_link_scores)
+            ),
+            num_distinct_configurations=(
+                0
+                if self._result is None
+                else self._result.num_distinct_configurations
+            ),
+            total_measurements=self.total_measurements,
+        )
+
+    # -- admission ------------------------------------------------------
+    def admit(self, link: Link, snr_floor_db: float) -> AdmissionDecision:
+        """Try to admit one link without starving any incumbent.
+
+        Re-optimises jointly over incumbents + newcomer; if any link
+        (including the newcomer) lands below its floor, re-clusters via
+        the hybrid strategy; if floors still fail, rejects — incumbents
+        keep their previous plan and the newcomer is not served.
+        """
+        tenant = TenantLink(link=link, snr_floor_db=snr_floor_db)
+        if any(existing.name == tenant.name for existing in self._tenants):
+            raise ValueError(f"link {tenant.name!r} is already admitted")
+        candidates = [*self._tenants, tenant]
+        links = [candidate.link for candidate in candidates]
+
+        _OPTIMIZATIONS.inc()
+        joint = optimize_joint(
+            links,
+            self._space,
+            self._searcher,
+            aggregate=self._aggregate,
+        )
+        spent = joint.num_measurements
+        violations = _floor_violations(joint, candidates)
+        if not violations:
+            self._accept(candidates, joint, spent)
+            _ADMISSIONS.inc()
+            return AdmissionDecision(
+                admitted=True,
+                strategy=joint.strategy,
+                result=joint,
+                reclustered=False,
+                violations=(),
+                num_measurements=spent,
+            )
+
+        # Conflict detected: one shared configuration starves someone.
+        # Re-cluster — compatible links share, the rest switch.
+        _RECLUSTERS.inc()
+        _OPTIMIZATIONS.inc()
+        hybrid = optimize_hybrid(
+            links,
+            self._space,
+            self._searcher,
+            tolerance=self._tolerance,
+        )
+        spent += hybrid.num_measurements
+        violations = _floor_violations(hybrid, candidates)
+        if not violations:
+            self._accept(candidates, hybrid, spent)
+            _ADMISSIONS.inc()
+            return AdmissionDecision(
+                admitted=True,
+                strategy=hybrid.strategy,
+                result=hybrid,
+                reclustered=True,
+                violations=(),
+                num_measurements=spent,
+            )
+
+        _REJECTIONS.inc()
+        self.total_measurements += spent
+        return AdmissionDecision(
+            admitted=False,
+            strategy="" if self._result is None else self._result.strategy,
+            result=self._result,
+            reclustered=True,
+            violations=violations,
+            num_measurements=spent,
+        )
+
+    def release(self, name: str) -> Optional[JointResult]:
+        """Drop one link and re-optimise the remaining tenants jointly."""
+        remaining = [t for t in self._tenants if t.name != name]
+        if len(remaining) == len(self._tenants):
+            raise KeyError(f"link {name!r} is not admitted")
+        _RELEASES.inc()
+        if not remaining:
+            self._tenants = []
+            self._result = None
+            _ACTIVE_LINKS.set(0)
+            return None
+        _OPTIMIZATIONS.inc()
+        joint = optimize_joint(
+            [t.link for t in remaining],
+            self._space,
+            self._searcher,
+            aggregate=self._aggregate,
+        )
+        self._accept(remaining, joint, joint.num_measurements)
+        return joint
+
+    def _accept(
+        self,
+        tenants: list[TenantLink],
+        result: JointResult,
+        spent: int,
+    ) -> None:
+        self._tenants = tenants
+        self._result = result
+        self.total_measurements += spent
+        _ACTIVE_LINKS.set(len(tenants))

@@ -35,6 +35,13 @@ from .large_array import (
 from .los_study import LosStudyResult, run_los_study
 from .mac_harmonization import MacHarmonizationResult, run_mac_harmonization
 from .mu_mimo import MuMimoResult, mu_mimo_matrices, run_mu_mimo, zf_sum_rate_bits
+from .multi_user import (
+    AdmissionPoint,
+    MultiUserCell,
+    MultiUserResult,
+    build_user_links,
+    run_multi_user,
+)
 from .runner import (
     available_cpus,
     derive_seeds,
@@ -103,6 +110,11 @@ __all__ = [
     "mu_mimo_matrices",
     "zf_sum_rate_bits",
     "run_mu_mimo",
+    "AdmissionPoint",
+    "MultiUserCell",
+    "MultiUserResult",
+    "build_user_links",
+    "run_multi_user",
     "TrafficEpoch",
     "generate_traffic",
     "DynamicStrategyResult",

@@ -69,6 +69,17 @@ def zf_sum_rate_bits(
     Per subcarrier: unit-total-power ZF precoder, per-user SNR from the
     diagonalised effective channel, Shannon rate summed over users.
     Singular (unprecodable) subcarriers contribute zero.
+
+    Masked-subcarrier convention: the leading axis of ``matrices`` is
+    taken at face value — both the per-subcarrier transmit-power split
+    (``tx_power_dbm`` over ``num_sc`` bins) and the per-subcarrier noise
+    bandwidth (``bandwidth_hz / num_sc``) divide by the number of rows
+    actually passed.  Feeding a masked used-only subset, as
+    :func:`run_mu_mimo` does, therefore concentrates the full transmit
+    power and the full bandwidth in the used bins — matching an OFDM
+    transmitter that puts no energy on guard/null carriers.  Pass the
+    full occupied ``bandwidth_hz`` either way; do not pre-scale it by the
+    mask fraction, and compare configurations only under one convention.
     """
     matrices = np.asarray(matrices, dtype=complex)
     if matrices.ndim != 3:

@@ -26,6 +26,9 @@ from .service import (
     EnvironmentService,
     EvaluateRequest,
     EvaluateResult,
+    JointLinkSpec,
+    JointOptimizeRequest,
+    JointOptimizeResult,
     SearchRequest,
     SearchResult,
     ServiceClient,
@@ -44,6 +47,9 @@ __all__ = [
     "EnvironmentService",
     "EvaluateRequest",
     "EvaluateResult",
+    "JointLinkSpec",
+    "JointOptimizeRequest",
+    "JointOptimizeResult",
     "LoadResult",
     "REJECTED",
     "ScenarioSession",

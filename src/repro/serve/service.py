@@ -42,6 +42,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..em.geometry import Point
 from ..experiments.runner import resolve_jobs, shared_pool
 from ..obs.metrics import global_registry
 from ..obs.tracing import global_tracer
@@ -57,6 +58,9 @@ __all__ = [
     "EnvironmentService",
     "EvaluateRequest",
     "EvaluateResult",
+    "JointLinkSpec",
+    "JointOptimizeRequest",
+    "JointOptimizeResult",
     "SearchRequest",
     "SearchResult",
     "ServiceClient",
@@ -208,6 +212,55 @@ class SearchResult:
 
 
 @dataclass(frozen=True)
+class JointLinkSpec:
+    """One tenant link in a joint-optimisation request.
+
+    The link's receiver sits at an offset from the scenario's RX anchor
+    (the same addressing coverage grids use), so a spec is a small pure
+    value and the per-link geometry rides the process-wide trace cache.
+    """
+
+    name: str
+    dx_m: float = 0.0
+    dy_m: float = 0.0
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class JointOptimizeRequest:
+    """Optimise one scenario's array for several links at once.
+
+    ``strategy`` picks the §2 spectrum point ("joint", "per-link" or
+    "hybrid"), ``searcher`` a named configuration searcher (as in
+    :class:`SearchRequest` — delta-powered on large arrays), and
+    ``aggregate`` the joint scoring mode ("mean", "worst" or
+    "lexicographic").  Deterministic: equal requests get bit-identical
+    answers at any batch window, matching a direct
+    :func:`repro.core.joint.optimize_joint` call over the same bases.
+    """
+
+    scenario: ScenarioSpec
+    links: tuple[JointLinkSpec, ...]
+    strategy: str = "joint"
+    searcher: str = "greedy"
+    seed: int = 0
+    aggregate: str = "mean"
+    tolerance: float = 1.0
+
+
+@dataclass(frozen=True)
+class JointOptimizeResult:
+    """Per-link assignments and scores, aligned with the request's links."""
+
+    strategy: str
+    configurations: tuple[tuple[int, ...], ...]
+    scores_db: tuple[float, ...]
+    aggregate_score_db: float
+    num_measurements: int
+    num_distinct_configurations: int
+
+
+@dataclass(frozen=True)
 class CoverageRequest:
     """Mean used-SNR on a position grid centred on the RX, one config."""
 
@@ -229,7 +282,12 @@ class CoverageResult:
 
 
 Request = Union[
-    EvaluateRequest, ActuateRequest, SweepRequest, SearchRequest, CoverageRequest
+    EvaluateRequest,
+    ActuateRequest,
+    SweepRequest,
+    SearchRequest,
+    CoverageRequest,
+    JointOptimizeRequest,
 ]
 
 #: Ops the micro-batcher coalesces into one vectorized basis evaluation.
@@ -455,6 +513,8 @@ class EnvironmentService:
             return await self._run_search(session, request)
         if isinstance(request, CoverageRequest):
             return self._run_coverage(session, request)
+        if isinstance(request, JointOptimizeRequest):
+            return await self._run_joint(session, request)
         raise TypeError(f"unknown request type {type(request).__name__}")
 
     def _run_sweep(
@@ -513,6 +573,64 @@ class EnvironmentService:
             best_configuration=best,
             best_score_db=score,
             num_evaluations=evaluations,
+        )
+
+    async def _run_joint(
+        self, session: ScenarioSession, request: JointOptimizeRequest
+    ) -> JointOptimizeResult:
+        """Run one multi-link strategy, on the shared pool when configured.
+
+        Per-link bases are traced in the event-loop process through the
+        batched ``bases_for_points`` path (value-cached process-wide, so
+        repeated joint requests re-trace nothing), then shipped with the
+        strategy parameters to the picklable ``work.joint_task``.  The
+        task is a pure function of its arguments, so responses are
+        bit-identical to a direct ``optimize_joint`` call over the same
+        bases regardless of batch window or pool routing.
+        """
+        if not request.links:
+            raise ValueError("joint request carries no links")
+        names = tuple(link.name for link in request.links)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate link names in joint request: {names}")
+        setup = session.setup
+        rx0 = setup.rx_device.position
+        points = [
+            Point(rx0.x + link.dx_m, rx0.y + link.dy_m)
+            for link in request.links
+        ]
+        bases = setup.testbed.bases_for_points(
+            setup.tx_device, points, setup.rx_device.chains[0].antenna
+        )
+        args = (
+            tuple(bases),
+            names,
+            tuple(link.weight for link in request.links),
+            request.strategy,
+            request.searcher,
+            request.seed,
+            request.aggregate,
+            request.tolerance,
+            session.tx_power_dbm,
+            session.noise_figure_db,
+            session.mask,
+        )
+        jobs = resolve_jobs(self.config.search_jobs)
+        pool = shared_pool(jobs)
+        if pool is None:
+            outcome = work.joint_task(*args)
+        else:
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                pool, work.joint_task, *args
+            )
+        strategy, configurations, scores, aggregate, measurements, distinct = outcome
+        return JointOptimizeResult(
+            strategy=strategy,
+            configurations=configurations,
+            scores_db=scores,
+            aggregate_score_db=aggregate,
+            num_measurements=measurements,
+            num_distinct_configurations=distinct,
         )
 
     def _run_coverage(
@@ -586,6 +704,28 @@ class ServiceClient:
     ) -> SearchResult:
         return await self._service.submit(
             SearchRequest(scenario=scenario, searcher=searcher, seed=seed)
+        )
+
+    async def joint_optimize(
+        self,
+        scenario: ScenarioSpec,
+        links,
+        strategy: str = "joint",
+        searcher: str = "greedy",
+        seed: int = 0,
+        aggregate: str = "mean",
+        tolerance: float = 1.0,
+    ) -> JointOptimizeResult:
+        return await self._service.submit(
+            JointOptimizeRequest(
+                scenario=scenario,
+                links=tuple(links),
+                strategy=strategy,
+                searcher=searcher,
+                seed=seed,
+                aggregate=aggregate,
+                tolerance=tolerance,
+            )
         )
 
     async def coverage(

@@ -10,15 +10,23 @@ answer: everything is a pure function of the arguments.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from ..core.basis import ChannelBasis
-from ..core.objectives import MeanSnrObjective
+from ..core.joint import (
+    BasisLink,
+    optimize_hybrid,
+    optimize_joint,
+    optimize_per_link,
+)
+from ..core.objectives import MeanSnrObjective, joint_aggregate
 from ..em.channel import snr_db_from_cfr
 from ..em.geometry import Point
 from ..experiments.large_array import make_searcher
 
-__all__ = ["coverage_task", "search_task"]
+__all__ = ["coverage_task", "joint_task", "search_task"]
 
 
 def search_task(
@@ -48,6 +56,67 @@ def search_task(
         tuple(int(s) for s in result.best.indices),
         float(result.best_score),
         int(result.num_evaluations),
+    )
+
+
+def joint_task(
+    bases: Sequence[ChannelBasis],
+    names: Sequence[str],
+    weights: Sequence[float],
+    strategy: str,
+    searcher_name: str,
+    seed: int,
+    aggregate_name: str,
+    tolerance: float,
+    tx_power_dbm: float,
+    noise_figure_db: float,
+    mask: Optional[np.ndarray],
+) -> tuple[str, tuple, tuple, float, int, int]:
+    """Run one multi-link strategy over per-link traced bases.
+
+    Every link shares the array (one configuration space), so the links
+    become :class:`~repro.core.joint.BasisLink`\\ s and the strategy runs
+    delta-powered whenever the named searcher supports it.  Returns plain
+    picklable values, in ``names`` order:
+    ``(strategy, configurations, scores_db, aggregate_score_db,
+    num_measurements, num_distinct_configurations)`` — a pure function of
+    the arguments, identical inline or on a worker.
+    """
+    searcher = make_searcher(searcher_name, seed)
+    aggregate = joint_aggregate(aggregate_name)
+    links = [
+        BasisLink(
+            name=name,
+            evaluator=basis.evaluator(
+                MeanSnrObjective(),
+                tx_power_dbm=tx_power_dbm,
+                noise_figure_db=noise_figure_db,
+                mask=mask,
+            ),
+            weight=weight,
+        )
+        for name, basis, weight in zip(names, bases, weights)
+    ]
+    if strategy == "joint":
+        result = optimize_joint(links, searcher=searcher, aggregate=aggregate)
+    elif strategy == "per-link":
+        result = optimize_per_link(links, searcher=searcher)
+    elif strategy == "hybrid":
+        result = optimize_hybrid(links, searcher=searcher, tolerance=tolerance)
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected joint, per-link or hybrid"
+        )
+    return (
+        result.strategy,
+        tuple(
+            tuple(int(s) for s in result.assignments[name].indices)
+            for name in names
+        ),
+        tuple(float(result.per_link_scores[name]) for name in names),
+        float(result.aggregate_score(links, aggregate=aggregate)),
+        int(result.num_measurements),
+        int(result.num_distinct_configurations),
     )
 
 

@@ -121,6 +121,112 @@ class TestJointStrategies:
         with pytest.raises(ValueError):
             optimize_joint([], space)
 
+    def test_weight_validated_at_construction(self, space):
+        links = _table_links(space)
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                LinkObjective(
+                    name="bad",
+                    measure=links[0].measure,
+                    objective=MinSnrObjective(),
+                    weight=bad,
+                )
+
+
+class TestMeasurementAccounting:
+    """Sounding counts are exact, not approximate: every probe of every
+    link is charged once and nothing is charged twice."""
+
+    def test_per_link_counts_one_search_per_link(self, space):
+        links = _table_links(space, seeds=(0, 1, 2))
+        result = optimize_per_link(links, space)
+        assert result.num_measurements == 3 * space.size
+
+    def test_joint_probe_sounds_every_link(self, space):
+        links = _table_links(space, seeds=(0, 1, 2))
+        result = optimize_joint(links, space)
+        # One exhaustive pass of joint probes; the winner's per-link
+        # scores are read from the search's own probes, never re-measured.
+        assert result.num_measurements == space.size * 3
+
+    def test_hybrid_counts_cluster_probes(self, space):
+        links = _table_links(space, seeds=(0, 1, 2))
+        # tolerance so large everyone joins the first cluster: each of the
+        # two later links probes exactly that one cluster configuration.
+        merged = optimize_hybrid(links, space, tolerance=1e9)
+        assert merged.num_measurements == 3 * space.size + 2
+        # tolerance so strict nobody shares: link i probes the i clusters
+        # founded before it (0 + 1 + 2).
+        split = optimize_hybrid(links, space, tolerance=-1e9)
+        assert split.num_measurements == 3 * space.size + 3
+        assert split.num_distinct_configurations == 3
+
+    def test_joint_measurement_callbacks_counted_exactly(self, space):
+        calls = {"n": 0}
+        rng = np.random.default_rng(0)
+        table = rng.standard_normal((space.size, 8))
+
+        def measure(config):
+            calls["n"] += 1
+            return table[space.index_of(config)]
+
+        links = [
+            LinkObjective(
+                name=f"C{i}", measure=measure, objective=MinSnrObjective()
+            )
+            for i in range(2)
+        ]
+        result = optimize_joint(links, space)
+        assert result.num_measurements == calls["n"]
+
+
+class TestScheduleRanks:
+    """JointResult.schedule() without an explicit space must derive slot
+    ranks from the distinct assigned configurations, so links sharing a
+    configuration share a rank (regression: it previously enumerated the
+    space, crashing or mis-ranking on unenumerable arrays)."""
+
+    def test_joint_result_switches_zero_without_space(self, space):
+        links = _table_links(space)
+        joint = optimize_joint(links, space)
+        schedule = joint.schedule()  # no space
+        assert len(schedule.slots) == 2
+        assert schedule.num_switches == 0
+        assert schedule.switching_time_per_period_s == 0.0
+
+    def test_shared_configs_share_ranks_with_and_without_space(self, space):
+        # Two identical links (same table) plus one distinct one.
+        links = _table_links(space, seeds=(0, 0, 1))
+        links = [
+            LinkObjective(
+                name=f"L{i}", measure=link.measure, objective=link.objective
+            )
+            for i, link in enumerate(links)
+        ]
+        result = optimize_per_link(links, space)
+        assert result.num_distinct_configurations == 2
+        without = result.schedule()
+        with_space = result.schedule(space=space)
+        ranks_without = [slot.configuration_rank for slot in without.slots]
+        ranks_with = [slot.configuration_rank for slot in with_space.slots]
+        # same sharing structure either way: equal ranks <=> equal configs
+        for a, b in zip(without.slots, with_space.slots):
+            assert a.link_name == b.link_name
+        for i in range(3):
+            for j in range(3):
+                assert (ranks_without[i] == ranks_without[j]) == (
+                    ranks_with[i] == ranks_with[j]
+                )
+        assert without.num_switches == with_space.num_switches
+
+    def test_distinct_configs_count_cyclic_switches(self, space):
+        links = _table_links(space, seeds=(0, 1))
+        result = optimize_per_link(links, space)
+        if result.num_distinct_configurations == 2:
+            schedule = result.schedule()
+            assert schedule.num_switches == 2  # A->B and B->A per period
+            assert schedule.switching_time_per_period_s > 0.0
+
 
 class TestCrossEntropy:
     def test_finds_near_optimum(self, space):

@@ -44,6 +44,36 @@ class TestMuMimoPieces:
         with pytest.raises(ValueError):
             zf_sum_rate_bits(np.zeros((4, 4)), 10.0, 20e6)
 
+    def test_masked_subcarrier_convention_golden(self):
+        """zf_sum_rate_bits normalises by the rows actually passed.
+
+        Feeding the masked used-only subset concentrates the full transmit
+        power and bandwidth in the used bins (see the function docstring);
+        golden values pin both conventions at the 3-element scenario so a
+        silent normalisation change cannot slip through.
+        """
+        from repro.experiments import build_mimo_setup, used_subcarrier_mask
+        from repro.experiments.common import StudyConfig
+
+        setup = build_mimo_setup(0)
+        rx0 = setup.rx_device.position
+        clients = [
+            warp_v3("client-0", Point(rx0.x, rx0.y)),
+            warp_v3("client-1", Point(rx0.x + 0.06, rx0.y + 0.1)),
+        ]
+        h = mu_mimo_matrices(
+            setup.testbed, setup.tx_device, clients, ArrayConfiguration((0, 0, 0))
+        )
+        mask = used_subcarrier_mask()
+        tx_dbm = StudyConfig().tx_power_dbm
+        bw = setup.testbed.bandwidth_hz
+        masked = zf_sum_rate_bits(h[mask], tx_dbm, bw)
+        full = zf_sum_rate_bits(h, tx_dbm, bw)
+        assert masked == pytest.approx(19.691520369121402, rel=1e-6)
+        assert full == pytest.approx(19.55872045213216, rel=1e-6)
+        # all power in 52 used bins beats spreading it over all 64
+        assert masked > full
+
     def test_orthogonal_users_beat_correlated(self):
         # Equal-gain channels, orthogonal vs nearly-collinear users.
         scale = 1e-4
@@ -74,6 +104,16 @@ class TestMuMimoExperiment:
 
     def test_best_worst_distinct(self, result):
         assert result.best_configuration != result.worst_configuration
+
+    def test_golden_values(self, result):
+        """Pin the 3-element scenario's rates under the masked convention."""
+        assert float(result.sum_rate_bits[0]) == pytest.approx(
+            19.128644356859418, rel=1e-6
+        )
+        assert result.best_configuration == 36
+        assert float(result.sum_rate_bits[36]) == pytest.approx(
+            21.199621635803695, rel=1e-6
+        )
 
 
 class TestAlignmentExperiment:

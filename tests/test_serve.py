@@ -283,3 +283,126 @@ def test_evaluate_request_requires_configurations():
                 )
 
     _run(drive())
+
+
+# ---------------------------------------------------------------------------
+# Joint multi-link requests
+# ---------------------------------------------------------------------------
+
+
+def _joint_links():
+    from repro.serve import JointLinkSpec
+
+    return (
+        JointLinkSpec(name="a"),
+        JointLinkSpec(name="b", dx_m=0.4, dy_m=0.2, weight=2.0),
+    )
+
+
+def test_joint_request_matches_direct_optimize_joint():
+    from repro.core.joint import BasisLink, optimize_joint
+    from repro.core.objectives import MeanSnrObjective, joint_aggregate
+    from repro.em.geometry import Point
+    from repro.experiments import build_nlos_setup, used_subcarrier_mask
+    from repro.experiments.large_array import make_searcher
+
+    links = _joint_links()
+
+    async def served():
+        async with EnvironmentService() as service:
+            return await ServiceClient(service).joint_optimize(
+                NLOS, links, strategy="joint", searcher="greedy", seed=3
+            )
+
+    result = _run(served())
+
+    setup = build_nlos_setup(0)
+    rx0 = setup.rx_device.position
+    bases = setup.testbed.bases_for_points(
+        setup.tx_device,
+        [Point(rx0.x + s.dx_m, rx0.y + s.dy_m) for s in links],
+        setup.rx_device.chains[0].antenna,
+    )
+    direct = optimize_joint(
+        [
+            BasisLink(
+                name=spec.name,
+                evaluator=basis.evaluator(
+                    MeanSnrObjective(),
+                    tx_power_dbm=setup.tx_device.tx_power_dbm,
+                    noise_figure_db=setup.rx_device.noise_figure_db,
+                    mask=used_subcarrier_mask(),
+                ),
+                weight=spec.weight,
+            )
+            for spec, basis in zip(links, bases)
+        ],
+        searcher=make_searcher("greedy", 3),
+        aggregate=joint_aggregate("mean"),
+    )
+    assert result.strategy == "joint"
+    assert result.num_distinct_configurations == 1
+    for spec, config, score in zip(
+        links, result.configurations, result.scores_db
+    ):
+        assert config == direct.assignments[spec.name].indices
+        assert score == direct.per_link_scores[spec.name]
+    assert result.num_measurements == direct.num_measurements
+
+
+@pytest.mark.parametrize("window_s", [0.0, 0.005])
+def test_joint_requests_bit_identical_at_any_batch_window(window_s):
+    from repro.serve import JointOptimizeRequest
+
+    links = _joint_links()
+    requests = [
+        JointOptimizeRequest(
+            scenario=NLOS, links=links, strategy=strategy, searcher="rfocus"
+        )
+        for strategy in ("joint", "per-link", "hybrid")
+    ] * 2
+
+    serial = _run(
+        _serve_all(
+            ServiceConfig(batch_window_s=0.0, max_batch=1), requests, 1
+        )
+    )
+    concurrent = _run(
+        _serve_all(
+            ServiceConfig(batch_window_s=window_s, max_batch=64), requests, 6
+        )
+    )
+    assert concurrent == serial
+    # identical requests within one run agree too
+    assert serial[:3] == serial[3:]
+
+
+def test_joint_request_validation():
+    from repro.serve import JointLinkSpec, JointOptimizeRequest
+
+    async def drive():
+        async with EnvironmentService() as service:
+            with pytest.raises(ValueError):
+                await service.submit(
+                    JointOptimizeRequest(scenario=NLOS, links=())
+                )
+            with pytest.raises(ValueError):
+                await service.submit(
+                    JointOptimizeRequest(
+                        scenario=NLOS,
+                        links=(
+                            JointLinkSpec(name="a"),
+                            JointLinkSpec(name="a", dx_m=0.1),
+                        ),
+                    )
+                )
+            with pytest.raises(ValueError):
+                await service.submit(
+                    JointOptimizeRequest(
+                        scenario=NLOS,
+                        links=(JointLinkSpec(name="a"),),
+                        strategy="static",
+                    )
+                )
+
+    _run(drive())
