@@ -18,6 +18,12 @@ Three phases over the asyncio front end (:mod:`repro.serve`):
 3. **Open loop** — seeded Poisson arrivals against a bounded queue sized
    for the offered load; below the overload threshold nothing may be
    shed (rejections are a backpressure signal, not a steady-state tax).
+4. **Tracing overhead** — the phase-1 batched workload re-run twice:
+   with request tracing off (``trace_sample=0``, everything else hot) to
+   isolate the span-machinery tax, which must stay < 3% of batched
+   throughput at the default sample rate; and with observability off
+   entirely (``set_enabled(False)``) to record the full instrumentation
+   tax.  Responses must be bit-identical in all three modes.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the workload to CI scale (~50 mixed
 requests), keeps the structural assertions (bit-identical responses,
@@ -35,6 +41,7 @@ from repro.analysis.reporting import ReportTable
 from repro.em import trace_cache
 from repro.experiments.runner import available_cpus
 from repro.obs import global_registry
+from repro.obs.metrics import set_enabled
 from repro.obs.records import RunRecorder, read_records, validate_record
 from repro.serve import (
     EnvironmentService,
@@ -135,6 +142,42 @@ def test_bench_serve(tmp_path):
     # requests it shifts the mean batch size by < 1%.
     mean_batch = batch_counters["serve.batched_requests"] / max(
         batch_counters["serve.batches"], 1
+    )
+
+    # Phase 4 (measured here, reported below).  Phase 1's batched run had
+    # request tracing live at the default sample rate; re-running with
+    # trace_sample=0 (counters/histograms still hot) isolates the span
+    # machinery, and re-running with observability off entirely records
+    # the full instrumentation tax.
+    notrace_config = ServiceConfig(
+        batch_window_s=0.0,
+        max_batch=64,
+        max_pending=4 * HEADLINE_REQUESTS,
+        trace_sample=0,
+    )
+    notrace_s = obs_off_s = float("inf")
+    notrace_load = obs_off_load = None
+    for _ in range(HEADLINE_REPEATS):
+        notrace_load, elapsed = asyncio.run(
+            _drive(notrace_config, requests, CONCURRENCY, timer=time.perf_counter)
+        )
+        notrace_s = min(notrace_s, elapsed)
+    previous_enabled = set_enabled(False)
+    try:
+        for _ in range(HEADLINE_REPEATS):
+            obs_off_load, elapsed = asyncio.run(
+                _drive(
+                    batched_config, requests, CONCURRENCY, timer=time.perf_counter
+                )
+            )
+            obs_off_s = min(obs_off_s, elapsed)
+    finally:
+        set_enabled(previous_enabled)
+    tracing_overhead = batched_s / notrace_s - 1.0
+    obs_overhead = batched_s / obs_off_s - 1.0
+    untraced_identical = (
+        notrace_load.responses == batched_load.responses
+        and obs_off_load.responses == batched_load.responses
     )
 
     # Phase 2: skewed scenario mix through the session layer.  max_batch=1
@@ -246,6 +289,25 @@ def test_bench_serve(tmp_path):
         session_hit_rate >= 0.9,
     )
     table.add(
+        "request-tracing overhead (default sampling vs trace_sample=0)",
+        "< 3%" if enough_cpus and not SMOKE else "recorded only",
+        f"{100 * tracing_overhead:+.2f}% "
+        f"({batched_s:.3f}s traced vs {notrace_s:.3f}s untraced)",
+        tracing_overhead < 0.03 if enough_cpus and not SMOKE else True,
+    )
+    table.add(
+        "full observability overhead (obs on vs off)",
+        "recorded",
+        f"{100 * obs_overhead:+.2f}% ({obs_off_s:.3f}s with obs off)",
+        True,
+    )
+    table.add(
+        "responses with tracing / obs off",
+        "bit-identical",
+        "identical" if untraced_identical else "DIVERGED",
+        untraced_identical,
+    )
+    table.add(
         "mix + open-loop shed/failed requests",
         "== 0 below overload",
         f"{mix_load.rejected + open_load.rejected} shed, "
@@ -295,6 +357,18 @@ def test_bench_serve(tmp_path):
             "rejected": mix_load.rejected,
             "failed": mix_load.failed,
             "record_wall_s": recorder.record["wall_s"],
+        },
+        "tracing_overhead": {
+            "traced_s": batched_s,
+            "untraced_s": notrace_s,
+            "obs_off_s": obs_off_s,
+            "trace_sample": ServiceConfig().trace_sample,
+            "overhead_fraction": tracing_overhead,
+            "obs_overhead_fraction": obs_overhead,
+            "overhead_asserted": bool(
+                enough_cpus and tracing_overhead < 0.03
+            ),
+            "responses_identical": untraced_identical,
         },
         "open_loop": {
             "rate_hz": OPEN_RATE_HZ,

@@ -1,0 +1,258 @@
+"""Benchmark drift detection: compare BENCH_*.json against baselines.
+
+The committed ``BENCH_*.json`` files are the repo's performance ledger:
+each benchmark suite rewrites its file on a full (non-smoke) run, and the
+diff is reviewed like any other code change.  This module makes that
+review mechanical — ``repro bench-diff`` flattens the current files and a
+baseline (the committed version from git, or an explicit directory) into
+dotted-key scalars and reports:
+
+* **structural drift** — metrics that vanished or appeared (a renamed
+  key silently breaks longitudinal comparisons);
+* **numeric drift** — metrics whose relative change exceeds a tolerance,
+  with per-metric overrides (throughput on a shared CI box deserves a
+  looser leash than an algorithmic count).
+
+``--keys-only`` restricts to structural checks, the mode CI runs: timing
+numbers are machine-dependent, but the *shape* of the ledger must never
+change by accident.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DiffEntry",
+    "compare_benchmarks",
+    "discover_bench_files",
+    "flatten_json",
+    "load_git_baseline",
+    "parse_metric_tolerances",
+]
+
+#: Default relative tolerance for numeric metrics.  Generous on purpose:
+#: the committed numbers come from whatever machine last ran the full
+#: suite, so only large regressions should trip a default-config diff.
+DEFAULT_TOLERANCE = 0.5
+
+#: Relative change below which a metric never trips, regardless of the
+#: relative tolerance (guards tiny baselines where noise dominates).
+ABSOLUTE_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One finding from a benchmark comparison.
+
+    ``kind`` is ``"missing"`` (in baseline, not current), ``"added"``
+    (in current, not baseline), ``"numeric"`` (relative change above
+    tolerance) or ``"value"`` (non-numeric mismatch).
+    """
+
+    file: str
+    key: str
+    kind: str
+    baseline: object
+    current: object
+    rel_delta: float = 0.0
+    tolerance: float = 0.0
+
+    def describe(self) -> str:
+        if self.kind == "missing":
+            return f"{self.file}:{self.key}: missing (baseline {self.baseline!r})"
+        if self.kind == "added":
+            return f"{self.file}:{self.key}: added (current {self.current!r})"
+        if self.kind == "numeric":
+            return (
+                f"{self.file}:{self.key}: {self.baseline!r} -> "
+                f"{self.current!r} ({self.rel_delta:+.1%}, "
+                f"tolerance {self.tolerance:.0%})"
+            )
+        return f"{self.file}:{self.key}: {self.baseline!r} != {self.current!r}"
+
+
+def flatten_json(value, prefix: str = "") -> Dict[str, object]:
+    """Flatten nested dicts/lists into dotted-key scalars.
+
+    Lists flatten by index (``edges.0``, ``edges.1`` ...), so a length
+    change shows up as missing/added keys rather than an opaque value
+    mismatch.
+    """
+    flat: Dict[str, object] = {}
+    if isinstance(value, Mapping):
+        for key in sorted(value):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_json(value[key], child))
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            child = f"{prefix}.{index}" if prefix else str(index)
+            flat.update(flatten_json(item, child))
+    else:
+        flat[prefix or ""] = value
+    return flat
+
+
+def parse_metric_tolerances(specs: Sequence[str]) -> Dict[str, float]:
+    """Parse ``PATTERN=REL`` per-metric tolerance overrides.
+
+    ``PATTERN`` is an ``fnmatch`` glob over flattened keys
+    (``*throughput*=0.8``); the first matching pattern (in given order)
+    wins.
+    """
+    overrides: Dict[str, float] = {}
+    for spec in specs:
+        pattern, sep, value = spec.partition("=")
+        if not sep or not pattern:
+            raise ValueError(
+                f"bad metric tolerance {spec!r} (want PATTERN=REL)"
+            )
+        overrides[pattern] = float(value)
+    return overrides
+
+
+def _tolerance_for(
+    key: str, default: float, overrides: Mapping[str, float]
+) -> float:
+    for pattern, value in overrides.items():
+        if fnmatch.fnmatch(key, pattern):
+            return value
+    return default
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_benchmarks(
+    baseline: Mapping,
+    current: Mapping,
+    file: str = "",
+    tolerance: float = DEFAULT_TOLERANCE,
+    metric_tolerances: Optional[Mapping[str, float]] = None,
+    keys_only: bool = False,
+) -> List[DiffEntry]:
+    """Diff two benchmark documents; returns the findings (empty = clean)."""
+    overrides = dict(metric_tolerances or {})
+    base_flat = flatten_json(baseline)
+    curr_flat = flatten_json(current)
+    findings: List[DiffEntry] = []
+    for key in sorted(base_flat.keys() | curr_flat.keys()):
+        if key not in curr_flat:
+            findings.append(
+                DiffEntry(file, key, "missing", base_flat[key], None)
+            )
+            continue
+        if key not in base_flat:
+            findings.append(DiffEntry(file, key, "added", None, curr_flat[key]))
+            continue
+        if keys_only:
+            continue
+        base_value, curr_value = base_flat[key], curr_flat[key]
+        if _is_number(base_value) and _is_number(curr_value):
+            delta = abs(float(curr_value) - float(base_value))
+            if delta <= ABSOLUTE_FLOOR:
+                continue
+            scale = max(abs(float(base_value)), ABSOLUTE_FLOOR)
+            rel = (float(curr_value) - float(base_value)) / scale
+            limit = _tolerance_for(key, tolerance, overrides)
+            if abs(rel) > limit:
+                findings.append(
+                    DiffEntry(
+                        file,
+                        key,
+                        "numeric",
+                        base_value,
+                        curr_value,
+                        rel_delta=rel,
+                        tolerance=limit,
+                    )
+                )
+        elif base_value != curr_value:
+            findings.append(
+                DiffEntry(file, key, "value", base_value, curr_value)
+            )
+    return findings
+
+
+def discover_bench_files(root: str = ".") -> List[str]:
+    """The benchmark ledger files under ``root`` (sorted by name)."""
+    return sorted(
+        str(path.relative_to(root)) for path in Path(root).glob("BENCH_*.json")
+    )
+
+
+def load_git_baseline(
+    path: str, ref: str = "HEAD", root: str = "."
+) -> Optional[dict]:
+    """Load ``path``'s content at ``ref`` from git (None when absent).
+
+    ``path`` is relative to ``root`` (the repository worktree).  Returns
+    ``None`` when the file does not exist at that ref or the tree is not
+    a git repository — callers report that as a skipped comparison, not
+    an error, so bench-diff works in exported tarballs too.
+    """
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{path}"],
+            cwd=root,
+            capture_output=True,
+            check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    try:
+        document = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def diff_against_git(
+    root: str = ".",
+    ref: str = "HEAD",
+    files: Optional[Sequence[str]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    metric_tolerances: Optional[Mapping[str, float]] = None,
+    keys_only: bool = False,
+) -> Tuple[List[DiffEntry], List[str], List[str]]:
+    """Compare working-tree BENCH files against their committed versions.
+
+    Returns ``(findings, compared, skipped)`` where ``compared`` and
+    ``skipped`` list the file names that were / could not be diffed
+    (missing from the ref, or unparseable).
+    """
+    names = list(files) if files else discover_bench_files(root)
+    findings: List[DiffEntry] = []
+    compared: List[str] = []
+    skipped: List[str] = []
+    for name in names:
+        baseline = load_git_baseline(name, ref=ref, root=root)
+        try:
+            with open(Path(root) / name, "r", encoding="utf-8") as stream:
+                current = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            current = None
+        if baseline is None or not isinstance(current, dict):
+            skipped.append(name)
+            continue
+        compared.append(name)
+        findings.extend(
+            compare_benchmarks(
+                baseline,
+                current,
+                file=name,
+                tolerance=tolerance,
+                metric_tolerances=metric_tolerances,
+                keys_only=keys_only,
+            )
+        )
+    return findings, compared, skipped
+
+
+__all__.append("diff_against_git")

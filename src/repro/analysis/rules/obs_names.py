@@ -7,14 +7,20 @@ becomes unreadable the moment names stop following the
 ``<module>.<noun>_<unit>`` grammar (DESIGN.md §9).  This rule pins the
 conventions:
 
-* ``global_registry().counter/gauge/histogram(...)`` calls happen at
-  module level (import time), take a string-literal name, and no name is
-  registered twice across the linted file set;
+* ``global_registry().counter/gauge/histogram(...)`` calls — and their
+  stale-proof twins ``counter_handle/gauge_handle/histogram_handle(...)``
+  — happen at module level (import time), take a string-literal name,
+  and no name is registered twice across the linted file set;
+* a module-level binding of a *raw* instrument
+  (``_HITS = global_registry().counter(...)``) is flagged outright: the
+  reference goes stale after ``reset_metrics(clear=True)``, so module
+  scopes hold ``*_handle`` objects instead;
 * instrument names match ``seg.seg[.seg[.seg]]`` of lowercase
   ``snake_case`` segments; histogram names carry an explicit unit suffix;
-* ``global_tracer().span(...)`` takes a module-level string constant
-  (``_SPAN_SWEEP = "testbed.sweep"``) so every span name is statically
-  registered exactly once.
+* ``global_tracer().span(...)`` — and the request-scoped
+  ``request_span(...)``/``emit_request_span(...)`` — take a module-level
+  string constant (``_SPAN_SWEEP = "testbed.sweep"``) so every span name
+  is statically registered exactly once.
 """
 
 from __future__ import annotations
@@ -32,29 +38,69 @@ _UNIT_SUFFIXES = ("_s", "_ns", "_ms", "_bytes", "_db", "_hz", "_count")
 
 _INSTRUMENT_METHODS = ("counter", "gauge", "histogram")
 
+#: Stale-proof handle factories register instruments too (same grammar,
+#: same uniqueness contract as the raw registry methods).
+_HANDLE_FACTORIES = {
+    "counter_handle": "counter",
+    "gauge_handle": "gauge",
+    "histogram_handle": "histogram",
+}
 
-def _registry_call(node: ast.Call, context: LintContext) -> str:
-    """Which instrument method (or ``""``) a call registers through."""
+#: Request-scoped span entry points: first argument is a span name under
+#: the same module-level-constant discipline as ``tracer.span``.
+_REQUEST_SPAN_FUNCTIONS = ("request_span", "emit_request_span")
+
+
+def _module_level_captures(tree: ast.Module) -> set:
+    """Call nodes whose result a module-level assignment binds.
+
+    A raw instrument captured this way keeps recording into a dead
+    registry after ``reset_metrics(clear=True)`` — the stale-handle
+    hazard the ``*_handle`` factories exist to close.
+    """
+    captured: set = set()
+    for statement in tree.body:
+        value = None
+        if isinstance(statement, ast.Assign):
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            value = statement.value
+        if isinstance(value, ast.Call):
+            captured.add(value)
+    return captured
+
+
+def _registry_call(
+    node: ast.Call, context: LintContext
+) -> Tuple[str, bool]:
+    """``(instrument method, is raw registry call)`` — ``("", False)`` if
+    the call registers nothing."""
     func = node.func
-    if not isinstance(func, ast.Attribute) or func.attr not in _INSTRUMENT_METHODS:
-        return ""
-    target = func.value
-    if isinstance(target, ast.Call):
-        resolved = context.imports.resolve(target.func)
-        if resolved is not None and resolved.endswith("global_registry"):
-            return func.attr
-    return ""
+    if isinstance(func, ast.Attribute) and func.attr in _INSTRUMENT_METHODS:
+        target = func.value
+        if isinstance(target, ast.Call):
+            resolved = context.imports.resolve(target.func)
+            if resolved is not None and resolved.endswith("global_registry"):
+                return func.attr, True
+        return "", False
+    resolved = context.imports.resolve(func)
+    if resolved is None:
+        return "", False
+    return _HANDLE_FACTORIES.get(resolved.rsplit(".", 1)[-1], ""), False
 
 
 def _span_call(node: ast.Call, context: LintContext) -> bool:
     func = node.func
-    if not isinstance(func, ast.Attribute) or func.attr != "span":
+    if isinstance(func, ast.Attribute) and func.attr == "span":
+        target = func.value
+        if isinstance(target, ast.Call):
+            resolved = context.imports.resolve(target.func)
+            return resolved is not None and resolved.endswith("global_tracer")
         return False
-    target = func.value
-    if isinstance(target, ast.Call):
-        resolved = context.imports.resolve(target.func)
-        return resolved is not None and resolved.endswith("global_tracer")
-    return False
+    resolved = context.imports.resolve(func)
+    if resolved is None:
+        return False
+    return resolved.rsplit(".", 1)[-1] in _REQUEST_SPAN_FUNCTIONS
 
 
 class ObsNamingRule(Rule):
@@ -76,17 +122,24 @@ class ObsNamingRule(Rule):
         if context.is_tests:
             return
         span_constants = context.module_string_constants()
+        captured = _module_level_captures(context.tree)
         for node in ast.walk(context.tree):
             if not isinstance(node, ast.Call):
                 continue
-            method = _registry_call(node, context)
+            method, raw = _registry_call(node, context)
             if method:
-                yield from self._check_registration(context, node, method)
+                yield from self._check_registration(
+                    context, node, method, raw and node in captured
+                )
             elif _span_call(node, context):
                 yield from self._check_span(context, node, span_constants)
 
     def _check_registration(
-        self, context: LintContext, node: ast.Call, method: str
+        self,
+        context: LintContext,
+        node: ast.Call,
+        method: str,
+        raw_capture: bool,
     ) -> Iterator[Finding]:
         if not context.at_module_level(node):
             yield context.finding(
@@ -94,6 +147,17 @@ class ObsNamingRule(Rule):
                 node,
                 f"{method}() registration inside a function; instruments "
                 "are registered once at module import",
+            )
+        elif raw_capture:
+            # The instrument reference goes stale the moment
+            # reset_metrics(clear=True) replaces the registry; the handle
+            # re-resolves on every use.
+            yield context.finding(
+                self,
+                node,
+                f"module-level capture of a raw {method}() instrument goes "
+                "stale after reset_metrics(clear=True); hold a "
+                f"{method}_handle() instead",
             )
         name_node = node.args[0] if node.args else None
         if not isinstance(name_node, ast.Constant) or not isinstance(

@@ -20,6 +20,14 @@ Commands
     drive a deterministic mixed workload through the async client, and
     report throughput, batching efficiency, session/cache hit rates and
     rejections.
+``top``
+    Terminal view of a live ``serve --telemetry`` stream: requests/s,
+    batch efficiency, session hit rate, queue depth and per-type latency
+    percentiles.
+``bench-diff``
+    Diff working-tree ``BENCH_*.json`` against their committed versions
+    with per-metric tolerances (``--keys-only`` for the CI structural
+    check).
 ``profile-sweep``
     cProfile one Figure-4 configuration sweep (basis or legacy mode).
 ``report``
@@ -328,6 +336,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .analysis.reporting import format_table
     from .em import trace_cache
     from .obs import RunRecorder
+    from .obs.metrics import monotonic_s
+    from .obs.slo import SloPolicy
     from .serve import (
         EnvironmentService,
         ScenarioSpec,
@@ -336,6 +346,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         run_closed_loop,
     )
 
+    policy = SloPolicy.from_specs(args.slo) if args.slo else None
     scenarios = [
         ScenarioSpec(kind="nlos", placement=p) for p in range(args.scenarios)
     ]
@@ -348,13 +359,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         session_capacity=args.session_capacity,
         search_jobs=args.search_jobs,
+        trace_sample=args.trace_sample,
+        telemetry_path=args.telemetry,
+        telemetry_interval_s=args.telemetry_interval,
     )
     cache = trace_cache.configure()
+    timer = monotonic_s if policy is not None else None
 
     async def drive():
         async with EnvironmentService(config) as service:
             load = await run_closed_loop(
-                service.submit, requests, args.concurrency
+                service.submit, requests, args.concurrency, timer=timer
             )
             return service, load
 
@@ -368,12 +383,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "max_batch": config.max_batch,
             "max_pending": config.max_pending,
             "session_capacity": config.session_capacity,
+            "trace_sample": config.trace_sample,
             "skew": args.skew,
         },
         path=args.record,
         seeds={"workload": args.seed},
     ) as recorder:
         service, load = asyncio.run(drive())
+        recorder.add_request_traces(service.drain_request_traces())
     record = recorder.record
     wall_s = record["wall_s"] if record else float("nan")
     counters = record["metrics"]["counters"] if record else {}
@@ -407,6 +424,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     )
     print(format_table(rows, header_rule=True))
+    violated = False
+    if policy is not None:
+        print()
+        for status in load.evaluate_slo(policy):
+            print(f"slo {status.describe()}")
+            violated = violated or not status.ok
+    if violated:
+        print("error: SLO violation(s), see above", file=sys.stderr)
+        return 1
     if args.fail_on_rejections and load.rejected:
         print(
             f"error: {load.rejected} rejection(s) under max_pending="
@@ -416,6 +442,98 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1
     if load.failed:
         print(f"error: {load.failed} failed request(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .analysis.reporting import format_table
+    from .obs.export import derive_rates, read_telemetry
+
+    def render() -> bool:
+        samples = read_telemetry(args.path)
+        if not samples:
+            print(f"no telemetry samples in {args.path!r} yet", file=sys.stderr)
+            return False
+        current = samples[-1]
+        previous = samples[-2] if len(samples) > 1 else None
+        rates = derive_rates(previous, current)
+        rows = [("metric", "value")]
+        rows.append(
+            (
+                "sample",
+                f"#{current.get('seq', len(samples) - 1)} "
+                f"@ {float(current.get('uptime_s', 0.0)):.2f}s uptime",
+            )
+        )
+        rows.append(("requests/s", f"{rates['requests_per_s']:.1f}"))
+        rows.append(("rejections/s", f"{rates['rejections_per_s']:.1f}"))
+        rows.append(
+            ("batch efficiency", f"{rates['batch_efficiency']:.1f} req/batch")
+        )
+        rows.append(("session hit rate", f"{rates['session_hit_rate']:.2f}"))
+        rows.append(("queue depth", f"{rates['queue_depth']:.0f}"))
+        rows.append(("hot sessions", f"{rates['sessions']:.0f}"))
+
+        def fmt(value) -> str:
+            return "n/a" if value is None else f"{float(value) * 1e3:.2f} ms"
+
+        for name, digest in sorted(current.get("histograms", {}).items()):
+            if not name.endswith(".request_latency_s"):
+                continue
+            kind = name.split(".")[1]
+            rows.append(
+                (
+                    f"{kind} p50/p95/p99",
+                    f"{fmt(digest.get('p50'))} / {fmt(digest.get('p95'))} / "
+                    f"{fmt(digest.get('p99'))} ({digest.get('count', 0)} reqs)",
+                )
+            )
+        print(format_table(rows, header_rule=True))
+        return True
+
+    if not args.follow:
+        return 0 if render() else 1
+    try:
+        while True:
+            print(f"--- repro top: {args.path} ---")
+            render()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from .analysis.bench_diff import diff_against_git, parse_metric_tolerances
+
+    try:
+        overrides = parse_metric_tolerances(args.metric_tolerance)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    findings, compared, skipped = diff_against_git(
+        root=args.root,
+        ref=args.ref,
+        files=args.files or None,
+        tolerance=args.tolerance,
+        metric_tolerances=overrides,
+        keys_only=args.keys_only,
+    )
+    for name in skipped:
+        print(f"skipped {name} (no baseline at {args.ref} or unreadable)")
+    mode = "keys" if args.keys_only else f"tolerance {args.tolerance:.0%}"
+    print(
+        f"compared {len(compared)} benchmark file(s) against {args.ref} ({mode})"
+    )
+    for finding in findings:
+        print(finding.describe())
+    if findings:
+        print(f"error: {len(findings)} benchmark drift finding(s)", file=sys.stderr)
+        return 1
+    if not compared and not args.allow_empty:
+        print("error: no benchmark files compared", file=sys.stderr)
         return 1
     return 0
 
@@ -800,6 +918,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for search requests "
         "(default: inline; 0 = all CPUs)",
     )
+    serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=16,
+        metavar="N",
+        help="trace every Nth request (default: %(default)s; 1 = all, "
+        "0 = latency only; explicitly bound request ids are always "
+        "traced)",
+    )
     serve.add_argument("--seed", type=int, default=0, help="workload seed")
     serve.add_argument(
         "--record",
@@ -812,7 +939,92 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero if any request was shed (CI smoke mode)",
     )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="enforce an SLO on the load run and exit non-zero on "
+        "violation; repeatable; e.g. 'p95:evaluate<0.05' or "
+        "'rate:serve.rejections/serve.requests<0.01'",
+    )
+    serve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="JSONL",
+        help="stream live telemetry samples to this file (tail with "
+        "'repro top')",
+    )
+    serve.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="telemetry sampling cadence in seconds",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="render live serving telemetry from a --telemetry stream",
+    )
+    top.add_argument("path", help="telemetry JSONL file to read")
+    top.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep re-rendering as new samples arrive (Ctrl-C to stop)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="re-render cadence in follow mode",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="diff working-tree BENCH_*.json against committed baselines",
+    )
+    bench_diff.add_argument(
+        "files",
+        nargs="*",
+        help="benchmark files to diff (default: BENCH_*.json under --root)",
+    )
+    bench_diff.add_argument(
+        "--root", default=".", help="repository root holding the BENCH files"
+    )
+    bench_diff.add_argument(
+        "--ref", default="HEAD", help="git ref providing the baselines"
+    )
+    bench_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        metavar="REL",
+        help="relative drift tolerance for numeric metrics",
+    )
+    bench_diff.add_argument(
+        "--metric-tolerance",
+        action="append",
+        default=[],
+        metavar="PATTERN=REL",
+        help="per-metric tolerance override (fnmatch on flattened keys); "
+        "repeatable",
+    )
+    bench_diff.add_argument(
+        "--keys-only",
+        action="store_true",
+        help="check structure only (CI mode: numbers are machine-dependent)",
+    )
+    bench_diff.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="exit 0 even when no benchmark files could be compared",
+    )
+    bench_diff.set_defaults(func=_cmd_bench_diff)
 
     report = sub.add_parser(
         "report", help="render run records emitted via --record"

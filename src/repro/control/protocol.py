@@ -15,21 +15,21 @@ from typing import Optional
 import numpy as np
 
 from ..core.configuration import ArrayConfiguration
-from ..obs.metrics import global_registry
+from ..obs.metrics import counter_handle, histogram_handle
 from .links import ControlLink
 from .messages import Ack, ConfigureCommand
 
 __all__ = ["ElementAgent", "ActuationResult", "ControlPlane"]
 
-_ACTUATIONS = global_registry().counter("control.protocol.actuations")
-_TRANSMISSIONS = global_registry().counter("control.protocol.transmissions")
-_RETRIES = global_registry().counter("control.protocol.retries")
-_LOST_COMMANDS = global_registry().counter("control.protocol.lost_commands")
-_LOST_ACKS = global_registry().counter("control.protocol.lost_acks")
-_FAILURES = global_registry().counter("control.protocol.failures")
+_ACTUATIONS = counter_handle("control.protocol.actuations")
+_TRANSMISSIONS = counter_handle("control.protocol.transmissions")
+_RETRIES = counter_handle("control.protocol.retries")
+_LOST_COMMANDS = counter_handle("control.protocol.lost_commands")
+_LOST_ACKS = counter_handle("control.protocol.lost_acks")
+_FAILURES = counter_handle("control.protocol.failures")
 #: Histogram of *simulated* actuation wall-clock (seconds of modelled link
 #: time, not host time — deterministic for a given seed).
-_ACTUATION_S = global_registry().histogram("control.protocol.actuation_s")
+_ACTUATION_S = histogram_handle("control.protocol.actuation_s")
 
 #: RF switch settling time [s].  The PE42441 SP4T switches in ~1 us; we
 #: budget generously for the micro-controller's GPIO path.

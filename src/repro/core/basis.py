@@ -44,7 +44,7 @@ from ..em.channel import snr_db_from_cfr, subcarrier_frequencies
 from ..em.geometry import Point
 from ..em.paths import PathBatch, SignalPath, path_arrays, paths_to_cfr_batch
 from ..em.raytracer import RayTracer, _points_to_arrays
-from ..obs.metrics import global_registry
+from ..obs.metrics import counter_handle
 from .array import PressArray
 from .configuration import ArrayConfiguration, ConfigurationSpace
 
@@ -63,13 +63,13 @@ __all__ = [
 
 ConfigurationsLike = Union[Sequence[ArrayConfiguration], np.ndarray]
 
-_BASES_TRACED = global_registry().counter("core.basis.traces")
-_BATCHES_TRACED = global_registry().counter("core.basis.batch_traces")
-_BATCH_POINTS = global_registry().counter("core.basis.batch_points")
-_EVALUATIONS = global_registry().counter("core.basis.evaluations")
-_CONFIGS_EVALUATED = global_registry().counter("core.basis.configurations_evaluated")
-_DELTA_EVALS = global_registry().counter("search.delta_evals")
-_MULTILINK_PROBES = global_registry().counter("search.multilink_probes")
+_BASES_TRACED = counter_handle("core.basis.traces")
+_BATCHES_TRACED = counter_handle("core.basis.batch_traces")
+_BATCH_POINTS = counter_handle("core.basis.batch_points")
+_EVALUATIONS = counter_handle("core.basis.evaluations")
+_CONFIGS_EVALUATED = counter_handle("core.basis.configurations_evaluated")
+_DELTA_EVALS = counter_handle("search.delta_evals")
+_MULTILINK_PROBES = counter_handle("search.multilink_probes")
 
 #: Largest configuration space the vectorized exhaustive path will
 #: materialize as an (M^N, N) index table.  4^10 = 2^20 rows of N intp

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..constants import ISM_BAND_2G4_HZ
 from ..em.channel import coherence_time_s
-from ..obs.metrics import global_registry
+from ..obs.metrics import counter_handle, histogram_handle
 from .array import PressArray
 from .configuration import ArrayConfiguration, ConfigurationSpace
 from .faults import detect_unresponsive_elements
@@ -36,13 +36,13 @@ from .search import SearchResult, Searcher
 
 __all__ = ["ControlDecision", "RoundTelemetry", "PressController"]
 
-_ROUNDS = global_registry().counter("core.controller.rounds")
-_SOUNDINGS = global_registry().counter("core.controller.soundings")
-_DEGRADED_ROUNDS = global_registry().counter("core.controller.degraded_rounds")
-_STALE_ROUNDS = global_registry().counter("core.controller.stale_rounds")
+_ROUNDS = counter_handle("core.controller.rounds")
+_SOUNDINGS = counter_handle("core.controller.soundings")
+_DEGRADED_ROUNDS = counter_handle("core.controller.degraded_rounds")
+_STALE_ROUNDS = counter_handle("core.controller.stale_rounds")
 #: Histogram of *simulated* round wall-clock (modelled seconds, not host
 #: time — deterministic for a given seed).
-_ROUND_ELAPSED_S = global_registry().histogram("core.controller.round_elapsed_s")
+_ROUND_ELAPSED_S = histogram_handle("core.controller.round_elapsed_s")
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
-from ..obs.metrics import global_registry
+from ..obs.metrics import counter_handle
 from .configuration import ArrayConfiguration, ConfigurationSpace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,8 +39,8 @@ __all__ = [
 
 ScoreFunction = Callable[[ArrayConfiguration], float]
 
-_FLIPS = global_registry().counter("search.flips")
-_ROUNDS = global_registry().counter("search.rounds")
+_FLIPS = counter_handle("search.flips")
+_ROUNDS = counter_handle("search.rounds")
 
 
 @dataclass

@@ -32,7 +32,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..obs.metrics import global_registry
+from ..obs.metrics import counter_handle, gauge_handle
 from .configuration import ConfigurationSpace
 from .joint import (
     BasisLink,
@@ -53,12 +53,12 @@ __all__ = [
 Link = Union[LinkObjective, BasisLink]
 LinkAggregate = Callable[[np.ndarray, np.ndarray], float]
 
-_ADMISSIONS = global_registry().counter("joint.admissions")
-_REJECTIONS = global_registry().counter("joint.rejections")
-_RECLUSTERS = global_registry().counter("joint.reclusters")
-_OPTIMIZATIONS = global_registry().counter("joint.optimizations")
-_RELEASES = global_registry().counter("joint.releases")
-_ACTIVE_LINKS = global_registry().gauge("joint.active_links")
+_ADMISSIONS = counter_handle("joint.admissions")
+_REJECTIONS = counter_handle("joint.rejections")
+_RECLUSTERS = counter_handle("joint.reclusters")
+_OPTIMIZATIONS = counter_handle("joint.optimizations")
+_RELEASES = counter_handle("joint.releases")
+_ACTIVE_LINKS = gauge_handle("joint.active_links")
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from ..constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
-from ..obs.metrics import global_registry
+from ..obs.metrics import counter_handle
 from .antennas import Antenna, IsotropicAntenna
 from .geometry import (
     Point,
@@ -59,9 +59,9 @@ __all__ = [
 
 _EPS = 1e-9
 
-_TRACES = global_registry().counter("em.raytracer.traces")
-_BATCH_TRACES = global_registry().counter("em.raytracer.batch_traces")
-_BATCH_POINTS = global_registry().counter("em.raytracer.batch_points")
+_TRACES = counter_handle("em.raytracer.traces")
+_BATCH_TRACES = counter_handle("em.raytracer.batch_traces")
+_BATCH_POINTS = counter_handle("em.raytracer.batch_points")
 
 #: Minimum hop distance [m] used in amplitude calculations, preventing the
 #: near-field singularity of the Friis law when geometry degenerates.

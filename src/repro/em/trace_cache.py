@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Hashable, Optional
 
 import numpy as np
 
-from ..obs.metrics import global_registry
+from ..obs.metrics import counter_handle, gauge_handle
 from .antennas import Antenna
 from .geometry import Point
 from .paths import PathBatch, SignalPath
@@ -45,14 +45,14 @@ DEFAULT_MAXSIZE = 4096
 #: arrays) from starving scalar ones.
 _SIGNAL_PATH_NBYTES = 160
 
-_HITS = global_registry().counter("em.trace_cache.hits")
-_MISSES = global_registry().counter("em.trace_cache.misses")
-_EVICTIONS = global_registry().counter("em.trace_cache.evictions")
-_BATCH_HITS = global_registry().counter("em.trace_cache.batch_hits")
-_BATCH_MISSES = global_registry().counter("em.trace_cache.batch_misses")
-_ENTRIES = global_registry().gauge("em.trace_cache.entries")
-_BYTES = global_registry().gauge("em.trace_cache.bytes")
-_HIT_RATE = global_registry().gauge("em.trace_cache.hit_rate")
+_HITS = counter_handle("em.trace_cache.hits")
+_MISSES = counter_handle("em.trace_cache.misses")
+_EVICTIONS = counter_handle("em.trace_cache.evictions")
+_BATCH_HITS = counter_handle("em.trace_cache.batch_hits")
+_BATCH_MISSES = counter_handle("em.trace_cache.batch_misses")
+_ENTRIES = gauge_handle("em.trace_cache.entries")
+_BYTES = gauge_handle("em.trace_cache.bytes")
+_HIT_RATE = gauge_handle("em.trace_cache.hit_rate")
 
 
 def _entry_nbytes(value: object) -> int:

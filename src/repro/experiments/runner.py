@@ -37,6 +37,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from ..obs.context import RequestCapture, RequestContext, bind_context, request_span
 from ..obs.records import ObsSample, current_sample, merge_samples
 from ..obs.tracing import global_tracer
 
@@ -235,6 +236,35 @@ class _ObservedTask:
         with global_tracer().span(self.span_name):
             result = self.fn(task)
         return result, current_sample().delta(before)
+
+
+#: The request-scoped span a pool worker wraps its task in.  The emitted
+#: record carries the worker's pid and the parent (batch) span id from the
+#: shipped context, which is what lets a cross-process timeline stitch.
+_SPAN_WORKER = "task.worker"
+
+
+def traced_call(wire, fn, *args):
+    """Run ``fn(*args)`` stitched into a request trace (pool-worker entry).
+
+    ``wire`` is a :meth:`~repro.obs.context.RequestContext.to_wire` tuple
+    (or ``None`` for an untraced call).  The call runs under the shipped
+    context inside a ``task.worker`` request span, and every request-scoped
+    span the task emits is captured and returned as plain dicts alongside
+    the result — the event-loop process merges them into its
+    :class:`~repro.obs.context.RequestTraceStore`, completing the
+    cross-process timeline.  Tracing never changes ``fn``'s result: the
+    wrapper adds clock reads only, and none at all when ``wire`` is
+    ``None`` or observability is disabled in the worker.
+    """
+    if wire is None:
+        return fn(*args), ()
+    context = RequestContext.from_wire(wire)
+    with RequestCapture(context.request_id) as capture:
+        with bind_context(context):
+            with request_span(_SPAN_WORKER, context):
+                result = fn(*args)
+    return result, tuple(record.as_dict() for record in capture.records)
 
 
 def run_parallel(

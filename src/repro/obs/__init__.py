@@ -13,22 +13,41 @@ hierarchy, and run-record schema.  Quick tour:
   are bit-identical either way (instruments never touch random streams).
 """
 
+from .context import (
+    RequestCapture,
+    RequestContext,
+    RequestTraceStore,
+    bind_context,
+    current_context,
+    emit_request_span,
+    new_request_id,
+    request_span,
+    stitch_timeline,
+)
 from .metrics import (
     Counter,
+    CounterHandle,
     Gauge,
+    GaugeHandle,
     Histogram,
+    HistogramHandle,
     HistogramState,
     MetricsRegistry,
     MetricsSnapshot,
+    counter_handle,
     enabled,
+    gauge_handle,
     global_registry,
+    histogram_handle,
     log_bin_edges,
     merge_snapshots,
+    monotonic_s,
     reset_metrics,
     set_enabled,
 )
 from .records import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     ObsSample,
     RunRecorder,
     append_record,
@@ -44,20 +63,28 @@ from .tracing import (
     SpanTracer,
     global_tracer,
     merge_span_summaries,
+    new_span_id,
     reset_tracing,
 )
 
 __all__ = [
     "Counter",
+    "CounterHandle",
     "Gauge",
+    "GaugeHandle",
     "Histogram",
+    "HistogramHandle",
     "HistogramState",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "counter_handle",
     "enabled",
+    "gauge_handle",
     "global_registry",
+    "histogram_handle",
     "log_bin_edges",
     "merge_snapshots",
+    "monotonic_s",
     "reset_metrics",
     "set_enabled",
     "SpanRecord",
@@ -65,8 +92,10 @@ __all__ = [
     "SpanTracer",
     "global_tracer",
     "merge_span_summaries",
+    "new_span_id",
     "reset_tracing",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "ObsSample",
     "RunRecorder",
     "append_record",
@@ -75,13 +104,29 @@ __all__ = [
     "read_records",
     "run_metadata",
     "validate_record",
+    "RequestCapture",
+    "RequestContext",
+    "RequestTraceStore",
+    "bind_context",
+    "current_context",
+    "emit_request_span",
+    "new_request_id",
+    "request_span",
+    "stitch_timeline",
 ]
 
 
-def reset_observability() -> None:
-    """Zero the global registry and tracer (tests/benchmarks)."""
-    reset_metrics()
-    reset_tracing()
+def reset_observability(clear: bool = False) -> None:
+    """Zero the global registry and tracer (tests/benchmarks).
+
+    ``clear=True`` replaces both objects outright, dropping instruments
+    and sinks registered since import — full isolation between test
+    phases.  Library modules hold stale-proof handles
+    (:func:`counter_handle` and friends), so their recording continues
+    seamlessly into the fresh registry.
+    """
+    reset_metrics(clear=clear)
+    reset_tracing(clear=clear)
 
 
 __all__.append("reset_observability")

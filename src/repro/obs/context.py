@@ -1,0 +1,357 @@
+"""Request-scoped tracing: contexts, request spans, cross-process stitching.
+
+The classic :class:`~repro.obs.tracing.SpanTracer` spans pair open/close
+through a per-process name stack — correct for straight-line phases
+(a geometry trace, a sweep), but wrong the moment two requests interleave
+across ``await`` points inside the asyncio serving layer.  This module is
+the request-scoped layer on top:
+
+* a :class:`RequestContext` (request id + the id of the currently open
+  span) rides a :mod:`contextvars` variable, so every asyncio task —
+  and, via :func:`RequestContext.to_wire`, every process-pool worker —
+  knows which request it is working for;
+* :func:`request_span` opens a span *under that context*: it allocates a
+  process-unique span id, re-binds the context so children attach to it,
+  and emits a stitched :class:`~repro.obs.tracing.SpanRecord`
+  (``span_id``/``parent_id``/``request_id``/``pid``) into the global
+  tracer — no shared name stack, so interleaving cannot mis-parent;
+* :class:`RequestTraceStore` collects stitched records per request id (a
+  bounded, eviction-oldest store the service drains into run records);
+* :class:`RequestCapture` grabs one request's records in a worker so the
+  pool can ship them back to the event-loop process for merging.
+
+A request's full serve→batch→evaluate/search timeline reconstructs from
+the merged records by following ``parent_id`` chains — the ids embed the
+minting pid, so links remain unambiguous across processes even though
+``start_s`` clocks do not compare across them.
+
+Determinism contract: ids come from per-process monotonic counters (no
+entropy), clock reads happen only when observability is enabled, and no
+code in this module touches a random stream — results are bit-identical
+with request tracing on or off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .metrics import enabled
+from .tracing import SpanRecord, global_tracer, new_span_id
+
+__all__ = [
+    "RequestCapture",
+    "RequestContext",
+    "RequestTraceStore",
+    "bind_context",
+    "current_context",
+    "new_request_id",
+    "request_span",
+]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Which request the current code is working for.
+
+    ``parent_span_id`` is the id of the innermost open request span —
+    the span a :func:`request_span` opened next will attach to (empty
+    for the root).  Contexts are immutable values: opening a child span
+    *re-binds* the context variable rather than mutating anything, which
+    is what makes propagation across asyncio tasks and pickled worker
+    payloads safe.
+    """
+
+    request_id: str
+    parent_span_id: str = ""
+
+    def to_wire(self) -> Tuple[str, str]:
+        """Picklable form shipped to pool workers."""
+        return (self.request_id, self.parent_span_id)
+
+    @classmethod
+    def from_wire(cls, wire: Tuple[str, str]) -> "RequestContext":
+        request_id, parent_span_id = wire
+        return cls(request_id=str(request_id), parent_span_id=str(parent_span_id))
+
+
+_CONTEXT: ContextVar[Optional[RequestContext]] = ContextVar(
+    "repro_obs_request_context", default=None
+)
+
+#: Per-process monotonic request-id sequence (no entropy — RPL003).
+_REQUEST_SEQ = 0
+
+
+def new_request_id() -> str:
+    """Mint a process-unique request id (``"r<pid hex>-<seq hex>"``)."""
+    global _REQUEST_SEQ
+    _REQUEST_SEQ += 1
+    return f"r{os.getpid():x}-{_REQUEST_SEQ:x}"
+
+
+def current_context() -> Optional[RequestContext]:
+    """The active request context, or ``None`` outside any request."""
+    return _CONTEXT.get()
+
+
+@contextmanager
+def bind_context(context: Optional[RequestContext]):
+    """Bind ``context`` as the active request context for the block."""
+    token = _CONTEXT.set(context)
+    try:
+        yield context
+    finally:
+        _CONTEXT.reset(token)
+
+
+class _RequestSpan:
+    """Context manager for one request-scoped span.
+
+    Hand-rolled like ``_SpanContext``: two clock reads plus a contextvar
+    set/reset per span.  On exit it emits a stitched record through
+    :meth:`SpanTracer.emit` — never the tracer's name stack.
+    """
+
+    __slots__ = ("_name", "_context", "_span_id", "_token", "_start")
+
+    def __init__(self, name: str, context: RequestContext) -> None:
+        self._name = name
+        self._context = context
+        self._span_id = new_span_id()
+
+    def __enter__(self) -> "_RequestSpan":
+        self._token = _CONTEXT.set(
+            replace(self._context, parent_span_id=self._span_id)
+        )
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        _CONTEXT.reset(self._token)
+        tracer = global_tracer()
+        context = self._context
+        tracer.emit(
+            SpanRecord(
+                name=self._name,
+                start_s=self._start - tracer.epoch,
+                duration_s=end - self._start,
+                parent=None,
+                depth=0,
+                span_id=self._span_id,
+                parent_id=context.parent_span_id or None,
+                request_id=context.request_id,
+                pid=_pid(),
+            )
+        )
+        return None
+
+
+class _NullRequestSpan:
+    """No-op request span: zero clock reads when disabled or contextless."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullRequestSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_REQUEST_SPAN = _NullRequestSpan()
+
+
+def _pid() -> int:
+    return os.getpid()
+
+
+def request_span(name: str, context: Optional[RequestContext] = None):
+    """A context manager timing one request-scoped phase.
+
+    Uses ``context`` when given, else the bound :func:`current_context`.
+    Without a context, or with observability disabled, returns a shared
+    no-op (zero clock reads) — request tracing costs nothing on paths
+    that are not serving a traced request.
+    """
+    if not enabled():
+        return _NULL_REQUEST_SPAN
+    if context is None:
+        context = _CONTEXT.get()
+        if context is None:
+            return _NULL_REQUEST_SPAN
+    return _RequestSpan(name, context)
+
+
+def emit_request_span(
+    name: str,
+    context: RequestContext,
+    start_monotonic_s: float,
+    end_monotonic_s: float,
+    span_id: Optional[str] = None,
+    parent_span_id: Optional[str] = None,
+) -> Optional[str]:
+    """Emit one stitched span from explicit monotonic timestamps.
+
+    For phases whose start and end happen in *different* call frames
+    (queue wait: stamped at submit, closed at batch flush) where a
+    context manager cannot bracket the phase.  Returns the emitted span
+    id, or ``None`` when observability is disabled.  ``parent_span_id``
+    overrides the context's parent (e.g. to hang several members'
+    records off one shared batch span).
+    """
+    if not enabled():
+        return None
+    tracer = global_tracer()
+    sid = span_id if span_id is not None else new_span_id()
+    parent = (
+        parent_span_id
+        if parent_span_id is not None
+        else (context.parent_span_id or None)
+    )
+    tracer.emit(
+        SpanRecord(
+            name=name,
+            start_s=start_monotonic_s - tracer.epoch,
+            duration_s=end_monotonic_s - start_monotonic_s,
+            parent=None,
+            depth=0,
+            span_id=sid,
+            parent_id=parent,
+            request_id=context.request_id,
+            pid=_pid(),
+        )
+    )
+    return sid
+
+
+__all__.append("emit_request_span")
+
+
+class RequestTraceStore:
+    """Bounded per-request collection of stitched span records.
+
+    The serving layer attaches one of these as a tracer sink for its
+    lifetime: every request-scoped span emitted in-process lands here,
+    and worker-captured records are merged in explicitly via
+    :meth:`extend`.  At most ``capacity`` distinct requests are kept;
+    when full, the *oldest* request's records are evicted wholesale (a
+    live service keeps the most recent timelines, which is what an
+    operator tailing the stream wants).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._traces: "OrderedDict[str, List[SpanRecord]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def sink(self, record: SpanRecord) -> None:
+        """Tracer-sink entry: keep request-scoped records only."""
+        if record.request_id is None:
+            return
+        self.add(record)
+
+    def add(self, record: SpanRecord) -> None:
+        if record.request_id is None:
+            return
+        records = self._traces.get(record.request_id)
+        if records is None:
+            records = self._traces[record.request_id] = []
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+        records.append(record)
+
+    def extend(self, records: Iterable[SpanRecord]) -> None:
+        """Merge records captured elsewhere (workers) into the store."""
+        for record in records:
+            self.add(record)
+
+    def traces(self) -> Dict[str, Tuple[SpanRecord, ...]]:
+        """Current request timelines, insertion-ordered."""
+        return {
+            request_id: tuple(records)
+            for request_id, records in self._traces.items()
+        }
+
+    def drain(self) -> Dict[str, Tuple[SpanRecord, ...]]:
+        """Return and clear the stored timelines."""
+        traces = self.traces()
+        self._traces.clear()
+        return traces
+
+
+class RequestCapture:
+    """Capture one request's stitched spans within a ``with`` block.
+
+    Worker processes wrap their task in one of these so the pool result
+    can carry the worker-side timeline back to the event-loop process::
+
+        with bind_context(ctx), RequestCapture(ctx.request_id) as capture:
+            result = fn(*args)
+        return result, [r.as_dict() for r in capture.records]
+    """
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self.records: List[SpanRecord] = []
+
+    def _sink(self, record: SpanRecord) -> None:
+        if record.request_id == self.request_id:
+            self.records.append(record)
+
+    def __enter__(self) -> "RequestCapture":
+        global_tracer().add_sink(self._sink)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global_tracer().remove_sink(self._sink)
+        return None
+
+
+def stitch_timeline(
+    records: Iterable[SpanRecord],
+) -> List[SpanRecord]:
+    """Order one request's records into a parent-before-child timeline.
+
+    Pure structural reconstruction: roots (no ``parent_id``, or parent
+    not present in the set) come first, children follow their parents
+    depth-first in emission order.  It deliberately never compares
+    ``start_s`` across records — records from different processes have
+    different epochs, and the ``parent_id`` chain is the only
+    cross-process ground truth.
+    """
+    pool = list(records)
+    by_parent: Dict[Optional[str], List[SpanRecord]] = {}
+    ids = {record.span_id for record in pool if record.span_id}
+    for record in pool:
+        parent = record.parent_id if record.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(record)
+    ordered: List[SpanRecord] = []
+    visited: set = set()
+
+    def _walk(parent: Optional[str]) -> None:
+        for record in by_parent.get(parent, []):
+            ordered.append(record)
+            if record.span_id and record.span_id not in visited:
+                visited.add(record.span_id)
+                _walk(record.span_id)
+
+    _walk(None)
+    # Records whose parent chain is cyclic/broken still surface at the end.
+    if len(ordered) < len(pool):
+        seen = {id(record) for record in ordered}
+        ordered.extend(r for r in pool if id(r) not in seen)
+    return ordered
+
+
+__all__.append("stitch_timeline")

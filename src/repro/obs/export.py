@@ -1,0 +1,288 @@
+"""Telemetry export: OpenMetrics text rendering and JSONL snapshot streams.
+
+Two export surfaces sit on top of the metrics registry:
+
+* :func:`render_openmetrics` — a point-in-time OpenMetrics-style text
+  exposition of a :class:`~repro.obs.metrics.MetricsSnapshot` (counters,
+  gauges, cumulative histogram buckets).  It is a pure renderer: feed it
+  any snapshot (live registry, run record, merged workers) and diff the
+  text in tests.
+* :class:`TelemetryStreamer` — a periodic JSONL stream of snapshot
+  *samples* (cumulative counters/gauges plus per-histogram quantile
+  digests).  The serving layer appends one line per interval;
+  ``repro top`` tails the file and renders rates from consecutive
+  samples via :func:`derive_rates`.
+
+Quantiles come from :func:`histogram_quantile`, which interpolates inside
+the fixed log-spaced bins — deterministic for a given bin state, accurate
+to bin resolution (3 bins/decade by default, so within ~2.2x worst case;
+use finer ``bins_per_decade`` where SLOs need tighter estimates).
+
+Like everything in ``repro/obs/``, nothing here touches the wall clock or
+any random stream: timestamps are monotonic uptimes, and rendering a
+snapshot is a pure function of its contents.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, TextIO
+
+from .metrics import (
+    HistogramState,
+    MetricsSnapshot,
+    global_registry,
+    monotonic_s,
+)
+
+__all__ = [
+    "TelemetryStreamer",
+    "derive_rates",
+    "histogram_quantile",
+    "read_telemetry",
+    "render_openmetrics",
+    "summarize_histogram",
+]
+
+#: Quantiles carried in every telemetry histogram digest.
+DIGEST_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def histogram_quantile(state: HistogramState, q: float) -> float:
+    """Estimate the ``q`` quantile of a log-binned histogram.
+
+    Walks the cumulative bin counts to the bin containing rank
+    ``q * count`` and interpolates linearly inside it.  The underflow bin
+    is bounded below by the observed minimum and the overflow bin above
+    by the observed maximum, so estimates never leave the observed value
+    range.  Returns ``nan`` for an empty histogram.  Deterministic: same
+    bin state, same estimate, always.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if state.count <= 0:
+        return math.nan
+    rank = q * state.count
+    cumulative = 0
+    for index, bin_count in enumerate(state.counts):
+        cumulative += bin_count
+        if bin_count <= 0 or cumulative < rank:
+            continue
+        if index == 0:
+            lo, hi = state.min, state.edges[0]
+        elif index == len(state.edges):
+            lo, hi = state.edges[-1], state.max
+        else:
+            lo, hi = state.edges[index - 1], state.edges[index]
+        lo = max(lo, state.min)
+        hi = min(hi, state.max)
+        if hi <= lo:
+            return lo
+        fraction = (rank - (cumulative - bin_count)) / bin_count
+        return lo + fraction * (hi - lo)
+    return state.max
+
+
+def summarize_histogram(
+    state: HistogramState, quantiles: Iterable[float] = DIGEST_QUANTILES
+) -> dict:
+    """The telemetry digest of one histogram (count/sum/extrema/quantiles)."""
+    digest = {
+        "count": state.count,
+        "sum": state.sum,
+        "min": state.min if state.count else None,
+        "max": state.max if state.count else None,
+    }
+    for q in quantiles:
+        value = histogram_quantile(state, q)
+        digest[f"p{q * 100:g}"] = None if math.isnan(value) else value
+    return digest
+
+
+def _metric_name(name: str) -> str:
+    """Dotted instrument name -> OpenMetrics metric name."""
+    return name.replace(".", "_")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return format(float(value), ".10g")
+
+
+def render_openmetrics(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot as OpenMetrics-style text exposition.
+
+    Counters become ``<name>_total``, gauges plain samples, histograms
+    cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``.
+    Bucket boundaries are the registered log-spaced edges; the underflow
+    bin folds into the first bucket and the overflow bin into ``+Inf``
+    (bin membership is ``edge <= value < next_edge``, so ``le`` labels
+    are exact up to values landing precisely on an edge).  Families are
+    emitted in sorted name order — the output is canonical for a given
+    snapshot and safe to diff in tests.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        state = snapshot.histograms[name]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for index, edge in enumerate(state.edges):
+            cumulative += state.counts[index]
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(edge)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {state.count}')
+        lines.append(f"{metric}_sum {_format_value(state.sum)}")
+        lines.append(f"{metric}_count {state.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class TelemetryStreamer:
+    """Append point-in-time snapshot samples to a JSONL telemetry stream.
+
+    Each :meth:`write_sample` appends one JSON object::
+
+        {"seq": 3, "uptime_s": 1.52, "counters": {...}, "gauges": {...},
+         "histograms": {"serve.evaluate.request_latency_s":
+             {"count": 41, "sum": 0.8, "min": ..., "max": ...,
+              "p50": ..., "p95": ..., "p99": ...}}}
+
+    Counters and gauges are *cumulative* — consumers (``repro top``,
+    :func:`derive_rates`) difference consecutive samples to get rates, so
+    a reader joining mid-stream needs only two lines to show activity.
+    ``uptime_s`` is monotonic time since the streamer was built (never
+    the wall clock).  The file is opened in append mode and flushed per
+    sample so a tailing reader sees whole lines.
+    """
+
+    def __init__(self, path: str, registry=None) -> None:
+        self.path = str(path)
+        self._registry = registry
+        self._seq = 0
+        self._epoch = monotonic_s()
+        self._file: Optional[TextIO] = None
+
+    def _snapshot(self) -> MetricsSnapshot:
+        registry = self._registry if self._registry is not None else global_registry()
+        return registry.snapshot()
+
+    def sample(self) -> dict:
+        """Build one sample dict (without writing it)."""
+        snapshot = self._snapshot()
+        sample = {
+            "seq": self._seq,
+            "uptime_s": monotonic_s() - self._epoch,
+            "counters": dict(sorted(snapshot.counters.items())),
+            "gauges": dict(sorted(snapshot.gauges.items())),
+            "histograms": {
+                name: summarize_histogram(state)
+                for name, state in sorted(snapshot.histograms.items())
+            },
+        }
+        self._seq += 1
+        return sample
+
+    def write_sample(self) -> dict:
+        """Append one sample line to the stream; returns the sample."""
+        sample = self.sample()
+        if self._file is None:
+            self._file = open(self.path, "a", encoding="utf-8")
+        json.dump(sample, self._file, sort_keys=True)
+        self._file.write("\n")
+        self._file.flush()
+        return sample
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TelemetryStreamer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+        return None
+
+
+def read_telemetry(path: str) -> List[dict]:
+    """Read every complete sample from a telemetry JSONL stream.
+
+    A trailing partial line (a sample mid-write by a live streamer) is
+    skipped rather than raised on, so tailing readers never crash on a
+    torn write.
+    """
+    samples: List[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    sample = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(sample, dict):
+                    samples.append(sample)
+    except FileNotFoundError:
+        return []
+    return samples
+
+
+def _counter_delta(prev: Mapping, curr: Mapping, name: str) -> float:
+    return float(curr.get(name, 0)) - float(prev.get(name, 0))
+
+
+def derive_rates(previous: Optional[dict], current: dict) -> Dict[str, float]:
+    """Serving rates from two consecutive telemetry samples.
+
+    Returns a flat dict of derived quantities ``repro top`` renders:
+    ``requests_per_s``, ``rejections_per_s``, ``batch_efficiency``
+    (requests per flushed batch), ``session_hit_rate``, ``queue_depth``
+    and ``sessions``.  With no previous sample (reader just joined),
+    rates are computed against an all-zero baseline at uptime zero —
+    i.e. run-lifetime averages.
+    """
+    prev_counters: Mapping = {}
+    prev_uptime = 0.0
+    if previous is not None:
+        prev_counters = previous.get("counters", {})
+        prev_uptime = float(previous.get("uptime_s", 0.0))
+    counters = current.get("counters", {})
+    gauges = current.get("gauges", {})
+    elapsed = float(current.get("uptime_s", 0.0)) - prev_uptime
+    requests = _counter_delta(prev_counters, counters, "serve.requests")
+    rejections = _counter_delta(prev_counters, counters, "serve.rejections")
+    batches = _counter_delta(prev_counters, counters, "serve.batches")
+    batched = _counter_delta(prev_counters, counters, "serve.batched_requests")
+    hits = _counter_delta(prev_counters, counters, "serve.session_hits")
+    misses = _counter_delta(prev_counters, counters, "serve.session_misses")
+    lookups = hits + misses
+    return {
+        "elapsed_s": elapsed,
+        "requests_per_s": requests / elapsed if elapsed > 0 else 0.0,
+        "rejections_per_s": rejections / elapsed if elapsed > 0 else 0.0,
+        "batch_efficiency": batched / batches if batches > 0 else 0.0,
+        "session_hit_rate": hits / lookups if lookups > 0 else 0.0,
+        "queue_depth": float(gauges.get("serve.pending", 0.0)),
+        "sessions": float(gauges.get("serve.sessions", 0.0)),
+    }

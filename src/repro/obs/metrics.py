@@ -31,18 +31,26 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 __all__ = [
     "Counter",
+    "CounterHandle",
     "Gauge",
+    "GaugeHandle",
     "Histogram",
+    "HistogramHandle",
     "HistogramState",
     "MetricsSnapshot",
     "MetricsRegistry",
+    "counter_handle",
+    "gauge_handle",
     "global_registry",
+    "histogram_handle",
+    "monotonic_s",
     "reset_metrics",
     "merge_snapshots",
     "log_bin_edges",
@@ -80,6 +88,17 @@ def set_enabled(value: bool) -> bool:
     previous = _ENABLED
     _ENABLED = bool(value)
     return previous
+
+
+def monotonic_s() -> float:
+    """The obs-sanctioned monotonic clock (seconds, arbitrary epoch).
+
+    The *only* stopwatch library code outside ``repro/obs/`` may use
+    (RPL003): pairs of readings measure real elapsed time for latency
+    histograms without ever touching the wall clock, so no measured value
+    can leak into experiment numerics.
+    """
+    return time.perf_counter()
 
 
 def log_bin_edges(
@@ -414,6 +433,147 @@ def global_registry() -> MetricsRegistry:
     return _REGISTRY
 
 
-def reset_metrics() -> None:
-    """Zero the global registry (benchmarks use this between phases)."""
-    _REGISTRY.reset()
+def reset_metrics(clear: bool = False) -> None:
+    """Zero the global registry (benchmarks use this between phases).
+
+    With ``clear=True`` the registry object itself is *replaced*, dropping
+    every registered instrument — the isolation mode tests use so that
+    instruments registered by one test (``test.work`` and friends) do not
+    linger in later snapshots.  Hot-path call sites must therefore never
+    cache raw :class:`Counter`/:class:`Gauge`/:class:`Histogram` objects at
+    import time; they hold :class:`CounterHandle`-style handles instead,
+    which re-resolve automatically when the registry is replaced.
+    """
+    global _REGISTRY
+    if clear:
+        _REGISTRY = MetricsRegistry()
+    else:
+        _REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+# Instrument handles (stale-registry-proof module-level references)
+# ----------------------------------------------------------------------
+class _Handle:
+    """Base of the cached instrument handles module scopes hold.
+
+    A raw instrument reference captured at import time points into
+    whatever registry existed *then*; after ``reset_metrics(clear=True)``
+    such a reference keeps recording into a dead registry while snapshots
+    read a fresh zero instrument — the stale-handle hazard.  A handle
+    stores only the instrument *name* plus a one-slot cache keyed on the
+    registry's identity: the hot path pays two attribute loads and an
+    ``is`` check, and re-resolves through :func:`global_registry` only
+    when the registry actually changed.
+    """
+
+    __slots__ = ("name", "_registry", "_instrument")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._registry: Optional[MetricsRegistry] = None
+        self._instrument = None
+
+    def _resolve(self):
+        raise NotImplementedError
+
+
+class CounterHandle(_Handle):
+    """A stale-proof reference to a named :class:`Counter`."""
+
+    __slots__ = ()
+
+    def _resolve(self) -> Counter:
+        registry = _REGISTRY
+        if self._registry is not registry:
+            self._instrument = registry.counter(self.name)
+            self._registry = registry
+        return self._instrument
+
+    @property
+    def value(self) -> int:
+        return self._resolve().value
+
+    def inc(self, amount: int = 1) -> None:
+        self._resolve().inc(amount)
+
+
+class GaugeHandle(_Handle):
+    """A stale-proof reference to a named :class:`Gauge`."""
+
+    __slots__ = ()
+
+    def _resolve(self) -> Gauge:
+        registry = _REGISTRY
+        if self._registry is not registry:
+            self._instrument = registry.gauge(self.name)
+            self._registry = registry
+        return self._instrument
+
+    @property
+    def value(self) -> float:
+        return self._resolve().value
+
+    def set(self, value: float) -> None:
+        self._resolve().set(value)
+
+
+class HistogramHandle(_Handle):
+    """A stale-proof reference to a named :class:`Histogram`."""
+
+    __slots__ = ("_lo", "_hi", "_bins_per_decade")
+
+    def __init__(
+        self,
+        name: str,
+        lo: float = DEFAULT_LO,
+        hi: float = DEFAULT_HI,
+        bins_per_decade: int = DEFAULT_BINS_PER_DECADE,
+    ) -> None:
+        super().__init__(name)
+        # Validate eagerly so a bad range fails at import, not first use.
+        log_bin_edges(lo, hi, bins_per_decade)
+        self._lo = lo
+        self._hi = hi
+        self._bins_per_decade = bins_per_decade
+
+    def _resolve(self) -> Histogram:
+        registry = _REGISTRY
+        if self._registry is not registry:
+            self._instrument = registry.histogram(
+                self.name, self._lo, self._hi, self._bins_per_decade
+            )
+            self._registry = registry
+        return self._instrument
+
+    def observe(self, value: float) -> None:
+        self._resolve().observe(value)
+
+    def state(self) -> HistogramState:
+        return self._resolve().state()
+
+
+def counter_handle(name: str) -> CounterHandle:
+    """Module-level registration of a counter, by stale-proof handle."""
+    handle = CounterHandle(name)
+    handle._resolve()
+    return handle
+
+
+def gauge_handle(name: str) -> GaugeHandle:
+    """Module-level registration of a gauge, by stale-proof handle."""
+    handle = GaugeHandle(name)
+    handle._resolve()
+    return handle
+
+
+def histogram_handle(
+    name: str,
+    lo: float = DEFAULT_LO,
+    hi: float = DEFAULT_HI,
+    bins_per_decade: int = DEFAULT_BINS_PER_DECADE,
+) -> HistogramHandle:
+    """Module-level registration of a histogram, by stale-proof handle."""
+    handle = HistogramHandle(name, lo, hi, bins_per_decade)
+    handle._resolve()
+    return handle

@@ -34,10 +34,11 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from .metrics import MetricsSnapshot, enabled, global_registry
-from .tracing import SpanSummary, global_tracer, merge_span_summaries
+from .tracing import SpanRecord, SpanSummary, global_tracer, merge_span_summaries
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "ObsSample",
     "current_sample",
     "merge_samples",
@@ -48,8 +49,13 @@ __all__ = [
     "validate_record",
 ]
 
-#: Bump on any backwards-incompatible record shape change.
-SCHEMA_VERSION = 1
+#: Bump on any backwards-incompatible record shape change.  v2 adds the
+#: optional ``request_traces`` section (request-scoped span stitching);
+#: v1 records remain readable and valid.
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_record` accepts.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +219,7 @@ class RunRecorder:
         self.seeds = dict(seeds or {})
         self.record: Optional[dict] = None
         self._worker_samples: List[ObsSample] = []
+        self._request_traces: Dict[str, List[SpanRecord]] = {}
         self._before: Optional[ObsSample] = None
         self._t0 = 0.0
 
@@ -224,6 +231,20 @@ class RunRecorder:
     def add_worker_samples(self, samples: Sequence[ObsSample]) -> None:
         """Attach per-task deltas returned by ``run_parallel(collect_obs=True)``."""
         self._worker_samples.extend(samples)
+
+    def add_request_traces(
+        self, traces: Mapping[str, Sequence[SpanRecord]]
+    ) -> None:
+        """Attach per-request stitched span timelines (schema v2).
+
+        ``traces`` maps request ids to their
+        :class:`~repro.obs.tracing.SpanRecord` sequences — typically a
+        :meth:`~repro.obs.context.RequestTraceStore.drain` from the
+        serving layer, already merged across the event-loop process and
+        any pool workers.  Calling repeatedly extends per-request lists.
+        """
+        for request_id, records in traces.items():
+            self._request_traces.setdefault(str(request_id), []).extend(records)
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is not None or self._before is None:
@@ -247,6 +268,10 @@ class RunRecorder:
             "spans": {
                 name: summary.as_dict()
                 for name, summary in sorted(merged.spans.items())
+            },
+            "request_traces": {
+                request_id: [record.as_dict() for record in records]
+                for request_id, records in sorted(self._request_traces.items())
             },
             "meta": run_metadata(),
         }
@@ -293,9 +318,77 @@ def _check(errors: List[str], condition: bool, message: str) -> bool:
     return condition
 
 
-def validate_record(record: Any) -> List[str]:
-    """Validate one run record against the v1 schema.
+def _validate_request_traces(errors: List[str], traces: Any) -> None:
+    """Validate the v2 ``request_traces`` span-stitching section."""
+    if not _check(
+        errors, isinstance(traces, dict), "request_traces must be an object"
+    ):
+        return
+    for request_id, records in traces.items():
+        label = f"request_traces[{request_id!r}]"
+        if not _check(
+            errors, isinstance(records, list), f"{label} must be a list"
+        ):
+            continue
+        span_ids = set()
+        for index, span in enumerate(records):
+            where = f"{label}[{index}]"
+            if not _check(
+                errors, isinstance(span, dict), f"{where} must be an object"
+            ):
+                continue
+            _check(
+                errors,
+                isinstance(span.get("name"), str) and span.get("name"),
+                f"{where}.name must be a non-empty string",
+            )
+            span_id = span.get("span_id")
+            if _check(
+                errors,
+                isinstance(span_id, str) and bool(span_id),
+                f"{where}.span_id must be a non-empty string",
+            ):
+                span_ids.add(span_id)
+            parent_id = span.get("parent_id")
+            _check(
+                errors,
+                parent_id is None or (isinstance(parent_id, str) and parent_id),
+                f"{where}.parent_id must be null or a non-empty string",
+            )
+            _check(
+                errors,
+                span.get("request_id") == request_id,
+                f"{where}.request_id must equal its key {request_id!r}",
+            )
+            for field in ("start_s", "duration_s"):
+                _check(
+                    errors,
+                    isinstance(span.get(field), (int, float))
+                    and not isinstance(span.get(field), bool),
+                    f"{where}.{field} must be a number",
+                )
+            _check(
+                errors,
+                isinstance(span.get("pid"), int) and span.get("pid", -1) >= 0,
+                f"{where}.pid must be a non-negative integer",
+            )
+        for index, span in enumerate(records):
+            if not isinstance(span, dict):
+                continue
+            parent_id = span.get("parent_id")
+            if isinstance(parent_id, str) and parent_id:
+                _check(
+                    errors,
+                    parent_id != span.get("span_id"),
+                    f"{label}[{index}] is its own parent",
+                )
 
+
+def validate_record(record: Any) -> List[str]:
+    """Validate one run record against its declared schema version.
+
+    Accepts every version in :data:`SUPPORTED_SCHEMA_VERSIONS` — v1
+    (no ``request_traces``) and v2 — so old record files stay readable.
     Returns a list of human-readable problems (empty = valid).  Kept as a
     hand-rolled checker so the repo needs no jsonschema dependency; CI
     runs it over a freshly emitted record every build.
@@ -303,11 +396,21 @@ def validate_record(record: Any) -> List[str]:
     errors: List[str] = []
     if not _check(errors, isinstance(record, dict), "record must be a JSON object"):
         return errors
+    version = record.get("schema_version")
     _check(
         errors,
-        record.get("schema_version") == SCHEMA_VERSION,
-        f"schema_version must be {SCHEMA_VERSION}, got {record.get('schema_version')!r}",
+        version in SUPPORTED_SCHEMA_VERSIONS,
+        f"schema_version must be one of {SUPPORTED_SCHEMA_VERSIONS}, "
+        f"got {version!r}",
     )
+    if version == 1:
+        _check(
+            errors,
+            "request_traces" not in record,
+            "request_traces requires schema_version 2",
+        )
+    elif version == SCHEMA_VERSION and "request_traces" in record:
+        _validate_request_traces(errors, record.get("request_traces"))
     _check(
         errors,
         isinstance(record.get("experiment"), str) and record.get("experiment"),

@@ -1,0 +1,386 @@
+"""Declarative SLOs: latency/rate objectives, rolling windows, burn rates.
+
+An *objective* is a predicate over a metrics snapshot:
+
+* :class:`LatencyObjective` — "quantile ``q`` of histogram ``metric`` is
+  at most ``threshold_s``" (e.g. p95 of
+  ``serve.evaluate.request_latency_s`` under 50 ms);
+* :class:`RateObjective` — "counter ``numerator`` over counter
+  ``denominator`` is at most ``budget``" (e.g. rejections under 1% of
+  requests).
+
+Objectives parse from compact spec strings (:func:`parse_slo`)::
+
+    p95:serve.evaluate.request_latency_s<0.05
+    p99:evaluate<0.1                # bare word expands to the serve
+                                    # per-type latency histogram
+    rate:serve.rejections/serve.requests<0.01
+
+A :class:`SloPolicy` bundles objectives and evaluates them against any
+snapshot — a live registry, a merged run record, or a rolling window.
+:class:`SloEngine` maintains the rolling window: feed it timestamped
+snapshots (the telemetry streamer's cadence is a natural clock) and it
+evaluates the policy over the *delta* between the window's edges, so a
+long-running service is judged on recent behaviour, not its lifetime
+average.
+
+Every status carries a **burn rate**: how fast the objective's error
+budget is being consumed, normalised so ``1.0`` means "exactly at
+budget".  For a latency objective the budget is the tolerated tail mass
+``1 - q`` and the burn rate is ``(fraction of observations over the
+threshold) / (1 - q)``; for a rate objective it is simply
+``ratio / budget``.  Values above 1 mean the objective is being violated
+at that multiple of its allowance.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple, Union
+
+from collections import deque
+
+from .export import histogram_quantile
+from .metrics import HistogramState, MetricsSnapshot
+
+__all__ = [
+    "LatencyObjective",
+    "RateObjective",
+    "SloEngine",
+    "SloPolicy",
+    "SloStatus",
+    "parse_slo",
+]
+
+#: Shorthand expansion for latency specs: a bare request-type word (no
+#: dots) names the serving layer's per-type latency histogram.
+_TYPE_METRIC_TEMPLATE = "serve.{kind}.request_latency_s"
+
+_LATENCY_SPEC = re.compile(
+    r"^p(?P<quantile>\d+(?:\.\d+)?):(?P<metric>[a-z][a-z0-9_.]*)"
+    r"<=?(?P<threshold>[0-9.eE+-]+)$"
+)
+_RATE_SPEC = re.compile(
+    r"^rate:(?P<numerator>[a-z][a-z0-9_.]*)/(?P<denominator>[a-z][a-z0-9_.]*)"
+    r"<=?(?P<budget>[0-9.eE+-]+)$"
+)
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """The outcome of evaluating one objective against one snapshot.
+
+    ``value`` is the observed quantity (a latency in seconds, or a
+    ratio); ``ok`` is the pass/fail verdict; ``burn_rate`` is the error
+    budget consumption multiple (see module docstring).  Objectives with
+    no observations yet pass vacuously with ``value = nan`` and zero
+    burn — an idle service violates nothing.
+    """
+
+    objective: str
+    kind: str
+    value: float
+    threshold: float
+    ok: bool
+    burn_rate: float
+
+    def describe(self) -> str:
+        value = "n/a" if math.isnan(self.value) else f"{self.value:.6g}"
+        verdict = "ok" if self.ok else "VIOLATED"
+        return (
+            f"{self.objective}: {verdict} "
+            f"(observed {value}, threshold {self.threshold:.6g}, "
+            f"burn {self.burn_rate:.2f}x)"
+        )
+
+
+def _tail_fraction(state: HistogramState, threshold: float) -> float:
+    """Estimated fraction of observations strictly above ``threshold``."""
+    if state.count <= 0:
+        return 0.0
+    if threshold >= state.max:
+        return 0.0
+    if threshold < state.min:
+        return 1.0
+    above = 0.0
+    for index, bin_count in enumerate(state.counts):
+        if bin_count <= 0:
+            continue
+        if index == 0:
+            lo, hi = state.min, state.edges[0]
+        elif index == len(state.edges):
+            lo, hi = state.edges[-1], state.max
+        else:
+            lo, hi = state.edges[index - 1], state.edges[index]
+        lo = max(lo, state.min)
+        hi = min(hi, state.max)
+        if threshold < lo:
+            above += bin_count
+        elif threshold < hi:
+            above += bin_count * (hi - threshold) / (hi - lo)
+    return min(1.0, above / state.count)
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """``quantile`` of histogram ``metric`` must not exceed ``threshold_s``."""
+
+    metric: str
+    quantile: float
+    threshold_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {self.quantile}")
+        if self.threshold_s <= 0:
+            raise ValueError(f"threshold must be positive, got {self.threshold_s}")
+
+    @property
+    def name(self) -> str:
+        return f"p{self.quantile * 100:g}:{self.metric}<{self.threshold_s:g}"
+
+    def evaluate(self, snapshot: MetricsSnapshot) -> SloStatus:
+        state = snapshot.histograms.get(self.metric)
+        if state is None or state.count <= 0:
+            return SloStatus(
+                objective=self.name,
+                kind="latency",
+                value=math.nan,
+                threshold=self.threshold_s,
+                ok=True,
+                burn_rate=0.0,
+            )
+        observed = histogram_quantile(state, self.quantile)
+        budget = 1.0 - self.quantile
+        burn = _tail_fraction(state, self.threshold_s) / budget
+        return SloStatus(
+            objective=self.name,
+            kind="latency",
+            value=observed,
+            threshold=self.threshold_s,
+            ok=bool(observed <= self.threshold_s),
+            burn_rate=burn,
+        )
+
+    def evaluate_latencies(self, latencies_s: Sequence[float]) -> SloStatus:
+        """Evaluate against raw latency samples (loadgen results).
+
+        Uses the exact nearest-rank quantile of the samples — no binning
+        error — so offline load reports judge the true distribution.
+        """
+        values = sorted(v for v in latencies_s if not math.isnan(v))
+        if not values:
+            return SloStatus(
+                objective=self.name,
+                kind="latency",
+                value=math.nan,
+                threshold=self.threshold_s,
+                ok=True,
+                burn_rate=0.0,
+            )
+        rank = max(0, math.ceil(self.quantile * len(values)) - 1)
+        observed = values[rank]
+        over = sum(1 for v in values if v > self.threshold_s)
+        burn = (over / len(values)) / (1.0 - self.quantile)
+        return SloStatus(
+            objective=self.name,
+            kind="latency",
+            value=observed,
+            threshold=self.threshold_s,
+            ok=bool(observed <= self.threshold_s),
+            burn_rate=burn,
+        )
+
+
+@dataclass(frozen=True)
+class RateObjective:
+    """``numerator / denominator`` (counters) must not exceed ``budget``."""
+
+    numerator: str
+    denominator: str
+    budget: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.budget <= 1.0:
+            raise ValueError(f"budget must be in [0, 1], got {self.budget}")
+
+    @property
+    def name(self) -> str:
+        return f"rate:{self.numerator}/{self.denominator}<{self.budget:g}"
+
+    def _status(self, numerator: float, denominator: float) -> SloStatus:
+        if denominator <= 0:
+            return SloStatus(
+                objective=self.name,
+                kind="rate",
+                value=math.nan,
+                threshold=self.budget,
+                ok=True,
+                burn_rate=0.0,
+            )
+        ratio = numerator / denominator
+        if self.budget > 0:
+            burn = ratio / self.budget
+        else:
+            burn = math.inf if ratio > 0 else 0.0
+        return SloStatus(
+            objective=self.name,
+            kind="rate",
+            value=ratio,
+            threshold=self.budget,
+            ok=bool(ratio <= self.budget),
+            burn_rate=burn,
+        )
+
+    def evaluate(self, snapshot: MetricsSnapshot) -> SloStatus:
+        return self._status(
+            float(snapshot.counters.get(self.numerator, 0)),
+            float(snapshot.counters.get(self.denominator, 0)),
+        )
+
+    def evaluate_counts(self, numerator: int, denominator: int) -> SloStatus:
+        """Evaluate against explicit event counts (loadgen results)."""
+        return self._status(float(numerator), float(denominator))
+
+
+Objective = Union[LatencyObjective, RateObjective]
+
+
+def parse_slo(spec: str) -> Objective:
+    """Parse one objective from its compact spec string.
+
+    ``pQ:metric<threshold`` makes a :class:`LatencyObjective` (``Q`` in
+    percent, e.g. ``p99``; a bare metric word without dots expands to
+    ``serve.<word>.request_latency_s``); ``rate:num/den<budget`` makes a
+    :class:`RateObjective`.  ``<=`` is accepted as a synonym for ``<``.
+    """
+    text = spec.strip()
+    match = _LATENCY_SPEC.match(text)
+    if match is not None:
+        metric = match.group("metric")
+        if "." not in metric:
+            metric = _TYPE_METRIC_TEMPLATE.format(kind=metric)
+        return LatencyObjective(
+            metric=metric,
+            quantile=float(match.group("quantile")) / 100.0,
+            threshold_s=float(match.group("threshold")),
+        )
+    match = _RATE_SPEC.match(text)
+    if match is not None:
+        return RateObjective(
+            numerator=match.group("numerator"),
+            denominator=match.group("denominator"),
+            budget=float(match.group("budget")),
+        )
+    raise ValueError(
+        f"unparseable SLO spec {spec!r} "
+        "(want 'pQ:metric<seconds' or 'rate:num/den<budget')"
+    )
+
+
+class SloPolicy:
+    """An ordered bundle of objectives evaluated together."""
+
+    def __init__(self, objectives: Iterable[Objective]) -> None:
+        self.objectives: Tuple[Objective, ...] = tuple(objectives)
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[str]) -> "SloPolicy":
+        return cls(parse_slo(spec) for spec in specs)
+
+    def __len__(self) -> int:
+        return len(self.objectives)
+
+    def evaluate(self, snapshot: MetricsSnapshot) -> List[SloStatus]:
+        return [objective.evaluate(snapshot) for objective in self.objectives]
+
+    def violations(self, snapshot: MetricsSnapshot) -> List[SloStatus]:
+        return [s for s in self.evaluate(snapshot) if not s.ok]
+
+
+class SloEngine:
+    """Rolling-window SLO evaluation over timestamped snapshots.
+
+    Feed it ``(t_s, snapshot)`` observations on any monotonic clock
+    (telemetry uptime is the natural choice).  :meth:`evaluate` judges
+    the policy on the *delta* between the oldest retained observation
+    and the newest — counters and histogram bins subtract exactly, so
+    the window holds only its two edges' worth of derived state while
+    covering every event between them.  Observations older than
+    ``window_s`` are evicted, always keeping at least one as the
+    baseline edge.
+    """
+
+    def __init__(self, policy: SloPolicy, window_s: float = 60.0) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.policy = policy
+        self.window_s = window_s
+        self._samples: Deque[Tuple[float, MetricsSnapshot]] = deque()
+
+    def observe(self, t_s: float, snapshot: MetricsSnapshot) -> None:
+        self._samples.append((float(t_s), snapshot))
+        horizon = float(t_s) - self.window_s
+        while len(self._samples) > 2 and self._samples[1][0] <= horizon:
+            self._samples.popleft()
+
+    def window_snapshot(self) -> Optional[MetricsSnapshot]:
+        """The delta snapshot across the current window (None if empty)."""
+        if not self._samples:
+            return None
+        if len(self._samples) == 1:
+            return self._samples[0][1]
+        newest = self._samples[-1][1]
+        oldest = self._samples[0][1]
+        return newest.delta(oldest)
+
+    def evaluate(self) -> List[SloStatus]:
+        snapshot = self.window_snapshot()
+        if snapshot is None:
+            return [
+                objective.evaluate(MetricsSnapshot.empty())
+                for objective in self.policy.objectives
+            ]
+        return self.policy.evaluate(snapshot)
+
+    def violations(self) -> List[SloStatus]:
+        return [s for s in self.evaluate() if not s.ok]
+
+
+def evaluate_load_result(
+    policy: SloPolicy,
+    latencies_s: Sequence[float],
+    completed: int,
+    rejected: int,
+    failed: int,
+) -> List[SloStatus]:
+    """Judge a load run's outcome against a policy.
+
+    Latency objectives use the exact sample quantiles of the timed
+    latencies; rate objectives map the serving counter names onto the
+    run's event counts (rejections, errors, requests).  Counters the
+    mapping does not know pass vacuously (no data).
+    """
+    total = completed + rejected + failed
+    counts = {
+        "serve.requests": total,
+        "serve.rejections": rejected,
+        "serve.errors": failed,
+    }
+    statuses: List[SloStatus] = []
+    for objective in policy.objectives:
+        if isinstance(objective, LatencyObjective):
+            statuses.append(objective.evaluate_latencies(latencies_s))
+        else:
+            statuses.append(
+                objective.evaluate_counts(
+                    counts.get(objective.numerator, 0),
+                    counts.get(objective.denominator, 0),
+                )
+            )
+    return statuses
+
+
+__all__.append("evaluate_load_result")

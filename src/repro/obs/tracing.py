@@ -23,10 +23,20 @@ level in any merge order.
 from __future__ import annotations
 
 import math
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from .metrics import enabled
 
@@ -35,6 +45,7 @@ __all__ = [
     "SpanSummary",
     "SpanTracer",
     "global_tracer",
+    "new_span_id",
     "reset_tracing",
     "merge_span_summaries",
 ]
@@ -42,14 +53,36 @@ __all__ = [
 #: Completed spans kept in the ring buffer (per process).
 DEFAULT_CAPACITY = 4096
 
+#: Per-process monotonic span-id sequence.  Ids are ``"<pid:x>-<seq:x>"``
+#: so spans minted by a pool worker can never collide with the parent's —
+#: the property cross-process request stitching rests on.
+_SPAN_SEQ = 0
 
-@dataclass(frozen=True)
+
+def new_span_id() -> str:
+    """Mint a process-unique span id (``"<pid hex>-<seq hex>"``)."""
+    global _SPAN_SEQ
+    _SPAN_SEQ += 1
+    return f"{os.getpid():x}-{_SPAN_SEQ:x}"
+
+
+@dataclass(slots=True)
 class SpanRecord:
     """One completed span.
 
     ``start_s`` is monotonic time relative to the tracer's epoch (its
     construction), so records from one process order and nest correctly;
-    they are not comparable across processes.
+    they are not comparable across processes.  The stitching fields
+    (``span_id``/``parent_id``/``request_id``/``pid``) are populated for
+    request-scoped spans (:func:`repro.obs.context.request_span`): a
+    request's timeline reconstructs from the ``parent_id`` chain alone,
+    which stays valid across process boundaries where ``start_s`` does
+    not.
+
+    Deliberately *not* frozen: records are constructed on the serving
+    hot path (several per traced request), and a frozen dataclass pays
+    an ``object.__setattr__`` per field on every construction.  Treat
+    instances as immutable by convention.
     """
 
     name: str
@@ -57,6 +90,46 @@ class SpanRecord:
     duration_s: float
     parent: Optional[str]
     depth: int
+    span_id: str = ""
+    parent_id: Optional[str] = None
+    request_id: Optional[str] = None
+    pid: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON/wire form (the run-record ``request_traces`` entry)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "parent": self.parent,
+            "depth": self.depth,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "request_id": self.request_id,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SpanRecord":
+        return cls(
+            name=str(data["name"]),
+            start_s=float(data["start_s"]),
+            duration_s=float(data["duration_s"]),
+            parent=None if data.get("parent") is None else str(data["parent"]),
+            depth=int(data.get("depth", 0)),
+            span_id=str(data.get("span_id", "")),
+            parent_id=(
+                None
+                if data.get("parent_id") is None
+                else str(data["parent_id"])
+            ),
+            request_id=(
+                None
+                if data.get("request_id") is None
+                else str(data["request_id"])
+            ),
+            pid=int(data.get("pid", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -177,7 +250,10 @@ class SpanTracer:
         self._epoch = time.perf_counter()
         self._buffer: Deque[SpanRecord] = deque(maxlen=capacity)
         self._stack: List[str] = []
-        self._aggregates: Dict[str, SpanSummary] = {}
+        # name -> [count, total_s, min_s, max_s]; mutated in place on the
+        # hot path, materialized into SpanSummary values on demand.
+        self._aggregates: Dict[str, List[float]] = {}
+        self._sinks: List[Callable[[SpanRecord], None]] = []
 
     def span(self, name: str) -> object:
         """A context manager timing one phase.
@@ -194,25 +270,56 @@ class SpanTracer:
     def _close(self, name: str, start: float, end: float) -> None:
         self._stack.pop()
         parent = self._stack[-1] if self._stack else None
-        record = SpanRecord(
-            name=name,
-            start_s=start - self._epoch,
-            duration_s=end - start,
-            parent=parent,
-            depth=len(self._stack),
+        self.emit(
+            SpanRecord(
+                name=name,
+                start_s=start - self._epoch,
+                duration_s=end - start,
+                parent=parent,
+                depth=len(self._stack),
+            )
         )
+
+    def emit(self, record: SpanRecord) -> None:
+        """Record one completed span: ring buffer, aggregates, sinks.
+
+        The entry request-scoped spans (and cross-process re-imports of
+        worker spans) use — they manage their own parent links through
+        explicit ``span_id``/``parent_id`` fields instead of the tracer's
+        name stack, which only pairs correctly for code that cannot
+        interleave (the asyncio service interleaves batches across
+        ``await`` points, so per-request spans must not share the stack).
+        """
         self._buffer.append(record)
         duration = record.duration_s
-        prior = self._aggregates.get(name)
-        if prior is None:
-            prior = SpanSummary.empty(name)
-        self._aggregates[name] = SpanSummary(
-            name=name,
-            count=prior.count + 1,
-            total_s=prior.total_s + duration,
-            min_s=min(prior.min_s, duration),
-            max_s=max(prior.max_s, duration),
-        )
+        stats = self._aggregates.get(record.name)
+        if stats is None:
+            self._aggregates[record.name] = [1, duration, duration, duration]
+        else:
+            stats[0] += 1
+            stats[1] += duration
+            if duration < stats[2]:
+                stats[2] = duration
+            if duration > stats[3]:
+                stats[3] = duration
+        for sink in self._sinks:
+            sink(record)
+
+    @property
+    def epoch(self) -> float:
+        """The monotonic instant ``start_s`` values are relative to."""
+        return self._epoch
+
+    def add_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        """Subscribe ``sink`` to every completed span (see ``emit``)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        """Unsubscribe a sink added with :meth:`add_sink` (idempotent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
 
     def records(self) -> Tuple[SpanRecord, ...]:
         """The ring buffer's current contents (oldest first)."""
@@ -220,7 +327,16 @@ class SpanTracer:
 
     def summaries(self) -> Dict[str, SpanSummary]:
         """Cumulative per-name aggregates (immune to ring eviction)."""
-        return dict(self._aggregates)
+        return {
+            name: SpanSummary(
+                name=name,
+                count=int(stats[0]),
+                total_s=stats[1],
+                min_s=stats[2],
+                max_s=stats[3],
+            )
+            for name, stats in self._aggregates.items()
+        }
 
     def reset(self) -> None:
         """Drop all records and aggregates (open spans keep nesting)."""
@@ -237,6 +353,14 @@ def global_tracer() -> SpanTracer:
     return _TRACER
 
 
-def reset_tracing() -> None:
-    """Clear the global tracer (benchmarks use this between phases)."""
-    _TRACER.reset()
+def reset_tracing(clear: bool = False) -> None:
+    """Clear the global tracer (benchmarks use this between phases).
+
+    ``clear=True`` replaces the tracer object itself (dropping sinks test
+    code may have attached), mirroring ``reset_metrics(clear=True)``.
+    """
+    global _TRACER
+    if clear:
+        _TRACER = SpanTracer()
+    else:
+        _TRACER.reset()

@@ -27,6 +27,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..obs.slo import SloPolicy, SloStatus, evaluate_load_result
 from .scenarios import ScenarioSpec
 from .service import (
     ActuateRequest,
@@ -81,6 +82,21 @@ class LoadResult:
         return {
             f"p{p:g}": float(np.percentile(timed, p)) for p in percentiles
         }
+
+    def evaluate_slo(self, policy: SloPolicy) -> list[SloStatus]:
+        """Judge this run against an SLO policy.
+
+        Latency objectives see the exact sample quantiles of the timed
+        latencies; rate objectives see the run's rejection/error/request
+        counts (see :func:`repro.obs.slo.evaluate_load_result`).
+        """
+        return evaluate_load_result(
+            policy,
+            [float(v) for v in self.latencies_s],
+            completed=self.completed,
+            rejected=self.rejected,
+            failed=self.failed,
+        )
 
 
 def mixed_requests(

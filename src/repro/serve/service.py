@@ -38,14 +38,30 @@ from __future__ import annotations
 import asyncio
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..em.geometry import Point
-from ..experiments.runner import resolve_jobs, shared_pool
-from ..obs.metrics import global_registry
-from ..obs.tracing import global_tracer
+from ..experiments.runner import resolve_jobs, shared_pool, traced_call
+from ..obs.context import (
+    RequestContext,
+    RequestTraceStore,
+    bind_context,
+    current_context,
+    emit_request_span,
+    new_request_id,
+    stitch_timeline,
+)
+from ..obs.export import TelemetryStreamer
+from ..obs.metrics import (
+    counter_handle,
+    enabled,
+    gauge_handle,
+    histogram_handle,
+    monotonic_s,
+)
+from ..obs.tracing import SpanRecord, global_tracer, new_span_id
 from ..sdr.testbed import sweep_basis_snr
 from . import work
 from .scenarios import ScenarioSession, ScenarioSpec, build_session
@@ -71,19 +87,49 @@ __all__ = [
     "SweepResult",
 ]
 
-_REQUESTS = global_registry().counter("serve.requests")
-_REJECTIONS = global_registry().counter("serve.rejections")
-_ERRORS = global_registry().counter("serve.errors")
-_BATCHES = global_registry().counter("serve.batches")
-_BATCHED_REQUESTS = global_registry().counter("serve.batched_requests")
-_SESSION_HITS = global_registry().counter("serve.session_hits")
-_SESSION_MISSES = global_registry().counter("serve.session_misses")
-_SESSION_EVICTIONS = global_registry().counter("serve.session_evictions")
-_PENDING = global_registry().gauge("serve.pending")
-_SESSIONS = global_registry().gauge("serve.sessions")
+# Stale-proof handles, not raw instruments: a raw reference captured at
+# import keeps recording into a dead registry after
+# ``reset_observability(clear=True)`` while snapshots read fresh zeros.
+# Handles re-resolve through the live registry (identity-cached, so the
+# hot path pays one ``is`` check).
+_REQUESTS = counter_handle("serve.requests")
+_REJECTIONS = counter_handle("serve.rejections")
+_ERRORS = counter_handle("serve.errors")
+_BATCHES = counter_handle("serve.batches")
+_BATCHED_REQUESTS = counter_handle("serve.batched_requests")
+_SESSION_HITS = counter_handle("serve.session_hits")
+_SESSION_MISSES = counter_handle("serve.session_misses")
+_SESSION_EVICTIONS = counter_handle("serve.session_evictions")
+_PENDING = gauge_handle("serve.pending")
+_SESSIONS = gauge_handle("serve.sessions")
+
+# End-to-end (submit -> resolved reply) latency per request type, measured
+# with the obs-sanctioned monotonic clock.  9 bins/decade keeps quantile
+# estimates within ~13% — tight enough to judge SLO thresholds.
+_EVALUATE_LATENCY = histogram_handle(
+    "serve.evaluate.request_latency_s", lo=1e-6, hi=1e3, bins_per_decade=9
+)
+_ACTUATE_LATENCY = histogram_handle(
+    "serve.actuate.request_latency_s", lo=1e-6, hi=1e3, bins_per_decade=9
+)
+_SWEEP_LATENCY = histogram_handle(
+    "serve.sweep.request_latency_s", lo=1e-6, hi=1e3, bins_per_decade=9
+)
+_SEARCH_LATENCY = histogram_handle(
+    "serve.search.request_latency_s", lo=1e-6, hi=1e3, bins_per_decade=9
+)
+_JOINT_LATENCY = histogram_handle(
+    "serve.joint.request_latency_s", lo=1e-6, hi=1e3, bins_per_decade=9
+)
+_COVERAGE_LATENCY = histogram_handle(
+    "serve.coverage.request_latency_s", lo=1e-6, hi=1e3, bins_per_decade=9
+)
 
 _SPAN_BATCH = "serve.batch"
 _SPAN_SESSION_BUILD = "serve.session_build"
+_SPAN_REQUEST = "serve.request"
+_SPAN_QUEUE = "serve.queue"
+_SPAN_BATCH_MEMBER = "serve.batch_member"
 
 
 class ServiceOverloaded(RuntimeError):
@@ -120,6 +166,28 @@ class ServiceConfig:
         :func:`repro.experiments.runner.resolve_jobs` (``None``/``1`` =
         inline in the event loop process, ``<= 0`` = all CPUs).  Pools
         are the persistent shared executors — no per-request spin-up.
+    trace_sample:
+        Deterministic request-trace sampling: every ``trace_sample``-th
+        admitted request gets a full stitched span timeline (``1`` =
+        every request, ``0`` = request tracing off).  The counter-based
+        choice uses no entropy, the first admitted request is always
+        sampled, and requests submitted under an explicitly bound
+        context (``ServiceClient.bind``) are always traced regardless —
+        the operator's force-trace hook.  Unsampled requests still feed
+        the per-type latency histograms and counters; sampling bounds
+        only the span-emission cost, keeping tracing overhead on the
+        batched throughput path under its <3% budget.
+    trace_capacity:
+        How many distinct requests' stitched span timelines the service
+        retains (oldest evicted wholesale beyond this).
+    telemetry_path:
+        When set, the service appends one JSONL telemetry sample
+        (cumulative counters/gauges + histogram quantile digests, see
+        :class:`repro.obs.export.TelemetryStreamer`) to this file every
+        ``telemetry_interval_s`` while it runs — the stream ``repro top``
+        tails.
+    telemetry_interval_s:
+        Sampling cadence of the telemetry stream.
     """
 
     batch_window_s: float = 0.0
@@ -127,6 +195,10 @@ class ServiceConfig:
     max_pending: int = 256
     session_capacity: int = 8
     search_jobs: Optional[int] = None
+    trace_sample: int = 16
+    trace_capacity: int = 256
+    telemetry_path: Optional[str] = None
+    telemetry_interval_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.batch_window_s < 0:
@@ -137,6 +209,12 @@ class ServiceConfig:
             raise ValueError("max_pending must be positive")
         if self.session_capacity <= 0:
             raise ValueError("session_capacity must be positive")
+        if self.trace_sample < 0:
+            raise ValueError("trace_sample must be >= 0")
+        if self.trace_capacity <= 0:
+            raise ValueError("trace_capacity must be positive")
+        if self.telemetry_interval_s <= 0:
+            raise ValueError("telemetry_interval_s must be positive")
 
 
 # ---------------------------------------------------------------------------
@@ -293,6 +371,47 @@ Request = Union[
 #: Ops the micro-batcher coalesces into one vectorized basis evaluation.
 _COALESCED = (EvaluateRequest, ActuateRequest)
 
+#: End-to-end latency histogram for each request type.
+_LATENCY_BY_TYPE = {
+    EvaluateRequest: _EVALUATE_LATENCY,
+    ActuateRequest: _ACTUATE_LATENCY,
+    SweepRequest: _SWEEP_LATENCY,
+    SearchRequest: _SEARCH_LATENCY,
+    JointOptimizeRequest: _JOINT_LATENCY,
+    CoverageRequest: _COVERAGE_LATENCY,
+}
+
+
+class _RequestTrace:
+    """In-flight stitching state of one traced request.
+
+    ``context`` is the context children bind to (its ``parent_span_id``
+    is the root ``serve.request`` span id, minted at admission);
+    ``parent_id`` is whatever span the *caller* had open when it
+    submitted (so nested traces — a client binding its own context —
+    chain correctly); ``t_submit`` anchors the root span and the queue
+    wait on the monotonic clock.
+
+    A request that falls outside the trace sample carries the
+    *latency-only* form (``context is None``): ``t_submit`` still feeds
+    the per-type latency histogram at completion, but no spans are
+    minted or emitted for it anywhere on the path.
+    """
+
+    __slots__ = ("context", "root_id", "parent_id", "t_submit")
+
+    def __init__(
+        self,
+        context: Optional[RequestContext],
+        root_id: str,
+        parent_id: Optional[str],
+        t_submit: float,
+    ) -> None:
+        self.context = context
+        self.root_id = root_id
+        self.parent_id = parent_id
+        self.t_submit = t_submit
+
 
 @dataclass
 class _Shard:
@@ -323,10 +442,16 @@ class EnvironmentService:
         self.session_hits = 0
         self.session_misses = 0
         self.session_evictions = 0
+        self.trace_store = RequestTraceStore(capacity=config.trace_capacity)
+        self._trace_counter = 0
+        global_tracer().add_sink(self.trace_store.sink)
+        self._telemetry_task: Optional[asyncio.Task] = None
+        self._streamer: Optional[TelemetryStreamer] = None
 
     # -- lifecycle ------------------------------------------------------
 
     async def __aenter__(self) -> "EnvironmentService":
+        self._ensure_telemetry()
         return self
 
     async def __aexit__(self, exc_type, exc, tb) -> None:
@@ -339,6 +464,53 @@ class EnvironmentService:
             self._flush(spec)
         while self._executions:
             await asyncio.gather(*list(self._executions), return_exceptions=True)
+        global_tracer().remove_sink(self.trace_store.sink)
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except asyncio.CancelledError:
+                pass
+            self._telemetry_task = None
+        if self._streamer is not None:
+            # One final sample so the stream's last line reflects the
+            # fully drained service.
+            self._streamer.write_sample()
+            self._streamer.close()
+            self._streamer = None
+
+    # -- telemetry ------------------------------------------------------
+
+    def _ensure_telemetry(self) -> None:
+        if (
+            self.config.telemetry_path is None
+            or self._telemetry_task is not None
+            or self._closed
+        ):
+            return
+        self._streamer = TelemetryStreamer(self.config.telemetry_path)
+        self._telemetry_task = asyncio.get_running_loop().create_task(
+            self._telemetry_loop()
+        )
+
+    async def _telemetry_loop(self) -> None:
+        assert self._streamer is not None
+        while True:
+            self._streamer.write_sample()
+            await asyncio.sleep(self.config.telemetry_interval_s)
+
+    # -- request traces -------------------------------------------------
+
+    def request_traces(self) -> Dict[str, List[SpanRecord]]:
+        """Stitched (parent-before-child) timelines per retained request."""
+        return {
+            request_id: stitch_timeline(records)
+            for request_id, records in self.trace_store.traces().items()
+        }
+
+    def drain_request_traces(self) -> Dict[str, Tuple[SpanRecord, ...]]:
+        """Return and clear the retained timelines (run-record handoff)."""
+        return self.trace_store.drain()
 
     # -- admission + batching -------------------------------------------
 
@@ -353,6 +525,16 @@ class EnvironmentService:
         Raises :class:`ServiceOverloaded` synchronously when
         ``max_pending`` requests are already queued, and
         :class:`ServiceClosed` after :meth:`close`.
+
+        When observability is enabled, every request feeds the per-type
+        latency histograms, and sampled requests (every
+        ``trace_sample``-th, plus every request submitted under a bound
+        :func:`repro.obs.context.current_context` such as
+        ``ServiceClient.bind``) are traced end to end: a root
+        ``serve.request`` span brackets admission to reply, with
+        ``serve.queue``/``serve.batch_member`` children (and worker-side
+        spans for pool-routed work) stitched under it.  Tracing never
+        changes results — it reads clocks, not random streams.
         """
         if self._closed:
             raise ServiceClosed("service is closed")
@@ -363,17 +545,73 @@ class EnvironmentService:
                 f"(max_pending={self.config.max_pending})"
             )
         _REQUESTS.inc()
+        self._ensure_telemetry()
+        trace: Optional[_RequestTrace] = None
+        if enabled():
+            caller = current_context()
+            if caller is not None or self._sample_next():
+                if caller is None:
+                    caller = RequestContext(request_id=new_request_id())
+                root_id = new_span_id()
+                trace = _RequestTrace(
+                    context=RequestContext(caller.request_id, root_id),
+                    root_id=root_id,
+                    parent_id=caller.parent_span_id or None,
+                    t_submit=monotonic_s(),
+                )
+            else:
+                trace = _RequestTrace(None, "", None, monotonic_s())
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         shard = self._shards.setdefault(request.scenario, _Shard())
-        shard.pending.append((request, future))
+        shard.pending.append((request, future, trace))
         self._pending_total += 1
         _PENDING.set(self._pending_total)
         if len(shard.pending) >= self.config.max_batch:
             self._flush(request.scenario)
         elif shard.flusher is None:
             shard.flusher = loop.create_task(self._flush_later(request.scenario))
-        return await future
+        if trace is None:
+            return await future
+        try:
+            result = await future
+        except BaseException:
+            # Failed or cancelled: close the trace, drop the latency
+            # sample (histograms measure completions only).
+            self._finish_request(request, trace, ok=False)
+            raise
+        self._finish_request(request, trace, ok=True)
+        return result
+
+    def _sample_next(self) -> bool:
+        """Counter-based trace sampling: no entropy, first request in."""
+        n = self.config.trace_sample
+        if n <= 0:
+            return False
+        sampled = self._trace_counter % n == 0
+        self._trace_counter += 1
+        return sampled
+
+    def _finish_request(
+        self, request: Request, trace: _RequestTrace, ok: bool
+    ) -> None:
+        """Close a traced request: root span + per-type latency sample."""
+        t_end = monotonic_s()
+        if trace.context is not None:
+            emit_request_span(
+                _SPAN_REQUEST,
+                RequestContext(
+                    request_id=trace.context.request_id,
+                    parent_span_id=trace.parent_id or "",
+                ),
+                trace.t_submit,
+                t_end,
+                span_id=trace.root_id,
+            )
+        if ok:
+            histogram = _LATENCY_BY_TYPE.get(type(request))
+            if histogram is not None:
+                histogram.observe(t_end - trace.t_submit)
 
     async def _flush_later(self, spec: ScenarioSpec) -> None:
         # With a zero window this still yields to the loop once, so every
@@ -398,6 +636,20 @@ class EnvironmentService:
         _PENDING.set(self._pending_total)
         _BATCHES.inc()
         _BATCHED_REQUESTS.inc(len(batch))
+        traced = [
+            trace
+            for _, _, trace in batch
+            if trace is not None and trace.context is not None
+        ]
+        if traced:
+            # Queue wait spans: stamped at submit, closed here at flush —
+            # the two ends live in different call frames, so the span is
+            # emitted from explicit timestamps rather than bracketed.
+            t_flush = monotonic_s()
+            for trace in traced:
+                emit_request_span(
+                    _SPAN_QUEUE, trace.context, trace.t_submit, t_flush
+                )
         task = asyncio.get_running_loop().create_task(
             self._execute_batch(spec, batch)
         )
@@ -433,24 +685,48 @@ class EnvironmentService:
     # -- execution ------------------------------------------------------
 
     async def _execute_batch(self, spec: ScenarioSpec, batch: list) -> None:
-        with global_tracer().span(_SPAN_BATCH):
-            try:
-                session = self._session(spec)
-            except Exception as error:  # scene build failed: fail the batch
-                for _, future in batch:
-                    self._reject_future(future, error)
-                return
-            self._run_coalesced(session, batch)
-            for request, future in batch:
-                if future.done() or isinstance(request, _COALESCED):
-                    continue
+        traced = [
+            trace
+            for _, _, trace in batch
+            if trace is not None and trace.context is not None
+        ]
+        batch_span_id = new_span_id() if traced else ""
+        t_batch = monotonic_s() if traced else 0.0
+        try:
+            with global_tracer().span(_SPAN_BATCH):
                 try:
-                    result = await self._run_single(session, request)
-                except Exception as error:
-                    self._reject_future(future, error)
-                else:
-                    if not future.cancelled():
-                        future.set_result(result)
+                    session = self._session(spec)
+                except Exception as error:  # scene build failed: fail the batch
+                    for _, future, _ in batch:
+                        self._reject_future(future, error)
+                    return
+                self._run_coalesced(session, batch)
+                for request, future, trace in batch:
+                    if future.done() or isinstance(request, _COALESCED):
+                        continue
+                    try:
+                        result = await self._run_single(
+                            session, request, trace, batch_span_id
+                        )
+                    except Exception as error:
+                        self._reject_future(future, error)
+                    else:
+                        if not future.cancelled():
+                            future.set_result(result)
+        finally:
+            if traced:
+                # One shared batch span id, one record per member request:
+                # each request's timeline shows the same physical flush,
+                # and worker spans hang off it via ``batch_span_id``.
+                t_end = monotonic_s()
+                for trace in traced:
+                    emit_request_span(
+                        _SPAN_BATCH_MEMBER,
+                        trace.context,
+                        t_batch,
+                        t_end,
+                        span_id=batch_span_id,
+                    )
 
     @staticmethod
     def _reject_future(future: asyncio.Future, error: Exception) -> None:
@@ -471,7 +747,7 @@ class EnvironmentService:
         blocks: list[np.ndarray] = []
         spans: list[tuple[Request, asyncio.Future, int, int]] = []
         total = 0
-        for request, future in batch:
+        for request, future, _ in batch:
             if not isinstance(request, _COALESCED):
                 continue
             if isinstance(request, EvaluateRequest):
@@ -506,16 +782,48 @@ class EnvironmentService:
                     )
                 )
 
-    async def _run_single(self, session: ScenarioSession, request: Request):
+    async def _run_single(
+        self,
+        session: ScenarioSession,
+        request: Request,
+        trace: Optional[_RequestTrace] = None,
+        batch_span_id: str = "",
+    ):
         if isinstance(request, SweepRequest):
             return self._run_sweep(session, request)
         if isinstance(request, SearchRequest):
-            return await self._run_search(session, request)
+            return await self._run_search(session, request, trace, batch_span_id)
         if isinstance(request, CoverageRequest):
             return self._run_coverage(session, request)
         if isinstance(request, JointOptimizeRequest):
-            return await self._run_joint(session, request)
+            return await self._run_joint(session, request, trace, batch_span_id)
         raise TypeError(f"unknown request type {type(request).__name__}")
+
+    @staticmethod
+    def _worker_wire(
+        trace: Optional[_RequestTrace], batch_span_id: str
+    ) -> Optional[tuple]:
+        """The context tuple shipped to (or used inline by) a task call.
+
+        The worker's span parents onto the shared batch span, so a
+        pool-routed search shows up in the timeline exactly where the
+        flush that dispatched it does.
+        """
+        if trace is None or trace.context is None or not enabled():
+            return None
+        parent = batch_span_id or trace.context.parent_span_id
+        return RequestContext(trace.context.request_id, parent).to_wire()
+
+    def _ingest_worker_records(self, records: tuple) -> None:
+        """Merge span dicts a pool worker shipped back into the store.
+
+        Only pool results are ingested — inline ``traced_call`` runs emit
+        straight into this process's tracer, whose sink already feeds the
+        store; adding the returned copies too would duplicate them.
+        """
+        self.trace_store.extend(
+            SpanRecord.from_dict(record) for record in records
+        )
 
     def _run_sweep(
         self, session: ScenarioSession, request: SweepRequest
@@ -543,7 +851,11 @@ class EnvironmentService:
         )
 
     async def _run_search(
-        self, session: ScenarioSession, request: SearchRequest
+        self,
+        session: ScenarioSession,
+        request: SearchRequest,
+        trace: Optional[_RequestTrace] = None,
+        batch_span_id: str = "",
     ) -> SearchResult:
         """Run a searcher, on the shared process pool when configured.
 
@@ -555,6 +867,7 @@ class EnvironmentService:
         """
         jobs = resolve_jobs(self.config.search_jobs)
         pool = shared_pool(jobs)
+        wire = self._worker_wire(trace, batch_span_id)
         args = (
             session.basis,
             request.searcher,
@@ -564,11 +877,16 @@ class EnvironmentService:
             session.mask,
         )
         if pool is None:
-            best, score, evaluations = work.search_task(*args)
-        else:
-            best, score, evaluations = await asyncio.get_running_loop().run_in_executor(
-                pool, work.search_task, *args
+            (best, score, evaluations), _ = traced_call(
+                wire, work.search_task, *args
             )
+        else:
+            (best, score, evaluations), records = (
+                await asyncio.get_running_loop().run_in_executor(
+                    pool, traced_call, wire, work.search_task, *args
+                )
+            )
+            self._ingest_worker_records(records)
         return SearchResult(
             best_configuration=best,
             best_score_db=score,
@@ -576,7 +894,11 @@ class EnvironmentService:
         )
 
     async def _run_joint(
-        self, session: ScenarioSession, request: JointOptimizeRequest
+        self,
+        session: ScenarioSession,
+        request: JointOptimizeRequest,
+        trace: Optional[_RequestTrace] = None,
+        batch_span_id: str = "",
     ) -> JointOptimizeResult:
         """Run one multi-link strategy, on the shared pool when configured.
 
@@ -617,12 +939,14 @@ class EnvironmentService:
         )
         jobs = resolve_jobs(self.config.search_jobs)
         pool = shared_pool(jobs)
+        wire = self._worker_wire(trace, batch_span_id)
         if pool is None:
-            outcome = work.joint_task(*args)
+            outcome, _ = traced_call(wire, work.joint_task, *args)
         else:
-            outcome = await asyncio.get_running_loop().run_in_executor(
-                pool, work.joint_task, *args
+            outcome, records = await asyncio.get_running_loop().run_in_executor(
+                pool, traced_call, wire, work.joint_task, *args
             )
+            self._ingest_worker_records(records)
         strategy, configurations, scores, aggregate, measurements, distinct = outcome
         return JointOptimizeResult(
             strategy=strategy,
@@ -658,10 +982,25 @@ class EnvironmentService:
 
 
 class ServiceClient:
-    """Typed async facade over :meth:`EnvironmentService.submit`."""
+    """Typed async facade over :meth:`EnvironmentService.submit`.
+
+    Calls made inside a :meth:`bind` block share one request context, so
+    their service-side spans stitch under the caller-chosen request id::
+
+        with client.bind("warmup-7"):
+            await client.actuate(spec, (0, 1, 2))
+
+    Unbound calls are traced too — :meth:`EnvironmentService.submit`
+    mints a fresh context per request.
+    """
 
     def __init__(self, service: EnvironmentService) -> None:
         self._service = service
+
+    @staticmethod
+    def bind(request_id: str):
+        """Bind a request context for client calls within the block."""
+        return bind_context(RequestContext(request_id=str(request_id)))
 
     async def evaluate(self, scenario: ScenarioSpec, configurations) -> EvaluateResult:
         return await self._service.submit(

@@ -1,0 +1,406 @@
+"""Unit tests for telemetry export, SLOs, and benchmark drift detection."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.bench_diff import (
+    compare_benchmarks,
+    flatten_json,
+    parse_metric_tolerances,
+)
+from repro.obs.export import (
+    TelemetryStreamer,
+    derive_rates,
+    histogram_quantile,
+    read_telemetry,
+    render_openmetrics,
+    summarize_histogram,
+)
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.slo import (
+    LatencyObjective,
+    RateObjective,
+    SloEngine,
+    SloPolicy,
+    evaluate_load_result,
+    parse_slo,
+)
+
+
+def _registry_with_latencies(values, name="serve.evaluate.request_latency_s"):
+    registry = MetricsRegistry()
+    histogram = registry.histogram(name, lo=1e-6, hi=1e3, bins_per_decade=9)
+    for value in values:
+        histogram.observe(value)
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Histogram quantiles
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_quantile_empty_and_bounds():
+    registry = _registry_with_latencies([])
+    state = registry.snapshot().histograms["serve.evaluate.request_latency_s"]
+    assert math.isnan(histogram_quantile(state, 0.5))
+    with pytest.raises(ValueError):
+        histogram_quantile(state, 1.5)
+
+
+def test_histogram_quantile_single_value_is_exact():
+    registry = _registry_with_latencies([0.25])
+    state = registry.snapshot().histograms["serve.evaluate.request_latency_s"]
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert histogram_quantile(state, q) == pytest.approx(0.25)
+
+
+def test_histogram_quantile_tracks_exact_within_bin_resolution():
+    values = [0.001 * (i + 1) for i in range(200)]
+    registry = _registry_with_latencies(values)
+    state = registry.snapshot().histograms["serve.evaluate.request_latency_s"]
+    for q in (0.5, 0.95, 0.99):
+        exact = values[max(0, math.ceil(q * len(values)) - 1)]
+        estimate = histogram_quantile(state, q)
+        # 9 bins/decade -> each bin spans ~29%, so estimates stay close.
+        assert estimate == pytest.approx(exact, rel=0.30)
+        assert state.min <= estimate <= state.max
+
+
+def test_histogram_quantile_monotone_in_q():
+    registry = _registry_with_latencies([0.01, 0.05, 0.2, 0.9, 3.0])
+    state = registry.snapshot().histograms["serve.evaluate.request_latency_s"]
+    estimates = [histogram_quantile(state, q) for q in (0.1, 0.5, 0.9, 1.0)]
+    assert estimates == sorted(estimates)
+
+
+def test_summarize_histogram_digest():
+    registry = _registry_with_latencies([0.1, 0.2, 0.3])
+    state = registry.snapshot().histograms["serve.evaluate.request_latency_s"]
+    digest = summarize_histogram(state)
+    assert digest["count"] == 3
+    assert digest["sum"] == pytest.approx(0.6)
+    assert digest["min"] == pytest.approx(0.1)
+    assert digest["max"] == pytest.approx(0.3)
+    assert {"p50", "p95", "p99"} <= set(digest)
+    empty = summarize_histogram(
+        _registry_with_latencies([], name="x.wait_s")
+        .snapshot()
+        .histograms["x.wait_s"]
+    )
+    assert empty["count"] == 0
+    assert empty["min"] is None and empty["p50"] is None
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics rendering
+# ---------------------------------------------------------------------------
+
+
+def test_render_openmetrics_families_and_eof():
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc(5)
+    registry.gauge("serve.pending").set(2.0)
+    registry.histogram(
+        "serve.wait_s", lo=0.1, hi=10.0, bins_per_decade=1
+    ).observe(0.5)
+    text = render_openmetrics(registry.snapshot())
+    assert "# TYPE serve_requests counter" in text
+    assert "serve_requests_total 5" in text
+    assert "serve_pending 2" in text
+    assert "# TYPE serve_wait_s histogram" in text
+    assert 'serve_wait_s_bucket{le="+Inf"} 1' in text
+    assert "serve_wait_s_count 1" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_render_openmetrics_is_canonical():
+    registry = MetricsRegistry()
+    registry.counter("b.second").inc()
+    registry.counter("a.first").inc()
+    text = render_openmetrics(registry.snapshot())
+    assert text.index("a_first_total") < text.index("b_second_total")
+    assert text == render_openmetrics(registry.snapshot())
+
+
+def test_render_openmetrics_cumulative_buckets():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "x.wait_s", lo=1.0, hi=100.0, bins_per_decade=1
+    )
+    for value in (0.5, 5.0, 50.0, 500.0):
+        histogram.observe(value)
+    text = render_openmetrics(registry.snapshot())
+    buckets = [
+        line for line in text.splitlines() if line.startswith("x_wait_s_bucket")
+    ]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts)  # cumulative
+    assert counts[-1] == 4  # +Inf covers everything
+
+
+# ---------------------------------------------------------------------------
+# Telemetry streaming
+# ---------------------------------------------------------------------------
+
+
+def test_telemetry_streamer_roundtrip(tmp_path):
+    path = tmp_path / "telemetry.jsonl"
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc(3)
+    registry.histogram("serve.wait_s").observe(0.1)
+    with TelemetryStreamer(str(path), registry=registry) as streamer:
+        first = streamer.write_sample()
+        registry.counter("serve.requests").inc(2)
+        second = streamer.write_sample()
+    assert first["seq"] == 0 and second["seq"] == 1
+    assert second["uptime_s"] >= first["uptime_s"]
+    samples = read_telemetry(str(path))
+    assert [s["seq"] for s in samples] == [0, 1]
+    assert samples[1]["counters"]["serve.requests"] == 5
+    assert samples[0]["histograms"]["serve.wait_s"]["count"] == 1
+
+
+def test_read_telemetry_skips_torn_lines_and_missing_file(tmp_path):
+    path = tmp_path / "telemetry.jsonl"
+    path.write_text(
+        json.dumps({"seq": 0, "uptime_s": 0.0, "counters": {}})
+        + "\n"
+        + '{"seq": 1, "upti'  # torn mid-write
+    )
+    samples = read_telemetry(str(path))
+    assert [s["seq"] for s in samples] == [0]
+    assert read_telemetry(str(tmp_path / "absent.jsonl")) == []
+
+
+def test_derive_rates_consecutive_and_lifetime():
+    first = {
+        "uptime_s": 1.0,
+        "counters": {
+            "serve.requests": 10,
+            "serve.batches": 2,
+            "serve.batched_requests": 8,
+            "serve.session_hits": 6,
+            "serve.session_misses": 2,
+        },
+        "gauges": {"serve.pending": 1.0, "serve.sessions": 2.0},
+    }
+    second = {
+        "uptime_s": 3.0,
+        "counters": {
+            "serve.requests": 30,
+            "serve.rejections": 4,
+            "serve.batches": 6,
+            "serve.batched_requests": 24,
+            "serve.session_hits": 14,
+            "serve.session_misses": 2,
+        },
+        "gauges": {"serve.pending": 5.0, "serve.sessions": 3.0},
+    }
+    rates = derive_rates(first, second)
+    assert rates["elapsed_s"] == pytest.approx(2.0)
+    assert rates["requests_per_s"] == pytest.approx(10.0)
+    assert rates["rejections_per_s"] == pytest.approx(2.0)
+    assert rates["batch_efficiency"] == pytest.approx(4.0)  # 16 reqs / 4 batches
+    assert rates["session_hit_rate"] == pytest.approx(1.0)  # 8 hits / 8 lookups
+    assert rates["queue_depth"] == 5.0
+    lifetime = derive_rates(None, second)
+    assert lifetime["requests_per_s"] == pytest.approx(10.0)
+    assert lifetime["elapsed_s"] == pytest.approx(3.0)
+
+
+# ---------------------------------------------------------------------------
+# SLO parsing and objectives
+# ---------------------------------------------------------------------------
+
+
+def test_parse_slo_latency_and_expansion():
+    objective = parse_slo("p95:serve.evaluate.request_latency_s<0.05")
+    assert isinstance(objective, LatencyObjective)
+    assert objective.quantile == pytest.approx(0.95)
+    assert objective.threshold_s == pytest.approx(0.05)
+    bare = parse_slo("p99:evaluate<=0.1")
+    assert bare.metric == "serve.evaluate.request_latency_s"
+    assert bare.quantile == pytest.approx(0.99)
+
+
+def test_parse_slo_rate():
+    objective = parse_slo("rate:serve.rejections/serve.requests<0.01")
+    assert isinstance(objective, RateObjective)
+    assert objective.numerator == "serve.rejections"
+    assert objective.budget == pytest.approx(0.01)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["", "p95:evaluate", "latency<0.1", "rate:a/b", "p95:Evaluate<0.1", "p:x<1"],
+)
+def test_parse_slo_rejects_bad_specs(spec):
+    with pytest.raises(ValueError):
+        parse_slo(spec)
+
+
+def test_latency_objective_pass_fail_and_vacuous():
+    registry = _registry_with_latencies([0.01] * 95 + [0.5] * 5)
+    snapshot = registry.snapshot()
+    loose = LatencyObjective(
+        "serve.evaluate.request_latency_s", quantile=0.9, threshold_s=0.1
+    )
+    tight = LatencyObjective(
+        "serve.evaluate.request_latency_s", quantile=0.99, threshold_s=0.1
+    )
+    assert loose.evaluate(snapshot).ok
+    status = tight.evaluate(snapshot)
+    assert not status.ok
+    assert status.burn_rate > 1.0
+    vacuous = LatencyObjective("no.such_s", quantile=0.5, threshold_s=1.0)
+    status = vacuous.evaluate(snapshot)
+    assert status.ok and math.isnan(status.value) and status.burn_rate == 0.0
+
+
+def test_latency_objective_exact_samples():
+    objective = LatencyObjective("x", quantile=0.9, threshold_s=0.5)
+    latencies = [0.1] * 9 + [1.0]
+    status = objective.evaluate_latencies(latencies)
+    assert status.value == pytest.approx(0.1)  # nearest-rank p90 of 10 samples
+    assert status.ok
+    assert status.burn_rate == pytest.approx(1.0)  # 10% over / 10% budget
+    assert objective.evaluate_latencies([math.nan]).ok  # untimed -> vacuous
+
+
+def test_rate_objective_burn_and_vacuous():
+    objective = RateObjective("serve.rejections", "serve.requests", budget=0.1)
+    status = objective.evaluate_counts(3, 10)
+    assert not status.ok
+    assert status.value == pytest.approx(0.3)
+    assert status.burn_rate == pytest.approx(3.0)
+    assert objective.evaluate_counts(0, 0).ok  # no traffic, no violation
+    zero_budget = RateObjective("a", "b", budget=0.0)
+    assert zero_budget.evaluate_counts(1, 10).burn_rate == math.inf
+
+
+def test_objective_validation():
+    with pytest.raises(ValueError):
+        LatencyObjective("x", quantile=1.0, threshold_s=0.1)
+    with pytest.raises(ValueError):
+        LatencyObjective("x", quantile=0.5, threshold_s=0.0)
+    with pytest.raises(ValueError):
+        RateObjective("a", "b", budget=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Policies and the rolling-window engine
+# ---------------------------------------------------------------------------
+
+
+def test_policy_from_specs_and_violations():
+    policy = SloPolicy.from_specs(
+        ["p95:evaluate<0.05", "rate:serve.rejections/serve.requests<0.5"]
+    )
+    assert len(policy) == 2
+    registry = _registry_with_latencies([1.0] * 10)
+    registry.counter("serve.requests").inc(10)
+    violations = policy.violations(registry.snapshot())
+    assert [v.kind for v in violations] == ["latency"]
+    assert "VIOLATED" in violations[0].describe()
+
+
+def test_slo_engine_window_judges_recent_behaviour():
+    policy = SloPolicy.from_specs(
+        ["rate:serve.rejections/serve.requests<0.1"]
+    )
+    engine = SloEngine(policy, window_s=10.0)
+    assert engine.evaluate()[0].ok  # empty window is vacuous
+
+    registry = MetricsRegistry()
+    requests = registry.counter("serve.requests")
+    rejections = registry.counter("serve.rejections")
+    # A bad first minute: 50% rejections.
+    requests.inc(100)
+    rejections.inc(50)
+    engine.observe(0.0, registry.snapshot())
+    assert not engine.evaluate()[0].ok
+    # Then a clean stretch; old samples age out of the window.
+    for t in (5.0, 12.0, 20.0):
+        requests.inc(100)
+        engine.observe(t, registry.snapshot())
+    status = engine.evaluate()[0]
+    assert status.ok  # window covers only the clean delta
+    assert status.value == pytest.approx(0.0)
+
+
+def test_evaluate_load_result_maps_counts():
+    policy = SloPolicy.from_specs(
+        [
+            "p50:evaluate<1.0",
+            "rate:serve.rejections/serve.requests<0.2",
+            "rate:serve.errors/serve.requests<0.01",
+        ]
+    )
+    statuses = evaluate_load_result(
+        policy, [0.1, 0.2, math.nan], completed=8, rejected=1, failed=1
+    )
+    by_kind = {s.objective: s for s in statuses}
+    assert by_kind["p50:serve.evaluate.request_latency_s<1"].ok
+    assert by_kind["rate:serve.rejections/serve.requests<0.2"].ok
+    assert not by_kind["rate:serve.errors/serve.requests<0.01"].ok
+
+
+# ---------------------------------------------------------------------------
+# Benchmark drift detection
+# ---------------------------------------------------------------------------
+
+
+def test_flatten_json_dicts_and_lists():
+    flat = flatten_json({"a": {"b": 1}, "edges": [10, 20], "name": "x"})
+    assert flat == {"a.b": 1, "edges.0": 10, "edges.1": 20, "name": "x"}
+
+
+def test_compare_benchmarks_numeric_tolerance():
+    baseline = {"throughput": 100.0, "count": 5}
+    ok = compare_benchmarks(baseline, {"throughput": 120.0, "count": 5})
+    assert ok == []
+    findings = compare_benchmarks(
+        baseline, {"throughput": 300.0, "count": 5}, file="BENCH_x.json"
+    )
+    assert [f.kind for f in findings] == ["numeric"]
+    assert "BENCH_x.json:throughput" in findings[0].describe()
+
+
+def test_compare_benchmarks_structure_and_keys_only():
+    baseline = {"a": 1, "b": 2}
+    findings = compare_benchmarks(baseline, {"a": 1, "c": 3})
+    assert {(f.kind, f.key) for f in findings} == {("added", "c"), ("missing", "b")}
+    # keys_only ignores even wild numeric drift.
+    assert compare_benchmarks({"a": 1}, {"a": 1000}, keys_only=True) == []
+    assert {
+        f.kind for f in compare_benchmarks({"a": 1}, {"b": 1}, keys_only=True)
+    } == {"added", "missing"}
+
+
+def test_compare_benchmarks_value_mismatch_and_overrides():
+    findings = compare_benchmarks({"name": "x"}, {"name": "y"})
+    assert [f.kind for f in findings] == ["value"]
+    # Per-metric override loosens one key without touching the rest.
+    overrides = parse_metric_tolerances(["*throughput*=5.0"])
+    findings = compare_benchmarks(
+        {"throughput": 10.0, "count": 10},
+        {"throughput": 55.0, "count": 100},
+        metric_tolerances=overrides,
+    )
+    assert [f.key for f in findings] == ["count"]
+
+
+def test_parse_metric_tolerances_rejects_bad_specs():
+    assert parse_metric_tolerances(["a=0.5", "b.*=1.0"]) == {
+        "a": 0.5,
+        "b.*": 1.0,
+    }
+    with pytest.raises(ValueError):
+        parse_metric_tolerances(["no-equals"])
+    with pytest.raises(ValueError):
+        parse_metric_tolerances(["=0.5"])

@@ -213,7 +213,11 @@ def test_rpl006_flags_bad_name_grammar():
         "from repro.obs.metrics import global_registry\n\n"
         "_C = global_registry().counter('EmExampleHits')\n"
     )
-    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+    # Raw module-level capture + grammar violation: two findings.
+    assert rules_of(run_lint_source(source, LIB_PATH)) == [
+        "RPL006",
+        "RPL006",
+    ]
 
 
 def test_rpl006_flags_histogram_without_unit_suffix():
@@ -221,7 +225,11 @@ def test_rpl006_flags_histogram_without_unit_suffix():
         "from repro.obs.metrics import global_registry\n\n"
         "_H = global_registry().histogram('em.example.latency')\n"
     )
-    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+    # Raw module-level capture + missing unit suffix: two findings.
+    assert rules_of(run_lint_source(source, LIB_PATH)) == [
+        "RPL006",
+        "RPL006",
+    ]
 
 
 def test_rpl006_flags_duplicate_registration():
@@ -230,7 +238,19 @@ def test_rpl006_flags_duplicate_registration():
         "_A = global_registry().counter('em.example.hits')\n"
         "_B = global_registry().counter('em.example.hits')\n"
     )
-    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+    # Two raw captures plus the duplicate name: three findings.
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"] * 3
+
+
+def test_rpl006_flags_raw_module_level_instrument_capture():
+    source = (
+        "from repro.obs.metrics import global_registry\n\n"
+        "_HITS = global_registry().counter('em.example.hits')\n"
+    )
+    findings = run_lint_source(source, LIB_PATH)
+    assert rules_of(findings) == ["RPL006"]
+    assert "stale" in findings[0].message
+    assert "counter_handle" in findings[0].message
 
 
 def test_rpl006_flags_inline_span_literal():
@@ -245,14 +265,76 @@ def test_rpl006_flags_inline_span_literal():
 
 def test_rpl006_allows_module_level_names_on_grammar():
     source = (
-        "from repro.obs.metrics import global_registry\n"
+        "from repro.obs.metrics import counter_handle, histogram_handle\n"
         "from repro.obs.tracing import global_tracer\n\n"
-        "_HITS = global_registry().counter('em.example.hits')\n"
-        "_WAIT_S = global_registry().histogram('em.example.wait_s')\n"
+        "_HITS = counter_handle('em.example.hits')\n"
+        "_WAIT_S = histogram_handle('em.example.wait_s')\n"
         "_SPAN_TRACE = 'em.example_trace'\n\n\n"
         "def phase():\n"
         "    with global_tracer().span(_SPAN_TRACE):\n"
         "        pass\n"
+    )
+    assert run_lint_source(source, LIB_PATH) == []
+
+
+def test_rpl006_flags_handle_registration_inside_function():
+    source = (
+        "from repro.obs.metrics import counter_handle\n\n\n"
+        "def hot_path():\n"
+        "    counter_handle('em.example.hits').inc()\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_flags_handle_bad_grammar_and_duplicates():
+    source = (
+        "from repro.obs.metrics import counter_handle, gauge_handle\n\n"
+        "_A = counter_handle('EmExampleHits')\n"
+        "_B = gauge_handle('em.example.depth')\n"
+        "_C = counter_handle('em.example.depth')\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006", "RPL006"]
+
+
+def test_rpl006_flags_histogram_handle_without_unit_suffix():
+    source = (
+        "from repro.obs.metrics import histogram_handle\n\n"
+        "_H = histogram_handle('em.example.latency')\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_flags_inline_request_span_literal():
+    source = (
+        "from repro.obs.context import request_span\n\n\n"
+        "def phase():\n"
+        "    with request_span('em.example_phase'):\n"
+        "        pass\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_flags_emit_request_span_dynamic_name():
+    source = (
+        "from repro.obs.context import emit_request_span\n\n\n"
+        "def phase(name, ctx):\n"
+        "    emit_request_span(name, ctx, 0.0, 1.0)\n"
+    )
+    assert rules_of(run_lint_source(source, LIB_PATH)) == ["RPL006"]
+
+
+def test_rpl006_allows_handle_and_request_span_idiom():
+    source = (
+        "from repro.obs.context import emit_request_span, request_span\n"
+        "from repro.obs.metrics import counter_handle, histogram_handle\n\n"
+        "_HITS = counter_handle('em.example.hits')\n"
+        "_WAIT_S = histogram_handle('em.example.wait_s')\n"
+        "_SPAN_PHASE = 'em.example_phase'\n"
+        "_SPAN_QUEUE = 'em.example_queue'\n\n\n"
+        "def phase(ctx):\n"
+        "    with request_span(_SPAN_PHASE):\n"
+        "        _HITS.inc()\n"
+        "    emit_request_span(_SPAN_QUEUE, ctx, 0.0, 1.0)\n"
     )
     assert run_lint_source(source, LIB_PATH) == []
 

@@ -176,3 +176,25 @@ def test_autouse_fixture_gives_fresh_cache():
     cache = global_trace_cache()
     assert len(cache) == 0
     assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+
+
+def test_counters_survive_registry_replacement():
+    """Regression: cache traffic must land in the *current* registry.
+
+    The module once captured raw Counter/Gauge objects at import, so
+    after ``reset_observability(clear=True)`` every hit/miss recorded
+    into a dead registry and run records showed zero cache traffic.
+    """
+    from repro.obs import reset_observability
+
+    reset_observability(clear=True)
+    tracer = _tracer()
+    cache = TraceCache(maxsize=8)
+    antenna = IsotropicAntenna()
+    tx = Point(2.0, 2.0)
+    point = _points(1)[0]
+    cache.get_or_trace(tracer, tx, point, antenna, antenna)
+    cache.get_or_trace(tracer, tx, point, antenna, antenna)
+    snap = global_registry().snapshot()
+    assert snap.counters["em.trace_cache.misses"] == 1
+    assert snap.counters["em.trace_cache.hits"] == 1

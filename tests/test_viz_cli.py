@@ -74,6 +74,12 @@ class TestCli:
             args = parser.parse_args([command])
             assert args.command == command
 
+    def test_serve_trace_sample_default_matches_service_config(self):
+        from repro.serve import ServiceConfig
+
+        args = build_parser().parse_args(["serve"])
+        assert args.trace_sample == ServiceConfig().trace_sample
+
     def test_scene_command_runs(self, capsys):
         assert main(["scene", "--placement", "1"]) == 0
         output = capsys.readouterr().out
