@@ -26,7 +26,9 @@ __all__ = [
     "Baseline",
     "apply_baseline",
     "load_baseline",
+    "prune_baseline",
     "save_baseline",
+    "stale_entries",
 ]
 
 BASELINE_VERSION = 1
@@ -109,3 +111,50 @@ def apply_baseline(
         else:
             fresh.append(finding)
     return fresh, matched
+
+
+def stale_entries(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Dict[str, int]:
+    """Fingerprint -> unused budget: grandfathered violations now fixed.
+
+    A stale entry is dead weight with a cost — if the violation ever
+    comes back, the leftover budget silently re-grandfathers it.  The
+    CLI warns on stale entries and ``--prune-baseline`` drops them.
+    """
+    remaining = dict(baseline.counts)
+    for finding in findings:
+        key = finding.fingerprint()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+    return {key: count for key, count in sorted(remaining.items()) if count > 0}
+
+
+def prune_baseline(
+    path: Union[str, Path], findings: Sequence[Finding], baseline: Baseline
+) -> int:
+    """Rewrite ``path`` keeping only budgets current findings consume.
+
+    Each fingerprint's count is clamped to the number of live matches;
+    entries with no live match disappear entirely.  Returns the number
+    of occurrence budgets dropped (0 means the file was already tight).
+    """
+    live: Dict[str, int] = {}
+    for finding in findings:
+        key = finding.fingerprint()
+        if key in baseline.counts:
+            live[key] = live.get(key, 0) + 1
+    entries: Dict[str, dict] = {}
+    dropped = 0
+    for key, count in baseline.counts.items():
+        kept = min(count, live.get(key, 0))
+        dropped += count - kept
+        if kept > 0:
+            entry = dict(baseline.context.get(key, {}))
+            entry["count"] = kept
+            entries[key] = entry
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return dropped

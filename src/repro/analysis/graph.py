@@ -1,0 +1,598 @@
+"""Project-wide analysis layer: module index, symbol table, call graph.
+
+The per-file rules of :mod:`repro.analysis.rules` see one module at a
+time, which is exactly the wrong granularity for the bug classes that
+threaten the serving stack: every one of them — a blocking call buried
+two helpers below an ``async def``, a coroutine minted by an imported
+function and never awaited, an unpicklable payload assembled in another
+module — crosses a function or file boundary.  This module gives rules a
+whole-program view:
+
+* :class:`ProjectIndex` parses every linted file once, derives dotted
+  module names, absolutizes import aliases (including relative imports
+  and ``__init__.py`` re-export chains), and indexes every function,
+  method, nested function and class under a fully qualified name.
+* :class:`CallGraph` resolves the call sites of each function body
+  against that symbol table — direct names, imported names, attribute
+  chains rooted at module aliases, ``self.method()`` dispatch (including
+  through base classes defined in the project), and class instantiation
+  (an edge to ``__init__``) — into a deterministic edge list with a
+  reverse adjacency for caller-directed propagation.
+* :class:`ProjectContext` packages the index, the graph and the per-file
+  :class:`~repro.analysis.linter.LintContext` objects so a graph-aware
+  rule can emit findings that respect each file's suppression pragmas.
+
+Resolution is deliberately conservative: a call that cannot be resolved
+statically (dynamic dispatch, callbacks, instance attributes of unknown
+type) simply has no edge, so graph rules under-approximate reachability
+rather than inventing it.  Everything is deterministic — files are
+indexed in sorted order and edges stored in source order — so lint
+output is stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .linter import LintContext
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectContext",
+    "ProjectIndex",
+    "module_name_for",
+]
+
+#: Scope separator used in qualified names of nested functions, mirroring
+#: the runtime ``__qualname__`` convention (``outer.<locals>.inner``).
+LOCALS = "<locals>"
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source path.
+
+    Preference order: the part after the last ``src`` path component
+    (the layout of this repo and of ``run_lint_source``'s synthetic
+    paths); otherwise the chain of enclosing packages found by walking
+    up while ``__init__.py`` files exist (the layout of test fixture
+    trees); otherwise the bare file stem.
+    """
+    pure = Path(path)
+    parts = list(pure.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        tail = parts[anchor + 1 :]
+        if tail:
+            return ".".join(tail)
+    if pure.exists():
+        names = [pure.stem] if pure.stem != "__init__" else []
+        parent = pure.resolve().parent
+        while (parent / "__init__.py").exists():
+            names.insert(0, parent.name)
+            parent = parent.parent
+        if names:
+            return ".".join(names)
+    return parts[-1] if parts else pure.stem
+
+
+def _absolutize(target: str, module: str, is_package: bool) -> str:
+    """Turn a possibly-relative import target into an absolute dotted name."""
+    if not target.startswith("."):
+        return target
+    level = len(target) - len(target.lstrip("."))
+    rest = target[level:]
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    parts = parts[: len(parts) - (level - 1)] if level > 1 else parts
+    if rest:
+        parts = [*parts, *rest.split(".")]
+    return ".".join(part for part in parts if part)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function/method/nested function definition in the project."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    lineno: int
+    is_async: bool
+    class_name: Optional[str]
+    params: Tuple[str, ...]
+    node: ast.AST = field(compare=False, repr=False)
+
+    @property
+    def is_nested(self) -> bool:
+        return LOCALS in self.qualname
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition: bases, methods, and annotated fields."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    lineno: int
+    bases: Tuple[str, ...]
+    methods: Tuple[str, ...]
+    #: ``(field name, resolved dotted names appearing in its annotation)``
+    #: from class-level ``AnnAssign`` plus ``self.x = Ctor()`` in __init__.
+    field_types: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    node: ast.AST = field(compare=False, repr=False)
+
+
+class ModuleInfo:
+    """One indexed module: absolutized imports plus top-level bindings."""
+
+    def __init__(self, name: str, context: LintContext) -> None:
+        self.name = name
+        self.context = context
+        self.path = context.path
+        is_package = Path(context.path).name == "__init__.py"
+        #: local alias -> absolute dotted target
+        self.imports: Dict[str, str] = {
+            local: _absolutize(target, name, is_package)
+            for local, target in context.imports._aliases.items()
+        }
+        #: names bound by top-level assignments (module globals).
+        self.global_names: Set[str] = set()
+        for stmt in context.tree.body:
+            for target in _binding_targets(stmt):
+                self.global_names.add(target)
+
+
+def _binding_targets(stmt: ast.stmt) -> Iterator[str]:
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    yield node.id
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield stmt.name
+
+
+def _param_names(node: ast.AST) -> Tuple[str, ...]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return ()
+    args = node.args
+    params = [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]
+    return tuple(arg.arg for arg in params)
+
+
+def _annotation_names(node: ast.AST, imports: "ModuleInfo") -> Tuple[str, ...]:
+    """Resolved dotted names appearing anywhere in an annotation expr."""
+    found: List[str] = []
+    for child in ast.walk(node):
+        dotted = _dotted_of(child)
+        if dotted is None:
+            continue
+        head, _, tail = dotted.partition(".")
+        target = imports.imports.get(head)
+        if target is not None:
+            found.append(f"{target}.{tail}" if tail else target)
+        else:
+            found.append(dotted)
+    return tuple(dict.fromkeys(found))
+
+
+def _dotted_of(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    chain: List[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    return ".".join([node.id, *reversed(chain)])
+
+
+class ProjectIndex:
+    """Symbol table over every linted module.
+
+    ``functions`` and ``classes`` are keyed by fully qualified dotted
+    names (``repro.serve.work.search_task``,
+    ``repro.serve.service.EnvironmentService``); :meth:`resolve` maps an
+    absolute dotted name to its canonical definition, chasing import
+    aliases and ``__init__.py`` re-exports with cycle protection.
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    @classmethod
+    def build(cls, contexts: Sequence[LintContext]) -> "ProjectIndex":
+        index = cls()
+        for context in sorted(contexts, key=lambda c: c.path):
+            index._add_module(context)
+        return index
+
+    # -- indexing -------------------------------------------------------
+
+    def _add_module(self, context: LintContext) -> None:
+        name = module_name_for(context.path)
+        module = ModuleInfo(name, context)
+        self.modules[name] = module
+        self._index_body(module, context.tree.body, scope=name, class_name=None)
+
+    def _index_body(
+        self,
+        module: ModuleInfo,
+        body: Sequence[ast.stmt],
+        scope: str,
+        class_name: Optional[str],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{scope}.{stmt.name}"
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname,
+                    module=module.name,
+                    name=stmt.name,
+                    path=module.path,
+                    lineno=stmt.lineno,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                    class_name=class_name,
+                    params=_param_names(stmt),
+                    node=stmt,
+                )
+                self._index_body(
+                    module, stmt.body, f"{qualname}.{LOCALS}", class_name=None
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                qualname = f"{scope}.{stmt.name}"
+                self._index_class(module, stmt, qualname)
+
+    def _index_class(
+        self, module: ModuleInfo, node: ast.ClassDef, qualname: str
+    ) -> None:
+        methods: List[str] = []
+        fields: List[Tuple[str, Tuple[str, ...]]] = []
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(stmt.name)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                fields.append(
+                    (stmt.target.id, _annotation_names(stmt.annotation, module))
+                )
+        bases = tuple(
+            resolved
+            for base in node.bases
+            for resolved in [self._resolve_in_module(module, _dotted_of(base))]
+            if resolved is not None
+        )
+        self.classes[qualname] = ClassInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            path=module.path,
+            lineno=node.lineno,
+            bases=bases,
+            methods=tuple(methods),
+            field_types=tuple(fields),
+            node=node,
+        )
+        self._index_body(module, node.body, qualname, class_name=node.name)
+        # ``self.x = Ctor()`` fields in __init__ join the annotated ones.
+        init = self.functions.get(f"{qualname}.__init__")
+        if init is not None and isinstance(init.node, ast.FunctionDef):
+            extra: List[Tuple[str, Tuple[str, ...]]] = []
+            for stmt in ast.walk(init.node):
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Call)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Attribute)
+                    and isinstance(stmt.targets[0].value, ast.Name)
+                    and stmt.targets[0].value.id == "self"
+                ):
+                    dotted = _dotted_of(stmt.value.func)
+                    resolved = self._resolve_in_module(module, dotted)
+                    if resolved is not None:
+                        extra.append((stmt.targets[0].attr, (resolved,)))
+            if extra:
+                info = self.classes[qualname]
+                self.classes[qualname] = ClassInfo(
+                    qualname=info.qualname,
+                    module=info.module,
+                    name=info.name,
+                    path=info.path,
+                    lineno=info.lineno,
+                    bases=info.bases,
+                    methods=info.methods,
+                    field_types=info.field_types + tuple(extra),
+                    node=info.node,
+                )
+
+    # -- resolution -----------------------------------------------------
+
+    def _resolve_in_module(
+        self, module: ModuleInfo, dotted: Optional[str]
+    ) -> Optional[str]:
+        """Resolve a dotted name as seen from ``module`` to a canonical one."""
+        if dotted is None:
+            return None
+        head, _, tail = dotted.partition(".")
+        local = f"{module.name}.{dotted}"
+        if local in self.functions or local in self.classes:
+            return local
+        target = module.imports.get(head)
+        if target is not None:
+            return self.resolve(f"{target}.{tail}" if tail else target)
+        return self.resolve(dotted)
+
+    def resolve(self, dotted: str, _seen: Optional[Set[str]] = None) -> Optional[str]:
+        """Canonical definition for an absolute dotted name, or ``None``.
+
+        Chases re-exports: ``pkg.helper`` where ``pkg/__init__.py`` does
+        ``from .impl import helper`` resolves to ``pkg.impl.helper``.
+        """
+        seen = _seen if _seen is not None else set()
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        if dotted in self.modules:
+            return dotted
+        # Longest known module prefix, then chase the remainder through
+        # that module's imports (the re-export case).
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            first = parts[cut]
+            rest = ".".join(parts[cut + 1 :])
+            target = module.imports.get(first)
+            if target is None:
+                return None
+            chased = f"{target}.{rest}" if rest else target
+            return self.resolve(chased, seen)
+        return None
+
+    def function(self, qualname: Optional[str]) -> Optional[FunctionInfo]:
+        if qualname is None:
+            return None
+        return self.functions.get(qualname)
+
+    def method_of(self, class_qualname: str, name: str) -> Optional[str]:
+        """Resolve a method through a class and its project-local bases."""
+        seen: Set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            candidate = f"{current}.{name}"
+            if candidate in self.functions:
+                return candidate
+            stack.extend(info.bases)
+        return None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved (or unresolved) call inside a function body."""
+
+    caller: str
+    #: Canonical qualified name of the target definition (function, class
+    #: or module), or ``None`` when resolution failed.
+    callee: Optional[str]
+    #: The absolute dotted name as written (post import-chase), kept even
+    #: for calls into external libraries — rules match these for
+    #: primitives like ``time.sleep``.
+    dotted: Optional[str]
+    path: str
+    node: ast.Call = field(compare=False, repr=False)
+
+
+class CallGraph:
+    """Deterministic call edges over a :class:`ProjectIndex`.
+
+    Each function body (nested defs excluded — they are their own nodes)
+    contributes its call sites in source order.  Module-level code is
+    attributed to a synthetic ``<module>`` function per module so
+    import-time calls participate in propagation too.
+    """
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.sites: Dict[str, List[CallSite]] = {}
+        self.callers: Dict[str, List[CallSite]] = {}
+        for qualname in sorted(index.functions):
+            info = index.functions[qualname]
+            self._add_function(info)
+        for name in sorted(index.modules):
+            module = index.modules[name]
+            self._add_module_level(module)
+
+    # -- construction ---------------------------------------------------
+
+    def _add_function(self, info: FunctionInfo) -> None:
+        module = self.index.modules[info.module]
+        sites = [
+            self._resolve_site(info.qualname, module, call, info)
+            for call in _own_calls(info.node)
+        ]
+        self._store(info.qualname, sites)
+
+    def _add_module_level(self, module: ModuleInfo) -> None:
+        calls: List[ast.Call] = []
+        for stmt in module.context.tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    calls.append(node)
+        qualname = f"{module.name}.<module>"
+        sites = [
+            self._resolve_site(qualname, module, call, None) for call in calls
+        ]
+        self._store(qualname, sites)
+
+    def _store(self, qualname: str, sites: List[CallSite]) -> None:
+        self.sites[qualname] = sites
+        for site in sites:
+            if site.callee is not None:
+                self.callers.setdefault(site.callee, []).append(site)
+
+    def _resolve_site(
+        self,
+        caller: str,
+        module: ModuleInfo,
+        call: ast.Call,
+        owner: Optional[FunctionInfo],
+    ) -> CallSite:
+        dotted = _dotted_of(call.func)
+        callee: Optional[str] = None
+        resolved_dotted = dotted
+        if dotted is not None:
+            head, _, tail = dotted.partition(".")
+            if head == "self" and owner is not None and owner.class_name is not None:
+                # ``self.method()`` / ``self.attr.x()``: resolve one level.
+                if tail and "." not in tail:
+                    class_qual = f"{owner.module}.{owner.class_name}"
+                    callee = self.index.method_of(class_qual, tail)
+            else:
+                # Absolute form of the written name (for external matches).
+                target = module.imports.get(head)
+                if target is not None:
+                    resolved_dotted = f"{target}.{tail}" if tail else target
+                callee = self._resolve_scoped(caller, module, dotted)
+        callee = self._through_class(caller, callee)
+        return CallSite(
+            caller=caller,
+            callee=callee,
+            dotted=resolved_dotted,
+            path=module.path,
+            node=call,
+        )
+
+    def _resolve_scoped(
+        self, caller: str, module: ModuleInfo, dotted: str
+    ) -> Optional[str]:
+        """Resolve a name seen from inside ``caller``'s scope chain.
+
+        A nested function's body first sees sibling definitions in each
+        enclosing scope (``outer.<locals>.helper``), then module scope,
+        then imports.
+        """
+        scope = caller
+        while True:
+            candidate = f"{scope}.{LOCALS}.{dotted}"
+            if candidate in self.index.functions or candidate in self.index.classes:
+                return candidate
+            if LOCALS not in scope:
+                break
+            scope = scope.rsplit(f".{LOCALS}.", 1)[0]
+        return self.index._resolve_in_module(module, dotted)
+
+    def _through_class(
+        self, caller: str, callee: Optional[str]
+    ) -> Optional[str]:
+        """Instantiating a class is an edge to its (possibly inherited)
+        ``__init__``; classes without one stay class-valued targets."""
+        if callee is None or callee not in self.index.classes:
+            return callee
+        init = self.index.method_of(callee, "__init__")
+        return init if init is not None else callee
+
+    # -- queries --------------------------------------------------------
+
+    def resolve_dotted(self, caller: str, dotted: str) -> Optional[str]:
+        """Resolve a dotted name as seen from inside ``caller``'s scope.
+
+        The non-call counterpart of call-site resolution: rules use it
+        for function *values* (a pool-submitted ``work.search_task``)
+        and for constructor names inside payload expressions.
+        """
+        info = self.index.functions.get(caller)
+        if info is not None:
+            module = self.index.modules.get(info.module)
+        else:
+            module_name = caller.rsplit(".<module>", 1)[0]
+            module = self.index.modules.get(module_name)
+        if module is None:
+            return None
+        return self._resolve_scoped(caller, module, dotted)
+
+    def calls_from(self, qualname: str) -> List[CallSite]:
+        return self.sites.get(qualname, [])
+
+    def calls_to(self, qualname: str) -> List[CallSite]:
+        return self.callers.get(qualname, [])
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        for qualname in sorted(self.index.functions):
+            yield self.index.functions[qualname]
+
+
+def _own_calls(function: ast.AST) -> Iterator[ast.Call]:
+    """Calls in a function's body, excluding nested function/class bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop(0)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ProjectContext:
+    """Everything a graph-aware rule needs: index, graph, file contexts."""
+
+    def __init__(self, contexts: Sequence[LintContext]) -> None:
+        self.contexts: Dict[str, LintContext] = {c.path: c for c in contexts}
+        self.index = ProjectIndex.build(contexts)
+        self.graph = CallGraph(self.index)
+
+    def context_for(self, path: str) -> Optional[LintContext]:
+        return self.contexts.get(path)
+
+    def in_serve(self, info: FunctionInfo) -> bool:
+        """Whether a function lives in the serving layer (``serve/``)."""
+        context = self.context_for(info.path)
+        if context is None:
+            return False
+        return context.in_repro_src and "serve" in Path(info.path).parts

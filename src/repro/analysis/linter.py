@@ -18,13 +18,28 @@ pragma).  ``# reprolint: skip-file=RPL005`` anywhere in a file
 suppresses the listed rules for the whole file.  A reason after ``--``
 is conventional, not parsed.
 
+Two-pass orchestration
+----------------------
+Since the RPL1xx family, linting is two passes.  Pass one parses every
+file into a :class:`LintContext` (parse failures become per-file RPL000
+findings, never aborts) and — when the graph is enabled — builds the
+project-wide index and call graph of :mod:`repro.analysis.graph`.  Pass
+two runs the per-file rules over each context and the
+:class:`GraphRule` subclasses once over the whole project.  With the
+graph disabled (``--no-graph``) graph rules still run, but against a
+degraded single-file project per module, so any finding that needs a
+cross-module call edge provably disappears — the fixture contract the
+RPL1xx tests assert.  Per-rule wall-clock cost is accounted in
+:class:`LintRun.costs`.
+
 Library entry points
 --------------------
-:func:`run_lint` lints files/directories; :func:`run_lint_source` lints
-one in-memory snippet (the unit-test entry).  Both return sorted
+:func:`lint_project` is the full two-pass entry (findings + costs);
+:func:`run_lint` is its findings-only wrapper; :func:`run_lint_source`
+lints one in-memory snippet (the unit-test entry).  All return sorted
 :class:`Finding` lists.  Rule instances carry per-run state (e.g.
 duplicate-name detection across files), so a fresh rule set is created
-for every :func:`run_lint` call.
+for every run.
 """
 
 from __future__ import annotations
@@ -32,16 +47,19 @@ from __future__ import annotations
 import ast
 import hashlib
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Finding",
+    "GraphRule",
     "ImportMap",
     "LintContext",
+    "LintRun",
     "Rule",
     "iter_python_files",
+    "lint_project",
     "run_lint",
     "run_lint_source",
 ]
@@ -145,11 +163,13 @@ class ImportMap:
                     self._aliases[local] = target
             elif isinstance(node, ast.ImportFrom):
                 prefix = "." * node.level + (node.module or "")
+                # ``from . import x``: the prefix already ends in its dot.
+                separator = "" if prefix.endswith(".") else "."
                 for alias in node.names:
                     if alias.name == "*":
                         continue
                     local = alias.asname or alias.name
-                    self._aliases[local] = f"{prefix}.{alias.name}"
+                    self._aliases[local] = f"{prefix}{separator}{alias.name}"
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Canonical dotted name of an expression, or ``None``.
@@ -300,6 +320,24 @@ class Rule:
         return f"{cls.id}: {cls.title}"
 
 
+class GraphRule(Rule):
+    """A rule that checks the whole project, not one file at a time.
+
+    Subclasses implement :meth:`check_project` against a
+    :class:`repro.analysis.graph.ProjectContext` (index + call graph +
+    per-file contexts).  The orchestrator runs graph rules once over the
+    full project in graph mode, and once per single-file project in
+    ``--no-graph`` mode — same code path, degraded visibility — then
+    filters their findings through the owning file's pragmas.
+    """
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache"}
 
 
@@ -326,48 +364,222 @@ def _default_rules() -> List[Rule]:
     return all_rules()
 
 
+def _select_rules(
+    rules: Sequence[Rule],
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+) -> List[Rule]:
+    """Apply ``--select``/``--ignore`` id filters (RPL000 is implicit)."""
+    active = list(rules)
+    if select:
+        wanted = set(select)
+        active = [rule for rule in active if rule.id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        active = [rule for rule in active if rule.id not in dropped]
+    return active
+
+
+@dataclass
+class RuleCost:
+    """Wall-clock accounting for one rule over one run."""
+
+    seconds: float = 0.0
+    findings: int = 0
+
+
+@dataclass
+class LintRun:
+    """The result of one :func:`lint_project` run."""
+
+    findings: List[Finding]
+    files_checked: int
+    #: rule id -> cost; the index/graph build pass is accounted under
+    #: the pseudo id ``"<index>"``.
+    costs: Dict[str, RuleCost] = field(default_factory=dict)
+
+
+#: Pseudo cost key for pass one (parse + index + call-graph build).
+INDEX_COST_KEY = "<index>"
+
+
+def _parse_error_finding(path: str, error: Exception) -> Finding:
+    """An RPL000 finding for a file the parser rejected."""
+    if isinstance(error, SyntaxError):
+        return Finding(
+            path=Path(path).as_posix(),
+            line=error.lineno or 0,
+            col=error.offset or 0,
+            rule=SYNTAX_RULE_ID,
+            message=f"file does not parse: {error.msg}",
+            snippet=(error.text or "").strip(),
+        )
+    return Finding(
+        path=Path(path).as_posix(),
+        line=0,
+        col=0,
+        rule=SYNTAX_RULE_ID,
+        message=f"file does not parse: {error!r}",
+    )
+
+
+def _crash_finding(rule: Rule, path: str, error: Exception) -> Finding:
+    """An RPL000 finding for a rule that raised instead of checking."""
+    return Finding(
+        path=Path(path).as_posix(),
+        line=0,
+        col=0,
+        rule=SYNTAX_RULE_ID,
+        message=f"rule {rule.id} crashed: {error!r}",
+        hint="report this as a linter bug; the rest of the run is unaffected",
+    )
+
+
+def _checked(rule: Rule, context: LintContext) -> List[Finding]:
+    """One rule over one file, crash-contained to that file."""
+    try:
+        return [
+            finding
+            for finding in rule.check(context)
+            if not context.suppressed(finding)
+        ]
+    except Exception as error:  # crash containment: RPL000, file-scoped
+        return [_crash_finding(rule, context.path, error)]
+
+
+def _now() -> float:
+    from ..obs.metrics import monotonic_s
+
+    return monotonic_s()
+
+
+def _run_graph_rules(
+    graph_rules: Sequence[Rule],
+    contexts: Sequence[LintContext],
+    whole_project: bool,
+    costs: Dict[str, RuleCost],
+) -> List[Finding]:
+    """Run :class:`GraphRule` instances, whole-project or per-file.
+
+    ``whole_project=False`` is the ``--no-graph`` degradation: every
+    module is indexed alone, so rules keep their single-file power but
+    lose every cross-module call edge.
+    """
+    if not graph_rules or not contexts:
+        return []
+    from .graph import ProjectContext
+
+    t_index = _now()
+    if whole_project:
+        projects = [ProjectContext(list(contexts))]
+    else:
+        projects = [ProjectContext([context]) for context in contexts]
+    costs.setdefault(INDEX_COST_KEY, RuleCost()).seconds += _now() - t_index
+    findings: List[Finding] = []
+    for rule in graph_rules:
+        t_rule = _now()
+        produced: List[Finding] = []
+        for project in projects:
+            try:
+                for finding in rule.check_project(project):
+                    owner = project.context_for(finding.path)
+                    if owner is None or not owner.suppressed(finding):
+                        produced.append(finding)
+            except Exception as error:  # crash containment: RPL000
+                anchor = min(project.contexts) if project.contexts else ""
+                produced.append(_crash_finding(rule, anchor, error))
+        cost = costs.setdefault(rule.id, RuleCost())
+        cost.seconds += _now() - t_rule
+        cost.findings += len(produced)
+        findings.extend(produced)
+    return findings
+
+
+def lint_project(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    graph: bool = True,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintRun:
+    """Two-pass lint over every ``.py`` file under ``paths``.
+
+    Pass one parses each file (failures yield per-file RPL000 findings)
+    and, with ``graph=True``, builds the project index + call graph.
+    Pass two runs per-file rules file-by-file and graph rules over the
+    project.  Per-rule wall time and finding counts land in
+    :attr:`LintRun.costs`.
+    """
+    active = _select_rules(
+        _default_rules() if rules is None else list(rules), select, ignore
+    )
+    file_rules = [rule for rule in active if not isinstance(rule, GraphRule)]
+    graph_rules = [rule for rule in active if isinstance(rule, GraphRule)]
+    findings: List[Finding] = []
+    contexts: List[LintContext] = []
+    costs: Dict[str, RuleCost] = {}
+    files = iter_python_files(paths)
+    t_parse = _now()
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8", errors="replace")
+        try:
+            contexts.append(LintContext(file_path.as_posix(), source))
+        except (SyntaxError, ValueError, RecursionError, MemoryError) as error:
+            findings.append(_parse_error_finding(file_path.as_posix(), error))
+    costs[INDEX_COST_KEY] = RuleCost(seconds=_now() - t_parse)
+    for context in contexts:
+        for rule in file_rules:
+            t_rule = _now()
+            produced = _checked(rule, context)
+            cost = costs.setdefault(rule.id, RuleCost())
+            cost.seconds += _now() - t_rule
+            cost.findings += len(produced)
+            findings.extend(produced)
+    findings.extend(
+        _run_graph_rules(graph_rules, contexts, whole_project=graph, costs=costs)
+    )
+    return LintRun(
+        findings=sorted(findings), files_checked=len(files), costs=costs
+    )
+
+
 def run_lint_source(
     source: str,
     path: str = "src/repro/_snippet.py",
     rules: Optional[Sequence[Rule]] = None,
+    graph: bool = True,
 ) -> List[Finding]:
     """Lint one in-memory module; the unit-test entry point.
 
     ``path`` matters: rules scope themselves by location (``tests/`` is
-    exempt from RPL001, ``obs/`` has its own RPL003 allowlist), so tests
-    pass a representative fake path.
+    exempt from RPL001, ``obs/`` has its own RPL003 allowlist, RPL101
+    anchors on ``serve/``), so tests pass a representative fake path.
+    Graph rules run against the single-module project — the same
+    visibility ``--no-graph`` gives them.
     """
     active: Sequence[Rule] = _default_rules() if rules is None else rules
     try:
         context = LintContext(path, source)
-    except SyntaxError as error:
-        return [
-            Finding(
-                path=Path(path).as_posix(),
-                line=error.lineno or 0,
-                col=error.offset or 0,
-                rule=SYNTAX_RULE_ID,
-                message=f"file does not parse: {error.msg}",
-                snippet=(error.text or "").strip(),
+    except (SyntaxError, ValueError, RecursionError) as error:
+        return [_parse_error_finding(path, error)]
+    file_rules = [rule for rule in active if not isinstance(rule, GraphRule)]
+    graph_rules = [rule for rule in active if isinstance(rule, GraphRule)]
+    findings: List[Finding] = []
+    for rule in file_rules:
+        findings.extend(_checked(rule, context))
+    if graph:
+        findings.extend(
+            _run_graph_rules(
+                graph_rules, [context], whole_project=True, costs={}
             )
-        ]
-    findings = [
-        finding
-        for rule in active
-        for finding in rule.check(context)
-        if not context.suppressed(finding)
-    ]
+        )
     return sorted(findings)
 
 
 def run_lint(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
+    graph: bool = True,
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths``; returns sorted findings."""
-    active: Sequence[Rule] = _default_rules() if rules is None else rules
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(run_lint_source(source, file_path.as_posix(), active))
-    return sorted(findings)
+    return lint_project(paths, rules=rules, graph=graph).findings

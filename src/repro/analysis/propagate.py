@@ -1,0 +1,144 @@
+"""Worklist-driven interprocedural property propagation.
+
+Graph-aware rules share one shape of reasoning: a *fact* holds directly
+in some functions (calls ``time.sleep``; rebinds a module global via
+``global``; mints an RNG stream from constants) and infects everything
+that can reach them through call edges.  This module runs that fixpoint
+once per fact kind:
+
+* :func:`propagate_callers` — classic caller-directed reachability: a
+  function carries the fact if it holds directly or if any of its call
+  sites targets a function that carries it.  Used by RPL101 (blocking
+  reachable from ``async def``) and RPL103 (global mutation reachable
+  from a pool-submitted function).
+* :func:`propagate_param_flow` — parameter-flow variant for RPL104: a
+  function *escapes* if it mints its own stream directly, or if it
+  passes one of **its own parameters** into a callee that escapes.  The
+  extra condition keeps the closure honest — calling an escaping helper
+  without handing it your RNG is not an escape.
+
+Facts carry a witness chain (``via``) from the tainted function down to
+the seed so findings can explain *why* a call is flagged, and the
+worklist is processed in sorted order so chains — and therefore lint
+messages — are deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Set, Tuple
+
+from .graph import CallGraph, CallSite
+
+__all__ = ["Fact", "propagate_callers", "propagate_param_flow"]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One propagated property at one function.
+
+    ``detail`` describes the seed occurrence (e.g. ``"time.sleep at
+    repro/em/x.py:12"``); ``via`` is the call chain from this function
+    (exclusive) down to the seed function (inclusive) — empty when the
+    fact holds directly.
+    """
+
+    detail: str
+    via: Tuple[str, ...] = ()
+
+    @property
+    def direct(self) -> bool:
+        return not self.via
+
+    def chain(self) -> str:
+        """Human-readable witness: ``via a -> b: detail`` or ``detail``."""
+        if self.direct:
+            return self.detail
+        return f"via {' -> '.join(self.via)}: {self.detail}"
+
+
+def propagate_callers(
+    graph: CallGraph, seeds: Mapping[str, str]
+) -> Dict[str, Fact]:
+    """Close direct facts over callers: ``f`` has the fact if it calls
+    (transitively) a function that has it.
+
+    ``seeds`` maps function qualnames to their direct-fact detail
+    strings.  The returned map includes the seeds (as direct facts) and
+    every transitive caller, each with the shortest deterministic
+    witness chain found.
+    """
+    facts: Dict[str, Fact] = {
+        qualname: Fact(detail=detail)
+        for qualname, detail in sorted(seeds.items())
+    }
+    worklist = sorted(facts)
+    while worklist:
+        current = worklist.pop(0)
+        fact = facts[current]
+        for site in sorted(
+            graph.calls_to(current), key=lambda s: (s.caller, s.node.lineno)
+        ):
+            if site.caller in facts:
+                continue
+            facts[site.caller] = Fact(
+                detail=fact.detail, via=(current, *fact.via)
+            )
+            worklist.append(site.caller)
+    return facts
+
+
+def _passes_own_param(
+    graph: CallGraph, site: CallSite, params: Tuple[str, ...]
+) -> bool:
+    """Whether a call site forwards any of the caller's listed params."""
+    names: Set[str] = set()
+    for arg in [*site.node.args, *[kw.value for kw in site.node.keywords]]:
+        for child in ast.walk(arg):
+            if isinstance(child, ast.Name):
+                names.add(child.id)
+    return bool(names & set(params))
+
+
+def propagate_param_flow(
+    graph: CallGraph,
+    seeds: Mapping[str, str],
+    params_of: Callable[[str], Tuple[str, ...]],
+) -> Dict[str, Fact]:
+    """Parameter-flow closure: ``f`` escapes if it is a seed, or passes
+    one of its own parameters into a callee that escapes.
+
+    ``params_of`` maps a function qualname to the parameter names whose
+    flow matters for it (every parameter, for RPL104's caller-side
+    check — any incoming value could be the threaded generator).
+    """
+    facts: Dict[str, Fact] = {
+        qualname: Fact(detail=detail)
+        for qualname, detail in sorted(seeds.items())
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(graph.sites):
+            if qualname in facts:
+                continue
+            params = params_of(qualname)
+            if not params:
+                continue
+            hit: Optional[Tuple[str, Fact, CallSite]] = None
+            for site in graph.calls_from(qualname):
+                if site.callee is None or site.callee not in facts:
+                    continue
+                if site.callee == qualname:
+                    continue
+                if _passes_own_param(graph, site, params):
+                    hit = (site.callee, facts[site.callee], site)
+                    break
+            if hit is not None:
+                callee, fact, _ = hit
+                facts[qualname] = Fact(
+                    detail=fact.detail, via=(callee, *fact.via)
+                )
+                changed = True
+    return facts

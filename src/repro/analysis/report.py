@@ -3,13 +3,28 @@
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from .linter import Finding
+from .linter import Finding, RuleCost
 
-__all__ = ["REPORT_VERSION", "render_json", "render_text", "summarize"]
+__all__ = [
+    "REPORT_VERSION",
+    "render_json",
+    "render_stats",
+    "render_text",
+    "summarize",
+]
 
-REPORT_VERSION = 1
+#: Schema version of the JSON report.  2 added ``schema_version`` itself,
+#: the stable (rule, path, line, col) finding order, and per-rule costs.
+REPORT_VERSION = 2
+
+
+def _ordered(findings: Sequence[Finding]) -> List[Finding]:
+    """Findings in the report's stable order: rule id first, then site."""
+    return sorted(
+        findings, key=lambda f: (f.rule, f.path, f.line, f.col)
+    )
 
 
 def summarize(
@@ -49,17 +64,44 @@ def render_text(
     return "\n".join(lines)
 
 
+def render_stats(costs: Mapping[str, RuleCost]) -> str:
+    """Per-rule cost table for ``repro lint --stats``."""
+    lines = [f"{'rule':<10} {'ms':>8} {'findings':>8}"]
+    for rule in sorted(costs):
+        cost = costs[rule]
+        lines.append(
+            f"{rule:<10} {cost.seconds * 1000.0:>8.1f} {cost.findings:>8}"
+        )
+    total = sum(cost.seconds for cost in costs.values())
+    lines.append(f"{'total':<10} {total * 1000.0:>8.1f}")
+    return "\n".join(lines)
+
+
 def render_json(
     findings: Sequence[Finding],
     files_checked: int,
     baselined: int = 0,
     baseline_path: Optional[str] = None,
+    costs: Optional[Mapping[str, RuleCost]] = None,
 ) -> str:
-    """Machine-readable report (the CI artifact)."""
-    payload = {
+    """Machine-readable report (the CI artifact).
+
+    Findings are emitted in a stable (rule, path, line, col) order so
+    diffs between runs reflect real changes, not traversal order.
+    """
+    payload: Dict[str, object] = {
         "version": REPORT_VERSION,
+        "schema_version": REPORT_VERSION,
         "summary": summarize(findings, files_checked, baselined),
         "baseline": baseline_path,
-        "findings": [finding.as_dict() for finding in findings],
+        "findings": [finding.as_dict() for finding in _ordered(findings)],
     }
+    if costs is not None:
+        payload["costs"] = {
+            rule: {
+                "seconds": round(cost.seconds, 6),
+                "findings": cost.findings,
+            }
+            for rule, cost in sorted(costs.items())
+        }
     return json.dumps(payload, indent=2, sort_keys=True)

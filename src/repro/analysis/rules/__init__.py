@@ -1,9 +1,11 @@
 """Rule families for ``repro lint``; one module per family.
 
-Adding a rule: subclass :class:`repro.analysis.linter.Rule` in the
-fitting family module (or a new one), give it a stable ``RPLnnn`` id,
-``title`` and ``hint``, and list the class in :data:`RULE_CLASSES`.
-DESIGN.md §9 documents the shipped rule set.
+Adding a rule: subclass :class:`repro.analysis.linter.Rule` (or
+:class:`repro.analysis.linter.GraphRule` for whole-program checks) in
+the fitting family module (or a new one), give it a stable ``RPLnnn``
+id, ``title`` and ``hint``, and list the class in :data:`RULE_CLASSES`.
+DESIGN.md §9 documents the per-file rule set; §14 covers the
+graph-aware RPL1xx family and the two-pass architecture.
 """
 
 from __future__ import annotations
@@ -11,11 +13,15 @@ from __future__ import annotations
 from typing import List, Tuple, Type
 
 from ..linter import Rule
+from .awaited import UnawaitedCoroutineRule
+from .blocking import AsyncBlockingRule
 from .clock import WallClockRule
 from .literals import PhysicalConstantRule
 from .obs_names import ObsNamingRule
 from .ordering import UnorderedIterationRule
+from .pickle_safety import PickleBoundaryRule, PoolSubmissionRule
 from .rng import GlobalRngRule, ShadowedRngRule
+from .rng_flow import RngEscapeRule
 
 __all__ = ["RULE_CLASSES", "all_rules"]
 
@@ -26,6 +32,11 @@ RULE_CLASSES: Tuple[Type[Rule], ...] = (
     UnorderedIterationRule,
     PhysicalConstantRule,
     ObsNamingRule,
+    AsyncBlockingRule,
+    UnawaitedCoroutineRule,
+    PoolSubmissionRule,
+    RngEscapeRule,
+    PickleBoundaryRule,
 )
 
 

@@ -1,0 +1,91 @@
+"""RPL102: coroutines and futures created but never awaited or stored.
+
+Calling an ``async def`` without ``await`` creates a coroutine object
+and silently does nothing — the canonical asyncio footgun, and invisible
+to a single-file pass whenever the coroutine function lives in another
+module.  The same applies to fire-and-forget task/future handles:
+``asyncio.create_task`` results that are neither stored nor awaited can
+be garbage-collected mid-flight, and a dropped ``pool.submit`` future
+swallows its exception.
+
+The check is statement-shaped on purpose: only a *bare expression
+statement* whose value is such a call fires.  Assigning, returning,
+awaiting or passing the handle on all count as "stored" — downstream
+ownership is the owner's problem.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..graph import ProjectContext, _dotted_of
+from ..linter import Finding, GraphRule
+
+#: Task/future factories whose bare-statement results are lost handles.
+_TASK_FACTORIES = {"asyncio.create_task", "asyncio.ensure_future"}
+_TASK_ATTRS = {"create_task", "ensure_future"}
+_SUBMIT_HINTS = ("pool", "executor")
+
+
+def _bare_statement_calls(tree: ast.AST) -> Set[int]:
+    """``id()`` of every Call that is the entire value of an Expr stmt."""
+    bare: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            bare.add(id(node.value))
+    return bare
+
+
+class UnawaitedCoroutineRule(GraphRule):
+    """RPL102: every coroutine/future must be awaited or stored."""
+
+    id = "RPL102"
+    title = "coroutine or future created but never awaited or stored"
+    hint = (
+        "await the call, or keep the returned handle (assign it and "
+        "add_done_callback / gather it later)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        bare_by_path = {
+            path: _bare_statement_calls(context.tree)
+            for path, context in project.contexts.items()
+        }
+        for qualname in sorted(graph.sites):
+            for site in graph.sites[qualname]:
+                context = project.context_for(site.path)
+                if context is None or context.is_tests:
+                    continue
+                if id(site.node) not in bare_by_path.get(site.path, ()):
+                    continue
+                target = project.index.function(site.callee)
+                if target is not None and target.is_async:
+                    yield context.finding(
+                        self,
+                        site.node,
+                        f"coroutine {target.qualname}() is created but "
+                        "never awaited — the body never runs",
+                    )
+                    continue
+                func = site.node.func
+                if site.dotted in _TASK_FACTORIES or (
+                    isinstance(func, ast.Attribute) and func.attr in _TASK_ATTRS
+                ):
+                    yield context.finding(
+                        self,
+                        site.node,
+                        "task handle dropped: an unreferenced asyncio task "
+                        "can be garbage-collected before it finishes",
+                    )
+                    continue
+                if isinstance(func, ast.Attribute) and func.attr == "submit":
+                    receiver = (_dotted_of(func.value) or "").lower()
+                    if any(hint in receiver for hint in _SUBMIT_HINTS):
+                        yield context.finding(
+                            self,
+                            site.node,
+                            "future from .submit() is dropped — its result "
+                            "and any worker exception are lost",
+                        )

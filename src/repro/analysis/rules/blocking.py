@@ -1,0 +1,125 @@
+"""RPL101: no blocking calls reachable from ``async def`` bodies in serve/.
+
+The serving layer multiplexes every tenant onto one event loop; a
+single ``time.sleep``, synchronous ``Future.result()``/``Thread.join()``
+or file read anywhere under an ``async def`` stalls *all* of them at
+once.  The dangerous cases are never the direct ones (reviews catch
+those) but a blocking primitive two sync helpers below the coroutine —
+which is exactly what the call graph sees and a per-file walk cannot.
+
+Off-loop escapes are free: ``await loop.run_in_executor(pool, fn, ...)``
+passes ``fn`` as a value, so no call edge forms and nothing reached only
+through an executor is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from ..graph import CallSite, ProjectContext, _dotted_of
+from ..linter import Finding, GraphRule
+from ..propagate import propagate_callers
+
+#: Calls that block the calling thread outright, by absolute dotted name.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "input",
+}
+
+#: Synchronous file I/O: the ``open`` builtin plus ``pathlib`` read/write
+#: convenience methods (matched by attribute name on any receiver).
+_IO_ATTRS = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+#: ``.result()`` / ``.join()`` block only on concurrency primitives; the
+#: receiver's name must suggest one (``fut.result()``, ``thread.join()``)
+#: so ``", ".join(...)`` and friends stay silent.
+_SYNC_WAIT_ATTRS = {"result", "join"}
+_CONCURRENCY_HINTS = ("future", "thread", "proc", "pool", "task", "worker")
+
+
+def _direct_blocking(site: CallSite) -> Optional[str]:
+    """A short description if this call site blocks directly, else None."""
+    if site.dotted in _BLOCKING_CALLS:
+        return f"{site.dotted}()"
+    func = site.node.func
+    if isinstance(func, ast.Name) and func.id == "open" and site.callee is None:
+        return "open() file I/O"
+    if isinstance(func, ast.Attribute):
+        if func.attr in _IO_ATTRS:
+            return f".{func.attr}() file I/O"
+        if func.attr in _SYNC_WAIT_ATTRS:
+            receiver = _dotted_of(func.value) or ""
+            if any(hint in receiver.lower() for hint in _CONCURRENCY_HINTS):
+                return f"{receiver}.{func.attr}() synchronous wait"
+    return None
+
+
+class AsyncBlockingRule(GraphRule):
+    """RPL101: ``async def`` bodies in serve/ must stay non-blocking."""
+
+    id = "RPL101"
+    title = "blocking call reachable from an async def in the serving layer"
+    hint = (
+        "route blocking work through loop.run_in_executor onto the shared "
+        "pools (repro.experiments.runner.shared_pool), or make the helper "
+        "chain non-blocking"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        seeds: Dict[str, str] = {}
+        for qualname in sorted(graph.sites):
+            for site in graph.sites[qualname]:
+                detail = _direct_blocking(site)
+                if detail is not None and qualname not in seeds:
+                    seeds[qualname] = (
+                        f"{detail} at {site.path}:{site.node.lineno}"
+                    )
+        blocked = propagate_callers(graph, seeds)
+        for info in graph.functions():
+            if not info.is_async or not project.in_serve(info):
+                continue
+            context = project.context_for(info.path)
+            if context is None or context.is_tests:
+                continue
+            for site in graph.calls_from(info.qualname):
+                direct = _direct_blocking(site)
+                if direct is not None:
+                    yield context.finding(
+                        self,
+                        site.node,
+                        f"async def {info.name} performs blocking "
+                        f"{direct} on the event loop",
+                    )
+                    continue
+                callee = site.callee
+                if callee is None or callee == info.qualname:
+                    continue
+                fact = blocked.get(callee)
+                if fact is None:
+                    continue
+                target = project.index.function(callee)
+                if (
+                    target is not None
+                    and target.is_async
+                    and project.in_serve(target)
+                ):
+                    # The callee is itself an async serve function: it
+                    # gets its own finding at the offending site.
+                    continue
+                yield context.finding(
+                    self,
+                    site.node,
+                    f"async def {info.name} reaches blocking "
+                    f"{fact.chain()} through {callee}",
+                )

@@ -1,0 +1,416 @@
+"""RPL103/RPL105: everything that crosses the process-pool boundary.
+
+The parallel runner's contract (:mod:`repro.experiments.runner`) is that
+task functions are module-level picklable pure functions of picklable
+payloads.  Two rule halves make that contract decidable:
+
+* **RPL103** — the *function* side.  Whatever is handed to
+  ``run_parallel``/``pool.submit``/``pool.map``/``run_in_executor`` must
+  be a module-level function: lambdas and closure-captured nested
+  functions fail to pickle at runtime (late, on the first parallel
+  run), and bound methods drag their whole instance across.  A resolved
+  module-level function must additionally not rebind module globals —
+  directly or through any callee — because worker-side rebindings die
+  with the worker while the parent keeps reading its own stale copy
+  (the bug class PR 9's stale-handle fix patched by hand).  Rebindings
+  inside ``repro/obs/`` are exempt: per-process observability sequence
+  counters are by design, and worker samples are merged explicitly.
+* **RPL105** — the *value* side.  Payload arguments at the same
+  submission sites must be transitively pickle-safe: no lambdas or
+  generator expressions, no live handles (open files, locks, sockets),
+  and no project dataclasses whose fields — possibly several classes
+  deep, in other modules — hold such handles.  The class-field walk is
+  what needs the project index: a single-file pass cannot see that the
+  payload type defined elsewhere carries an ``asyncio.Task``.
+
+Submission sites are matched conservatively: known runner entry points
+by resolved name, plus ``.submit``/``.map`` on receivers whose name
+suggests an executor (``pool``, ``executor``).  ``run_in_executor(None,
+...)`` is the stdlib's thread-pool escape hatch — threads share the
+heap, nothing is pickled — so it is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..graph import CallGraph, CallSite, ProjectContext, _dotted_of
+from ..linter import Finding, GraphRule, LintContext
+from ..propagate import Fact, propagate_callers
+
+#: Resolved callables that ship their function argument to worker
+#: processes.  Value = index of the function argument.
+_RUNNER_ENTRY_FN_ARG = {
+    "run_parallel": 0,
+    "submit": 0,
+    "map": 0,
+    "run_in_executor": 1,
+}
+
+_EXECUTOR_HINTS = ("pool", "executor")
+
+#: Constructors whose results hold process-local state no pickle can
+#: carry: file handles, synchronisation primitives, sockets, event loops.
+_UNPICKLABLE_CALLS = {
+    "open",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Event",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.Thread",
+    "asyncio.Lock",
+    "asyncio.Event",
+    "asyncio.Queue",
+    "asyncio.get_event_loop",
+    "asyncio.get_running_loop",
+    "socket.socket",
+    "sqlite3.connect",
+}
+
+#: Type names that mark a field as unable to cross the pickle boundary.
+_UNPICKLABLE_TYPES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Event",
+    "threading.Condition",
+    "threading.Thread",
+    "asyncio.Future",
+    "asyncio.Task",
+    "asyncio.Lock",
+    "asyncio.Event",
+    "asyncio.Queue",
+    "asyncio.AbstractEventLoop",
+    "socket.socket",
+    "io.TextIOWrapper",
+    "io.BufferedReader",
+    "io.BufferedWriter",
+    "typing.TextIO",
+    "typing.BinaryIO",
+    "typing.IO",
+}
+
+
+def _submission_site(site: CallSite) -> Optional[Tuple[int, bool]]:
+    """``(fn_arg_index, is_pool)`` when this call ships work to workers.
+
+    ``is_pool`` is False for ``run_in_executor(None, ...)`` — a thread
+    executor, where pickling does not apply.
+    """
+    func = site.node.func
+    name: Optional[str] = None
+    if site.dotted is not None and site.dotted.endswith(".run_parallel"):
+        name = "run_parallel"
+    elif site.dotted == "run_parallel" or (
+        site.callee is not None and site.callee.endswith(".run_parallel")
+    ):
+        name = "run_parallel"
+    elif isinstance(func, ast.Attribute):
+        if func.attr == "run_in_executor":
+            name = "run_in_executor"
+        elif func.attr in ("submit", "map"):
+            receiver = (_dotted_of(func.value) or "").lower()
+            if any(hint in receiver for hint in _EXECUTOR_HINTS):
+                name = func.attr
+    if name is None:
+        return None
+    fn_arg = _RUNNER_ENTRY_FN_ARG[name]
+    if len(site.node.args) <= fn_arg:
+        return None
+    if name == "run_in_executor":
+        executor = site.node.args[0]
+        if isinstance(executor, ast.Constant) and executor.value is None:
+            return None
+    return fn_arg, True
+
+
+def _global_rebinders(project: ProjectContext) -> Dict[str, str]:
+    """Functions whose body declares ``global X`` and stores to ``X``.
+
+    ``repro/obs/`` is exempt: its per-process sequence counters are the
+    sanctioned design, merged across workers explicitly.
+    """
+    seeds: Dict[str, str] = {}
+    for info in project.graph.functions():
+        context = project.context_for(info.path)
+        if context is None or context.in_obs:
+            continue
+        declared: Set[str] = set()
+        stored: Dict[str, int] = {}
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not info.node:
+                    continue
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                stored.setdefault(node.id, node.lineno)
+        hits = sorted(declared & set(stored))
+        if hits:
+            seeds[info.qualname] = (
+                f"rebinds module global {hits[0]!r} at "
+                f"{info.path}:{stored[hits[0]]}"
+            )
+    return seeds
+
+
+def _local_assignments(info_node: ast.AST) -> Dict[str, ast.expr]:
+    """name -> assigned value for simple Assigns in a function's own body."""
+    out: Dict[str, ast.expr] = {}
+    stack: List[ast.AST] = list(ast.iter_child_nodes(info_node))
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                out[target.id] = node.value
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+class PoolSubmissionRule(GraphRule):
+    """RPL103: pool-submitted functions are module-level, picklable, and
+    free of module-global mutation."""
+
+    id = "RPL103"
+    title = "pool-submitted function is unpicklable or mutates module globals"
+    hint = (
+        "submit a module-level pure function of its arguments; worker-side "
+        "module state dies with the pool (ship results, not side effects)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        mutators = propagate_callers(graph, _global_rebinders(project))
+        for qualname in sorted(graph.sites):
+            for site in graph.sites[qualname]:
+                matched = _submission_site(site)
+                if matched is None:
+                    continue
+                context = project.context_for(site.path)
+                if context is None or context.is_tests:
+                    continue
+                fn_arg, _ = matched
+                fn_expr = site.node.args[fn_arg]
+                yield from self._check_fn(
+                    project, context, qualname, site, fn_expr, mutators
+                )
+
+    def _check_fn(
+        self,
+        project: ProjectContext,
+        context: LintContext,
+        caller: str,
+        site: CallSite,
+        fn_expr: ast.expr,
+        mutators: Dict[str, Fact],
+    ) -> Iterator[Finding]:
+        graph = project.graph
+        if isinstance(fn_expr, ast.Lambda):
+            yield context.finding(
+                self,
+                site.node,
+                "a lambda cannot be pickled to a worker process",
+            )
+            return
+        dotted = _dotted_of(fn_expr)
+        if dotted is None:
+            return
+        if dotted.startswith("self."):
+            yield context.finding(
+                self,
+                site.node,
+                f"bound method {dotted} submitted to a pool drags its whole "
+                "instance through pickle",
+            )
+            return
+        caller_info = graph.index.functions.get(caller)
+        if caller_info is not None and "." not in dotted:
+            assigned = _local_assignments(caller_info.node).get(dotted)
+            if isinstance(assigned, ast.Lambda):
+                yield context.finding(
+                    self,
+                    site.node,
+                    f"{dotted} is a local lambda; lambdas cannot be pickled "
+                    "to a worker process",
+                )
+                return
+        resolved = graph.resolve_dotted(caller, dotted)
+        info = graph.index.function(resolved)
+        if info is None:
+            return
+        if info.is_nested:
+            yield context.finding(
+                self,
+                site.node,
+                f"{info.qualname} is a nested function; closures cannot be "
+                "pickled to a worker process",
+            )
+            return
+        fact = mutators.get(info.qualname)
+        if fact is not None:
+            yield context.finding(
+                self,
+                site.node,
+                f"pool-submitted {info.qualname} mutates module globals "
+                f"({fact.chain()}); worker-side mutations die with the pool",
+            )
+
+
+class PickleBoundaryRule(GraphRule):
+    """RPL105: payload values crossing the pickle boundary must be
+    transitively pickle-safe."""
+
+    id = "RPL105"
+    title = "value crossing the pickle boundary is not pickle-safe"
+    hint = (
+        "ship plain values (tuples, dataclasses of arrays/scalars); keep "
+        "handles, locks, loops and callables on the parent side"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for qualname in sorted(graph.sites):
+            for site in graph.sites[qualname]:
+                matched = _submission_site(site)
+                if matched is None:
+                    continue
+                context = project.context_for(site.path)
+                if context is None or context.is_tests:
+                    continue
+                fn_arg, _ = matched
+                payload = [
+                    arg
+                    for index, arg in enumerate(site.node.args)
+                    if index > fn_arg and not isinstance(arg, ast.Starred)
+                ]
+                payload.extend(kw.value for kw in site.node.keywords)
+                for arg in payload:
+                    yield from self._check_value(
+                        project, context, qualname, site, arg, depth=0
+                    )
+
+    def _check_value(
+        self,
+        project: ProjectContext,
+        context: LintContext,
+        caller: str,
+        site: CallSite,
+        expr: ast.expr,
+        depth: int,
+    ) -> Iterator[Finding]:
+        graph = project.graph
+        if depth > 4:
+            return
+        if isinstance(expr, ast.Lambda):
+            yield context.finding(
+                self, site.node, "payload contains a lambda; not picklable"
+            )
+            return
+        if isinstance(expr, ast.GeneratorExp):
+            yield context.finding(
+                self,
+                site.node,
+                "payload contains a generator expression; generators are "
+                "not picklable",
+            )
+            return
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            for element in expr.elts:
+                yield from self._check_value(
+                    project, context, caller, site, element, depth + 1
+                )
+            return
+        if isinstance(expr, (ast.ListComp, ast.SetComp)):
+            yield from self._check_value(
+                project, context, caller, site, expr.elt, depth + 1
+            )
+            return
+        if isinstance(expr, ast.Name):
+            caller_info = graph.index.functions.get(caller)
+            if caller_info is not None:
+                assigned = _local_assignments(caller_info.node).get(expr.id)
+                if assigned is not None and not isinstance(assigned, ast.Name):
+                    yield from self._check_value(
+                        project, context, caller, site, assigned, depth + 1
+                    )
+            return
+        if isinstance(expr, ast.Call):
+            dotted = _dotted_of(expr.func)
+            if dotted is None:
+                return
+            absolute = graph.resolve_dotted(caller, dotted)
+            module_info = graph.index.modules.get(
+                caller_module(graph, caller) or ""
+            )
+            external = dotted
+            if module_info is not None:
+                head, _, tail = dotted.partition(".")
+                target = module_info.imports.get(head)
+                if target is not None:
+                    external = f"{target}.{tail}" if tail else target
+            if external in _UNPICKLABLE_CALLS:
+                yield context.finding(
+                    self,
+                    site.node,
+                    f"payload holds a live {external}() object; handles "
+                    "cannot cross the pickle boundary",
+                )
+                return
+            class_qual = absolute
+            if class_qual is not None and class_qual.endswith(".__init__"):
+                class_qual = class_qual.rsplit(".__init__", 1)[0]
+            if class_qual is not None and class_qual in graph.index.classes:
+                yield from self._check_class(
+                    project, context, site, class_qual, (), set()
+                )
+            return
+
+    def _check_class(
+        self,
+        project: ProjectContext,
+        context: LintContext,
+        site: CallSite,
+        class_qual: str,
+        path: Tuple[str, ...],
+        seen: Set[str],
+    ) -> Iterator[Finding]:
+        """Walk a payload class's fields (and field classes) for handles."""
+        if class_qual in seen or len(seen) > 16:
+            return
+        seen.add(class_qual)
+        info = project.index.classes.get(class_qual)
+        if info is None:
+            return
+        for field_name, type_names in info.field_types:
+            for type_name in type_names:
+                if type_name in _UNPICKLABLE_TYPES:
+                    trail = " -> ".join([*path, f"{info.name}.{field_name}"])
+                    yield context.finding(
+                        self,
+                        site.node,
+                        f"payload type {class_qual} is not pickle-safe: "
+                        f"field {trail} holds {type_name}",
+                    )
+                elif type_name in project.index.classes:
+                    yield from self._check_class(
+                        project,
+                        context,
+                        site,
+                        type_name,
+                        (*path, f"{info.name}.{field_name}"),
+                        seen,
+                    )
+
+
+def caller_module(graph: CallGraph, caller: str) -> Optional[str]:
+    """Module name owning ``caller`` (function qualname or ``<module>``)."""
+    info = graph.index.functions.get(caller)
+    if info is not None:
+        return info.module
+    if caller.endswith(".<module>"):
+        return caller.rsplit(".<module>", 1)[0]
+    return None

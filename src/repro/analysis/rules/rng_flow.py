@@ -1,0 +1,162 @@
+"""RPL104: interprocedural RNG escape — the cross-call-edge RPL002.
+
+RPL002 catches a function that *takes* ``rng``/``seed`` and mints an
+unrelated stream in its own body.  The interprocedural variant is the
+one that actually bites at scale: ``f(rng)`` hands its generator to a
+helper — possibly in another module, possibly under a parameter named
+``samples`` — and that helper (or something *it* forwards its arguments
+to) constructs a stream of its own from constants.  The caller believes
+one seed controls the run; a second, fixed stream is drawn anyway.
+
+Propagation is parameter-flow-shaped (:func:`propagate_param_flow`): a
+function *escapes* when it mints directly from constants, or when it
+passes one of its own parameters into an escaping callee.  Merely
+calling an escaping helper without handing it anything is fine — that is
+RPL002's "dedicated module-level fallback stream" idiom, which stays
+legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..graph import CallGraph, ProjectContext
+from ..linter import Finding, GraphRule
+from ..propagate import propagate_param_flow
+from .rng import _SEEDED_CONSTRUCTORS, _STDLIB_SEEDED
+
+_CONSTRUCTORS = _SEEDED_CONSTRUCTORS | _STDLIB_SEEDED
+
+
+def _rng_like(params: Tuple[str, ...]) -> Set[str]:
+    """The parameter names that advertise caller-controlled randomness."""
+    return {
+        name
+        for name in params
+        if name in ("rng", "seed") or name.endswith(("_rng", "_seed"))
+    }
+
+
+def _arg_names(call: ast.Call) -> Set[str]:
+    names: Set[str] = set()
+    for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+        for child in ast.walk(arg):
+            if isinstance(child, ast.Name):
+                names.add(child.id)
+    return names
+
+
+def _param_derived(node: ast.AST, params: Set[str]) -> Set[str]:
+    """Parameters plus locals assigned (transitively) from them.
+
+    The parallel-task idiom packs everything into one tuple parameter and
+    unpacks it first thing (``seed, config, noise = task``); a stream
+    minted from those locals is caller-derived just the same.  Fixpoint
+    over simple assignments in the function's own body.
+    """
+    derived = set(params)
+    assignments: List[Tuple[Set[str], Set[str]]] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop(0)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Assign, ast.AnnAssign)) and child.value:
+            targets = (
+                child.targets if isinstance(child, ast.Assign) else [child.target]
+            )
+            names = {
+                element.id
+                for target in targets
+                for element in ast.walk(target)
+                if isinstance(element, ast.Name)
+            }
+            sources = {
+                element.id
+                for element in ast.walk(child.value)
+                if isinstance(element, ast.Name)
+            }
+            assignments.append((names, sources))
+        stack.extend(ast.iter_child_nodes(child))
+    changed = True
+    while changed:
+        changed = False
+        for names, sources in assignments:
+            if sources & derived and not names <= derived:
+                derived |= names
+                changed = True
+    return derived
+
+
+def _direct_minters(graph: CallGraph) -> Dict[str, str]:
+    """Functions whose own body constructs a stream from constants.
+
+    A construction that references *any* of the function's parameters —
+    or a local derived from one — is caller input and does not count.
+    """
+    seeds: Dict[str, str] = {}
+    for qualname in sorted(graph.sites):
+        info = graph.index.functions.get(qualname)
+        if info is not None:
+            params = _param_derived(info.node, set(info.params))
+        else:
+            params = set()
+        for site in graph.sites[qualname]:
+            if site.dotted not in _CONSTRUCTORS:
+                continue
+            if _arg_names(site.node) & params:
+                continue
+            if qualname not in seeds:
+                name = site.dotted.rsplit(".", 1)[1]
+                seeds[qualname] = (
+                    f"{name}(...) at {site.path}:{site.node.lineno}"
+                )
+    return seeds
+
+
+class RngEscapeRule(GraphRule):
+    """RPL104: a threaded rng/seed must not flow into a stream-minting
+    callee."""
+
+    id = "RPL104"
+    title = "threaded rng/seed flows into a call that mints its own stream"
+    hint = (
+        "derive every stream in the callee chain from the parameter the "
+        "caller threads down (SeedSequence.spawn at the boundary), or stop "
+        "passing the rng into that helper"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        seeds = _direct_minters(graph)
+
+        def params_of(qualname: str) -> Tuple[str, ...]:
+            info = graph.index.functions.get(qualname)
+            return info.params if info is not None else ()
+
+        escapes = propagate_param_flow(graph, seeds, params_of)
+        for info in graph.functions():
+            rng_params = _rng_like(info.params)
+            if not rng_params:
+                continue
+            context = project.context_for(info.path)
+            if context is None or context.is_tests:
+                continue
+            for site in graph.calls_from(info.qualname):
+                callee = site.callee
+                if callee is None or callee == info.qualname:
+                    continue
+                fact = escapes.get(callee)
+                if fact is None:
+                    continue
+                passed = _arg_names(site.node) & rng_params
+                if not passed:
+                    continue
+                which = ", ".join(sorted(passed))
+                yield context.finding(
+                    self,
+                    site.node,
+                    f"{info.name} passes {which} into {callee}, which "
+                    f"mints its own stream ({fact.chain()})",
+                )

@@ -34,9 +34,13 @@ Commands
     Render run records (JSONL emitted via ``--record``): per-phase
     wall-clock and counter breakdown, schema-validated.
 ``lint``
-    AST-based reproducibility lint (RPL001-RPL006): RNG threading,
-    wall-clock hygiene, ordering determinism, frozen constants,
-    observability naming.  Exits non-zero on non-baselined findings.
+    AST-based reproducibility lint.  Per-file rules (RPL001-RPL006)
+    cover RNG threading, wall-clock hygiene, ordering determinism,
+    frozen constants and observability naming; graph-aware rules
+    (RPL101-RPL105) check async/pool concurrency and pickle-boundary
+    soundness across the whole project call graph (``--no-graph``
+    degrades them to single-file scope).  Exits non-zero on
+    non-baselined findings.
 """
 
 from __future__ import annotations
@@ -629,17 +633,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis.baseline import apply_baseline, load_baseline, save_baseline
-    from .analysis.linter import iter_python_files, run_lint
-    from .analysis.report import render_json, render_text
+    from .analysis.baseline import (
+        apply_baseline,
+        load_baseline,
+        prune_baseline,
+        save_baseline,
+        stale_entries,
+    )
+    from .analysis.linter import lint_project
+    from .analysis.report import render_json, render_stats, render_text
 
     paths = args.paths or ["src", "benchmarks"]
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
     try:
-        files_checked = len(iter_python_files(paths))
-        findings = run_lint(paths)
+        run = lint_project(paths, graph=args.graph, select=select, ignore=ignore)
     except (FileNotFoundError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    findings, files_checked = run.findings, run.files_checked
     if args.update_baseline:
         save_baseline(args.baseline, findings)
         print(
@@ -652,12 +664,38 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.prune_baseline:
+        dropped = prune_baseline(args.baseline, findings, baseline)
+        print(f"baseline {args.baseline}: pruned {dropped} stale entr(y/ies)")
+        return 0
     fresh, baselined = apply_baseline(findings, baseline)
+    stale = stale_entries(findings, baseline)
     if args.format == "json":
-        print(render_json(fresh, files_checked, baselined, str(args.baseline)))
+        print(
+            render_json(
+                fresh,
+                files_checked,
+                baselined,
+                str(args.baseline),
+                costs=run.costs,
+            )
+        )
     else:
         print(render_text(fresh, files_checked, baselined))
-    return 1 if fresh else 0
+    if stale:
+        total = sum(stale.values())
+        print(
+            f"warning: {total} stale baseline entr(y/ies) in {args.baseline} "
+            "no longer match any finding; run --prune-baseline",
+            file=sys.stderr,
+        )
+    if args.stats:
+        print(render_stats(run.costs))
+    if fresh:
+        return 1
+    if stale and args.strict:
+        return 1
+    return 0
 
 
 def _cmd_profile_sweep(args: argparse.Namespace) -> int:
@@ -1052,6 +1090,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="record current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop baseline entries no current finding consumes, then exit 0",
+    )
+    lint.add_argument(
+        "--graph",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "run whole-program RPL1xx rules over the project call graph "
+            "(--no-graph degrades them to single-file scope)"
+        ),
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule ids to run exclusively (e.g. RPL101,RPL104)",
+    )
+    lint.add_argument(
+        "--ignore",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the per-rule cost table after the report",
     )
     lint.set_defaults(func=_cmd_lint)
 

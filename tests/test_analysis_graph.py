@@ -1,0 +1,288 @@
+"""Call-graph builder regression suite.
+
+Exercises :mod:`repro.analysis.graph` on small in-memory projects:
+module naming, import absolutization, ``__init__.py`` re-export chasing,
+``self.method()`` dispatch through base classes, recursion cycles,
+decorated and nested functions, and both propagation closures from
+:mod:`repro.analysis.propagate`.
+"""
+
+from repro.analysis.graph import ProjectContext, module_name_for
+from repro.analysis.linter import LintContext
+from repro.analysis.propagate import (
+    Fact,
+    propagate_callers,
+    propagate_param_flow,
+)
+
+
+def project(*files):
+    """Build a ProjectContext from ``(path, source)`` pairs."""
+    return ProjectContext([LintContext(path, source) for path, source in files])
+
+
+def edge_pairs(ctx):
+    return {
+        (site.caller, site.callee)
+        for sites in ctx.graph.sites.values()
+        for site in sites
+        if site.callee is not None
+    }
+
+
+# ----------------------------------------------------------------------
+# Module naming
+# ----------------------------------------------------------------------
+def test_module_name_from_src_anchor():
+    assert module_name_for("src/repro/serve/service.py") == "repro.serve.service"
+    assert module_name_for("src/repro/serve/__init__.py") == "repro.serve"
+
+
+def test_module_name_for_loose_file_is_stem():
+    assert module_name_for("scratch/tool.py") == "tool"
+
+
+def test_module_name_from_package_tree(tmp_path):
+    package = tmp_path / "pkg" / "sub"
+    package.mkdir(parents=True)
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (package / "__init__.py").write_text("")
+    module = package / "leaf.py"
+    module.write_text("x = 1\n")
+    assert module_name_for(str(module)) == "pkg.sub.leaf"
+
+
+# ----------------------------------------------------------------------
+# Index: functions, methods, nesting
+# ----------------------------------------------------------------------
+def test_index_qualnames_cover_methods_and_nested_functions():
+    ctx = project(
+        (
+            "src/repro/em/mod.py",
+            "class Solver:\n"
+            "    def solve(self):\n"
+            "        def refine(x):\n"
+            "            return x\n"
+            "        return refine(1)\n"
+            "async def drive():\n"
+            "    return 0\n",
+        )
+    )
+    functions = ctx.index.functions
+    assert "repro.em.mod.Solver.solve" in functions
+    nested = functions["repro.em.mod.Solver.solve.<locals>.refine"]
+    assert nested.is_nested
+    assert functions["repro.em.mod.drive"].is_async
+    assert functions["repro.em.mod.Solver.solve"].is_method
+    # The nested call resolves through the <locals> scope chain.
+    assert (
+        "repro.em.mod.Solver.solve",
+        "repro.em.mod.Solver.solve.<locals>.refine",
+    ) in edge_pairs(ctx)
+
+
+# ----------------------------------------------------------------------
+# Imports and re-exports
+# ----------------------------------------------------------------------
+def test_cross_module_call_through_import_alias():
+    ctx = project(
+        (
+            "src/repro/em/solver.py",
+            "def kernel():\n    return 1\n",
+        ),
+        (
+            "src/repro/em/driver.py",
+            "from . import solver\n\ndef run():\n    return solver.kernel()\n",
+        ),
+    )
+    assert ("repro.em.driver.run", "repro.em.solver.kernel") in edge_pairs(ctx)
+
+
+def test_reexport_through_package_init_resolves_to_definition():
+    ctx = project(
+        (
+            "src/repro/em/__init__.py",
+            "from .solver import kernel\n",
+        ),
+        (
+            "src/repro/em/solver.py",
+            "def kernel():\n    return 1\n",
+        ),
+        (
+            "src/repro/app.py",
+            "from repro.em import kernel\n\ndef run():\n    return kernel()\n",
+        ),
+    )
+    assert ("repro.app.run", "repro.em.solver.kernel") in edge_pairs(ctx)
+
+
+def test_circular_reexports_do_not_hang():
+    ctx = project(
+        ("src/repro/a.py", "from .b import thing\n"),
+        ("src/repro/b.py", "from .a import thing\n"),
+        (
+            "src/repro/c.py",
+            "from .a import thing\n\ndef use():\n    return thing()\n",
+        ),
+    )
+    # The import cycle never bottoms out at a definition: no edge, no hang.
+    assert ("repro.c.use", "repro.a.thing") not in edge_pairs(ctx)
+    assert all(callee != "repro.b.thing" for _, callee in edge_pairs(ctx))
+
+
+# ----------------------------------------------------------------------
+# Method dispatch
+# ----------------------------------------------------------------------
+def test_self_method_call_resolves_including_inherited():
+    ctx = project(
+        (
+            "src/repro/em/shapes.py",
+            "class Base:\n"
+            "    def area(self):\n"
+            "        return 0\n"
+            "class Square(Base):\n"
+            "    def report(self):\n"
+            "        return self.area()\n",
+        )
+    )
+    assert (
+        "repro.em.shapes.Square.report",
+        "repro.em.shapes.Base.area",
+    ) in edge_pairs(ctx)
+
+
+def test_instantiation_is_an_edge_to_init_including_inherited():
+    ctx = project(
+        (
+            "src/repro/em/shapes.py",
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "class Square(Base):\n"
+            "    pass\n"
+            "def make():\n"
+            "    return Square()\n",
+        )
+    )
+    assert (
+        "repro.em.shapes.make",
+        "repro.em.shapes.Base.__init__",
+    ) in edge_pairs(ctx)
+
+
+# ----------------------------------------------------------------------
+# Decorators and cycles
+# ----------------------------------------------------------------------
+def test_decorated_functions_keep_their_edges():
+    ctx = project(
+        (
+            "src/repro/em/deco.py",
+            "import functools\n"
+            "import contextlib\n"
+            "def helper():\n"
+            "    return 1\n"
+            "def wrap(fn):\n"
+            "    @functools.wraps(fn)\n"
+            "    def inner(*args, **kwargs):\n"
+            "        return fn(*args, **kwargs)\n"
+            "    return inner\n"
+            "@wrap\n"
+            "def work():\n"
+            "    return helper()\n"
+            "@contextlib.contextmanager\n"
+            "def scope():\n"
+            "    yield helper()\n"
+            "def use():\n"
+            "    with scope():\n"
+            "        return work()\n",
+        )
+    )
+    edges = edge_pairs(ctx)
+    # Decorated bodies are indexed like any other; their calls resolve.
+    assert ("repro.em.deco.work", "repro.em.deco.helper") in edges
+    assert ("repro.em.deco.scope", "repro.em.deco.helper") in edges
+    # Calling a decorated function still resolves to its definition.
+    assert ("repro.em.deco.use", "repro.em.deco.scope") in edges
+    assert ("repro.em.deco.use", "repro.em.deco.work") in edges
+    # The closure inside wrap resolves through the <locals> chain.
+    assert (
+        "repro.em.deco.wrap",
+        "repro.em.deco.wrap.<locals>.inner",
+    ) not in edges  # wrap returns inner without calling it
+
+
+def test_call_cycles_build_and_propagate_without_hanging():
+    ctx = project(
+        (
+            "src/repro/em/cycle.py",
+            "def ping(n):\n"
+            "    return pong(n - 1) if n else 0\n"
+            "def pong(n):\n"
+            "    return ping(n - 1) if n else 1\n"
+            "def entry():\n"
+            "    return ping(3)\n",
+        )
+    )
+    edges = edge_pairs(ctx)
+    assert ("repro.em.cycle.ping", "repro.em.cycle.pong") in edges
+    assert ("repro.em.cycle.pong", "repro.em.cycle.ping") in edges
+    facts = propagate_callers(
+        ctx.graph, {"repro.em.cycle.pong": "touches the detector"}
+    )
+    assert set(facts) == {
+        "repro.em.cycle.ping",
+        "repro.em.cycle.pong",
+        "repro.em.cycle.entry",
+    }
+
+
+# ----------------------------------------------------------------------
+# Propagation closures
+# ----------------------------------------------------------------------
+def test_propagate_callers_records_witness_chain():
+    ctx = project(
+        (
+            "src/repro/em/chain.py",
+            "def low():\n"
+            "    return 0\n"
+            "def mid():\n"
+            "    return low()\n"
+            "def top():\n"
+            "    return mid()\n",
+        )
+    )
+    facts = propagate_callers(ctx.graph, {"repro.em.chain.low": "blocks"})
+    top = facts["repro.em.chain.top"]
+    assert not top.direct
+    assert top.via == ("repro.em.chain.mid", "repro.em.chain.low")
+    assert "blocks" in top.chain()
+    assert facts["repro.em.chain.low"].direct
+
+
+def test_propagate_param_flow_requires_passing_own_param():
+    ctx = project(
+        (
+            "src/repro/em/flow.py",
+            "def sink(rng):\n"
+            "    return 0\n"
+            "def forwards(rng):\n"
+            "    return sink(rng)\n"
+            "def unrelated(rng):\n"
+            "    return sink(None)\n",
+        )
+    )
+    seeds = {"repro.em.flow.sink": "mints a stream"}
+
+    def params_of(qualname):
+        info = ctx.index.functions.get(qualname)
+        return info.params if info is not None else ()
+
+    facts = propagate_param_flow(ctx.graph, seeds, params_of)
+    assert "repro.em.flow.forwards" in facts
+    # Calling the sink without handing it one of your params is legal.
+    assert "repro.em.flow.unrelated" not in facts
+
+
+def test_fact_chain_formats_direct_and_indirect():
+    assert Fact("boom").chain() == "boom"
+    assert Fact("boom", via=("a", "b")).chain() == "via a -> b: boom"

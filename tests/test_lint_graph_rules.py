@@ -1,0 +1,402 @@
+"""Graph-aware rule suite (RPL101-RPL105).
+
+Every rule gets positive and negative single-file fixtures plus at least
+one *cross-module* fixture: a violation spread over two files that the
+single-file pass provably cannot catch — asserted by running the same
+project with ``graph=False`` and checking the finding disappears.
+"""
+
+from repro.analysis.linter import lint_project, run_lint_source
+
+SERVE_PATH = "src/repro/serve/handler.py"
+LIB_PATH = "src/repro/em/example.py"
+
+
+def only(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+def lint_tree(tmp_path, files, rule, graph=True):
+    """Write ``rel_path -> source`` files, lint them, filter to ``rule``."""
+    paths = []
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        paths.append(str(target))
+    run = lint_project(paths, graph=graph, select=[rule])
+    return run.findings
+
+
+# ----------------------------------------------------------------------
+# RPL101: blocking calls reachable from async serve code
+# ----------------------------------------------------------------------
+def test_rpl101_flags_direct_sleep_in_async_serve_handler():
+    source = (
+        "import time\n\n"
+        "async def handle(request):\n"
+        "    time.sleep(0.1)\n"
+        "    return request\n"
+    )
+    findings = only(run_lint_source(source, SERVE_PATH), "RPL101")
+    assert len(findings) == 1 and "time.sleep" in findings[0].message
+
+
+def test_rpl101_flags_blocking_two_helpers_below_the_coroutine():
+    source = (
+        "import time\n\n"
+        "def low():\n"
+        "    time.sleep(1)\n\n"
+        "def mid():\n"
+        "    low()\n\n"
+        "async def handle(request):\n"
+        "    mid()\n"
+    )
+    findings = only(run_lint_source(source, SERVE_PATH), "RPL101")
+    assert len(findings) == 1
+    assert "mid" in findings[0].message and "low" in findings[0].message
+
+
+def test_rpl101_flags_sync_future_wait_but_not_str_join():
+    source = (
+        "async def handle(future, parts):\n"
+        "    text = ', '.join(parts)\n"
+        "    value = future.result()\n"
+        "    return text, value\n"
+    )
+    findings = only(run_lint_source(source, SERVE_PATH), "RPL101")
+    assert len(findings) == 1 and ".result()" in findings[0].message
+
+
+def test_rpl101_allows_blocking_work_behind_run_in_executor():
+    source = (
+        "import time\n\n"
+        "def crunch(task):\n"
+        "    time.sleep(1)\n"
+        "    return task\n\n"
+        "async def handle(loop, pool, task):\n"
+        "    return await loop.run_in_executor(pool, crunch, task)\n"
+    )
+    assert only(run_lint_source(source, SERVE_PATH), "RPL101") == []
+
+
+def test_rpl101_ignores_async_outside_serve():
+    source = "import time\n\nasync def helper():\n    time.sleep(1)\n"
+    assert only(run_lint_source(source, LIB_PATH), "RPL101") == []
+
+
+def test_rpl101_cross_module_requires_the_graph(tmp_path):
+    files = {
+        "src/repro/em/slowio.py": (
+            "def load_profile(path):\n"
+            "    return open(path).read()\n"
+        ),
+        "src/repro/serve/handler.py": (
+            "from repro.em.slowio import load_profile\n\n"
+            "async def handle(request):\n"
+            "    return load_profile(request)\n"
+        ),
+    }
+    with_graph = lint_tree(tmp_path, files, "RPL101", graph=True)
+    assert len(with_graph) == 1
+    assert "load_profile" in with_graph[0].message
+    assert with_graph[0].path.endswith("serve/handler.py")
+    assert lint_tree(tmp_path, files, "RPL101", graph=False) == []
+
+
+# ----------------------------------------------------------------------
+# RPL102: coroutines / futures created but never awaited or stored
+# ----------------------------------------------------------------------
+def test_rpl102_flags_bare_coroutine_call():
+    source = (
+        "async def notify(event):\n"
+        "    return event\n\n"
+        "async def handle(event):\n"
+        "    notify(event)\n"
+    )
+    findings = only(run_lint_source(source, SERVE_PATH), "RPL102")
+    assert len(findings) == 1 and "never awaited" in findings[0].message
+
+
+def test_rpl102_allows_awaited_stored_and_returned_coroutines():
+    source = (
+        "async def notify(event):\n"
+        "    return event\n\n"
+        "async def handle(event):\n"
+        "    await notify(event)\n"
+        "    handle_two = notify(event)\n"
+        "    return handle_two\n"
+    )
+    assert only(run_lint_source(source, SERVE_PATH), "RPL102") == []
+
+
+def test_rpl102_flags_dropped_task_and_submit_future():
+    source = (
+        "import asyncio\n\n"
+        "async def run(pool, work):\n"
+        "    asyncio.create_task(work())\n"
+        "    pool.submit(work)\n"
+    )
+    findings = only(run_lint_source(source, SERVE_PATH), "RPL102")
+    messages = " | ".join(f.message for f in findings)
+    assert len(findings) == 2
+    assert "task handle dropped" in messages and ".submit()" in messages
+
+
+def test_rpl102_cross_module_requires_the_graph(tmp_path):
+    files = {
+        "src/repro/serve/events.py": (
+            "async def notify(event):\n"
+            "    return event\n"
+        ),
+        "src/repro/serve/handler.py": (
+            "from repro.serve.events import notify\n\n"
+            "async def handle(event):\n"
+            "    notify(event)\n"
+        ),
+    }
+    with_graph = lint_tree(tmp_path, files, "RPL102", graph=True)
+    assert len(with_graph) == 1 and "notify" in with_graph[0].message
+    assert lint_tree(tmp_path, files, "RPL102", graph=False) == []
+
+
+# ----------------------------------------------------------------------
+# RPL103: pool-submitted functions must be picklable, global-clean
+# ----------------------------------------------------------------------
+def test_rpl103_flags_lambda_and_bound_method_submission():
+    source = (
+        "def run(pool, obj):\n"
+        "    pool.submit(lambda: 1)\n"
+        "    pool.submit(obj)\n\n"
+        "class Driver:\n"
+        "    def kick(self, pool):\n"
+        "        pool.submit(self.step)\n"
+    )
+    findings = only(run_lint_source(source, LIB_PATH), "RPL103")
+    messages = " | ".join(f.message for f in findings)
+    assert len(findings) == 2
+    assert "lambda" in messages and "bound method" in messages
+
+
+def test_rpl103_flags_nested_function_submission():
+    source = (
+        "def run(pool, grid):\n"
+        "    def task(cell):\n"
+        "        return cell * 2\n"
+        "    return pool.submit(task, grid)\n"
+    )
+    findings = only(run_lint_source(source, LIB_PATH), "RPL103")
+    assert len(findings) == 1 and "nested function" in findings[0].message
+
+
+def test_rpl103_flags_global_mutation_reached_through_a_helper():
+    source = (
+        "_CACHE = None\n\n"
+        "def poison():\n"
+        "    global _CACHE\n"
+        "    _CACHE = {}\n\n"
+        "def task(cell):\n"
+        "    poison()\n"
+        "    return cell\n\n"
+        "def run(pool, grid):\n"
+        "    return pool.submit(task, grid)\n"
+    )
+    findings = only(run_lint_source(source, LIB_PATH), "RPL103")
+    assert len(findings) == 1
+    assert "mutates module globals" in findings[0].message
+    assert "poison" in findings[0].message
+
+
+def test_rpl103_allows_module_level_pure_function():
+    source = (
+        "def task(cell):\n"
+        "    return cell * 2\n\n"
+        "def run(pool, grid):\n"
+        "    return pool.submit(task, grid)\n"
+    )
+    assert only(run_lint_source(source, LIB_PATH), "RPL103") == []
+
+
+def test_rpl103_exempts_obs_sequence_counters(tmp_path):
+    files = {
+        "src/repro/obs/seq.py": (
+            "_SEQ = 0\n\n"
+            "def next_seq():\n"
+            "    global _SEQ\n"
+            "    _SEQ += 1\n"
+            "    return _SEQ\n"
+        ),
+        "src/repro/em/driver.py": (
+            "from repro.obs.seq import next_seq\n\n"
+            "def task(cell):\n"
+            "    return cell, next_seq()\n\n"
+            "def run(pool, grid):\n"
+            "    return pool.submit(task, grid)\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files, "RPL103", graph=True) == []
+
+
+def test_rpl103_cross_module_requires_the_graph(tmp_path):
+    files = {
+        "src/repro/em/state.py": (
+            "_MODEL = None\n\n"
+            "def install(model):\n"
+            "    global _MODEL\n"
+            "    _MODEL = model\n"
+        ),
+        "src/repro/em/work.py": (
+            "from repro.em.state import install\n\n"
+            "def task(cell):\n"
+            "    install(cell)\n"
+            "    return cell\n"
+        ),
+        "src/repro/em/driver.py": (
+            "from repro.em.work import task\n\n"
+            "def run(pool, grid):\n"
+            "    return pool.submit(task, grid)\n"
+        ),
+    }
+    with_graph = lint_tree(tmp_path, files, "RPL103", graph=True)
+    assert len(with_graph) == 1
+    assert "install" in with_graph[0].message
+    assert with_graph[0].path.endswith("em/driver.py")
+    assert lint_tree(tmp_path, files, "RPL103", graph=False) == []
+
+
+# ----------------------------------------------------------------------
+# RPL104: rng/seed flowing into a callee that mints its own stream
+# ----------------------------------------------------------------------
+def test_rpl104_flags_rng_passed_into_minting_helper():
+    source = (
+        "import numpy as np\n\n"
+        "def helper(samples):\n"
+        "    local = np.random.default_rng(7)\n"
+        "    return local.normal()\n\n"
+        "def measure(rng):\n"
+        "    return helper(rng)\n"
+    )
+    findings = only(run_lint_source(source, LIB_PATH), "RPL104")
+    assert len(findings) == 1
+    assert "helper" in findings[0].message
+    assert "mints its own stream" in findings[0].message
+
+
+def test_rpl104_allows_helper_deriving_from_its_own_param():
+    source = (
+        "import numpy as np\n\n"
+        "def helper(seed):\n"
+        "    return np.random.default_rng(seed).normal()\n\n"
+        "def measure(rng, seed):\n"
+        "    return helper(seed)\n"
+    )
+    assert only(run_lint_source(source, LIB_PATH), "RPL104") == []
+
+
+def test_rpl104_allows_tuple_unpacked_seed_derivation():
+    # The parallel-task idiom: one tuple param, unpacked before minting.
+    source = (
+        "import numpy as np\n\n"
+        "def task(spec):\n"
+        "    seed, scale = spec\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return rng.normal() * scale\n\n"
+        "def run(noise_seed):\n"
+        "    return task((noise_seed, 2.0))\n"
+    )
+    assert only(run_lint_source(source, LIB_PATH), "RPL104") == []
+
+
+def test_rpl104_flags_escape_two_calls_deep():
+    source = (
+        "import numpy as np\n\n"
+        "def deep(values):\n"
+        "    return np.random.default_rng(3).choice(values)\n\n"
+        "def middle(samples):\n"
+        "    return deep(samples)\n\n"
+        "def measure(rng):\n"
+        "    return middle(rng)\n"
+    )
+    findings = only(run_lint_source(source, LIB_PATH), "RPL104")
+    assert len(findings) == 1 and "via" in findings[0].message
+
+
+def test_rpl104_cross_module_requires_the_graph(tmp_path):
+    files = {
+        "src/repro/em/noise.py": (
+            "import numpy as np\n\n"
+            "def perturb(values):\n"
+            "    return values + np.random.default_rng(11).normal()\n"
+        ),
+        "src/repro/em/measure.py": (
+            "from repro.em.noise import perturb\n\n"
+            "def observe(rng):\n"
+            "    return perturb(rng)\n"
+        ),
+    }
+    with_graph = lint_tree(tmp_path, files, "RPL104", graph=True)
+    assert len(with_graph) == 1 and "perturb" in with_graph[0].message
+    assert lint_tree(tmp_path, files, "RPL104", graph=False) == []
+
+
+# ----------------------------------------------------------------------
+# RPL105: payloads crossing the pickle boundary
+# ----------------------------------------------------------------------
+def test_rpl105_flags_lambda_and_generator_payloads():
+    source = (
+        "def task(item):\n"
+        "    return item\n\n"
+        "def run(pool, grid):\n"
+        "    pool.submit(task, lambda: 1)\n"
+        "    pool.submit(task, (g for g in grid))\n"
+    )
+    findings = only(run_lint_source(source, LIB_PATH), "RPL105")
+    messages = " | ".join(f.message for f in findings)
+    assert len(findings) == 2
+    assert "lambda" in messages and "generator" in messages
+
+
+def test_rpl105_flags_live_handle_via_local_assignment():
+    source = (
+        "def task(item):\n"
+        "    return item\n\n"
+        "def run(pool, path):\n"
+        "    stream = open(path)\n"
+        "    return pool.submit(task, stream)\n"
+    )
+    findings = only(run_lint_source(source, LIB_PATH), "RPL105")
+    assert len(findings) == 1 and "open()" in findings[0].message
+
+
+def test_rpl105_allows_plain_value_payloads():
+    source = (
+        "def task(item):\n"
+        "    return item\n\n"
+        "def run(pool, grid):\n"
+        "    return pool.submit(task, (grid, 2.0), [1, 2, 3])\n"
+    )
+    assert only(run_lint_source(source, LIB_PATH), "RPL105") == []
+
+
+def test_rpl105_cross_module_class_field_requires_the_graph(tmp_path):
+    files = {
+        "src/repro/em/jobs.py": (
+            "import threading\n\n"
+            "class Job:\n"
+            "    lock: threading.Lock\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+        ),
+        "src/repro/em/driver.py": (
+            "from repro.em.jobs import Job\n\n"
+            "def task(job):\n"
+            "    return job\n\n"
+            "def run(pool):\n"
+            "    return pool.submit(task, Job())\n"
+        ),
+    }
+    with_graph = lint_tree(tmp_path, files, "RPL105", graph=True)
+    assert len(with_graph) == 1
+    assert "Job.lock" in with_graph[0].message
+    assert "threading.Lock" in with_graph[0].message
+    assert lint_tree(tmp_path, files, "RPL105", graph=False) == []

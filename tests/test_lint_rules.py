@@ -10,9 +10,16 @@ import pytest
 from repro.analysis.baseline import (
     apply_baseline,
     load_baseline,
+    prune_baseline,
     save_baseline,
+    stale_entries,
 )
-from repro.analysis.linter import Finding, run_lint, run_lint_source
+from repro.analysis.linter import (
+    Finding,
+    lint_project,
+    run_lint,
+    run_lint_source,
+)
 from repro.analysis.rules import RULE_CLASSES, all_rules
 from repro.cli import main
 
@@ -386,7 +393,9 @@ def test_findings_are_sorted_and_fingerprints_stable():
 def test_rule_registry_ids_are_unique_and_stable():
     ids = [cls.id for cls in RULE_CLASSES]
     assert len(set(ids)) == len(ids)
-    assert sorted(ids) == [f"RPL00{n}" for n in range(1, 7)]
+    assert sorted(ids) == [f"RPL00{n}" for n in range(1, 7)] + [
+        f"RPL10{n}" for n in range(1, 6)
+    ]
     assert [rule.id for rule in all_rules()] == sorted(ids)
 
 
@@ -419,6 +428,112 @@ def test_missing_baseline_is_empty():
     assert baseline.counts == {} and baseline.total == 0
 
 
+def test_stale_entries_and_prune(tmp_path):
+    module = tmp_path / "module.py"
+    module.write_text("import numpy as np\n\nx = np.random.normal()\n")
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, run_lint([str(module)]))
+
+    # Fix the violation: the baseline entry goes stale.
+    module.write_text("import numpy as np\n\nx = 1\n")
+    findings = run_lint([str(module)])
+    baseline = load_baseline(baseline_path)
+    stale = stale_entries(findings, baseline)
+    assert len(stale) == 1 and sum(stale.values()) == 1
+
+    dropped = prune_baseline(baseline_path, findings, baseline)
+    assert dropped == 1
+    assert load_baseline(baseline_path).total == 0
+    assert stale_entries(findings, load_baseline(baseline_path)) == {}
+
+
+def test_prune_clamps_budget_to_live_matches(tmp_path):
+    module = tmp_path / "module.py"
+    module.write_text(
+        "import numpy as np\n\nx = np.random.normal()\nx = np.random.normal()\n"
+    )
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, run_lint([str(module)]))
+    assert load_baseline(baseline_path).total == 2
+
+    # One of the two grandfathered copies is fixed: budget shrinks to 1.
+    module.write_text("import numpy as np\n\nx = np.random.normal()\n")
+    findings = run_lint([str(module)])
+    dropped = prune_baseline(baseline_path, findings, load_baseline(baseline_path))
+    assert dropped == 1
+    assert load_baseline(baseline_path).total == 1
+
+
+# ----------------------------------------------------------------------
+# Crash resilience: RPL000 is file-scoped, never a run abort
+# ----------------------------------------------------------------------
+def test_unparseable_file_yields_rpl000_and_others_still_lint(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def nope(:\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import numpy as np\n\nx = np.random.normal()\n")
+
+    findings = run_lint([str(broken), str(dirty)])
+    by_rule = {f.rule: f for f in findings}
+    assert set(by_rule) == {"RPL000", "RPL001"}
+    assert by_rule["RPL000"].path.endswith("broken.py")
+    assert by_rule["RPL001"].path.endswith("dirty.py")
+
+
+def test_null_byte_file_yields_rpl000(tmp_path):
+    hostile = tmp_path / "hostile.py"
+    hostile.write_bytes(b"x = 1\x00\n")
+    findings = run_lint([str(hostile)])
+    assert rules_of(findings) == ["RPL000"]
+
+
+def test_modern_syntax_parses_walrus_and_match(tmp_path):
+    module = tmp_path / "modern.py"
+    module.write_text(
+        "def classify(value):\n"
+        "    if (n := len(value)) > 3:\n"
+        "        return n\n"
+        "    match value:\n"
+        "        case [x]:\n"
+        "            return x\n"
+        "        case _:\n"
+        "            return None\n"
+    )
+    assert run_lint([str(module)]) == []
+
+
+def test_pep695_syntax_is_rpl000_or_clean_depending_on_interpreter(tmp_path):
+    # ``type`` aliases need Python 3.12; older interpreters must degrade
+    # to a single file-scoped RPL000, not a crashed run.
+    module = tmp_path / "aliases.py"
+    module.write_text("type Vector = list[float]\n\ndef norm(v: Vector):\n    return v\n")
+    ok = tmp_path / "ok.py"
+    ok.write_text("x = 1\n")
+    findings = run_lint([str(module), str(ok)])
+    assert rules_of(findings) in ([], ["RPL000"])
+    assert all(f.path.endswith("aliases.py") for f in findings)
+
+
+def test_crashing_rule_is_contained_to_rpl000_for_that_file(tmp_path):
+    from repro.analysis.linter import Rule
+
+    class ExplodingRule(Rule):
+        id = "RPL999"
+        title = "always crashes"
+        hint = ""
+
+        def check(self, context):
+            raise RuntimeError("boom")
+
+    module = tmp_path / "module.py"
+    module.write_text("import numpy as np\n\nx = np.random.normal()\n")
+    run = lint_project([str(module)], rules=[*all_rules(), ExplodingRule()])
+    by_rule = sorted(rules_of(run.findings))
+    assert by_rule == ["RPL000", "RPL001"]
+    crash = next(f for f in run.findings if f.rule == "RPL000")
+    assert "RPL999" in crash.message and "boom" in crash.message
+
+
 # ----------------------------------------------------------------------
 # CLI: exit codes, JSON schema, --update-baseline
 # ----------------------------------------------------------------------
@@ -432,7 +547,9 @@ def test_cli_lint_json_schema_and_exit_codes(tmp_path, capsys):
     )
     payload = json.loads(capsys.readouterr().out)
     assert rc == 1
-    assert payload["version"] == 1
+    assert payload["version"] == 2
+    assert payload["schema_version"] == 2
+    assert "costs" in payload
     assert payload["summary"]["findings"] == 1
     assert payload["summary"]["by_rule"] == {"RPL001": 1}
     assert payload["summary"]["files_checked"] == 1
@@ -460,10 +577,93 @@ def test_cli_lint_json_schema_and_exit_codes(tmp_path, capsys):
     assert rc == 0 and "1 baselined" in out
 
 
+def test_render_json_orders_findings_by_rule_then_site():
+    import json as json_module
+
+    from repro.analysis.report import render_json
+
+    def finding(rule, path, line):
+        return Finding(
+            path=path, line=line, col=0, rule=rule,
+            message="m", hint="h", snippet="s",
+        )
+
+    scrambled = [
+        finding("RPL104", "b.py", 3),
+        finding("RPL001", "b.py", 9),
+        finding("RPL104", "a.py", 7),
+        finding("RPL001", "a.py", 2),
+    ]
+    payload = json_module.loads(render_json(scrambled, files_checked=2))
+    order = [(f["rule"], f["path"], f["line"]) for f in payload["findings"]]
+    assert order == [
+        ("RPL001", "a.py", 2),
+        ("RPL001", "b.py", 9),
+        ("RPL104", "a.py", 7),
+        ("RPL104", "b.py", 3),
+    ]
+
+
 def test_cli_lint_missing_path_is_usage_error(tmp_path, capsys):
     rc = main(["lint", str(tmp_path / "nope"), "--baseline", "unused.json"])
     capsys.readouterr()
     assert rc == 2
+
+
+def test_cli_lint_stale_baseline_warns_and_strict_fails(tmp_path, capsys):
+    module = tmp_path / "module.py"
+    module.write_text("import numpy as np\n\nx = np.random.normal()\n")
+    baseline_path = tmp_path / "baseline.json"
+    main(["lint", str(module), "--baseline", str(baseline_path), "--update-baseline"])
+    capsys.readouterr()
+
+    module.write_text("x = 1\n")
+    rc = main(["lint", str(module), "--baseline", str(baseline_path)])
+    captured = capsys.readouterr()
+    assert rc == 0 and "stale baseline" in captured.err
+
+    rc = main(["lint", str(module), "--baseline", str(baseline_path), "--strict"])
+    capsys.readouterr()
+    assert rc == 1
+
+    rc = main(
+        ["lint", str(module), "--baseline", str(baseline_path), "--prune-baseline"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0 and "pruned 1" in captured.out
+    assert load_baseline(baseline_path).total == 0
+
+    rc = main(["lint", str(module), "--baseline", str(baseline_path), "--strict"])
+    captured = capsys.readouterr()
+    assert rc == 0 and "stale" not in captured.err
+
+
+def test_cli_lint_select_ignore_and_no_graph(tmp_path, capsys):
+    module = tmp_path / "module.py"
+    module.write_text(
+        "import numpy as np\n\n"
+        "x = np.random.normal()\n"
+        "def task(cell):\n"
+        "    return cell\n\n"
+        "def run(pool, grid):\n"
+        "    return pool.submit(task, lambda: 1)\n"
+    )
+    baseline = str(tmp_path / "baseline.json")
+
+    rc = main(["lint", str(module), "--baseline", baseline, "--select", "RPL105"])
+    out = capsys.readouterr().out
+    assert rc == 1 and "RPL105" in out and "RPL001" not in out
+
+    rc = main(["lint", str(module), "--baseline", baseline, "--ignore", "RPL001"])
+    out = capsys.readouterr().out
+    assert rc == 1 and "RPL001" not in out and "RPL105" in out
+
+    # --no-graph silences graph rules entirely for this single-file case
+    # only where cross-module knowledge is needed; the lambda payload is
+    # same-file, so it still fires — but stats still render.
+    rc = main(["lint", str(module), "--baseline", baseline, "--stats"])
+    out = capsys.readouterr().out
+    assert rc == 1 and "<index>" in out
 
 
 # ----------------------------------------------------------------------
